@@ -1,0 +1,551 @@
+(* The evaluation harness: regenerates every table and figure of the paper.
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- table2 fig7 ...   -- a subset
+
+   Sections:
+     table1   propagation rules (Table I) demonstration
+     table2   FAROS output for the reflective DLL injection (Table II)
+     fig7..fig10   provenance-tracking figures
+     inject   DarkComet / Njrat code injection
+     table3   JIT false-positive study (Table III)
+     table4   non-injecting malware + benign FP study (Table IV)
+     table5   performance overhead (Table V)
+     cuckoo   comparison with Cuckoo sandbox + Volatility/malfind (Sec. VI-B)
+     indirect indirect-flow experiments (Figs. 1-2)
+     ablation detection under alternative DIFT policies
+     evasion  taint-laundering evasion vs the policy response (Sec. VI-D)
+     tomography tag-type confluence view (Sec. IV's inspiration)
+     memory   shadow / tag-store growth per analysis
+     micro    Bechamel micro-benchmarks of the engine primitives *)
+
+let pp = Format.std_formatter
+
+let section title = Fmt.pf pp "@.=== %s ===@." title
+
+(* -- helpers ------------------------------------------------------------ *)
+
+let analyze ?config (sample : Faros_corpus.Registry.sample) =
+  Faros_corpus.Scenario.analyze ?config sample.scenario
+
+let flag_of (outcome : Core.Analysis.outcome) =
+  match Core.Report.flagged_sites outcome.report with
+  | f :: _ -> Some f
+  | [] -> None
+
+let render_prov (outcome : Core.Analysis.outcome) prov =
+  Core.Report.render_provenance ~store:outcome.faros.engine.store
+    ~name_of_asid:(Core.Faros_plugin.name_of_asid outcome.faros.kernel)
+    prov
+
+(* One provenance-tracking figure: the flagged instruction, its provenance,
+   and the provenance of the memory it read. *)
+let figure ~title ~sample_id () =
+  section title;
+  match Faros_corpus.Registry.find sample_id with
+  | None -> Fmt.pf pp "unknown sample %s@." sample_id
+  | Some sample -> (
+    let outcome = analyze sample in
+    match flag_of outcome with
+    | None -> Fmt.pf pp "NOT FLAGGED (unexpected)@."
+    | Some f ->
+      Fmt.pf pp "flagged instruction     %a  (at 0x%08X in %s)@." Faros_vm.Disasm.pp
+        f.f_instr f.f_pc f.f_process;
+      Fmt.pf pp "instruction provenance  %s@." (render_prov outcome f.f_instr_prov);
+      Fmt.pf pp "reads memory address    0x%08X@." f.f_read_vaddr;
+      Fmt.pf pp "address provenance      %s@." (render_prov outcome f.f_read_prov))
+
+(* -- table 1 ------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table I: FAROS propagation rules";
+  let open Faros_dift in
+  let shadow = Shadow.create () in
+  let store = Tag_store.create () in
+  let nf =
+    Tag_store.netflow store
+      { src_ip = 0x01020304; src_port = 4444; dst_ip = 0x05060708; dst_port = 49162 }
+  in
+  let ft = Tag_store.file store ~name:"a.txt" ~version:1 in
+  Shadow.set_mem shadow 0x100 [ nf ];
+  Shadow.set_mem shadow 0x101 [ ft ];
+  Propagate.copy shadow ~dst:(Propagate.Mem 0x200) ~src:(Propagate.Mem 0x100);
+  Fmt.pf pp "copy(a, b)     prov(a) <- prov(b)            : %a@." Provenance.pp
+    (Shadow.get_mem shadow 0x200);
+  Propagate.union shadow ~dst:(Propagate.Mem 0x201) ~src1:(Propagate.Mem 0x100)
+    ~src2:(Propagate.Mem 0x101);
+  Fmt.pf pp "union(a, b, c) prov(a) <- prov(b) U prov(c)  : %a@." Provenance.pp
+    (Shadow.get_mem shadow 0x201);
+  Propagate.delete shadow (Propagate.Mem 0x200);
+  Fmt.pf pp "delete(a)      prov(a) <- {}                 : %s@."
+    (if Provenance.is_empty (Shadow.get_mem shadow 0x200) then "{}" else "non-empty")
+
+(* -- table 2 ------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table II: FAROS output for the reflective DLL injection";
+  match Faros_corpus.Registry.find "reflective_dll_inject" with
+  | None -> ()
+  | Some sample ->
+    let outcome = analyze sample in
+    Core.Faros_plugin.pp_report pp outcome.faros
+
+(* -- figures ------------------------------------------------------------ *)
+
+let fig7 () =
+  figure
+    ~title:"Fig. 7: reflective DLL injection (Meterpreter) into notepad.exe"
+    ~sample_id:"reflective_dll_inject" ()
+
+let fig8 () =
+  figure ~title:"Fig. 8: reverse_tcp_dns (self-injection)"
+    ~sample_id:"reverse_tcp_dns" ()
+
+let fig9 () =
+  figure ~title:"Fig. 9: bypassuac_injection into firefox.exe"
+    ~sample_id:"bypassuac_injection" ()
+
+let fig10 () =
+  figure ~title:"Fig. 10: process hollowing of svchost.exe"
+    ~sample_id:"process_hollowing" ()
+
+let inject () =
+  figure ~title:"Code injection: DarkComet" ~sample_id:"darkcomet_injection" ();
+  figure ~title:"Code injection: Njrat" ~sample_id:"njrat_injection" ()
+
+(* -- fig 4: the provenance life cycle --------------------------------------- *)
+
+let fig4 () =
+  section "Fig. 4: a byte's provenance list across its life cycle";
+  let exp = Faros_corpus.Fig4.experiment () in
+  let outcome = Faros_corpus.Scenario.analyze exp.exp_scenario in
+  let kernel = outcome.faros.kernel in
+  Fmt.pf pp
+    "network -> process1.exe -> process2.exe -> %s -> process3.exe@."
+    Faros_corpus.Fig4.file1;
+  (match
+     List.find_opt
+       (fun (p : Faros_os.Process.t) -> p.proc_name = "process3.exe")
+       (Faros_os.Kstate.processes kernel)
+   with
+  | None -> Fmt.pf pp "process3 missing@."
+  | Some p3 ->
+    let paddr =
+      Faros_vm.Mmu.translate kernel.machine.mmu
+        ~asid:(Faros_os.Process.asid p3) exp.exp_sink_vaddr
+    in
+    let prov = Faros_dift.Shadow.get_mem outcome.faros.engine.shadow paddr in
+    Fmt.pf pp "provenance of the byte process3 read (oldest first):@.  %s@."
+      (render_prov outcome prov));
+  Fmt.pf pp "(compare: Fig. 4's NetFlow -> Process 1 -> Process 2 -> File 1 -> Process 3)@."
+
+(* -- table 3 ------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table III: JIT false-positive study (10 Java applets, 10 AJAX sites)";
+  let jits = Faros_corpus.Registry.jits () in
+  let applet_flags = ref 0 and ajax_flags = ref 0 in
+  Fmt.pf pp "%-28s %-12s %-8s@." "workload" "kind" "flagged";
+  List.iter
+    (fun (s : Faros_corpus.Registry.sample) ->
+      let outcome = analyze s in
+      let flagged = Core.Report.flagged outcome.report in
+      if flagged then begin
+        match s.category with
+        | Jit_applet _ -> incr applet_flags
+        | _ -> incr ajax_flags
+      end;
+      Fmt.pf pp "%-28s %-12s %-8s@." s.id
+        (match s.category with
+        | Jit_applet true -> "applet(nat)"
+        | Jit_applet false -> "applet"
+        | _ -> "ajax")
+        (if flagged then "YES (FP)" else "no"))
+    jits;
+  Fmt.pf pp "applets flagged: %d/10 (paper: 2/10);  AJAX flagged: %d/10 (paper: 0/10)@."
+    !applet_flags !ajax_flags;
+  let config =
+    Core.Config.with_whitelist Core.Whitelist.jit_default Core.Config.default
+  in
+  let after =
+    List.length
+      (List.filter
+         (fun s -> Core.Report.flagged (analyze ~config s).Core.Analysis.report)
+         jits)
+  in
+  Fmt.pf pp "after whitelisting java.exe: %d flagged (paper: 0)@." after
+
+(* -- table 4 ------------------------------------------------------------ *)
+
+let table4 () =
+  section "Table IV: 104 non-injecting malware and benign samples";
+  let matrix =
+    List.map (fun (f, _, bs) -> ("malware", f, bs)) Faros_corpus.Rats.families
+    @ List.map (fun (f, _, bs) -> ("benign", f, bs)) Faros_corpus.Benign.programs
+    @ [ ("benign", "snipping_tool", []) ]
+  in
+  Fmt.pf pp "%-20s %-8s" "family" "kind";
+  List.iter
+    (fun b ->
+      let s = Faros_corpus.Behavior.to_string b in
+      Fmt.pf pp " %-4s" (String.sub s 0 (min 4 (String.length s))))
+    Faros_corpus.Behavior.all;
+  Fmt.pf pp "@.";
+  List.iter
+    (fun (kind, family, bs) ->
+      Fmt.pf pp "%-20s %-8s" family kind;
+      List.iter
+        (fun b -> Fmt.pf pp " %-4s" (if List.mem b bs then "X" else ""))
+        Faros_corpus.Behavior.all;
+      Fmt.pf pp "@.")
+    matrix;
+  let samples = Faros_corpus.Registry.rats () @ Faros_corpus.Registry.benign () in
+  let fps =
+    List.filter
+      (fun (s : Faros_corpus.Registry.sample) ->
+        Core.Report.flagged (analyze s).Core.Analysis.report)
+      samples
+  in
+  Fmt.pf pp "samples analyzed: %d;  false positives: %d (paper: 0)@."
+    (List.length samples) (List.length fps);
+  List.iter (fun (s : Faros_corpus.Registry.sample) -> Fmt.pf pp "  FP: %s@." s.id) fps
+
+(* -- table 5 ------------------------------------------------------------ *)
+
+let median xs =
+  let sorted = List.sort compare xs in
+  List.nth sorted (List.length sorted / 2)
+
+let time_runs ~reps f =
+  median
+    (List.init reps (fun _ ->
+         let t0 = Unix.gettimeofday () in
+         f ();
+         Unix.gettimeofday () -. t0))
+
+let table5 () =
+  section "Table V: replay time without / with FAROS";
+  Fmt.pf pp "%-16s %-10s %-14s %-14s %-10s@." "application" "ticks" "replay (s)"
+    "replay+FAROS" "overhead";
+  let total_ratio = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (label, scn) ->
+      let _k, trace = Faros_corpus.Scenario.record scn in
+      let plain () = ignore (Faros_corpus.Scenario.replay_plain scn trace) in
+      let with_faros () =
+        ignore
+          (Faros_corpus.Scenario.replay_with scn
+             ~plugins:(fun kernel ->
+               let faros = Core.Faros_plugin.create kernel in
+               [ Core.Faros_plugin.plugin faros ])
+             trace)
+      in
+      let t_plain = time_runs ~reps:5 plain in
+      let t_faros = time_runs ~reps:3 with_faros in
+      let ratio = t_faros /. t_plain in
+      total_ratio := !total_ratio +. ratio;
+      incr n;
+      Fmt.pf pp "%-16s %-10d %-14.4f %-14.4f %.1fx@." label trace.final_tick t_plain
+        t_faros ratio)
+    (Faros_corpus.Perf.workloads ());
+  Fmt.pf pp "mean overhead: %.1fx over plain replay (paper: 14x over PANDA replay)@."
+    (!total_ratio /. float_of_int !n)
+
+(* -- cuckoo comparison --------------------------------------------------- *)
+
+let cuckoo () =
+  section "Sec. VI-B: FAROS vs Cuckoo sandbox + Volatility/malfind";
+  Faros_sandbox.Compare.pp_header pp ();
+  List.iter
+    (fun (s : Faros_corpus.Registry.sample) ->
+      Faros_sandbox.Compare.pp_row pp (Faros_sandbox.Compare.run s))
+    (Faros_corpus.Registry.attacks () @ Faros_corpus.Registry.transient_attacks ());
+  Fmt.pf pp
+    "(transient = payload unmaps itself before the snapshot: malfind goes blind, FAROS does not)@."
+
+(* -- indirect flows ------------------------------------------------------ *)
+
+(* The question Figs. 1-2 pose is whether the *network* taint survives the
+   indirect copy — file tags on image bytes are unrelated — so both counts
+   are restricted to netflow provenance. *)
+let output_taint (outcome : Core.Analysis.outcome)
+    (exp : Faros_corpus.Indirect.experiment) =
+  let kernel = outcome.faros.kernel in
+  let shadow = outcome.faros.engine.shadow in
+  match Faros_os.Kstate.processes kernel with
+  | [] -> (0, 0)
+  | p :: _ ->
+    let asid = Faros_os.Process.asid p in
+    let tainted = ref 0 in
+    for i = 0 to exp.exp_len - 1 do
+      let paddr =
+        Faros_vm.Mmu.translate kernel.machine.mmu ~asid (exp.exp_output_vaddr + i)
+      in
+      if Faros_dift.Provenance.has_netflow (Faros_dift.Shadow.get_mem shadow paddr)
+      then incr tainted
+    done;
+    let netflow_total = ref 0 in
+    Faros_dift.Shadow.iter_mem shadow (fun _ prov ->
+        if Faros_dift.Provenance.has_netflow prov then incr netflow_total);
+    (!tainted, !netflow_total)
+
+let indirect () =
+  section "Figs. 1-2: indirect flows under different propagation policies";
+  let policies =
+    [
+      Faros_dift.Policy.faros_default;
+      Faros_dift.Policy.with_address_deps;
+      Faros_dift.Policy.with_control_deps;
+      Faros_dift.Policy.with_all_indirect;
+      Faros_dift.Policy.minos;
+    ]
+  in
+  List.iter
+    (fun (exp : Faros_corpus.Indirect.experiment) ->
+      Fmt.pf pp "@.%s (copy %d tainted input bytes through an indirect flow)@."
+        exp.exp_name exp.exp_len;
+      Fmt.pf pp "%-16s %-26s %-18s@." "policy" "output bytes w/ netflow"
+        "netflow-tainted bytes";
+      List.iter
+        (fun (policy : Faros_dift.Policy.t) ->
+          let config = Core.Config.with_policy policy Core.Config.default in
+          let outcome = Faros_corpus.Scenario.analyze ~config exp.exp_scenario in
+          let out_tainted, total = output_taint outcome exp in
+          Fmt.pf pp "%-16s %-26s %-18d@." policy.policy_name
+            (Printf.sprintf "%d/%d" out_tainted exp.exp_len)
+            total)
+        policies)
+    [
+      Faros_corpus.Indirect.lookup_experiment ();
+      Faros_corpus.Indirect.bitcopy_experiment ();
+    ]
+
+(* -- ablation ------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation: detection and FP rate under alternative DIFT policies";
+  let policies =
+    [
+      Faros_dift.Policy.faros_default;
+      Faros_dift.Policy.bit_taint;
+      Faros_dift.Policy.minos;
+      Faros_dift.Policy.with_address_deps;
+    ]
+  in
+  let attacks = Faros_corpus.Registry.attacks () in
+  let clean = Faros_corpus.Registry.rats () @ Faros_corpus.Registry.benign () in
+  let jits = Faros_corpus.Registry.jits () in
+  Fmt.pf pp "%-16s %-14s %-16s %-12s@." "policy" "attacks" "clean-sample FPs"
+    "JIT flags";
+  List.iter
+    (fun (policy : Faros_dift.Policy.t) ->
+      let config = Core.Config.with_policy policy Core.Config.default in
+      let count samples =
+        List.length
+          (List.filter
+             (fun (s : Faros_corpus.Registry.sample) ->
+               Core.Report.flagged (analyze ~config s).Core.Analysis.report)
+             samples)
+      in
+      Fmt.pf pp "%-16s %d/%-12d %d/%-14d %d/%-10d@." policy.policy_name
+        (count attacks) (List.length attacks) (count clean) (List.length clean)
+        (count jits) (List.length jits))
+    policies;
+  Fmt.pf pp
+    "(bit-taint/minos track network input only: file-borne hollowing escapes them)@."
+
+(* -- evasion ------------------------------------------------------------- *)
+
+let evasion () =
+  section
+    "Discussion: taint-laundering evasion (bit-by-bit copy) vs policy response";
+  match Faros_corpus.Registry.find "evasive_laundering_injection" with
+  | None -> Fmt.pf pp "missing evasive sample@."
+  | Some sample ->
+    Fmt.pf pp
+      "the client launders the downloaded payload through a control-dependent@.";
+    Fmt.pf pp "bit-copy before injecting it into notepad.exe.@.";
+    Fmt.pf pp "%-34s %-10s %s@." "policy" "flagged" "note";
+    List.iter
+      (fun ((policy : Faros_dift.Policy.t), note) ->
+        let config = Core.Config.with_policy policy Core.Config.default in
+        let outcome = analyze ~config sample in
+        Fmt.pf pp "%-34s %-10b %s@." policy.policy_name
+          (Core.Report.flagged outcome.report)
+          note)
+      [
+        (Faros_dift.Policy.faros_default, "provenance stripped: evasion succeeds");
+        ( Faros_dift.Policy.with_control_deps,
+          "policy response: control deps re-taint the copy" );
+      ];
+    Fmt.pf pp
+      "(the paper's flexibility argument: evasions that stay information-flow-based@.";
+    Fmt.pf pp " are answerable by updating the policy given to FAROS)@."
+
+(* -- data-flow tomography --------------------------------------------------- *)
+
+(* The tag-confluence idea comes from data-flow tomography (Mazloom et al.):
+   look at which *combinations* of tag types co-occur on bytes.  This
+   section renders that view for a clean sample and an attacked one — the
+   netflow+export confluence appears only under attack. *)
+let tomography () =
+  section "Data-flow tomography: tag-type confluences across memory";
+  let render sample_id =
+    match Faros_corpus.Registry.find sample_id with
+    | None -> ()
+    | Some sample ->
+      let outcome = analyze sample in
+      let counts = Hashtbl.create 8 in
+      Faros_dift.Shadow.iter_mem outcome.faros.engine.shadow (fun _ prov ->
+          let key =
+            Faros_dift.Provenance.distinct_types prov
+            |> List.map Core.Prov_query.ty_name
+            |> String.concat "+"
+          in
+          Hashtbl.replace counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)));
+      Fmt.pf pp "@.%s:@." sample_id;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.iter (fun (k, v) -> Fmt.pf pp "  %-44s %6d bytes@." k v)
+  in
+  render "skype_s0";
+  render "reflective_dll_inject";
+  Fmt.pf pp
+    "@.(only the attacked run has netflow+process bytes — the injected code — and@.";
+  Fmt.pf pp
+    " process+export-table bytes — the directory entries it walked.  Their meeting@.";
+  Fmt.pf pp
+    " at a flagged load is Section IV's tag confluence.)@."
+
+(* -- memory overhead ------------------------------------------------------ *)
+
+(* The discussion section worries about provenance memory: measure shadow
+   and tag-store growth per attack analysis. *)
+let memory () =
+  section "Memory overhead: shadow and tag-store growth per analysis";
+  Fmt.pf pp "%-28s %-10s %-14s %-10s %-8s %-8s %-8s@." "sample" "ticks"
+    "tainted bytes" "netflow" "process" "file" "export";
+  List.iter
+    (fun (s : Faros_corpus.Registry.sample) ->
+      let outcome = analyze s in
+      let store = outcome.faros.engine.store in
+      Fmt.pf pp "%-28s %-10d %-14d %-10d %-8d %-8d %-8d@." s.id
+        outcome.replay.replay_ticks
+        (Faros_dift.Shadow.tainted_bytes outcome.faros.engine.shadow)
+        (Faros_dift.Tag_store.netflow_count store)
+        (Faros_dift.Tag_store.process_count store)
+        (Faros_dift.Tag_store.file_count store)
+        (Faros_dift.Tag_store.export_count store))
+    (Faros_corpus.Registry.attacks ());
+  Fmt.pf pp
+    "(provenance lists are capped at %d tags, bounding the paper's memory-exhaustion evasion)@."
+    Faros_dift.Provenance.max_length
+
+(* -- bechamel micro-benchmarks ------------------------------------------- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (engine primitives and whole-sample runs)";
+  let open Bechamel in
+  let open Toolkit in
+  let shadow = Faros_dift.Shadow.create () in
+  let store = Faros_dift.Tag_store.create () in
+  let nf =
+    Faros_dift.Tag_store.netflow store
+      { src_ip = 1; src_port = 2; dst_ip = 3; dst_port = 4 }
+  in
+  Faros_dift.Shadow.set_mem shadow 0 [ nf ];
+  let prov_a = List.init 8 (fun i -> Faros_dift.Tag.Process i)
+  and prov_b = List.init 8 (fun i -> Faros_dift.Tag.File i) in
+  let reflective =
+    match Faros_corpus.Registry.find "reflective_dll_inject" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let tests =
+    Test.make_grouped ~name:"faros"
+      [
+        Test.make ~name:"table1/propagate-copy"
+          (Staged.stage (fun () ->
+               Faros_dift.Propagate.copy shadow ~dst:(Faros_dift.Propagate.Mem 1)
+                 ~src:(Faros_dift.Propagate.Mem 0)));
+        Test.make ~name:"table1/provenance-union"
+          (Staged.stage (fun () ->
+               ignore (Faros_dift.Provenance.union prov_a prov_b)));
+        Test.make ~name:"table1/prov-tag-encode"
+          (Staged.stage (fun () -> ignore (Faros_dift.Tag.encode nf)));
+        Test.make ~name:"table2/analyze-reflective"
+          (Staged.stage (fun () -> ignore (analyze reflective)));
+        Test.make ~name:"table3/analyze-jit-applet"
+          (Staged.stage (fun () ->
+               match Faros_corpus.Registry.find "applet_ncradle" with
+               | Some s -> ignore (analyze s)
+               | None -> ()));
+        Test.make ~name:"table4/analyze-rat"
+          (Staged.stage (fun () ->
+               match Faros_corpus.Registry.find "quasar_v1.0_s0" with
+               | Some s -> ignore (analyze s)
+               | None -> ()));
+        Test.make ~name:"table5/replay-plain"
+          (Staged.stage
+             (let scn = Faros_corpus.Attack_hollowing.scenario () in
+              let _, trace = Faros_corpus.Scenario.record scn in
+              fun () -> ignore (Faros_corpus.Scenario.replay_plain scn trace)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  Fmt.pf pp "%-40s %-16s %s@." "benchmark" "ns/run" "r2";
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with Some [ e ] -> e | Some _ | None -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square r) in
+      Fmt.pf pp "%-40s %-16.1f %.4f@." name est r2)
+    (List.sort compare rows)
+
+(* -- driver --------------------------------------------------------------- *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig4", fig4);
+    ("inject", inject);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("cuckoo", cuckoo);
+    ("indirect", indirect);
+    ("ablation", ablation);
+    ("evasion", evasion);
+    ("tomography", tomography);
+    ("memory", memory);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> List.map fst sections
+    | _ :: rest -> rest
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Fmt.pf pp "unknown section %S; available: %s@." name
+          (String.concat " " (List.map fst sections)))
+    requested;
+  Fmt.pf pp "@.done.@."

@@ -1,0 +1,464 @@
+(* faros — command-line front end.
+
+     faros list                     enumerate the sample corpus
+     faros run <id> [--policy P] [--whitelist-jit] [--verbose]
+                                    record + replay a sample under FAROS
+     faros record <id> -o t.ftr     record and save a trace file
+     faros replay <id> -i t.ftr [--policy P]
+                                    analyze a previously saved trace
+     faros events <id>              Cuckoo-style event trace of a sample
+     faros malfind <id>             snapshot forensics on a sample
+     faros compare <id>             FAROS vs Cuckoo/malfind on one sample
+     faros ps <id>                  end-of-run pslist of a sample
+     faros taint <id>               post-analysis taint map
+     faros strings <id>             provenance-aware strings
+     faros disasm <id>              disassemble a sample's images
+     faros sweep                    run the whole corpus against expectations
+     faros policies                 list the available DIFT policies *)
+
+let pp = Format.std_formatter
+
+let list_cmd () =
+  let samples =
+    Faros_corpus.Registry.all ()
+    @ Faros_corpus.Registry.transient_attacks ()
+    @ Faros_corpus.Registry.evasive_attacks ()
+    @ Faros_corpus.Registry.extended_attacks ()
+    @ Faros_corpus.Registry.extras ()
+  in
+  Fmt.pf pp "%-40s %-22s %s@." "id" "category" "expected";
+  List.iter
+    (fun (s : Faros_corpus.Registry.sample) ->
+      Fmt.pf pp "%-40s %-22s %s@." s.id
+        (Fmt.str "%a" Faros_corpus.Registry.pp_category s.category)
+        (match s.expected with
+        | Faros_corpus.Registry.Expect_flag -> "flag"
+        | Expect_clean -> "clean"))
+    samples;
+  Fmt.pf pp "%d samples@." (List.length samples);
+  0
+
+let find_sample id =
+  match Faros_corpus.Registry.find id with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "unknown sample %S (try `faros list`)" id)
+
+let find_policy name =
+  List.find_opt
+    (fun (p : Faros_dift.Policy.t) -> p.policy_name = name)
+    Faros_dift.Policy.all
+
+let build_config ?(block = false) ~policy ~whitelist_jit () =
+  let config =
+    if whitelist_jit then
+      Core.Config.with_whitelist Core.Whitelist.jit_default Core.Config.default
+    else Core.Config.default
+  in
+  let config = if block then Core.Config.with_block_processing config else config in
+  match policy with
+  | None -> Ok config
+  | Some name -> (
+    match find_policy name with
+    | Some p -> Ok (Core.Config.with_policy p config)
+    | None ->
+      Error
+        (Printf.sprintf "unknown policy %S (try `faros policies`)" name))
+
+let print_outcome_json (outcome : Core.Analysis.outcome) =
+  Fmt.pf pp "%s@."
+    (Core.Report.to_json ~store:outcome.faros.engine.store
+       ~name_of_asid:(Core.Faros_plugin.name_of_asid outcome.faros.kernel)
+       outcome.report);
+  0
+
+let print_outcome sample_id verbose (outcome : Core.Analysis.outcome) =
+  Fmt.pf pp "sample:       %s@." sample_id;
+  Fmt.pf pp "record:       %d instructions, %d packets, %d rx bytes@."
+    outcome.trace.final_tick
+    (Faros_replay.Trace.packet_count outcome.trace)
+    (Faros_replay.Trace.total_rx_bytes outcome.trace);
+  Fmt.pf pp "replay:       %d instructions, diverged: %b@."
+    outcome.replay.replay_ticks outcome.replay.diverged;
+  let instrs, tainted, nf, procs, files =
+    Faros_dift.Engine.stats outcome.faros.engine
+  in
+  Fmt.pf pp
+    "taint:        %d instrs processed, %d tainted bytes, tags: %d netflow / %d process / %d file@."
+    instrs tainted nf procs files;
+  Fmt.pf pp "verdict:      %s@."
+    (if Core.Report.flagged outcome.report then "IN-MEMORY INJECTION FLAGGED"
+     else "clean");
+  Fmt.pf pp "%s@." (Core.Report.summary outcome.report);
+  if Core.Report.flagged outcome.report || verbose then
+    Core.Faros_plugin.pp_report pp outcome.faros;
+  0
+
+let run_cmd id policy whitelist_jit verbose json block =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample -> (
+    match build_config ~block ~policy ~whitelist_jit () with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok config ->
+      let outcome = Faros_corpus.Scenario.analyze ~config sample.scenario in
+      if json then print_outcome_json outcome
+      else print_outcome sample.id verbose outcome)
+
+(* Record a sample and save its trace file. *)
+let record_cmd id out =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample ->
+    let _kernel, trace = Faros_corpus.Scenario.record sample.scenario in
+    let data = Faros_replay.Trace.serialize trace in
+    let oc = open_out_bin out in
+    output_string oc data;
+    close_out oc;
+    Fmt.pf pp "recorded %s: %d instructions, %d events, %d trace bytes -> %s@."
+      sample.id trace.final_tick
+      (List.length trace.events)
+      (String.length data) out;
+    0
+
+(* Analyze a previously saved trace under FAROS. *)
+let replay_cmd id input policy verbose =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample -> (
+    match build_config ~policy ~whitelist_jit:false () with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok config -> (
+      let data =
+        let ic = open_in_bin input in
+        let n = in_channel_length ic in
+        let b = really_input_string ic n in
+        close_in ic;
+        b
+      in
+      match Faros_replay.Trace.parse data with
+      | exception Faros_replay.Trace.Bad_trace m ->
+        Fmt.epr "bad trace file %s: %s@." input m;
+        1
+      | trace ->
+        let faros_ref = ref None in
+        let result =
+          Faros_corpus.Scenario.replay_with sample.scenario
+            ~plugins:(fun kernel ->
+              let faros = Core.Faros_plugin.create ~config kernel in
+              faros_ref := Some faros;
+              [ Core.Faros_plugin.plugin faros ])
+            trace
+        in
+        let faros = Option.get !faros_ref in
+        Fmt.pf pp "replayed %s from %s: %d instructions, diverged: %b@." sample.id
+          input result.replay_ticks result.diverged;
+        Fmt.pf pp "verdict: %s@."
+          (if Core.Report.flagged (Core.Faros_plugin.report faros) then
+             "IN-MEMORY INJECTION FLAGGED"
+           else "clean");
+        if Core.Report.flagged (Core.Faros_plugin.report faros) || verbose then
+          Core.Faros_plugin.pp_report pp faros;
+        0))
+
+(* Cuckoo-style event trace of a live run. *)
+let events_cmd id =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample ->
+    let report = ref None in
+    let _kernel, _trace =
+      Faros_replay.Recorder.record ~max_ticks:sample.scenario.max_ticks
+        ~plugins:(fun kernel ->
+          let r, plugin = Faros_sandbox.Cuckoo.plugin kernel in
+          report := Some r;
+          [ plugin ])
+        ~setup:(Faros_corpus.Scenario.setup_record sample.scenario)
+        ~boot:(Faros_corpus.Scenario.boot sample.scenario)
+        ()
+    in
+    let r = Option.get !report in
+    Fmt.pf pp "%a@." Faros_sandbox.Cuckoo.pp_summary r;
+    Fmt.pf pp "@.hooked API calls (newest first):@.";
+    List.iter
+      (fun (c : Faros_sandbox.Cuckoo.api_call) ->
+        Fmt.pf pp "  %-24s %s(%s)@." c.ac_process c.ac_api
+          (String.concat ", "
+             (List.map string_of_int (Array.to_list c.ac_args))))
+      r.api_calls;
+    0
+
+(* Snapshot forensics: pslist, vadinfo suspects, malfind findings. *)
+let malfind_cmd id =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample ->
+    let kernel, _ = Faros_corpus.Scenario.record sample.scenario in
+    let dump = Faros_sandbox.Memdump.take kernel in
+    Fmt.pf pp "pslist:@.";
+    List.iter
+      (fun pr -> Fmt.pf pp "  %a@." Faros_sandbox.Volatility.pp_process pr)
+      (Faros_sandbox.Volatility.pslist dump);
+    let suspects = Faros_sandbox.Volatility.hollowing_suspects dump in
+    Fmt.pf pp "hollowing suspects: %s@."
+      (if suspects = [] then "none"
+       else String.concat ", " (List.map string_of_int suspects));
+    (match Faros_sandbox.Malfind.scan dump with
+    | [] -> Fmt.pf pp "malfind: no injected regions found@."
+    | findings ->
+      List.iter
+        (fun f -> Fmt.pf pp "malfind: %a@." Faros_sandbox.Malfind.pp_finding f)
+        findings);
+    0
+
+(* Disassemble every image a sample's scenario installs. *)
+let disasm_cmd id =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample ->
+    List.iter
+      (fun (path, (image : Faros_os.Pe.t)) ->
+        Fmt.pf pp "@.=== %s (base 0x%08X, entry 0x%08X) ===@." path image.base
+          image.entry;
+        List.iter
+          (fun (sec : Faros_os.Pe.section) ->
+            List.iter
+              (fun (off, instr) ->
+                Fmt.pf pp "0x%08X  %a@." (sec.sec_vaddr + off) Faros_vm.Disasm.pp
+                  instr)
+              (Faros_vm.Disasm.buffer (Bytes.of_string sec.sec_data)))
+          image.sections;
+        if image.imports <> [] then
+          Fmt.pf pp "imports: %s@."
+            (String.concat ", " (List.map fst image.imports)))
+      sample.scenario.images;
+    0
+
+(* Post-analysis taint map: where tainted data sits after the replay. *)
+let taint_cmd id =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample ->
+    let outcome = Faros_corpus.Scenario.analyze sample.scenario in
+    Fmt.pf pp "%-20s %-10s %s@." "process" "tainted" "netflow-tainted";
+    List.iter
+      (fun (name, total, netflow) ->
+        Fmt.pf pp "%-20s %-10d %d@." name total netflow)
+      (Core.Prov_query.summary_by_process outcome.faros);
+    Fmt.pf pp "@.tainted regions:@.";
+    List.iter
+      (fun r -> Fmt.pf pp "%a@." (Core.Prov_query.pp_region ~faros:outcome.faros) r)
+      (Core.Prov_query.tainted_regions outcome.faros);
+    0
+
+(* Provenance-aware strings over netflow-tainted memory. *)
+let strings_cmd id =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample ->
+    let outcome = Faros_corpus.Scenario.analyze sample.scenario in
+    let found = Core.Prov_query.strings outcome.faros in
+    List.iter
+      (fun (t : Core.Prov_query.tainted_string) ->
+        Fmt.pf pp "%-20s 0x%08X %-24s %s@." t.ts_process t.ts_vaddr
+          (Printf.sprintf "%S" t.ts_text)
+          (Core.Report.render_provenance ~store:outcome.faros.engine.store
+             ~name_of_asid:(Core.Faros_plugin.name_of_asid outcome.faros.kernel)
+             t.ts_prov))
+      found;
+    Fmt.pf pp "%d tainted string(s)@." (List.length found);
+    0
+
+(* Run the whole corpus and compare verdicts to expectations: the CI
+   entry point. *)
+let sweep_cmd () =
+  let samples = Faros_corpus.Registry.all () in
+  let mismatches = ref [] in
+  List.iter
+    (fun (s : Faros_corpus.Registry.sample) ->
+      let outcome = Faros_corpus.Scenario.analyze s.scenario in
+      let flagged = Core.Report.flagged outcome.report in
+      let expected = s.expected = Faros_corpus.Registry.Expect_flag in
+      if flagged <> expected || outcome.replay.diverged then
+        mismatches := s.id :: !mismatches)
+    samples;
+  Fmt.pf pp "%d samples, %d mismatches@." (List.length samples)
+    (List.length !mismatches);
+  List.iter (Fmt.pf pp "  mismatch: %s@.") !mismatches;
+  if !mismatches = [] then 0 else 1
+
+let policies_cmd () =
+  Fmt.pf pp "%-16s %-10s %-10s %-6s %-6s %s@." "name" "addr-deps" "ctrl-deps"
+    "imm" "1-bit" "files";
+  List.iter
+    (fun (p : Faros_dift.Policy.t) ->
+      Fmt.pf pp "%-16s %-10b %-10b %-6b %-6b %b@." p.policy_name p.address_deps
+        p.control_deps p.taint_immediates p.single_bit p.track_files)
+    Faros_dift.Policy.all;
+  0
+
+let compare_cmd id =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample ->
+    let v = Faros_sandbox.Compare.run sample in
+    Faros_sandbox.Compare.pp_header pp ();
+    Faros_sandbox.Compare.pp_row pp v;
+    Fmt.pf pp "hooked api calls seen by cuckoo: %d; raw syscalls it missed: %d@."
+      v.v_api_calls v.v_raw_syscalls;
+    0
+
+let ps_cmd id =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample ->
+    let kernel, _ = Faros_corpus.Scenario.record sample.scenario in
+    let dump = Faros_sandbox.Memdump.take kernel in
+    List.iter
+      (fun p -> Fmt.pf pp "%a@." Faros_sandbox.Volatility.pp_process p)
+      (Faros_sandbox.Volatility.pslist dump);
+    0
+
+open Cmdliner
+
+let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SAMPLE")
+
+let list_t = Cmd.v (Cmd.info "list" ~doc:"List the sample corpus") Term.(const list_cmd $ const ())
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policy" ] ~docv:"POLICY" ~doc:"DIFT propagation policy to use")
+
+let run_t =
+  let whitelist =
+    Arg.(value & flag & info [ "whitelist-jit" ] ~doc:"Suppress known JIT hosts")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON")
+  in
+  let block =
+    Arg.(
+      value & flag
+      & info [ "block" ] ~doc:"Process instructions one basic block at a time")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Analyze one sample with FAROS")
+    Term.(const run_cmd $ id_arg $ policy_arg $ whitelist $ verbose $ json $ block)
+
+let compare_t =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare FAROS with Cuckoo/malfind on one sample")
+    Term.(const compare_cmd $ id_arg)
+
+let ps_t =
+  Cmd.v (Cmd.info "ps" ~doc:"End-of-run process list") Term.(const ps_cmd $ id_arg)
+
+let record_t =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a sample and save the trace")
+    Term.(const record_cmd $ id_arg $ out)
+
+let replay_t =
+  let input =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Trace file to replay")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full report")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Analyze a saved trace under FAROS")
+    Term.(const replay_cmd $ id_arg $ input $ policy_arg $ verbose)
+
+let events_t =
+  Cmd.v
+    (Cmd.info "events" ~doc:"Cuckoo-style event trace of one sample")
+    Term.(const events_cmd $ id_arg)
+
+let malfind_t =
+  Cmd.v
+    (Cmd.info "malfind" ~doc:"Snapshot forensics on one sample")
+    Term.(const malfind_cmd $ id_arg)
+
+let taint_t =
+  Cmd.v
+    (Cmd.info "taint" ~doc:"Post-analysis taint map of one sample")
+    Term.(const taint_cmd $ id_arg)
+
+let disasm_t =
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a sample's images")
+    Term.(const disasm_cmd $ id_arg)
+
+let strings_t =
+  Cmd.v
+    (Cmd.info "strings"
+       ~doc:"Provenance-aware strings over netflow-tainted memory")
+    Term.(const strings_cmd $ id_arg)
+
+let sweep_t =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Analyze the whole corpus; exit non-zero on any verdict mismatch")
+    Term.(const sweep_cmd $ const ())
+
+let policies_t =
+  Cmd.v
+    (Cmd.info "policies" ~doc:"List available DIFT propagation policies")
+    Term.(const policies_cmd $ const ())
+
+let () =
+  let doc = "FAROS: provenance-based whole-system DIFT for in-memory injection attacks" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "faros" ~doc)
+          [
+            list_t;
+            run_t;
+            record_t;
+            replay_t;
+            events_t;
+            malfind_t;
+            compare_t;
+            ps_t;
+            taint_t;
+            strings_t;
+            disasm_t;
+            sweep_t;
+            policies_t;
+          ]))

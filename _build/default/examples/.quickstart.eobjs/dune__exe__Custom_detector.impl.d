@@ -1,0 +1,1 @@
+examples/custom_detector.ml: Core Faros_corpus Faros_dift Faros_os Faros_replay Fmt Format List String

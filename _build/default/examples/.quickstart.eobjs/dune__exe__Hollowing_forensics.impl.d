@@ -1,0 +1,1 @@
+examples/hollowing_forensics.ml: Core Faros_corpus Faros_os Faros_replay Faros_sandbox Fmt Format List Option

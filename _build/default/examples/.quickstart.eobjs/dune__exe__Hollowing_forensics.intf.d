@@ -1,0 +1,1 @@
+examples/hollowing_forensics.mli:

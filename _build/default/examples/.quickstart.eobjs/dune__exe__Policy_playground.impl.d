@@ -1,0 +1,1 @@
+examples/policy_playground.ml: Core Faros_corpus Faros_dift Faros_os Faros_vm Fmt Format List

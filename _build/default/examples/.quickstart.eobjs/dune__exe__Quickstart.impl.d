@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Core Faros_corpus Faros_dift Faros_os Faros_replay Faros_vm Fmt Isa List Progs Scenario

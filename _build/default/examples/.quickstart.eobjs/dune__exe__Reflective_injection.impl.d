@@ -1,0 +1,1 @@
+examples/reflective_injection.ml: Core Faros_corpus Faros_os Faros_replay Faros_vm Fmt Format List

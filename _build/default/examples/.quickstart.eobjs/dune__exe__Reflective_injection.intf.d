@@ -1,0 +1,1 @@
+examples/reflective_injection.mli:

@@ -1,0 +1,76 @@
+(* Process hollowing, investigated three ways.
+
+     dune exec examples/hollowing_forensics.exe
+
+   Runs the Lab 3-3-style hollowing sample (svchost.exe replaced by a
+   keylogger) and contrasts what each tool class can say about it:
+   the event-based sandbox, snapshot forensics (pslist / vadinfo /
+   malfind), and FAROS's whole-execution provenance. *)
+
+let pp = Format.std_formatter
+
+let () =
+  let sample =
+    match Faros_corpus.Registry.find "process_hollowing" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let scn = sample.scenario in
+
+  (* live run with the cuckoo monitor, then the memory dump *)
+  let report = ref None in
+  let kernel, _trace =
+    Faros_replay.Recorder.record ~max_ticks:scn.max_ticks
+      ~plugins:(fun kernel ->
+        let r, plugin = Faros_sandbox.Cuckoo.plugin kernel in
+        report := Some r;
+        [ plugin ])
+      ~setup:(Faros_corpus.Scenario.setup_record scn)
+      ~boot:(Faros_corpus.Scenario.boot scn)
+      ()
+  in
+  let report = Option.get !report in
+
+  Fmt.pf pp "== Event-based sandbox (Cuckoo) ==@.";
+  Fmt.pf pp "%a@." Faros_sandbox.Cuckoo.pp_summary report;
+  Fmt.pf pp "verdict: %s@.@."
+    (if Faros_sandbox.Cuckoo.flags_injection report then "flagged"
+     else "nothing to report — no disk artifact, no hooked injection API");
+
+  Fmt.pf pp "== Snapshot forensics (Volatility) ==@.";
+  let dump = Faros_sandbox.Memdump.take kernel in
+  Fmt.pf pp "pslist:@.";
+  List.iter
+    (fun p -> Fmt.pf pp "  %a@." Faros_sandbox.Volatility.pp_process p)
+    (Faros_sandbox.Volatility.pslist dump);
+  let suspects = Faros_sandbox.Volatility.hollowing_suspects dump in
+  Fmt.pf pp "vadinfo: %d process(es) with no image-backed memory left@."
+    (List.length suspects);
+  List.iter
+    (fun pid ->
+      List.iter
+        (fun (v : Faros_sandbox.Volatility.vad) ->
+          Fmt.pf pp "  pid %d: 0x%08x (%d bytes, %s)@." pid v.vad_vaddr v.vad_size
+            (match v.vad_kind with
+            | Faros_sandbox.Memdump.Image -> "image"
+            | Stack -> "stack"
+            | Private -> "PRIVATE"))
+        (Faros_sandbox.Volatility.vadinfo dump pid))
+    suspects;
+  List.iter
+    (fun f -> Fmt.pf pp "malfind: %a@." Faros_sandbox.Malfind.pp_finding f)
+    (Faros_sandbox.Malfind.scan dump);
+  Fmt.pf pp
+    "-> the dump shows *that* svchost.exe was hollowed, but not where the@.";
+  Fmt.pf pp "   payload came from or how it got there.@.@.";
+
+  Fmt.pf pp "== FAROS (whole-execution provenance) ==@.";
+  let outcome = Faros_corpus.Scenario.analyze scn in
+  Core.Faros_plugin.pp_report pp outcome.faros;
+  Fmt.pf pp
+    "-> provenance: the injected instructions came from the dropper's own@.";
+  Fmt.pf pp
+    "   image file, were written into svchost.exe by process_hollowing.exe,@.";
+  Fmt.pf pp "   and resolved their imports by reading the export directory.@.";
+  Fmt.pf pp "@.The keylogger did run: %s contains %S@." "practicalmalware.log"
+    (Faros_os.Fs.read_all outcome.faros.kernel.fs "practicalmalware.log")

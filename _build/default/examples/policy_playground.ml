@@ -1,0 +1,67 @@
+(* Indirect flows and the undertaint/overtaint dilemma, interactively.
+
+     dune exec examples/policy_playground.exe
+
+   Runs the Fig. 1 (lookup-table copy) and Fig. 2 (bit-by-bit copy) guest
+   programs under every propagation policy and shows where the network
+   taint ends up — the design space Section IV argues cannot be solved
+   once-and-for-all, only per security policy. *)
+
+let pp = Format.std_formatter
+
+let netflow_taint_of outcome (exp : Faros_corpus.Indirect.experiment) vaddr len =
+  let kernel = outcome.Core.Analysis.faros.kernel in
+  let shadow = outcome.faros.engine.shadow in
+  ignore exp;
+  match Faros_os.Kstate.processes kernel with
+  | [] -> 0
+  | p :: _ ->
+    let asid = Faros_os.Process.asid p in
+    let n = ref 0 in
+    for i = 0 to len - 1 do
+      let paddr = Faros_vm.Mmu.translate kernel.machine.mmu ~asid (vaddr + i) in
+      if Faros_dift.Provenance.has_netflow (Faros_dift.Shadow.get_mem shadow paddr)
+      then incr n
+    done;
+    !n
+
+let () =
+  let policies =
+    [
+      (Faros_dift.Policy.faros_default, "direct flows only (FAROS default)");
+      (Faros_dift.Policy.with_address_deps, "plus address dependencies");
+      (Faros_dift.Policy.with_control_deps, "plus control dependencies");
+      (Faros_dift.Policy.with_all_indirect, "all indirect flows");
+      (Faros_dift.Policy.minos, "Minos heuristics (8/16-bit addr deps)");
+      (Faros_dift.Policy.bit_taint, "classic 1-bit DIFT");
+    ]
+  in
+  List.iter
+    (fun (exp : Faros_corpus.Indirect.experiment) ->
+      Fmt.pf pp "@.== %s ==@." exp.exp_name;
+      Fmt.pf pp
+        "%d bytes arrive over the network and are copied through an indirect flow.@."
+        exp.exp_len;
+      Fmt.pf pp "%-44s %-10s %-10s@." "policy" "input" "output";
+      List.iter
+        (fun ((policy : Faros_dift.Policy.t), label) ->
+          let config = Core.Config.with_policy policy Core.Config.default in
+          let outcome = Faros_corpus.Scenario.analyze ~config exp.exp_scenario in
+          let input =
+            netflow_taint_of outcome exp exp.exp_input_vaddr exp.exp_len
+          in
+          let output =
+            netflow_taint_of outcome exp exp.exp_output_vaddr exp.exp_len
+          in
+          Fmt.pf pp "%-44s %2d/%-7d %2d/%-7d %s@." label input exp.exp_len output
+            exp.exp_len
+            (if output = 0 then "(undertaint: flow lost)"
+             else "(flow tracked / overtaint risk)"))
+        policies)
+    [
+      Faros_corpus.Indirect.lookup_experiment ();
+      Faros_corpus.Indirect.bitcopy_experiment ();
+    ];
+  Fmt.pf pp
+    "@.FAROS's answer: keep propagation to direct flows and catch attacks by@.";
+  Fmt.pf pp "*tag confluence* instead — see DESIGN.md and the ablation bench.@."

@@ -1,0 +1,96 @@
+(* Quickstart: the full FAROS workflow on a hand-written guest program.
+
+     dune exec examples/quickstart.exe
+
+   We write a tiny piece of "malware" in the guest assembly DSL: it
+   downloads a string from a remote server and stores it into its own
+   memory.  Then we record the execution, replay it under the FAROS plugin,
+   and inspect the provenance the DIFT engine attached to those bytes. *)
+
+open Faros_vm
+open Faros_corpus
+
+let server_ip = "203.0.113.9"
+
+(* A guest program: connect, receive 13 bytes, copy them to a buffer. *)
+let demo_image =
+  Faros_os.Pe.of_program ~name:"demo.exe" ~base:Faros_os.Process.image_base
+    ~exports:[ "copy_buf" ]  (* exported so we can find it afterwards *)
+    (List.concat
+       [
+         [ Progs.lbl "start" ];
+         Progs.connect_raw ~ip:server_ip ~port:80;
+         (* recv(sock, rx_buf, 13) *)
+         [
+           Progs.movr Isa.r1 Isa.r7;
+           Progs.lea_label Isa.r2 "rx_buf";
+           Progs.movi Isa.r3 13;
+         ];
+         Progs.syscall Faros_os.Syscall.sys_recv;
+         (* memcpy(copy_buf, rx_buf, 13) *)
+         [
+           Asm.Mov_label (Isa.r1, "copy_buf");
+           Asm.Mov_label (Isa.r2, "rx_buf");
+           Progs.movi Isa.r3 13;
+           Asm.Call_l "memcpy";
+         ];
+         [ Progs.halt ];
+         Progs.memcpy_sub ~label:"memcpy";
+         Progs.buffer "rx_buf" 16;
+         Progs.buffer "copy_buf" 16;
+       ])
+
+let scenario =
+  Scenario.make "quickstart"
+    ~images:[ ("demo.exe", demo_image) ]
+    ~actors:
+      [
+        {
+          Faros_os.Netstack.actor_name = "server";
+          actor_ip = Faros_os.Types.Ip.of_string server_ip;
+          actor_port = 80;
+          on_connect = (fun _ -> [ "hello, taint!" ]);
+          on_data = (fun _ _ -> []);
+        };
+      ]
+    ~boot:[ "demo.exe" ]
+
+let () =
+  Fmt.pr "1. record the execution (live network actor answering)@.";
+  let _kernel, trace = Scenario.record scenario in
+  Fmt.pr "   recorded %d instructions, %d network chunk(s), %d rx bytes@."
+    trace.final_tick
+    (Faros_replay.Trace.packet_count trace)
+    (Faros_replay.Trace.total_rx_bytes trace);
+
+  Fmt.pr "2. replay deterministically under the FAROS plugin@.";
+  let outcome = Scenario.analyze scenario in
+  Fmt.pr "   replay diverged: %b@." outcome.replay.diverged;
+  let instrs, tainted, nf, procs, files =
+    Faros_dift.Engine.stats outcome.faros.engine
+  in
+  Fmt.pr
+    "   %d instructions analyzed; %d tainted bytes; %d netflow / %d process / %d file tags@."
+    instrs tainted nf procs files;
+
+  Fmt.pr "3. inspect the provenance of the copied buffer@.";
+  let kernel = outcome.faros.kernel in
+  let p = List.hd (Faros_os.Kstate.processes kernel) in
+  let copy_buf = List.assoc "copy_buf" demo_image.exports in
+  let paddr =
+    Faros_vm.Mmu.translate kernel.machine.mmu ~asid:(Faros_os.Process.asid p)
+      copy_buf
+  in
+  let prov = Faros_dift.Shadow.get_mem outcome.faros.engine.shadow paddr in
+  Fmt.pr "   copy_buf[0] provenance (newest first): %a@." Faros_dift.Provenance.pp
+    prov;
+  Fmt.pr "   rendered: %s@."
+    (Core.Report.render_provenance ~store:outcome.faros.engine.store
+       ~name_of_asid:(Core.Faros_plugin.name_of_asid kernel)
+       prov);
+
+  Fmt.pr "4. detection verdict: %s@."
+    (if Core.Report.flagged outcome.report then "FLAGGED" else "clean");
+  Fmt.pr
+    "   (data from the network was copied but never executed against the export table,@.";
+  Fmt.pr "    so FAROS stays quiet — run reflective_injection.exe for the attack case)@."

@@ -1,0 +1,85 @@
+(* The paper's headline experiment end to end: a Meterpreter-style
+   reflective DLL injection, recorded live and replayed under FAROS.
+
+     dune exec examples/reflective_injection.exe
+
+   Narrates each phase: what the attacker does, what the event-based view
+   sees, and what the provenance-based view proves. *)
+
+let pp = Format.std_formatter
+
+let () =
+  let scn = Faros_corpus.Attack_reflective.reflective_dll_inject () in
+
+  Fmt.pf pp "== The attack ==@.";
+  Fmt.pf pp
+    "inject_client.exe opens a reverse connection to %s:%d, downloads a@."
+    Faros_corpus.Attack_reflective.attacker_ip
+    Faros_corpus.Attack_reflective.attacker_port;
+  Fmt.pf pp
+    "reflective payload, and plants it in notepad.exe with raw syscalls:@.";
+  Fmt.pf pp
+    "NtAllocateVirtualMemory + NtWriteVirtualMemory + thread-context hijack.@.";
+  Fmt.pf pp
+    "The payload resolves LoadLibraryA/GetProcAddress/VirtualAlloc by walking@.";
+  Fmt.pf pp "the kernel export directory, then pops a message box.@.@.";
+
+  Fmt.pf pp "== Phase 1: record (the sandboxed VM runs live) ==@.";
+  let events = ref [] in
+  let kernel, trace =
+    Faros_replay.Recorder.record ~max_ticks:scn.max_ticks
+      ~plugins:(fun kernel ->
+        [
+          Faros_replay.Plugin.make "narrator" ~on_os_event:(fun ev ->
+              match ev with
+              | Faros_os.Os_event.Net_connect { pid; flow } ->
+                events :=
+                  Fmt.str "%-18s connected: %a"
+                    (Faros_os.Kstate.proc_name kernel pid)
+                    Faros_os.Types.pp_flow flow
+                  :: !events
+              | Faros_os.Os_event.Sys_enter { pid; sysname; via_stub = false; _ }
+                when sysname = "NtWriteVirtualMemory"
+                     || sysname = "NtSetContextThread" ->
+                events :=
+                  Fmt.str "%-18s raw syscall: %s"
+                    (Faros_os.Kstate.proc_name kernel pid)
+                    sysname
+                  :: !events
+              | Faros_os.Os_event.Popup { pid; text } ->
+                events :=
+                  Fmt.str "%-18s POPUP: %S"
+                    (Faros_os.Kstate.proc_name kernel pid)
+                    text
+                  :: !events
+              | _ -> ());
+        ])
+      ~setup:(Faros_corpus.Scenario.setup_record scn)
+      ~boot:(Faros_corpus.Scenario.boot scn)
+      ()
+  in
+  ignore kernel;
+  List.iter (Fmt.pf pp "  %s@.") (List.rev !events);
+  Fmt.pf pp "  recording: %d instructions, %d rx bytes@.@." trace.final_tick
+    (Faros_replay.Trace.total_rx_bytes trace);
+
+  Fmt.pf pp "== Phase 2: replay under the FAROS plugin ==@.";
+  let outcome = Faros_corpus.Scenario.analyze scn in
+  Fmt.pf pp "  diverged: %b;  %s@.@." outcome.replay.diverged
+    (Core.Report.summary outcome.report);
+
+  Fmt.pf pp "== FAROS report (Table II format) ==@.";
+  Core.Faros_plugin.pp_report pp outcome.faros;
+
+  Fmt.pf pp "@.== What the provenance proves ==@.";
+  (match Core.Report.flagged_sites outcome.report with
+  | f :: _ ->
+    Fmt.pf pp "The instruction at 0x%08X executing inside %s@." f.f_pc f.f_process;
+    Fmt.pf pp "  %a@." Faros_vm.Disasm.pp f.f_instr;
+    Fmt.pf pp "was assembled from bytes that came off the wire (%s),@."
+      "netflow tag";
+    Fmt.pf pp "passed through inject_client.exe, and is now reading the@.";
+    Fmt.pf pp "export directory at 0x%08X — tag confluence, the paper's@."
+      f.f_read_vaddr;
+    Fmt.pf pp "invariant for in-memory injection.@."
+  | [] -> Fmt.pf pp "unexpected: nothing flagged@.")

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Config Faros_plugin Faros_replay Report

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Config Faros_os Faros_plugin Faros_replay Report

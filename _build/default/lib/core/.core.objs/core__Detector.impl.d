@@ -1,0 +1,1 @@
+lib/core/detector.ml: Config Faros_dift List Report Whitelist

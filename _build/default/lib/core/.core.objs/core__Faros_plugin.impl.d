@@ -1,0 +1,1 @@
+lib/core/faros_plugin.ml: Config Detector Faros_dift Faros_os Faros_replay Faros_vm Option Report

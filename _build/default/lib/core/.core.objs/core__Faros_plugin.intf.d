@@ -1,0 +1,1 @@
+lib/core/faros_plugin.mli: Config Detector Faros_dift Faros_os Faros_replay Format Report

@@ -1,0 +1,1 @@
+lib/core/prov_query.ml: Bytes Char Faros_dift Faros_os Faros_plugin Faros_vm Fmt List Option Report String

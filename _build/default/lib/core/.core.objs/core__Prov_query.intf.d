@@ -1,0 +1,1 @@
+lib/core/prov_query.mli: Faros_dift Faros_os Faros_plugin Fmt

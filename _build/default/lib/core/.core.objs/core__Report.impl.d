@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Char Faros_dift Faros_os Faros_vm Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Faros_dift Faros_vm Fmt

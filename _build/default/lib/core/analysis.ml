@@ -1,0 +1,46 @@
+(* Top-level analysis driver: the analyst workflow of Section V-C.
+
+   1. Record: run the sample live (actors answering on the network, the
+      user workload typing) and capture the non-deterministic inputs.
+   2. Replay under FAROS: rebuild the system, feed the trace, run the DIFT
+      plugin, and report any in-memory injections with full provenance. *)
+
+type outcome = {
+  faros : Faros_plugin.t;
+  report : Report.t;
+  trace : Faros_replay.Trace.t;
+  record_ticks : int;
+  replay : Faros_replay.Replayer.result;
+}
+
+(* [setup_record] provisions images *and* live actors/input scripts;
+   [setup_replay] provisions only the images (actors are replaced by the
+   trace).  [boot] spawns the initial processes and must be identical in
+   both phases. *)
+let analyze ?(config = Config.default) ?max_ticks ?timeslice ~setup_record
+    ~setup_replay ~boot () =
+  let _record_kernel, trace =
+    Faros_replay.Recorder.record ?max_ticks ?timeslice ~setup:setup_record ~boot ()
+  in
+  let faros_ref = ref None in
+  let replay =
+    Faros_replay.Replayer.replay ?max_ticks ?timeslice
+      ~plugins:(fun kernel ->
+        let faros = Faros_plugin.create ~config kernel in
+        faros_ref := Some faros;
+        [ Faros_plugin.plugin faros ])
+      ~setup:setup_replay ~boot trace
+  in
+  match !faros_ref with
+  | None -> assert false (* the plugin constructor always runs *)
+  | Some faros ->
+    Faros_plugin.finalize faros;
+    {
+      faros;
+      report = Faros_plugin.report faros;
+      trace;
+      record_ticks = trace.final_tick;
+      replay;
+    }
+
+let flagged outcome = Report.flagged outcome.report

@@ -1,0 +1,30 @@
+(** Top-level analysis driver: the analyst workflow of Section V-C.
+
+    1. Record: run the sample live (actors answering on the network, the
+       user workload typing) and capture the non-deterministic inputs.
+    2. Replay under FAROS: rebuild the system, feed the trace, run the DIFT
+       plugin, and report any in-memory injections with full provenance. *)
+
+type outcome = {
+  faros : Faros_plugin.t;
+  report : Report.t;
+  trace : Faros_replay.Trace.t;
+  record_ticks : int;
+  replay : Faros_replay.Replayer.result;
+}
+
+val analyze :
+  ?config:Config.t ->
+  ?max_ticks:int ->
+  ?timeslice:int ->
+  setup_record:(Faros_os.Kernel.t -> unit) ->
+  setup_replay:(Faros_os.Kernel.t -> unit) ->
+  boot:(Faros_os.Kernel.t -> unit) ->
+  unit ->
+  outcome
+(** [setup_record] provisions images {e and} live actors/input scripts;
+    [setup_replay] provisions only the images (actors are replaced by the
+    trace).  [boot] spawns the initial processes and must be identical in
+    both phases. *)
+
+val flagged : outcome -> bool

@@ -1,0 +1,55 @@
+(* The flagging policy: tag confluence (Section IV / V-B).
+
+   On every executed load the detector checks:
+   - the *read* location carries an export-table tag (the load is parsing
+     linking/loading structures), and
+   - the *instruction's own code bytes* carry at least two distinct process
+     tags (the code crossed a process boundary) plus an input-source tag —
+     netflow for network-borne payloads, or a file tag when the
+     configuration also accepts disk-borne payloads (Fig. 10).
+
+   Under a single-bit policy no provenance exists to interrogate, so the
+   rule degrades to "tainted code reads the export region" — the ablation
+   showing why provenance tags are load-bearing. *)
+
+type t = {
+  config : Config.t;
+  report : Report.t;
+  name_of_asid : int -> string;
+  mutable loads_checked : int;
+}
+
+let create ~config ~name_of_asid =
+  { config; report = Report.create (); name_of_asid; loads_checked = 0 }
+
+let matches t (info : Faros_dift.Engine.load_info) =
+  Faros_dift.Provenance.has_export info.li_read_prov
+  &&
+  if t.config.policy.single_bit then
+    not (Faros_dift.Provenance.is_empty info.li_instr_prov)
+  else
+    let procs = Faros_dift.Provenance.process_indices info.li_instr_prov in
+    let has_source =
+      Faros_dift.Provenance.has_netflow info.li_instr_prov
+      || ((not t.config.require_netflow)
+         && Faros_dift.Provenance.has_file info.li_instr_prov)
+    in
+    List.length procs >= t.config.min_process_tags && has_source
+
+let on_load t ~tick (info : Faros_dift.Engine.load_info) =
+  t.loads_checked <- t.loads_checked + 1;
+  if matches t info then begin
+    let process = t.name_of_asid info.li_asid in
+    Report.add t.report
+      {
+        f_tick = tick;
+        f_pc = info.li_pc;
+        f_process = process;
+        f_instr = info.li_instr;
+        f_instr_prov = info.li_instr_prov;
+        f_read_vaddr = info.li_read_vaddr;
+        f_read_prov = info.li_read_prov;
+        f_whitelisted =
+          Whitelist.is_whitelisted ~whitelist:t.config.whitelist process;
+      }
+  end

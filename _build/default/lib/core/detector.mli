@@ -1,0 +1,29 @@
+(** The flagging policy: tag confluence (Sections IV and V-B).
+
+    On every executed load the detector checks that
+
+    - the {e read} location carries an export-table tag (the load is parsing
+      linking/loading structures), and
+    - the {e instruction's own code bytes} carry the configured number of
+      process tags (the code crossed a process boundary) plus an
+      input-source tag — netflow for network-borne payloads, or a file tag
+      when the configuration also accepts disk-borne payloads (Fig. 10).
+
+    Under a single-bit policy no provenance exists to interrogate, so the
+    rule degrades to "tainted code reads the export region" — the ablation
+    showing why provenance tags are load-bearing. *)
+
+type t = {
+  config : Config.t;
+  report : Report.t;
+  name_of_asid : int -> string;
+  mutable loads_checked : int;
+}
+
+val create : config:Config.t -> name_of_asid:(int -> string) -> t
+
+val matches : t -> Faros_dift.Engine.load_info -> bool
+(** Pure policy decision for one load observation. *)
+
+val on_load : t -> tick:int -> Faros_dift.Engine.load_info -> unit
+(** Check one load and record a {!Report.flag} when it matches. *)

@@ -1,0 +1,58 @@
+(* The FAROS plugin: wires the DIFT engine and the detector into a kernel's
+   execution and event streams — the role the PANDA plugin plays in the
+   paper.  Construction taints the export-table pointers (the startup scan
+   of loaded modules) and registers the detector as a load observer. *)
+
+type t = {
+  engine : Faros_dift.Engine.t;
+  batcher : Faros_dift.Block_engine.t option;  (* Some when block_processing *)
+  detector : Detector.t;
+  kernel : Faros_os.Kernel.t;
+  config : Config.t;
+}
+
+let name_of_asid (kernel : Faros_os.Kernel.t) asid =
+  match Faros_os.Kstate.proc_by_asid kernel asid with
+  | Some p -> p.Faros_os.Process.proc_name
+  | None -> Faros_vm.Mmu.space_name kernel.machine.mmu asid
+
+let resolve_asid (kernel : Faros_os.Kernel.t) pid =
+  Option.map Faros_os.Process.asid (Faros_os.Kstate.proc kernel pid)
+
+let create ?(config = Config.default) (kernel : Faros_os.Kernel.t) =
+  let engine = Faros_dift.Engine.create ~policy:config.policy () in
+  let batcher =
+    if config.block_processing then Some (Faros_dift.Block_engine.of_engine engine)
+    else None
+  in
+  let detector = Detector.create ~config ~name_of_asid:(name_of_asid kernel) in
+  Faros_dift.Engine.taint_export_pointers engine
+    kernel.exports.Faros_os.Export_table.pointers_by_name;
+  Faros_dift.Engine.add_load_observer engine (fun info ->
+      Detector.on_load detector ~tick:(Faros_os.Kernel.tick kernel) info);
+  { engine; batcher; detector; kernel; config }
+
+let plugin t =
+  match t.batcher with
+  | None ->
+    Faros_replay.Plugin.make "faros"
+      ~on_exec:(fun cpu eff -> Faros_dift.Engine.on_exec t.engine cpu eff)
+      ~on_os_event:(fun ev ->
+        Faros_dift.Engine.on_os_event t.engine ~resolve_asid:(resolve_asid t.kernel)
+          ev)
+  | Some b ->
+    Faros_replay.Plugin.make "faros-block"
+      ~on_exec:(fun cpu eff -> Faros_dift.Block_engine.on_exec b cpu eff)
+      ~on_os_event:(fun ev ->
+        Faros_dift.Block_engine.on_os_event b ~resolve_asid:(resolve_asid t.kernel)
+          ev)
+
+(* Process any trailing partial block; call when the replay is over. *)
+let finalize t =
+  match t.batcher with Some b -> Faros_dift.Block_engine.finish b | None -> ()
+
+let report t = t.detector.report
+
+let pp_report ppf t =
+  Report.pp_table ~store:t.engine.store ~name_of_asid:(name_of_asid t.kernel) ppf
+    t.detector.report

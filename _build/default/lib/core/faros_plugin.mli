@@ -1,0 +1,34 @@
+(** The FAROS plugin: wires the DIFT engine and the detector into a kernel's
+    execution and event streams — the role the PANDA plugin plays in the
+    paper.  Construction taints the export-table pointers (the startup scan
+    of loaded modules) and registers the detector as a load observer. *)
+
+type t = {
+  engine : Faros_dift.Engine.t;
+  batcher : Faros_dift.Block_engine.t option;
+      (** present when the configuration asks for basic-block processing *)
+  detector : Detector.t;
+  kernel : Faros_os.Kernel.t;
+  config : Config.t;
+}
+
+val name_of_asid : Faros_os.Kernel.t -> int -> string
+(** Resolve a CR3 back to a process name (OSI-style introspection). *)
+
+val resolve_asid : Faros_os.Kernel.t -> int -> int option
+(** Resolve a pid to its CR3. *)
+
+val create : ?config:Config.t -> Faros_os.Kernel.t -> t
+(** Build the analysis against a freshly constructed kernel, before any
+    guest instruction runs (the export-table scan happens here). *)
+
+val plugin : t -> Faros_replay.Plugin.t
+(** The attachable plugin carrying the execution and event hooks. *)
+
+val finalize : t -> unit
+(** Process any trailing partial block; call when the replay is over. *)
+
+val report : t -> Report.t
+
+val pp_report : Format.formatter -> t -> unit
+(** Print the report in Table II format, with tag payloads resolved. *)

@@ -1,0 +1,149 @@
+(* Post-analysis provenance queries.
+
+   The report answers "was there an injection"; these helpers answer the
+   analyst's follow-ups: where is tainted data sitting right now, in which
+   processes, carrying which tag types — the "visibility into how
+   information flows in a live system" the paper sells DIFT for. *)
+
+type region_taint = {
+  rt_pid : Faros_os.Types.pid;
+  rt_process : string;
+  rt_vaddr : int;  (* start of the contiguous tainted run *)
+  rt_len : int;
+  rt_types : Faros_dift.Tag.ty list;  (* union over the run *)
+  rt_sample : Faros_dift.Provenance.t;  (* provenance of the first byte *)
+}
+
+let ty_name = function
+  | Faros_dift.Tag.Ty_netflow -> "netflow"
+  | Ty_process -> "process"
+  | Ty_file -> "file"
+  | Ty_export -> "export-table"
+
+(* Walk one process's mapped memory and coalesce contiguous tainted bytes
+   into runs. *)
+let regions_of_process (faros : Faros_plugin.t) (p : Faros_os.Process.t) =
+  let mmu = faros.kernel.machine.mmu in
+  let shadow = faros.engine.shadow in
+  let asid = Faros_os.Process.asid p in
+  let runs = ref [] in
+  let flush start len types sample =
+    if len > 0 then
+      runs :=
+        {
+          rt_pid = p.pid;
+          rt_process = p.proc_name;
+          rt_vaddr = start;
+          rt_len = len;
+          rt_types = List.sort_uniq compare types;
+          rt_sample = sample;
+        }
+        :: !runs
+  in
+  List.iter
+    (fun (vaddr, size) ->
+      let start = ref 0 and len = ref 0 in
+      let types = ref [] and sample = ref Faros_dift.Provenance.empty in
+      for i = 0 to size - 1 do
+        let paddr = Faros_vm.Mmu.translate mmu ~asid (vaddr + i) in
+        let prov = Faros_dift.Shadow.get_mem shadow paddr in
+        if Faros_dift.Provenance.is_empty prov then begin
+          flush !start !len !types !sample;
+          len := 0;
+          types := [];
+          sample := Faros_dift.Provenance.empty
+        end
+        else begin
+          if !len = 0 then begin
+            start := vaddr + i;
+            sample := prov
+          end;
+          incr len;
+          types := Faros_dift.Provenance.distinct_types prov @ !types
+        end
+      done;
+      flush !start !len !types !sample)
+    (Faros_vm.Mmu.mapped_ranges p.space
+    |> List.filter (fun (vaddr, _) -> vaddr < Faros_os.Export_table.kernel_base));
+  List.rev !runs
+
+let tainted_regions (faros : Faros_plugin.t) =
+  List.concat_map (regions_of_process faros) (Faros_os.Kstate.processes faros.kernel)
+
+(* Per process: (name, tainted bytes, bytes carrying netflow taint). *)
+let summary_by_process (faros : Faros_plugin.t) =
+  List.map
+    (fun (p : Faros_os.Process.t) ->
+      let regions = regions_of_process faros p in
+      let total = List.fold_left (fun acc r -> acc + r.rt_len) 0 regions in
+      let netflow =
+        List.fold_left
+          (fun acc r ->
+            if List.mem Faros_dift.Tag.Ty_netflow r.rt_types then acc + r.rt_len
+            else acc)
+          0 regions
+      in
+      (p.proc_name, total, netflow))
+    (Faros_os.Kstate.processes faros.kernel)
+
+(* Provenance-aware `strings`: printable runs inside netflow-tainted
+   memory, each with the provenance of its first byte.  The classic
+   forensic tool, upgraded: not just "this string is in memory" but "this
+   string came off that wire, through those processes". *)
+type tainted_string = {
+  ts_process : string;
+  ts_vaddr : int;
+  ts_text : string;
+  ts_prov : Faros_dift.Provenance.t;
+}
+
+let printable c = Char.code c >= 0x20 && Char.code c < 0x7F
+
+let strings ?(min_len = 4) (faros : Faros_plugin.t) =
+  let mmu = faros.kernel.machine.mmu in
+  let results = ref [] in
+  List.iter
+    (fun (r : region_taint) ->
+      if List.mem Faros_dift.Tag.Ty_netflow r.rt_types then begin
+        let p =
+          Option.get (Faros_os.Kstate.proc faros.kernel r.rt_pid)
+        in
+        let asid = Faros_os.Process.asid p in
+        let data =
+          Bytes.to_string (Faros_vm.Mmu.read_bytes mmu ~asid r.rt_vaddr r.rt_len)
+        in
+        let flush start stop =
+          if stop - start >= min_len then begin
+            let paddr = Faros_vm.Mmu.translate mmu ~asid (r.rt_vaddr + start) in
+            let prov = Faros_dift.Shadow.get_mem faros.engine.shadow paddr in
+            if Faros_dift.Provenance.has_netflow prov then
+              results :=
+                {
+                  ts_process = r.rt_process;
+                  ts_vaddr = r.rt_vaddr + start;
+                  ts_text = String.sub data start (stop - start);
+                  ts_prov = prov;
+                }
+                :: !results
+          end
+        in
+        let start = ref (-1) in
+        String.iteri
+          (fun idx c ->
+            if printable c then (if !start < 0 then start := idx)
+            else begin
+              if !start >= 0 then flush !start idx;
+              start := -1
+            end)
+          data;
+        if !start >= 0 then flush !start (String.length data)
+      end)
+    (tainted_regions faros);
+  List.rev !results
+
+let pp_region ~(faros : Faros_plugin.t) ppf r =
+  Fmt.pf ppf "%-20s 0x%08X +%-6d [%s]  %s" r.rt_process r.rt_vaddr r.rt_len
+    (String.concat "," (List.map ty_name r.rt_types))
+    (Report.render_provenance ~store:faros.engine.store
+       ~name_of_asid:(Faros_plugin.name_of_asid faros.kernel)
+       r.rt_sample)

@@ -1,0 +1,11 @@
+(* Whitelisting.
+
+   FAROS's only false positives come from JIT compilers, whose behaviour is
+   legitimately injection-shaped: code arrives over the network and is
+   linked and loaded against export tables.  The paper's remedy is an
+   analyst-maintained whitelist of well-known JIT hosts. *)
+
+let jit_default = [ "java.exe"; "jvm.exe"; "dotnet.exe" ]
+
+let is_whitelisted ~whitelist process_name =
+  List.exists (String.equal process_name) whitelist

@@ -1,0 +1,11 @@
+(** Whitelisting.
+
+    FAROS's only false positives come from JIT compilers, whose behaviour is
+    legitimately injection-shaped: code arrives over the network and is
+    linked and loaded against export tables.  The paper's remedy is an
+    analyst-maintained whitelist of well-known JIT hosts. *)
+
+val jit_default : string list
+(** Well-known JIT host process names (JVM, .NET). *)
+
+val is_whitelisted : whitelist:string list -> string -> bool

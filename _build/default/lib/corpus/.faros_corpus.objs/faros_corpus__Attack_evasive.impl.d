@@ -1,0 +1,1 @@
+lib/corpus/attack_evasive.ml: Asm Attack_reflective Faros_os Faros_vm Isa List Payloads Progs Scenario Victims

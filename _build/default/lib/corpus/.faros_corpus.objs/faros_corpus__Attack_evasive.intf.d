@@ -1,0 +1,1 @@
+lib/corpus/attack_evasive.mli: Faros_os Faros_vm Scenario

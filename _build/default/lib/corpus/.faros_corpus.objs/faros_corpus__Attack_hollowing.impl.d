@@ -1,0 +1,1 @@
+lib/corpus/attack_hollowing.ml: Asm Faros_os Faros_vm Isa List Payloads Progs Scenario String Victims

@@ -1,0 +1,1 @@
+lib/corpus/attack_hollowing.mli: Faros_os Scenario

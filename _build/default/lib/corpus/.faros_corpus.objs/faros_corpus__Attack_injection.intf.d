@@ -1,0 +1,1 @@
+lib/corpus/attack_injection.mli: Faros_os Scenario

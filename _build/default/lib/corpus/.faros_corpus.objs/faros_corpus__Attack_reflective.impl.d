@@ -1,0 +1,1 @@
+lib/corpus/attack_reflective.ml: Asm Faros_os Faros_vm Isa List Payloads Progs Scenario Victims

@@ -1,0 +1,1 @@
+lib/corpus/attack_reflective.mli: Faros_os Scenario

@@ -1,0 +1,1 @@
+lib/corpus/behavior.ml: Asm Char Faros_vm Isa List Printf Progs String

@@ -1,0 +1,1 @@
+lib/corpus/behavior.mli: Faros_vm

@@ -1,0 +1,1 @@
+lib/corpus/benign.ml: Asm Behavior Faros_os Faros_vm Isa List Printf Progs Rats Scenario Victims

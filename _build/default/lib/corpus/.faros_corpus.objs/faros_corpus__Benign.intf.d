@@ -1,0 +1,1 @@
+lib/corpus/benign.mli: Behavior Scenario

@@ -1,0 +1,1 @@
+lib/corpus/extras.mli: Faros_os Scenario

@@ -1,0 +1,1 @@
+lib/corpus/fig4.ml: Asm Faros_os Faros_vm Isa List Progs Scenario String

@@ -1,0 +1,1 @@
+lib/corpus/fig4.mli: Faros_os Scenario

@@ -1,0 +1,1 @@
+lib/corpus/indirect.ml: Asm Char Faros_os Faros_vm Isa List Progs Scenario String

@@ -1,0 +1,1 @@
+lib/corpus/indirect.mli: Faros_os Scenario

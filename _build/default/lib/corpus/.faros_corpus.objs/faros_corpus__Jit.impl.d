@@ -1,0 +1,1 @@
+lib/corpus/jit.ml: Asm Char Encode Faros_os Faros_vm Isa List Payloads Progs Scenario String

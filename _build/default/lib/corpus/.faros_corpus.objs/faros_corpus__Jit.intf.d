@@ -1,0 +1,1 @@
+lib/corpus/jit.mli: Faros_os Scenario

@@ -1,0 +1,1 @@
+lib/corpus/payloads.ml: Asm Bytes Faros_os Faros_vm Isa List Progs String

@@ -1,0 +1,1 @@
+lib/corpus/payloads.mli:

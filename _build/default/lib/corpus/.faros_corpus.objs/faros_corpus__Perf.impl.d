@@ -1,0 +1,1 @@
+lib/corpus/perf.ml: Asm Behavior Faros_os Faros_vm Isa List Progs Rats Scenario String

@@ -1,0 +1,1 @@
+lib/corpus/perf.mli: Behavior Faros_os Scenario

@@ -1,0 +1,1 @@
+lib/corpus/progs.ml: Asm Char Faros_os Faros_vm Isa List String

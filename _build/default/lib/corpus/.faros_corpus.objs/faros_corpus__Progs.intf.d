@@ -1,0 +1,1 @@
+lib/corpus/progs.mli: Asm Faros_vm Isa

@@ -1,0 +1,1 @@
+lib/corpus/rats.ml: Asm Behavior Char Faros_os Faros_vm List Printf Progs Scenario String Victims

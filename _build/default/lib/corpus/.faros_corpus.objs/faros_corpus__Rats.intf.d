@@ -1,0 +1,1 @@
+lib/corpus/rats.mli: Behavior Faros_os Scenario

@@ -1,0 +1,1 @@
+lib/corpus/registry.ml: Attack_evasive Attack_hollowing Attack_injection Attack_reflective Behavior Benign Extras Fmt Jit List Rats Scenario

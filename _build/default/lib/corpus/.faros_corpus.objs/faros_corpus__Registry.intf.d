@@ -1,0 +1,1 @@
+lib/corpus/registry.mli: Behavior Fmt Scenario

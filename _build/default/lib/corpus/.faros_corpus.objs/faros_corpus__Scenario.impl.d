@@ -1,0 +1,1 @@
+lib/corpus/scenario.ml: Core Faros_os Faros_replay List

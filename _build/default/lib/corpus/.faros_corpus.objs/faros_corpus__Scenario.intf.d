@@ -1,0 +1,1 @@
+lib/corpus/scenario.mli: Core Faros_os Faros_replay

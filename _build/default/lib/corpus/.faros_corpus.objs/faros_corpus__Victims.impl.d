@@ -1,0 +1,1 @@
+lib/corpus/victims.ml: Faros_os Faros_vm Isa List Progs

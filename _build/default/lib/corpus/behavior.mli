@@ -1,0 +1,42 @@
+(** The behaviour matrix of Table IV.
+
+    Each behaviour is a guest-code fragment a RAT (or benign tool) executes
+    after connecting to its server; fragments compose into sample programs.
+    [seed] varies sizes and iteration counts across samples of the same
+    family so variants are genuinely different programs. *)
+
+type t =
+  | Idle
+  | Run
+  | Audio_record
+  | File_transfer
+  | Key_logger
+  | Remote_desktop
+  | Upload
+  | Download
+  | Remote_shell
+
+val all : t list
+(** Matrix column order. *)
+
+val to_string : t -> string
+
+type fragment = {
+  code : Faros_vm.Asm.item list;  (** expects the C2 socket handle in r7 *)
+  data : Faros_vm.Asm.item list;
+  imports : string list;
+  c2_feed : string;
+      (** bytes this fragment consumes from the C2 stream, in order; the
+          actor must feed exactly these *)
+}
+
+val fragment : prefix:string -> seed:int -> t -> fragment
+
+val compose : seed:int -> t list -> fragment list
+(** One fragment per behaviour, in matrix column order (so the C2 feed
+    order is well defined). *)
+
+val code : fragment list -> Faros_vm.Asm.item list
+val data : fragment list -> Faros_vm.Asm.item list
+val imports : fragment list -> string list
+val c2_feed : fragment list -> string

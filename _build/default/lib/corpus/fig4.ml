@@ -1,0 +1,159 @@
+(* The provenance-list life cycle of Fig. 4.
+
+   "data comes in from network and goes to Process 1.  Next, it goes to
+   Process 2, and then it is written into File 1, which is read by
+   Process 3."
+
+   Three cooperating guest programs reproduce exactly that chain; the
+   experiment exposes where the final bytes land so the bench can print
+   the provenance list and compare it against the figure. *)
+
+open Faros_vm
+
+let source_ip = "169.254.26.161"
+let source_port = 7000
+let file1 = "file1.dat"
+let payload = "provenance!"
+let len = String.length payload
+
+(* Process 1: receive from the network, plant into process 2's memory. *)
+let p1_image () =
+  Faros_os.Pe.of_program ~name:"process1.exe" ~base:Faros_os.Process.image_base
+    (List.concat
+       [
+         [ Progs.lbl "start" ];
+         Progs.connect_raw ~ip:source_ip ~port:source_port;
+         [
+           Progs.movr Isa.r1 Isa.r7;
+           Progs.lea_label Isa.r2 "buf";
+           Progs.movi Isa.r3 len;
+           Asm.Call_l "recvx";
+         ];
+         (* write into process2 (second boot entry, pid 101) *)
+         [ Progs.movi Isa.r1 101; Progs.movi Isa.r2 len ];
+         Progs.syscall Faros_os.Syscall.nt_allocate_virtual_memory;
+         [
+           Progs.movi Isa.r1 101;
+           Progs.movr Isa.r2 Isa.r0;
+           Asm.Mov_label (Isa.r3, "buf");
+           Progs.movi Isa.r4 len;
+         ];
+         Progs.syscall Faros_os.Syscall.nt_write_virtual_memory;
+         [ Progs.halt ];
+         Progs.recv_exact_sub ~label:"recvx";
+         Progs.buffer "buf" 16;
+       ])
+
+(* Process 2: let process 1 plant first, then write the plant into File 1.
+   Process 1 boots first and completes its injection within its first
+   scheduler slice; burning a few hundred instructions here keeps the
+   ordering safe without touching yet-unmapped memory. *)
+let p2_image () =
+  Faros_os.Pe.of_program ~name:"process2.exe" ~base:Faros_os.Process.image_base
+    (List.concat
+       [
+         [ Progs.lbl "start" ];
+         Progs.idle_loop ~label:"settle" ~count:200;
+         (* touch the bytes (process 2's tag) by copying them locally *)
+         [
+           Asm.Mov_label (Isa.r1, "local");
+           Progs.movi Isa.r2 Faros_os.Process.heap_base;
+           Progs.movi Isa.r3 len;
+           Asm.Call_l "memcpy";
+         ];
+         (* File 1 <- local buffer *)
+         [ Progs.lea_label Isa.r1 "fname"; Progs.movi Isa.r2 (String.length file1) ];
+         Progs.syscall Faros_os.Syscall.nt_create_file;
+         [
+           Progs.movr Isa.r1 Isa.r0;
+           Asm.Mov_label (Isa.r2, "local");
+           Progs.movi Isa.r3 len;
+         ];
+         Progs.syscall Faros_os.Syscall.nt_write_file;
+         [ Progs.halt ];
+         Progs.memcpy_sub ~label:"memcpy";
+         Progs.cstring "fname" file1;
+         Progs.buffer "local" 16;
+       ])
+
+(* Process 3: read File 1. *)
+let p3_image () =
+  Faros_os.Pe.of_program ~name:"process3.exe" ~base:Faros_os.Process.image_base
+    ~exports:[ "sink" ]
+    (List.concat
+       [
+         [ Progs.lbl "start" ];
+         (* poll until File 1 exists *)
+         [ Progs.movi Isa.r6 5000; Progs.lbl "wait" ];
+         [ Progs.lea_label Isa.r1 "fname"; Progs.movi Isa.r2 (String.length file1) ];
+         Progs.syscall Faros_os.Syscall.nt_query_attributes_file;
+         [
+           Progs.i (Isa.Cmp_ri (Isa.r0, 1));
+           Asm.Jz_l "have";
+           Progs.i (Isa.Sub_ri (Isa.r6, 1));
+           Progs.i (Isa.Cmp_ri (Isa.r6, 0));
+           Asm.Jnz_l "wait";
+           Progs.halt;
+         ];
+         [ Progs.lbl "have" ];
+         [ Progs.lea_label Isa.r1 "fname"; Progs.movi Isa.r2 (String.length file1) ];
+         Progs.syscall Faros_os.Syscall.nt_open_file;
+         [
+           Progs.movr Isa.r1 Isa.r0;
+           Progs.lea_label Isa.r2 "sink";
+           Progs.movi Isa.r3 len;
+         ];
+         Progs.syscall Faros_os.Syscall.nt_read_file;
+         (* consume the data: checksum it byte by byte, which is the access
+            that stamps process 3's tag onto the provenance lists *)
+         [
+           Progs.movi Isa.r1 0;
+           Progs.movi Isa.r2 0;
+           Progs.lbl "sum";
+           Progs.i (Isa.Cmp_ri (Isa.r2, len));
+           Asm.Jge_l "done";
+           Asm.Mov_label (Isa.r3, "sink");
+           Progs.i (Isa.Load (1, Isa.r4, Isa.indexed ~base:Isa.r3 ~scale:1 Isa.r2));
+           Progs.i (Isa.Add_rr (Isa.r1, Isa.r4));
+           Progs.addi Isa.r2 1;
+           Asm.Jmp_l "sum";
+           Progs.lbl "done";
+           Progs.halt;
+         ];
+         Progs.cstring "fname" file1;
+         Progs.buffer "sink" 16;
+       ])
+
+type experiment = {
+  exp_scenario : Scenario.t;
+  exp_sink_vaddr : int;  (* process 3's buffer *)
+  exp_len : int;
+}
+
+let experiment () =
+  let p3 = p3_image () in
+  {
+    exp_scenario =
+      Scenario.make "fig4_chain"
+        ~images:
+          [
+            ("process2.exe", p2_image ());
+            ("process1.exe", p1_image ());
+            ("process3.exe", p3);
+          ]
+        ~actors:
+          [
+            {
+              Faros_os.Netstack.actor_name = "source";
+              actor_ip = Faros_os.Types.Ip.of_string source_ip;
+              actor_port = source_port;
+              on_connect = (fun _ -> [ payload ]);
+              on_data = (fun _ _ -> []);
+            };
+          ]
+          (* boot order fixes the pids: process1 = 100, process2 = 101
+             (process1's injection target), process3 = 102 *)
+        ~boot:[ "process1.exe"; "process2.exe"; "process3.exe" ];
+    exp_sink_vaddr = List.assoc "sink" p3.exports;
+    exp_len = len;
+  }

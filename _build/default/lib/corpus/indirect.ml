@@ -1,0 +1,158 @@
+(* The indirect-flow experiments of Figs. 1 and 2.
+
+   Two guest programs receive tainted input over the network and copy it to
+   an output buffer through an indirect flow only:
+
+   - [lookup_copy] (Fig. 1): str2[j] = lookuptable[str1[j]] — an address
+     dependency.  Direct-flow DIFT loses the taint (undertainting);
+     address-dependency propagation keeps it at the cost of tainting every
+     table-indexed computation in the system (overtainting).
+   - [bit_copy] (Fig. 2): copies the input bit by bit through an if — a
+     control dependency with the same dilemma.
+
+   The scenario builders return the output buffer's virtual address so the
+   experiment can interrogate shadow memory afterwards. *)
+
+open Faros_vm
+
+let input_len = 14  (* "Tainted string" *)
+
+let attacker_ip = "169.254.26.161"
+let attacker_port = 4040
+
+let common_net ~request_len:_ =
+  List.concat
+    [
+      [ Progs.lbl "start" ];
+      Progs.connect_raw ~ip:attacker_ip ~port:attacker_port;
+      (* read exactly the input string *)
+      [
+        Progs.movr Isa.r1 Isa.r7;
+        Progs.lea_label Isa.r2 "str1";
+        Progs.movi Isa.r3 input_len;
+        Asm.Call_l "recvx";
+      ];
+    ]
+
+(* Fig. 1: for (j...) str2[j] = lookuptable[str1[j]] *)
+let lookup_image () =
+  let items =
+    List.concat
+      [
+        common_net ~request_len:0;
+        [
+          Progs.movi Isa.r4 0;
+          Progs.lbl "copy";
+          Progs.i (Isa.Cmp_ri (Isa.r4, input_len));
+          Asm.Jge_l "done";
+          Asm.Mov_label (Isa.r1, "str1");
+          Progs.i (Isa.Load (1, Isa.r2, Isa.indexed ~base:Isa.r1 ~scale:1 Isa.r4));
+          (* the address dependency: str1's byte becomes an index *)
+          Asm.Mov_label (Isa.r1, "lookuptable");
+          Progs.i (Isa.Load (1, Isa.r2, Isa.indexed ~base:Isa.r1 ~scale:1 Isa.r2));
+          Asm.Mov_label (Isa.r1, "str2");
+          Progs.i (Isa.Store (1, Isa.indexed ~base:Isa.r1 ~scale:1 Isa.r4, Isa.r2));
+          Progs.addi Isa.r4 1;
+          Asm.Jmp_l "copy";
+          Progs.lbl "done";
+          Progs.halt;
+        ];
+        Progs.recv_exact_sub ~label:"recvx";
+        Progs.buffer "str1" 16;
+        Progs.buffer "str2" 16;
+        Progs.cstring "lookuptable" (String.init 256 Char.chr);
+      ]
+  in
+  Faros_os.Pe.of_program ~name:"lookup_copy.exe" ~base:Faros_os.Process.image_base
+    ~exports:[ "str1"; "str2" ] items
+
+(* Fig. 2: untaintedoutput |= bit when (bit & taintedinput) — per input byte. *)
+let bitcopy_image () =
+  let items =
+    List.concat
+      [
+        common_net ~request_len:0;
+        [
+          Progs.movi Isa.r4 0;  (* byte index *)
+          Progs.lbl "bytes";
+          Progs.i (Isa.Cmp_ri (Isa.r4, input_len));
+          Asm.Jge_l "done";
+          Asm.Mov_label (Isa.r1, "str1");
+          Progs.i (Isa.Load (1, Isa.r1, Isa.indexed ~base:Isa.r1 ~scale:1 Isa.r4));
+          Progs.movi Isa.r2 0;  (* output accumulator *)
+          Progs.movi Isa.r3 1;  (* bit *)
+          Progs.lbl "bits";
+          Progs.i (Isa.Cmp_ri (Isa.r3, 256));
+          Asm.Jge_l "byte_done";
+          Progs.movr Isa.r5 Isa.r1;
+          Progs.i (Isa.And_rr (Isa.r5, Isa.r3));
+          Progs.i (Isa.Cmp_ri (Isa.r5, 0));
+          Asm.Jz_l "skip";
+          Progs.i (Isa.Or_rr (Isa.r2, Isa.r3));  (* the control-dependent write *)
+          Progs.lbl "skip";
+          Progs.i (Isa.Shl_ri (Isa.r3, 1));
+          Asm.Jmp_l "bits";
+          Progs.lbl "byte_done";
+          Asm.Mov_label (Isa.r5, "str2");
+          Progs.i (Isa.Store (1, Isa.indexed ~base:Isa.r5 ~scale:1 Isa.r4, Isa.r2));
+          Progs.addi Isa.r4 1;
+          Asm.Jmp_l "bytes";
+          Progs.lbl "done";
+          Progs.halt;
+        ];
+        Progs.recv_exact_sub ~label:"recvx";
+        Progs.buffer "str1" 16;
+        Progs.buffer "str2" 16;
+      ]
+  in
+  Faros_os.Pe.of_program ~name:"bit_copy.exe" ~base:Faros_os.Process.image_base
+    ~exports:[ "str1"; "str2" ] items
+
+let actor =
+  {
+    Faros_os.Netstack.actor_name = "source";
+    actor_ip = Faros_os.Types.Ip.of_string attacker_ip;
+    actor_port = attacker_port;
+    on_connect = (fun _ -> [ "Tainted string" ]);
+    on_data = (fun _ _ -> []);
+  }
+
+type experiment = {
+  exp_name : string;
+  exp_scenario : Scenario.t;
+  exp_input_vaddr : int;  (* str1 *)
+  exp_output_vaddr : int;  (* str2 *)
+  exp_len : int;
+}
+
+(* The images export str1/str2 so the experiment can find the buffers. *)
+let symbol image label =
+  match List.assoc_opt label image.Faros_os.Pe.exports with
+  | Some a -> a
+  | None -> invalid_arg ("Indirect.symbol: " ^ label)
+
+let lookup_experiment () =
+  let image = lookup_image () in
+  {
+    exp_name = "fig1-lookup-copy";
+    exp_scenario =
+      Scenario.make "indirect_lookup"
+        ~images:[ ("lookup_copy.exe", image) ]
+        ~actors:[ actor ] ~boot:[ "lookup_copy.exe" ];
+    exp_input_vaddr = symbol image "str1";
+    exp_output_vaddr = symbol image "str2";
+    exp_len = input_len;
+  }
+
+let bitcopy_experiment () =
+  let image = bitcopy_image () in
+  {
+    exp_name = "fig2-bit-copy";
+    exp_scenario =
+      Scenario.make "indirect_bitcopy"
+        ~images:[ ("bit_copy.exe", image) ]
+        ~actors:[ actor ] ~boot:[ "bit_copy.exe" ];
+    exp_input_vaddr = symbol image "str1";
+    exp_output_vaddr = symbol image "str2";
+    exp_len = input_len;
+  }

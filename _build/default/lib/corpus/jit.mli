@@ -1,0 +1,37 @@
+(** JIT workloads: the Table III false-positive study.
+
+    JITs are legitimately injection-shaped: code arrives over the network
+    and ends up executing after being linked against system libraries.
+    Two flavours, mirroring why the paper saw 2/10 applets flag and 0/10
+    AJAX sites:
+
+    - {e laundering JIT}: the generator translates downloaded bytes through
+      a lookup table (an address dependency), so under the direct-flow
+      policy the emitted code is untainted — no flag.  All ten AJAX sites
+      and eight of the applets compile this way.
+    - {e native-stub applet}: two applets ship a native helper routine
+      whose bytes are copied verbatim into the JVM's code cache, execute
+      with network provenance, and resolve symbols by walking the export
+      directory — FAROS flags them, and the analyst whitelists the JVM. *)
+
+val web_ip : string
+val web_port : int
+
+val browser_ajax_image : name:string -> request:string -> Faros_os.Pe.t
+val browser_applet_image : unit -> Faros_os.Pe.t
+val java_image : unit -> Faros_os.Pe.t
+
+val java_cache_base : int
+(** Where the JVM's code cache lands (deterministic allocation). *)
+
+val applet_scenario : name:string -> native:bool -> Scenario.t
+val ajax_scenario : site:string -> Scenario.t
+
+val applets : (string * bool) list
+(** Table III's applet set; [true] marks the two native-stub applets (the
+    expected false positives). *)
+
+val ajax_sites : string list
+
+val samples :
+  unit -> (string * [ `Ajax | `Applet ] * bool * Scenario.t) list

@@ -1,0 +1,260 @@
+(* Injected payloads.
+
+   These are the bytes that travel over the wire (or sit inside a dropper's
+   image) and end up executing inside a victim process.  Each one begins
+   with the reflective ritual the paper describes: resolving LoadLibraryA,
+   GetProcAddress and VirtualAlloc by walking the kernel export directory —
+   the walk whose final pointer load FAROS flags.
+
+   Payloads are assembled for a fixed [origin]: the first allocation a
+   victim process grants is deterministic in this guest (heap base
+   0x10000000), so the attacker pre-links the payload for that address —
+   standing in for the position-independent shellcode real kits generate. *)
+
+open Faros_vm
+
+let h = Faros_os.Export_table.hash_name
+
+(* Where the first NtAllocateVirtualMemory in a fresh victim lands. *)
+let default_origin = Faros_os.Process.heap_base
+
+let scan = "scan"
+
+(* Resolve an API by hash into r0 (clobbers r1..r6). *)
+let resolve name = [ Progs.movi Isa.r1 (h name); Asm.Call_l scan ]
+
+(* The opening ritual: resolve the three loader functions, keeping
+   GetProcAddress in a data slot for later benign-path resolution. *)
+let reflective_prologue =
+  List.concat
+    [
+      resolve "LoadLibraryA";
+      resolve "GetProcAddress";
+      [ Progs.lea_label Isa.r6 "slot_gpa"; Progs.i (Isa.Store (4, Isa.based Isa.r6, Isa.r0)) ];
+      resolve "VirtualAlloc";
+    ]
+
+(* Call a function whose address is stored in data slot [slot];
+   r1/r2/r3 must already hold its arguments. *)
+let call_slot slot =
+  [
+    Progs.lea_label Isa.r6 slot;
+    Progs.i (Isa.Load (4, Isa.r6, Isa.based Isa.r6));
+    Progs.i (Isa.Call_r Isa.r6);
+  ]
+
+(* Transient cleanup: unmap the payload's own region once the work is done.
+   The view disappears from the address space, so an end-of-run memory dump
+   has nothing for malfind to scan — the paper's point that snapshot
+   forensics only see one instant.  The process takes a page fault on the
+   next fetch and dies, which reads as an ordinary crash. *)
+let scrub_items ~origin =
+  List.concat
+    [
+      [
+        Progs.movi Isa.r1 0;
+        Progs.movi Isa.r2 origin;
+        Progs.movi Isa.r3 Faros_vm.Phys_mem.page_size;
+      ];
+      Progs.syscall Faros_os.Syscall.nt_unmap_view_of_section;
+    ]
+
+let assemble ~origin items = Bytes.to_string (Asm.assemble ~origin items).code
+
+(* A payload that proves execution inside the victim with a pop-up: the
+   paper's reflective-DLL test ("the injected DLL only showed a pop-up
+   message from the target process"). *)
+let popup ?(origin = default_origin) ?(scrub = false) ~text () =
+  let text_len = String.length text in
+  let name = "MessageBoxA" in
+  let items =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        reflective_prologue;
+        (* MessageBoxA via the *resolved* GetProcAddress (benign kernel path). *)
+        [ Progs.lea_label Isa.r1 "str_name"; Progs.movi Isa.r2 (String.length name) ];
+        call_slot "slot_gpa";
+        [
+          Progs.movr Isa.r5 Isa.r0;
+          Progs.lea_label Isa.r1 "str_text";
+          Progs.movi Isa.r2 text_len;
+          Progs.i (Isa.Call_r Isa.r5);
+          Asm.Jmp_l "finish";
+        ];
+        Progs.export_scan_sub ~label:scan;
+        [ Progs.lbl "slot_gpa"; Asm.U32 0 ];
+        Progs.cstring "str_name" name;
+        Progs.cstring "str_text" text;
+        [ Asm.Align 4; Progs.lbl "finish" ];
+        (if scrub then scrub_items ~origin else []);
+        [ Progs.halt ];
+      ]
+  in
+  assemble ~origin items
+
+(* The hollowing payload (Lab 3-3's keylogger): resolves its imports
+   reflectively, logs [keys] keystrokes and writes them to [log]. *)
+let keylogger ?(origin = default_origin) ?(keys = 16) ?(log = "keys.log") () =
+  let store_slot slot =
+    [ Progs.lea_label Isa.r6 slot; Progs.i (Isa.Store (4, Isa.based Isa.r6, Isa.r0)) ]
+  in
+  let items =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        reflective_prologue;
+        resolve "GetAsyncKeyState";
+        store_slot "slot_keys";
+        resolve "CreateFileA";
+        store_slot "slot_create";
+        resolve "WriteFile";
+        store_slot "slot_write";
+        (* handle = CreateFileA(log) *)
+        [ Progs.lea_label Isa.r1 "str_log"; Progs.movi Isa.r2 (String.length log) ];
+        call_slot "slot_create";
+        [ Progs.lea_label Isa.r6 "slot_h"; Progs.i (Isa.Store (4, Isa.based Isa.r6, Isa.r0)) ];
+        (* capture loop: r7 counts down, r5 indexes the buffer *)
+        [ Progs.movi Isa.r7 keys; Progs.movi Isa.r5 0; Progs.lbl "cap" ];
+        call_slot "slot_keys";
+        [
+          Progs.lea_label Isa.r4 "buf";
+          Progs.i (Isa.Store (1, Isa.indexed ~base:Isa.r4 ~scale:1 Isa.r5, Isa.r0));
+          Progs.addi Isa.r5 1;
+          Progs.i (Isa.Sub_ri (Isa.r7, 1));
+          Progs.i (Isa.Cmp_ri (Isa.r7, 0));
+          Asm.Jnz_l "cap";
+        ];
+        (* WriteFile(handle, buf, keys) *)
+        [
+          Progs.lea_label Isa.r6 "slot_h";
+          Progs.i (Isa.Load (4, Isa.r1, Isa.based Isa.r6));
+          Progs.lea_label Isa.r2 "buf";
+          Progs.movi Isa.r3 keys;
+        ];
+        call_slot "slot_write";
+        [ Progs.halt ];
+        Progs.export_scan_sub ~label:scan;
+        [ Progs.lbl "slot_gpa"; Asm.U32 0 ];
+        [ Progs.lbl "slot_keys"; Asm.U32 0 ];
+        [ Progs.lbl "slot_create"; Asm.U32 0 ];
+        [ Progs.lbl "slot_write"; Asm.U32 0 ];
+        [ Progs.lbl "slot_h"; Asm.U32 0 ];
+        Progs.cstring "str_log" log;
+        Progs.buffer "buf" (max keys 16);
+      ]
+  in
+  assemble ~origin items
+
+(* A native applet stub: a legitimate inline-native method shipped inside
+   two of the Java applets.  It resolves GetTickCount reflectively and
+   returns to the JVM — benign intent, injection-shaped information flow,
+   and hence FAROS's false positive. *)
+let applet_native_stub ~origin () =
+  let items =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        resolve "GetTickCount";
+        [ Progs.i (Isa.Call_r Isa.r0); Progs.i Isa.Ret ];
+        Progs.export_scan_sub ~label:scan;
+      ]
+  in
+  assemble ~origin items
+
+(* -- a true reflective DLL ----------------------------------------------------------- *)
+
+(* The experiments above inject flat shellcode.  This payload is the full
+   technique: a bootstrap plus a *sectioned DLL image* travel over the wire;
+   the bootstrap (running inside the victim) allocates memory, maps the
+   image section by section with its own memcpy, and calls the DLL's entry
+   point — "the DLL should be loaded from memory rather than from disk.
+   Since Windows does not provide such loading function, a separate loader
+   is required."  The DLL entry then does the reflective import resolution
+   and pops a message box.
+
+   Wire image format: [entry_rva:u32][nsect:u32] then per section
+   [rva:u32][size:u32][data]. *)
+
+let rdll_bootstrap_origin = default_origin
+
+(* The victim's first allocation holds the blob; the bootstrap's own
+   allocation for the mapped image therefore lands one region later. *)
+let rdll_image_base = default_origin + (2 * Faros_vm.Phys_mem.page_size)
+
+(* The DLL proper: reflective prologue, MessageBoxA, return to the
+   bootstrap. *)
+let rdll_image ~text () =
+  let name = "MessageBoxA" in
+  let items =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        reflective_prologue;
+        [ Progs.lea_label Isa.r1 "str_name"; Progs.movi Isa.r2 (String.length name) ];
+        call_slot "slot_gpa";
+        [
+          Progs.movr Isa.r5 Isa.r0;
+          Progs.lea_label Isa.r1 "str_text";
+          Progs.movi Isa.r2 (String.length text);
+          Progs.i (Isa.Call_r Isa.r5);
+          Progs.i Isa.Ret;
+        ];
+        Progs.export_scan_sub ~label:scan;
+        [ Progs.lbl "slot_gpa"; Asm.U32 0 ];
+        Progs.cstring "str_name" name;
+        Progs.cstring "str_text" text;
+      ]
+  in
+  assemble ~origin:rdll_image_base items
+
+let rdll_blob ~text () =
+  let code = rdll_image ~text () in
+  let image =
+    Progs.u32_le 0 (* entry rva *)
+    ^ Progs.u32_le 1 (* one section *)
+    ^ Progs.u32_le 0 (* section rva *)
+    ^ Progs.u32_le (String.length code)
+    ^ code
+  in
+  let items =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        (* map the image: base = VirtualAlloc(self, page) *)
+        [ Progs.movi Isa.r1 0; Progs.movi Isa.r2 Faros_vm.Phys_mem.page_size ];
+        Progs.syscall Faros_os.Syscall.nt_allocate_virtual_memory;
+        [ Progs.movr Isa.r7 Isa.r0 ];
+        [
+          Asm.Mov_label (Isa.r6, "image");
+          Progs.i (Isa.Load (4, Isa.r5, Isa.based Isa.r6));  (* entry rva *)
+          Progs.i (Isa.Push Isa.r5);
+          Progs.i (Isa.Load (4, Isa.r4, Isa.based ~disp:4 Isa.r6));  (* nsect *)
+          Progs.addi Isa.r6 8;
+          Progs.lbl "sect_loop";
+          Progs.i (Isa.Cmp_ri (Isa.r4, 0));
+          Asm.Jz_l "mapped";
+          Progs.i (Isa.Load (4, Isa.r2, Isa.based Isa.r6));  (* rva *)
+          Progs.i (Isa.Load (4, Isa.r3, Isa.based ~disp:4 Isa.r6));  (* size *)
+          Progs.addi Isa.r6 8;
+          Progs.movr Isa.r1 Isa.r7;
+          Progs.i (Isa.Add_rr (Isa.r1, Isa.r2));  (* dst = base + rva *)
+          Progs.movr Isa.r2 Isa.r6;  (* src = cursor *)
+          Progs.i (Isa.Push Isa.r4);
+          Asm.Call_l "bmemcpy";
+          Progs.i (Isa.Pop Isa.r4);
+          Progs.i (Isa.Add_rr (Isa.r6, Isa.r3));
+          Progs.i (Isa.Sub_ri (Isa.r4, 1));
+          Asm.Jmp_l "sect_loop";
+          Progs.lbl "mapped";
+          (* call base + entry rva *)
+          Progs.i (Isa.Pop Isa.r5);
+          Progs.i (Isa.Add_rr (Isa.r5, Isa.r7));
+          Progs.i (Isa.Call_r Isa.r5);
+          Progs.halt;
+        ];
+        Progs.memcpy_sub ~label:"bmemcpy";
+        [ Asm.Align 4; Progs.lbl "image"; Asm.Bytes image ];
+      ]
+  in
+  assemble ~origin:rdll_bootstrap_origin items

@@ -1,0 +1,77 @@
+(* Table V performance workloads.
+
+   Heavier, longer-running versions of six corpus programs (the paper's
+   Skype, Team Viewer, Bozok, Spygate, Pandora and Remote Utility), built
+   by looping their behaviour mix [reps] times.  Workload sizes differ
+   deliberately: the paper's observation is that FAROS overhead grows with
+   behavioural complexity. *)
+
+open Faros_vm
+
+let server_ip = "100.64.11.5"
+
+(* Wrap behaviour fragments in an outer repetition loop.  bp holds the
+   repetition counter — no behaviour fragment touches it. *)
+let looped_image ~name ~port ~behaviors ~reps ~seed =
+  let frags = Behavior.compose ~seed behaviors in
+  let imports =
+    List.sort_uniq compare ([ "socket"; "connect" ] @ Behavior.imports frags)
+  in
+  let items =
+    List.concat
+      [
+        [ Progs.lbl "start" ];
+        Progs.connect_api ~ip:server_ip ~port;
+        [ Progs.movi Isa.bp reps; Progs.lbl "outer" ];
+        Behavior.code frags;
+        [
+          Progs.i (Isa.Sub_ri (Isa.bp, 1));
+          Progs.i (Isa.Cmp_ri (Isa.bp, 0));
+          Asm.Jnz_l "outer";
+        ];
+        [ Progs.halt ];
+        [ Asm.Align 4 ];
+        Behavior.data frags;
+      ]
+  in
+  Faros_os.Pe.of_program ~name ~base:Faros_os.Process.image_base ~imports items
+
+let scenario ~name ~port ~behaviors ~reps ~seed =
+  let frags = Behavior.compose ~seed behaviors in
+  let feed = Behavior.c2_feed frags in
+  let full_feed = String.concat "" (List.init reps (fun _ -> feed)) in
+  let exe = name ^ ".exe" in
+  let actor =
+    {
+      Faros_os.Netstack.actor_name = name ^ "-server";
+      actor_ip = Faros_os.Types.Ip.of_string server_ip;
+      actor_port = port;
+      on_connect = (fun _ -> if full_feed = "" then [] else [ full_feed ]);
+      on_data = (fun _ _ -> []);
+    }
+  in
+  Scenario.make name
+    ~images:[ (exe, looped_image ~name:exe ~port ~behaviors ~reps ~seed) ]
+    ~files:Rats.support_files ~actors:[ actor ]
+    ~keys:(String.concat "" (List.init 64 (fun _ -> "the quick brown fox ")))
+    ~max_ticks:3_000_000 ~boot:[ exe ]
+
+(* The six Table V rows, ordered as the paper prints them. *)
+let workloads () =
+  let open Behavior in
+  [
+    ("Skype", scenario ~name:"skype_perf" ~port:33033
+       ~behaviors:[ Idle; Audio_record; Download ] ~reps:220 ~seed:3);
+    ("Team Viewer", scenario ~name:"teamviewer_perf" ~port:5938
+       ~behaviors:[ Idle; Remote_desktop; Remote_shell ] ~reps:60 ~seed:1);
+    ("Bozok", scenario ~name:"bozok_perf" ~port:4300
+       ~behaviors:[ Idle; File_transfer; Key_logger; Upload ] ~reps:24 ~seed:0);
+    ("Spygate", scenario ~name:"spygate_perf" ~port:8521
+       ~behaviors:[ Idle; Audio_record; File_transfer; Key_logger; Remote_desktop ]
+       ~reps:60 ~seed:2);
+    ("Pandora", scenario ~name:"pandora_perf" ~port:5200
+       ~behaviors:[ Idle; Audio_record; Key_logger; Upload ] ~reps:16 ~seed:0);
+    ("Remote Utility", scenario ~name:"remote_utility_perf" ~port:5650
+       ~behaviors:[ Idle; File_transfer; Remote_desktop; Remote_shell ] ~reps:230
+       ~seed:0);
+  ]

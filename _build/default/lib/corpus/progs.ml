@@ -1,0 +1,164 @@
+(* Guest-assembly building blocks shared by the whole corpus.
+
+   Conventions: syscall number in r0, args in r1..r5, result in r0 (set by
+   the kernel); r6 scratch for API dispatch; r7 callee-owned long-lived
+   value (e.g. the C2 socket handle).  Subroutine generators take a [label]
+   prefix so a program can instantiate them without clashes. *)
+
+open Faros_vm
+
+let i x = Asm.I x
+let lbl s = Asm.Label s
+let movi r v = i (Isa.Mov_ri (r, v))
+let movr a b = i (Isa.Mov_rr (a, b))
+let addi r v = i (Isa.Add_ri (r, v))
+let halt = i Isa.Halt
+
+(* Raw syscall: invisible to library-level monitors. *)
+let syscall no = [ movi Isa.r0 no; i Isa.Syscall ]
+
+(* Call an imported API through the IAT: goes through the kernel stub, which
+   a library-level monitor (the Cuckoo baseline) hooks. *)
+let call_api name =
+  [
+    Asm.Mov_label (Isa.r6, "iat_" ^ name);
+    i (Isa.Load (4, Isa.r6, Isa.based Isa.r6));
+    i (Isa.Call_r Isa.r6);
+  ]
+
+let cstring label s = [ lbl label; Asm.Bytes s ]
+let buffer label n = [ lbl label; Asm.Space n ]
+
+(* Load the address of [label] into [r]. *)
+let lea_label r label = Asm.Mov_label (r, label)
+
+(* memcpy(r1 = dst, r2 = src, r3 = len); clobbers r4, r5. *)
+let memcpy_sub ~label =
+  [
+    lbl label;
+    movi Isa.r4 0;
+    lbl (label ^ "_loop");
+    i (Isa.Cmp_rr (Isa.r4, Isa.r3));
+    Asm.Jge_l (label ^ "_done");
+    i (Isa.Load (1, Isa.r5, Isa.indexed ~base:Isa.r2 ~scale:1 Isa.r4));
+    i (Isa.Store (1, Isa.indexed ~base:Isa.r1 ~scale:1 Isa.r4, Isa.r5));
+    addi Isa.r4 1;
+    Asm.Jmp_l (label ^ "_loop");
+    lbl (label ^ "_done");
+    i Isa.Ret;
+  ]
+
+(* Export-directory scan: r1 = name hash -> r0 = function pointer (0 when
+   not found); clobbers r2..r6.
+
+   This is the reflective-resolution routine real shellcode implements over
+   the PEB/export directory.  The final [load4 r0, (entry+4)] reads an
+   export-table-tagged pointer: when this routine's own bytes carry injected
+   provenance, that load is precisely what FAROS flags (Figs. 7-10). *)
+let export_scan_sub ~label =
+  [
+    lbl label;
+    movi Isa.r2 Faros_os.Export_table.export_dir_vaddr;
+    i (Isa.Load (4, Isa.r3, Isa.based Isa.r2));
+    (* count *)
+    movi Isa.r4 0;
+    lbl (label ^ "_loop");
+    i (Isa.Cmp_rr (Isa.r4, Isa.r3));
+    Asm.Jge_l (label ^ "_notfound");
+    movr Isa.r5 Isa.r4;
+    i (Isa.Shl_ri (Isa.r5, 3));
+    i (Isa.Add_rr (Isa.r5, Isa.r2));
+    (* r5 = dir + 8*i; entry at r5+4: hash, pointer at r5+8 *)
+    i (Isa.Load (4, Isa.r6, Isa.based ~disp:4 Isa.r5));
+    i (Isa.Cmp_rr (Isa.r6, Isa.r1));
+    Asm.Jnz_l (label ^ "_next");
+    i (Isa.Load (4, Isa.r0, Isa.based ~disp:8 Isa.r5));
+    i Isa.Ret;
+    lbl (label ^ "_next");
+    addi Isa.r4 1;
+    Asm.Jmp_l (label ^ "_loop");
+    lbl (label ^ "_notfound");
+    movi Isa.r0 0;
+    i Isa.Ret;
+  ]
+
+(* recv_exact(r1 = socket handle, r2 = buf, r3 = len): loops raw recv until
+   [len] bytes arrived or the stream is dry; returns bytes read in r4. *)
+let recv_exact_sub ~label =
+  [
+    lbl label;
+    movi Isa.r4 0;
+    lbl (label ^ "_loop");
+    i (Isa.Cmp_rr (Isa.r4, Isa.r3));
+    Asm.Jge_l (label ^ "_done");
+    i (Isa.Push Isa.r2);
+    i (Isa.Push Isa.r3);
+    (* r2 <- buf + got, r3 <- len - got *)
+    i (Isa.Lea (Isa.r5, Isa.indexed ~base:Isa.r2 ~scale:1 Isa.r4));
+    movr Isa.r6 Isa.r3;
+    i (Isa.Sub_rr (Isa.r6, Isa.r4));
+    movr Isa.r2 Isa.r5;
+    movr Isa.r3 Isa.r6;
+    movi Isa.r0 Faros_os.Syscall.sys_recv;
+    i Isa.Syscall;
+    i (Isa.Pop Isa.r3);
+    i (Isa.Pop Isa.r2);
+    i (Isa.Cmp_ri (Isa.r0, 0));
+    Asm.Jz_l (label ^ "_done");
+    i (Isa.Add_rr (Isa.r4, Isa.r0));
+    Asm.Jmp_l (label ^ "_loop");
+    lbl (label ^ "_done");
+    i Isa.Ret;
+  ]
+
+(* Connect to [ip]:[port] with raw syscalls; socket handle left in r7. *)
+let connect_raw ~ip ~port =
+  List.concat
+    [
+      syscall Faros_os.Syscall.sys_socket;
+      [ movr Isa.r7 Isa.r0 ];
+      [ movr Isa.r1 Isa.r7; movi Isa.r2 (Faros_os.Types.Ip.of_string ip); movi Isa.r3 port ];
+      syscall Faros_os.Syscall.sys_connect;
+    ]
+
+(* Connect using the imported socket/connect APIs (Cuckoo-visible). *)
+let connect_api ~ip ~port =
+  List.concat
+    [
+      call_api "socket";
+      [ movr Isa.r7 Isa.r0 ];
+      [ movr Isa.r1 Isa.r7; movi Isa.r2 (Faros_os.Types.Ip.of_string ip); movi Isa.r3 port ];
+      call_api "connect";
+    ]
+
+(* Busy work: [count] iterations of tick polling — keeps a victim process
+   alive while the injector works.  Counts in r6, never r7: fragments keep
+   their socket handle there. *)
+let idle_loop ~label ~count =
+  List.concat
+    [
+      [ movi Isa.r6 count; lbl (label ^ "_loop") ];
+      syscall Faros_os.Syscall.nt_get_tick_count;
+      [
+        i (Isa.Sub_ri (Isa.r6, 1));
+        i (Isa.Cmp_ri (Isa.r6, 0));
+        Asm.Jnz_l (label ^ "_loop");
+      ];
+    ]
+
+(* Guest-side u32 little-endian length prefix protocol helpers: the actor
+   sends [len:u32][payload]. *)
+let prefixed_recv ~sock_reg ~len_buf ~data_buf ~recv_sub =
+  List.concat
+    [
+      [ movr Isa.r1 sock_reg; lea_label Isa.r2 len_buf; movi Isa.r3 4; Asm.Call_l recv_sub ];
+      [ lea_label Isa.r5 len_buf; i (Isa.Load (4, Isa.r3, Isa.based Isa.r5)) ];
+      [ movr Isa.r1 sock_reg; lea_label Isa.r2 data_buf; Asm.Call_l recv_sub ];
+    ]
+
+(* Encode a u32 little-endian into a string (host side). *)
+let u32_le v =
+  String.init 4 (fun k -> Char.chr ((v lsr (8 * k)) land 0xFF))
+
+(* Frame a payload with its length prefix (host side, for actors). *)
+let frame payload = u32_le (String.length payload) ^ payload

@@ -1,0 +1,69 @@
+(** Guest-assembly building blocks shared by the whole corpus.
+
+    Conventions: syscall number in r0, args in r1..r5, result in r0 (set by
+    the kernel); r6 scratch for API dispatch; r7 callee-owned long-lived
+    value (e.g. the C2 socket handle).  Subroutine generators take a
+    [label] prefix so a program can instantiate them without clashes. *)
+
+open Faros_vm
+
+val i : Isa.t -> Asm.item
+val lbl : string -> Asm.item
+val movi : Isa.reg -> int -> Asm.item
+val movr : Isa.reg -> Isa.reg -> Asm.item
+val addi : Isa.reg -> int -> Asm.item
+val halt : Asm.item
+
+val syscall : int -> Asm.item list
+(** Raw syscall: invisible to library-level monitors. *)
+
+val call_api : string -> Asm.item list
+(** Call an imported API through the IAT: goes through the kernel stub,
+    which a library-level monitor (the Cuckoo baseline) hooks. *)
+
+val cstring : string -> string -> Asm.item list
+(** [cstring label s]: labelled inline string data. *)
+
+val buffer : string -> int -> Asm.item list
+(** [buffer label n]: labelled zero-filled buffer. *)
+
+val lea_label : Isa.reg -> string -> Asm.item
+(** Load the address of a label into a register. *)
+
+val memcpy_sub : label:string -> Asm.item list
+(** memcpy(r1 = dst, r2 = src, r3 = len); clobbers r4, r5. *)
+
+val export_scan_sub : label:string -> Asm.item list
+(** Export-directory scan: r1 = name hash -> r0 = function pointer (0 when
+    not found); clobbers r2..r6.  The reflective-resolution routine real
+    shellcode implements over the PEB/export directory; its final pointer
+    load reads export-table-tagged memory — the exact instruction FAROS
+    flags in Figs. 7-10 when this routine's own bytes carry injected
+    provenance. *)
+
+val recv_exact_sub : label:string -> Asm.item list
+(** recv_exact(r1 = socket, r2 = buf, r3 = len): loops raw recv until [len]
+    bytes arrived or the stream is dry; bytes read in r4. *)
+
+val connect_raw : ip:string -> port:int -> Asm.item list
+(** Connect with raw syscalls; socket handle left in r7. *)
+
+val connect_api : ip:string -> port:int -> Asm.item list
+(** Connect through the imported socket/connect APIs (Cuckoo-visible). *)
+
+val idle_loop : label:string -> count:int -> Asm.item list
+(** Busy work: [count] iterations of tick polling. *)
+
+val prefixed_recv :
+  sock_reg:Isa.reg ->
+  len_buf:string ->
+  data_buf:string ->
+  recv_sub:string ->
+  Asm.item list
+(** Receive a [len:u32][payload] frame; leaves the length in r3. *)
+
+val u32_le : int -> string
+(** Host-side little-endian u32. *)
+
+val frame : string -> string
+(** Host-side length-prefix framing, for actors serving payloads. *)

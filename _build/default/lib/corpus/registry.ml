@@ -1,0 +1,189 @@
+(* The sample registry: every workload in the evaluation, with its expected
+   verdict, so tests and benches iterate one authoritative list. *)
+
+type category =
+  | Attack of string  (* injection technique *)
+  | Rat  (* Table IV non-injecting malware *)
+  | Benign_app  (* Table IV benign software *)
+  | Jit_applet of bool  (* native-stub applet? *)
+  | Jit_ajax
+
+type expected = Expect_flag | Expect_clean
+
+type sample = {
+  id : string;
+  family : string;
+  category : category;
+  expected : expected;
+  behaviors : Behavior.t list;
+  scenario : Scenario.t;
+}
+
+(* The six in-memory-injection samples of Section VI. *)
+let attacks () =
+  [
+    {
+      id = "reflective_dll_inject";
+      family = "meterpreter";
+      category = Attack "reflective-dll-injection";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = Attack_reflective.reflective_dll_inject ();
+    };
+    {
+      id = "reverse_tcp_dns";
+      family = "meterpreter";
+      category = Attack "reflective-dll-injection";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = Attack_reflective.reverse_tcp_dns ();
+    };
+    {
+      id = "bypassuac_injection";
+      family = "meterpreter";
+      category = Attack "reflective-dll-injection";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = Attack_reflective.bypassuac_injection ();
+    };
+    {
+      id = "process_hollowing";
+      family = "lab3-3";
+      category = Attack "process-hollowing";
+      expected = Expect_flag;
+      behaviors = [ Behavior.Key_logger ];
+      scenario = Attack_hollowing.scenario ();
+    };
+    {
+      id = "darkcomet_injection";
+      family = "darkcomet";
+      category = Attack "code-injection";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = Attack_injection.darkcomet ();
+    };
+    {
+      id = "njrat_injection";
+      family = "njrat";
+      category = Attack "code-injection";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = Attack_injection.njrat ();
+    };
+  ]
+
+(* Transient variants: the payload scrubs itself before exiting — FAROS
+   still flags (it watched the whole execution); snapshot forensics do not. *)
+let transient_attacks () =
+  [
+    {
+      id = "reflective_dll_inject_transient";
+      family = "meterpreter";
+      category = Attack "reflective-dll-injection";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = Attack_reflective.reflective_dll_inject ~scrub:true ();
+    };
+    {
+      id = "darkcomet_injection_transient";
+      family = "darkcomet";
+      category = Attack "code-injection";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = Attack_injection.darkcomet ~scrub:true ();
+    };
+  ]
+
+(* The discussion-section evasion: bit-by-bit laundering strips provenance,
+   so the *default* policy is expected to miss it; the control-dependency
+   policy recovers it.  Kept out of [all] — its expected verdict is
+   policy-dependent. *)
+let evasive_attacks () =
+  [
+    {
+      id = "evasive_laundering_injection";
+      family = "meterpreter";
+      category = Attack "taint-laundering-injection";
+      expected = Expect_clean;
+      behaviors = [];
+      scenario = Attack_evasive.scenario ();
+    };
+  ]
+
+(* Beyond the paper's six samples: the full reflective-DLL form of the
+   technique (sectioned image, in-guest mapping).  Kept out of [all] so the
+   evaluation counts stay the paper's. *)
+let extended_attacks () =
+  [
+    {
+      id = "reflective_rdll";
+      family = "meterpreter";
+      category = Attack "reflective-dll-injection";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = Attack_reflective.reflective_rdll ();
+    };
+  ]
+
+(* Extra benign workloads (DLL loading, loopback IPC); kept out of [all]
+   so the Table IV sample counts stay exactly the paper's. *)
+let extras () =
+  List.map
+    (fun (id, scenario) ->
+      {
+        id;
+        family = "extras";
+        category = Benign_app;
+        expected = Expect_clean;
+        behaviors = [];
+        scenario;
+      })
+    (Extras.samples ())
+
+let rats ?total () =
+  List.map
+    (fun (id, family, behaviors, scenario) ->
+      { id; family; category = Rat; expected = Expect_clean; behaviors; scenario })
+    (Rats.samples ?total ())
+
+let benign ?total () =
+  List.map
+    (fun (id, family, behaviors, scenario) ->
+      { id; family; category = Benign_app; expected = Expect_clean; behaviors; scenario })
+    (Benign.samples ?total ())
+
+let jits () =
+  List.map
+    (fun (id, kind, native, scenario) ->
+      let category, expected =
+        match kind with
+        | `Applet -> (Jit_applet native, if native then Expect_flag else Expect_clean)
+        | `Ajax -> (Jit_ajax, Expect_clean)
+      in
+      { id; family = "jit"; category; expected; behaviors = []; scenario })
+    (Jit.samples ())
+
+(* The Table V performance workloads: named after the paper's table. *)
+let perf_workloads () =
+  let by_id wanted samples =
+    List.filter (fun s -> List.mem s.id wanted) samples
+  in
+  by_id
+    [ "skype_s2"; "teamviewer_s1"; "remote_utility_s0" ]
+    (benign ())
+  @ by_id [ "bozok_s0"; "spygate_v3.2_s0"; "pandora_v2.2_s0" ] (rats ())
+
+let all () = attacks () @ rats () @ benign () @ jits ()
+
+let find id =
+  List.find_opt
+    (fun s -> s.id = id)
+    (all () @ transient_attacks () @ evasive_attacks () @ extended_attacks ()
+   @ extras ())
+
+let pp_category ppf = function
+  | Attack t -> Fmt.pf ppf "attack(%s)" t
+  | Rat -> Fmt.string ppf "malware"
+  | Benign_app -> Fmt.string ppf "benign"
+  | Jit_applet native -> Fmt.pf ppf "jit-applet%s" (if native then "(native)" else "")
+  | Jit_ajax -> Fmt.string ppf "jit-ajax"

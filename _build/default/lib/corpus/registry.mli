@@ -1,0 +1,59 @@
+(** The sample registry: every workload in the evaluation, with its
+    expected verdict, so tests and benches iterate one authoritative
+    list. *)
+
+type category =
+  | Attack of string  (** injection technique *)
+  | Rat  (** Table IV non-injecting malware *)
+  | Benign_app
+  | Jit_applet of bool  (** native-stub applet? *)
+  | Jit_ajax
+
+type expected = Expect_flag | Expect_clean
+
+type sample = {
+  id : string;
+  family : string;
+  category : category;
+  expected : expected;
+  behaviors : Behavior.t list;
+  scenario : Scenario.t;
+}
+
+val attacks : unit -> sample list
+(** The six in-memory-injection samples of Section VI. *)
+
+val transient_attacks : unit -> sample list
+(** Variants whose payload unmaps itself before exiting — FAROS still flags
+    them; snapshot forensics do not. *)
+
+val evasive_attacks : unit -> sample list
+(** The discussion-section taint-laundering evasion; expected verdict is
+    policy-dependent, so these stay out of {!all}. *)
+
+val extended_attacks : unit -> sample list
+(** Beyond the paper's six: the full reflective-DLL form (sectioned image,
+    in-guest mapping). *)
+
+val extras : unit -> sample list
+(** Extra benign workloads (DLL loading, loopback IPC); kept out of {!all}
+    so the Table IV sample counts stay exactly the paper's. *)
+
+val rats : ?total:int -> unit -> sample list
+(** The 90 non-injecting malware builds of Table IV. *)
+
+val benign : ?total:int -> unit -> sample list
+(** The 14 benign-software builds of Table IV. *)
+
+val jits : unit -> sample list
+(** The 20 JIT workloads of Table III. *)
+
+val perf_workloads : unit -> sample list
+
+val all : unit -> sample list
+(** attacks + rats + benign + jits: the 130-sample evaluation set. *)
+
+val find : string -> sample option
+(** Lookup by id across every list, including transient and evasive. *)
+
+val pp_category : category Fmt.t

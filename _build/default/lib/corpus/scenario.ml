@@ -1,0 +1,54 @@
+(* Scenario: everything needed to run one sample end to end.
+
+   A scenario separates what is *deterministic system construction* (images
+   and data files — present at both record and replay time) from what is
+   *external non-determinism* (network actors and the user's keystrokes —
+   live at record time, replaced by the trace at replay time). *)
+
+type t = {
+  scn_name : string;
+  images : (string * Faros_os.Pe.t) list;  (* path -> image *)
+  files : (string * string) list;  (* path -> contents *)
+  actors : Faros_os.Netstack.actor list;
+  keys : string;  (* scripted user keystrokes *)
+  boot : string list;  (* image paths spawned at boot, in order *)
+  max_ticks : int;
+}
+
+let make ?(files = []) ?(actors = []) ?(keys = "") ?(max_ticks = 600_000) ~images
+    ~boot scn_name =
+  { scn_name; images; files; actors; keys; boot; max_ticks }
+
+let install t (k : Faros_os.Kernel.t) =
+  List.iter (fun (path, image) -> Faros_os.Kernel.install_image k ~path image) t.images;
+  List.iter (fun (path, data) -> Faros_os.Fs.install k.fs path data) t.files
+
+let setup_record t k =
+  install t k;
+  List.iter (Faros_os.Netstack.register_actor k.net) t.actors;
+  Faros_os.Input_dev.script_string k.input t.keys
+
+let setup_replay t k = install t k
+
+let boot t (k : Faros_os.Kernel.t) =
+  List.iter (fun path -> ignore (Faros_os.Kernel.spawn k path)) t.boot
+
+(* Record the scenario live. *)
+let record t =
+  Faros_replay.Recorder.record ~max_ticks:t.max_ticks ~setup:(setup_record t)
+    ~boot:(boot t) ()
+
+(* Replay a trace without any analysis plugin (the Table V baseline). *)
+let replay_plain t trace =
+  Faros_replay.Replayer.replay ~max_ticks:t.max_ticks ~setup:(setup_replay t)
+    ~boot:(boot t) trace
+
+(* Replay a trace with a given plugin set. *)
+let replay_with t ~plugins trace =
+  Faros_replay.Replayer.replay ~max_ticks:t.max_ticks ~plugins
+    ~setup:(setup_replay t) ~boot:(boot t) trace
+
+(* Full FAROS workflow: record, then replay under the FAROS plugin. *)
+let analyze ?config t =
+  Core.Analysis.analyze ?config ~max_ticks:t.max_ticks ~setup_record:(setup_record t)
+    ~setup_replay:(setup_replay t) ~boot:(boot t) ()

@@ -1,0 +1,46 @@
+(** Scenario: everything needed to run one sample end to end.
+
+    A scenario separates {e deterministic system construction} (images and
+    data files — present at both record and replay time) from {e external
+    non-determinism} (network actors and the user's keystrokes — live at
+    record time, replaced by the trace at replay time). *)
+
+type t = {
+  scn_name : string;
+  images : (string * Faros_os.Pe.t) list;  (** path -> image *)
+  files : (string * string) list;
+  actors : Faros_os.Netstack.actor list;
+  keys : string;  (** scripted user keystrokes *)
+  boot : string list;  (** image paths spawned at boot, in order *)
+  max_ticks : int;
+}
+
+val make :
+  ?files:(string * string) list ->
+  ?actors:Faros_os.Netstack.actor list ->
+  ?keys:string ->
+  ?max_ticks:int ->
+  images:(string * Faros_os.Pe.t) list ->
+  boot:string list ->
+  string ->
+  t
+
+val install : t -> Faros_os.Kernel.t -> unit
+val setup_record : t -> Faros_os.Kernel.t -> unit
+val setup_replay : t -> Faros_os.Kernel.t -> unit
+val boot : t -> Faros_os.Kernel.t -> unit
+
+val record : t -> Faros_os.Kernel.t * Faros_replay.Trace.t
+(** Record the scenario live. *)
+
+val replay_plain : t -> Faros_replay.Trace.t -> Faros_replay.Replayer.result
+(** Replay without any analysis plugin (the Table V baseline). *)
+
+val replay_with :
+  t ->
+  plugins:(Faros_os.Kernel.t -> Faros_replay.Plugin.t list) ->
+  Faros_replay.Trace.t ->
+  Faros_replay.Replayer.result
+
+val analyze : ?config:Core.Config.t -> t -> Core.Analysis.outcome
+(** Full FAROS workflow: record, then replay under the FAROS plugin. *)

@@ -1,0 +1,27 @@
+(* Benign victim processes: the programs injection targets hide inside.
+
+   They busy-loop long enough for an injector to reach them and halt on
+   their own if nothing hijacks them. *)
+
+open Faros_vm
+
+let worker ~name ~iterations =
+  Faros_os.Pe.of_program ~name ~base:Faros_os.Process.image_base
+    (List.concat
+       [
+         [ Progs.lbl "start" ];
+         Progs.idle_loop ~label:"w" ~count:iterations;
+         [ Progs.halt ];
+       ])
+
+let notepad () = worker ~name:"notepad.exe" ~iterations:20000
+let firefox () = worker ~name:"firefox.exe" ~iterations:20000
+let explorer () = worker ~name:"explorer.exe" ~iterations:20000
+
+(* Hollowing target: created suspended, so it normally never runs at all. *)
+let svchost () = worker ~name:"svchost.exe" ~iterations:500
+
+(* Spawn-target for the Run behaviour. *)
+let calc () =
+  Faros_os.Pe.of_program ~name:"calc.exe" ~base:Faros_os.Process.image_base
+    [ Progs.lbl "start"; Progs.movi Isa.r1 42; Progs.halt ]

@@ -1,0 +1,1 @@
+lib/dift/block_engine.ml: Engine Faros_vm List Policy

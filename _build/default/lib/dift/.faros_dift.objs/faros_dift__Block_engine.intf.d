@@ -1,0 +1,1 @@
+lib/dift/block_engine.mli: Engine Faros_os Faros_vm Policy

@@ -1,0 +1,1 @@
+lib/dift/engine.ml: Array Faros_os Faros_vm Fun Hashtbl Lazy List Policy Provenance Shadow Tag_store

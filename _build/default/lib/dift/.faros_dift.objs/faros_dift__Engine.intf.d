@@ -1,0 +1,1 @@
+lib/dift/engine.mli: Faros_os Faros_vm Hashtbl Policy Provenance Shadow Tag_store

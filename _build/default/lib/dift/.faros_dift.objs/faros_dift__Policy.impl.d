@@ -1,0 +1,1 @@
+lib/dift/policy.ml: List

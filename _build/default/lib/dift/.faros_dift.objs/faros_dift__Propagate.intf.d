@@ -1,0 +1,1 @@
+lib/dift/propagate.mli: Provenance Shadow

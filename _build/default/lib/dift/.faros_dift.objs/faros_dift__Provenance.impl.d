@@ -1,0 +1,1 @@
+lib/dift/provenance.ml: Fmt List Tag

@@ -1,0 +1,1 @@
+lib/dift/provenance.mli: Fmt Tag

@@ -1,0 +1,1 @@
+lib/dift/shadow.ml: Faros_vm Hashtbl Provenance

@@ -1,0 +1,1 @@
+lib/dift/shadow.mli: Provenance

@@ -1,0 +1,1 @@
+lib/dift/tag.ml: Bytes Char Fmt Printf String

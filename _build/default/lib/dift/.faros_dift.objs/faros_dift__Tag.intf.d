@@ -1,0 +1,1 @@
+lib/dift/tag.mli: Fmt

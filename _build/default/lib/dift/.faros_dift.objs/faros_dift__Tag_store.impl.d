@@ -1,0 +1,1 @@
+lib/dift/tag_store.ml: Faros_os Hashtbl Tag

@@ -1,0 +1,1 @@
+lib/dift/tag_store.mli: Faros_os Tag

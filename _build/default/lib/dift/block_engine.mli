@@ -1,0 +1,28 @@
+(** Basic-block batched processing.
+
+    The paper's implementation receives instructions one basic block at a
+    time (Section V-A); this wrapper reproduces that discipline over the
+    same {!Engine}: effects buffer until the block ends (branch, syscall or
+    halt) and are then processed in order.  Kernel events force a flush
+    first.  Deferred processing is observationally equivalent to
+    per-instruction processing — the test suite pins that equivalence on
+    the attack corpus. *)
+
+type t = {
+  engine : Engine.t;
+  mutable pending : (Faros_vm.Cpu.t * Faros_vm.Cpu.effect) list;
+  max_block : int;  (** flush threshold for straight-line runs *)
+  mutable blocks_flushed : int;
+}
+
+val create : ?policy:Policy.t -> ?max_block:int -> unit -> t
+val of_engine : ?max_block:int -> Engine.t -> t
+
+val flush : t -> unit
+val on_exec : t -> Faros_vm.Cpu.t -> Faros_vm.Cpu.effect -> unit
+
+val on_os_event :
+  t -> resolve_asid:(int -> int option) -> Faros_os.Os_event.t -> unit
+
+val finish : t -> unit
+(** Process any trailing partial block (end of replay). *)

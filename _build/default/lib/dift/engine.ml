@@ -1,0 +1,297 @@
+(* The whole-system DIFT engine.
+
+   Consumes CPU execution effects (per-instruction) and kernel events
+   (per-syscall) and maintains shadow state according to the active
+   {!Policy}.  Three responsibilities:
+
+   - tag insertion: netflow tags on received packets, file tags on file I/O
+     (including image loads), process tags whenever a process touches an
+     already-tainted byte — *including instruction fetch*, which is how a
+     victim process's tag ends up on injected code;
+   - tag propagation: Table I's copy/union/delete per instruction, plus the
+     policy-controlled indirect flows (address and control dependencies);
+   - observation: load observers receive, for every executed load, the
+     provenance of the instruction's own code bytes and of the data it
+     read — the exact inputs of FAROS's flagging rule. *)
+
+type load_info = {
+  li_asid : int;
+  li_pc : int;
+  li_instr : Faros_vm.Isa.t;
+  li_instr_prov : Provenance.t;
+  li_read_vaddr : int;
+  li_read_paddr : int;
+  li_read_prov : Provenance.t;
+}
+
+type t = {
+  shadow : Shadow.t;
+  store : Tag_store.t;
+  policy : Policy.t;
+  file_shadow : (string, Provenance.t array ref) Hashtbl.t;
+  control : (int, int * Provenance.t) Hashtbl.t;  (* asid -> window left, prov *)
+  mutable load_observers : (load_info -> unit) list;
+  mutable instrs_processed : int;
+}
+
+let create ?(policy = Policy.faros_default) () =
+  {
+    shadow = Shadow.create ();
+    store = Tag_store.create ();
+    policy;
+    file_shadow = Hashtbl.create 16;
+    control = Hashtbl.create 8;
+    load_observers = [];
+    instrs_processed = 0;
+  }
+
+let add_load_observer t f = t.load_observers <- t.load_observers @ [ f ]
+
+(* Process-tag insertion: a byte a process touches records that process at
+   the head of its provenance list — but only bytes already involved with
+   taint, per Fig. 5. Returns the byte's (possibly updated) provenance. *)
+let touch_byte t ~ptag paddr =
+  let p = Shadow.get_mem t.shadow paddr in
+  if Provenance.is_empty p then p
+  else begin
+    let p' = Provenance.prepend (Lazy.force ptag) p in
+    Shadow.set_mem t.shadow paddr p';
+    p'
+  end
+
+let touch_range t ~ptag paddr width =
+  let rec go i acc =
+    if i >= width then acc
+    else go (i + 1) (Provenance.union acc (touch_byte t ~ptag (paddr + i)))
+  in
+  go 0 Provenance.empty
+
+(* Provenance contributed by the registers an effective address uses, when
+   the policy propagates address dependencies. *)
+let address_dep_prov t ~asid ~width (a : Faros_vm.Isa.addr) =
+  if not (Policy.address_dep_applies t.policy ~width) then Provenance.empty
+  else
+    let reg_prov = function
+      | Some r -> Shadow.get_reg t.shadow ~asid r
+      | None -> Provenance.empty
+    in
+    Provenance.union (reg_prov a.base) (reg_prov a.index)
+
+(* Control-dependency window: provenance that taints all writes while a
+   tainted conditional's influence lasts. *)
+let control_prov t ~asid =
+  if not t.policy.control_deps then Provenance.empty
+  else
+    match Hashtbl.find_opt t.control asid with
+    | Some (n, prov) when n > 0 -> prov
+    | Some _ | None -> Provenance.empty
+
+let tick_control t ~asid =
+  if t.policy.control_deps then
+    match Hashtbl.find_opt t.control asid with
+    | Some (n, prov) when n > 1 -> Hashtbl.replace t.control asid (n - 1, prov)
+    | Some _ -> Hashtbl.remove t.control asid
+    | None -> ()
+
+let open_control_window t ~asid prov =
+  if t.policy.control_deps && not (Provenance.is_empty prov) then
+    Hashtbl.replace t.control asid (t.policy.control_dep_window, prov)
+
+(* -- per-instruction propagation -- *)
+
+let on_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
+  t.instrs_processed <- t.instrs_processed + 1;
+  let asid = eff.e_asid in
+  let ptag = lazy (Tag_store.process t.store asid) in
+  tick_control t ~asid;
+  let cdep = control_prov t ~asid in
+  let adjust prov = Provenance.union prov cdep in
+  (* Instruction fetch is a memory access by this process. *)
+  let instr_prov =
+    List.fold_left
+      (fun acc paddr -> Provenance.union acc (touch_byte t ~ptag paddr))
+      Provenance.empty eff.e_code_paddrs
+  in
+  let get_reg r = Shadow.get_reg t.shadow ~asid r in
+  let set_reg r prov = Shadow.set_reg t.shadow ~asid r (adjust prov) in
+  let set_mem_access (acc : Faros_vm.Cpu.mem_access) prov =
+    let prov = adjust prov in
+    let final =
+      if Provenance.is_empty prov then prov
+      else Provenance.prepend (Lazy.force ptag) prov
+    in
+    Shadow.set_mem_range t.shadow acc.paddr acc.width final
+  in
+  let imm_prov = if t.policy.taint_immediates then instr_prov else Provenance.empty in
+  let notify_load (acc : Faros_vm.Cpu.mem_access) prov =
+    if t.load_observers <> [] then begin
+      let info =
+        {
+          li_asid = asid;
+          li_pc = eff.e_pc;
+          li_instr = eff.e_instr;
+          li_instr_prov = instr_prov;
+          li_read_vaddr = acc.vaddr;
+          li_read_paddr = acc.paddr;
+          li_read_prov = prov;
+        }
+      in
+      List.iter (fun f -> f info) t.load_observers
+    end
+  in
+  match eff.e_instr with
+  | Nop | Halt | Syscall | Int3 | Jmp _ | Jmp_r _ -> ()
+  | Mov_ri (r, _) -> set_reg r imm_prov
+  | Mov_rr (a, b) -> set_reg a (get_reg b)
+  | Load (w, r, a) -> (
+    match eff.e_loads with
+    | acc :: _ ->
+      let data_prov = touch_range t ~ptag acc.paddr acc.width in
+      notify_load acc data_prov;
+      set_reg r (Provenance.union data_prov (address_dep_prov t ~asid ~width:w a))
+    | [] -> ())
+  | Store (w, a, r) -> (
+    match eff.e_stores with
+    | acc :: _ ->
+      let prov =
+        Provenance.union (get_reg r) (address_dep_prov t ~asid ~width:w a)
+      in
+      set_mem_access acc prov
+    | [] -> ())
+  | Lea (r, a) ->
+    let reg_prov = function Some x -> get_reg x | None -> Provenance.empty in
+    set_reg r (Provenance.union (reg_prov a.base) (reg_prov a.index))
+  | Push r -> (
+    match eff.e_stores with
+    | acc :: _ -> set_mem_access acc (get_reg r)
+    | [] -> ())
+  | Pop r -> (
+    match eff.e_loads with
+    | acc :: _ ->
+      let prov = touch_range t ~ptag acc.paddr acc.width in
+      notify_load acc prov;
+      set_reg r prov
+    | [] -> ())
+  | Add_rr (a, b) | Sub_rr (a, b) | Mul_rr (a, b) | And_rr (a, b) | Or_rr (a, b)
+  | Shl_rr (a, b) | Shr_rr (a, b) ->
+    set_reg a (Provenance.union (get_reg a) (get_reg b))
+  | Xor_rr (a, b) ->
+    (* xor r, r zeroes the value: Table I's delete. *)
+    if a = b then set_reg a Provenance.empty
+    else set_reg a (Provenance.union (get_reg a) (get_reg b))
+  | Add_ri (a, _) | Sub_ri (a, _) | And_ri (a, _) | Or_ri (a, _) | Xor_ri (a, _)
+  | Shl_ri (a, _) | Shr_ri (a, _) ->
+    set_reg a (Provenance.union (get_reg a) imm_prov)
+  | Not_r _ -> ()
+  | Cmp_rr (a, b) | Test_rr (a, b) ->
+    if t.policy.control_deps then
+      Shadow.set_flags t.shadow ~asid (Provenance.union (get_reg a) (get_reg b))
+  | Cmp_ri (a, _) ->
+    if t.policy.control_deps then
+      Shadow.set_flags t.shadow ~asid (Provenance.union (get_reg a) imm_prov)
+  | Jz _ | Jnz _ | Jl _ | Jge _ | Jg _ | Jle _ ->
+    open_control_window t ~asid (Shadow.get_flags t.shadow ~asid)
+  | Call _ | Call_r _ -> (
+    (* The pushed return address derives from the PC, not from data. *)
+    match eff.e_stores with
+    | acc :: _ -> Shadow.set_mem_range t.shadow acc.paddr acc.width Provenance.empty
+    | [] -> ())
+  | Ret -> ()
+
+(* -- kernel-event handling: tag insertion and host-side copies -- *)
+
+let file_array t path len_hint =
+  let arr =
+    match Hashtbl.find_opt t.file_shadow path with
+    | Some a -> a
+    | None ->
+      let a = ref (Array.make (max len_hint 16) Provenance.empty) in
+      Hashtbl.replace t.file_shadow path a;
+      a
+  in
+  if Array.length !arr < len_hint then begin
+    let grown = Array.make (max len_hint (2 * Array.length !arr)) Provenance.empty in
+    Array.blit !arr 0 grown 0 (Array.length !arr);
+    arr := grown
+  end;
+  arr
+
+(* [resolve_asid] maps a pid to its CR3; provided by the embedding analysis
+   (the kernel knows, the engine must not depend on it). *)
+let on_os_event t ~resolve_asid (ev : Faros_os.Os_event.t) =
+  match ev with
+  | Net_recv { flow; dst_paddrs; _ } ->
+    (* Fresh network data overwrites whatever was there. *)
+    let tag = Tag_store.netflow t.store flow in
+    List.iter (fun paddr -> Shadow.set_mem t.shadow paddr [ tag ]) dst_paddrs
+  | File_read { path; version; offset; dst_paddrs; _ } ->
+    (* Provenance flows through the file's shadow in any policy; the file
+       tag itself is only inserted when the policy tracks files. *)
+    let tag_it =
+      if t.policy.track_files then
+        Provenance.prepend (Tag_store.file t.store ~name:path ~version)
+      else Fun.id
+    in
+    let arr = file_array t path (offset + List.length dst_paddrs) in
+    List.iteri
+      (fun i paddr -> Shadow.set_mem t.shadow paddr (tag_it !arr.(offset + i)))
+      dst_paddrs
+  | File_write { path; version; offset; src_paddrs; _ } ->
+    let tag_it =
+      if t.policy.track_files then
+        Provenance.prepend (Tag_store.file t.store ~name:path ~version)
+      else Fun.id
+    in
+    let arr = file_array t path (offset + List.length src_paddrs) in
+    List.iteri
+      (fun i paddr ->
+        let p = tag_it (Shadow.get_mem t.shadow paddr) in
+        !arr.(offset + i) <- p;
+        Shadow.set_mem t.shadow paddr p)
+      src_paddrs
+  | Mem_copy { by; src_paddrs; dst_paddrs; _ } ->
+    let ptag =
+      match resolve_asid by with
+      | Some asid -> Some (Tag_store.process t.store asid)
+      | None -> None
+    in
+    List.iter2
+      (fun src dst ->
+        let p = Shadow.get_mem t.shadow src in
+        if Provenance.is_empty p then Shadow.set_mem t.shadow dst Provenance.empty
+        else begin
+          let p' =
+            match ptag with Some tag -> Provenance.prepend tag p | None -> p
+          in
+          Shadow.set_mem t.shadow src p';
+          Shadow.set_mem t.shadow dst p'
+        end)
+      src_paddrs dst_paddrs
+  | File_deleted { path; _ } -> Hashtbl.remove t.file_shadow path
+  | Proc_created _ | Proc_exited _ | Proc_suspended _ | Proc_resumed _
+  | Proc_unmapped _ | Sys_enter _ | Sys_exit _ | File_opened _ | Net_connect _
+  | Net_send _ | Mem_alloc _ | Module_loaded _ | Context_set _ | Popup _
+  | Debug_print _ | Key_read _ | Audio_read _ | Screenshot _ ->
+    ()
+
+(* Mark the kernel export directory's function pointers (taint insertion for
+   the export-table tag; the paper scans loaded modules at startup).  Each
+   pointer's tag carries the exported function's identity — the per-function
+   information the paper lists as future work. *)
+let taint_export_pointers t entries =
+  List.iter
+    (fun (name, paddrs) ->
+      let tag = Tag_store.export t.store ~name in
+      List.iter
+        (fun paddr ->
+          Shadow.set_mem t.shadow paddr
+            (Provenance.prepend tag (Shadow.get_mem t.shadow paddr)))
+        paddrs)
+    entries
+
+let stats t =
+  ( t.instrs_processed,
+    Shadow.tainted_bytes t.shadow,
+    Tag_store.netflow_count t.store,
+    Tag_store.process_count t.store,
+    Tag_store.file_count t.store )

@@ -1,0 +1,58 @@
+(** The whole-system DIFT engine.
+
+    Consumes CPU execution effects (per instruction) and kernel events (per
+    syscall) and maintains shadow state according to the active {!Policy}.
+    Three responsibilities:
+
+    - {b tag insertion}: netflow tags on received packets, file tags on file
+      I/O (including image loads), process tags whenever a process touches
+      an already-tainted byte — {e including instruction fetch}, which is how
+      a victim process's tag ends up on injected code;
+    - {b tag propagation}: Table I's copy/union/delete per instruction, plus
+      the policy-controlled indirect flows;
+    - {b observation}: load observers receive, for every executed load, the
+      provenance of the instruction's own code bytes and of the data it
+      read — the exact inputs of FAROS's flagging rule. *)
+
+(** What a load observer sees for one executed load instruction. *)
+type load_info = {
+  li_asid : int;  (** CR3 of the executing process *)
+  li_pc : int;  (** virtual address of the load *)
+  li_instr : Faros_vm.Isa.t;
+  li_instr_prov : Provenance.t;  (** provenance of the load's own code bytes *)
+  li_read_vaddr : int;
+  li_read_paddr : int;
+  li_read_prov : Provenance.t;  (** provenance of the data read *)
+}
+
+type t = {
+  shadow : Shadow.t;
+  store : Tag_store.t;
+  policy : Policy.t;
+  file_shadow : (string, Provenance.t array ref) Hashtbl.t;
+      (** per-file byte provenance: how taint flows through files (Fig. 4) *)
+  control : (int, int * Provenance.t) Hashtbl.t;
+  mutable load_observers : (load_info -> unit) list;
+  mutable instrs_processed : int;
+}
+
+val create : ?policy:Policy.t -> unit -> t
+
+val add_load_observer : t -> (load_info -> unit) -> unit
+
+val on_exec : t -> Faros_vm.Cpu.t -> Faros_vm.Cpu.effect -> unit
+(** Per-instruction propagation: attach as a machine execution hook. *)
+
+val on_os_event :
+  t -> resolve_asid:(int -> int option) -> Faros_os.Os_event.t -> unit
+(** Tag insertion and host-side copy propagation for kernel events.
+    [resolve_asid] maps a pid to its CR3 (the kernel knows; the engine must
+    not depend on it). *)
+
+val taint_export_pointers : t -> (string * int list) list -> unit
+(** Startup scan of loaded modules: taint each exported function pointer's
+    physical bytes with an export-table tag carrying the function's name. *)
+
+val stats : t -> int * int * int * int * int
+(** [(instructions processed, tainted bytes, netflow tags, process tags,
+    file tags)]. *)

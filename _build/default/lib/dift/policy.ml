@@ -1,0 +1,91 @@
+(* Propagation policies.
+
+   The paper's position (Section IV) is that indirect flows cannot be
+   handled once and for all: propagating address/control dependencies
+   overtaints, ignoring them undertaints, and the escape is to decide per
+   security policy.  These knobs reproduce the design space — FAROS's
+   default (direct flows only, detection by tag confluence), the
+   overtainting variants used for the Fig. 1 / Fig. 2 experiments, the
+   Minos heuristics, and classic single-bit DIFT. *)
+
+type t = {
+  policy_name : string;
+  address_deps : bool;  (* propagate base/index register taint into loads/stores *)
+  address_dep_widths : int list option;
+      (* [Some ws]: only for accesses of these widths (Minos: 8/16-bit) *)
+  control_deps : bool;  (* tainted flags taint writes in the influenced region *)
+  control_dep_window : int;  (* instructions a tainted branch influences *)
+  taint_immediates : bool;
+      (* immediates inherit the provenance of their own code bytes (Minos) *)
+  single_bit : bool;  (* collapse detection to tainted/untainted *)
+  track_files : bool;
+      (* insert file tags on file I/O; classic DIFT systems taint network
+         input only, so the 1-bit and Minos presets turn this off *)
+}
+
+(* FAROS: direct flows only; indirect flows handled by the detection policy
+   (tag confluence), not by propagation. *)
+let faros_default =
+  {
+    policy_name = "faros";
+    address_deps = false;
+    address_dep_widths = None;
+    control_deps = false;
+    control_dep_window = 0;
+    taint_immediates = false;
+    single_bit = false;
+    track_files = true;
+  }
+
+(* Propagate address dependencies everywhere: the overtainting end of the
+   dilemma (Fig. 1's lookup-table copy stays tainted — and so does almost
+   everything else). *)
+let with_address_deps =
+  { faros_default with policy_name = "address-deps"; address_deps = true }
+
+(* Additionally track control dependencies in a bounded window after a
+   tainted conditional (Fig. 2's bit-by-bit copy). *)
+let with_control_deps =
+  {
+    faros_default with
+    policy_name = "control-deps";
+    control_deps = true;
+    control_dep_window = 32;
+  }
+
+let with_all_indirect =
+  {
+    with_control_deps with
+    policy_name = "all-indirect";
+    address_deps = true;
+  }
+
+(* Minos heuristics: address dependencies only for 8- and 16-bit accesses,
+   immediates tainted, single-bit tags. *)
+let minos =
+  {
+    policy_name = "minos";
+    address_deps = true;
+    address_dep_widths = Some [ 1; 2 ];
+    control_deps = false;
+    control_dep_window = 0;
+    taint_immediates = true;
+    single_bit = true;
+    track_files = false;
+  }
+
+(* Classic 1-bit whole-system DIFT: direct flows, no provenance meaning. *)
+let bit_taint =
+  {
+    faros_default with
+    policy_name = "bit-taint";
+    single_bit = true;
+    track_files = false;
+  }
+
+let all = [ faros_default; with_address_deps; with_control_deps; with_all_indirect; minos; bit_taint ]
+
+let address_dep_applies t ~width =
+  t.address_deps
+  &&
+  match t.address_dep_widths with None -> true | Some ws -> List.mem width ws

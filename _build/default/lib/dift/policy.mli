@@ -1,0 +1,52 @@
+(** Propagation policies.
+
+    The paper's position (Section IV) is that indirect flows cannot be
+    handled once and for all: propagating address/control dependencies
+    overtaints, ignoring them undertaints, and the escape is to decide per
+    security policy.  These knobs span the design space — FAROS's default
+    (direct flows only, detection by tag confluence), the overtainting
+    variants used for the Fig. 1 / Fig. 2 experiments, the Minos
+    heuristics, and classic single-bit DIFT. *)
+
+type t = {
+  policy_name : string;
+  address_deps : bool;
+      (** propagate base/index register taint into loads/stores *)
+  address_dep_widths : int list option;
+      (** [Some ws]: address deps only for accesses of these widths
+          (Minos: 8/16-bit) *)
+  control_deps : bool;
+      (** tainted flags taint writes in the influenced window *)
+  control_dep_window : int;
+      (** instructions a tainted conditional influences *)
+  taint_immediates : bool;
+      (** immediates inherit the provenance of their own code bytes (Minos) *)
+  single_bit : bool;  (** collapse detection to tainted/untainted *)
+  track_files : bool;
+      (** insert file tags on file I/O; classic DIFT systems taint network
+          input only, so the 1-bit and Minos presets turn this off *)
+}
+
+val faros_default : t
+(** Direct flows only; indirect flows are handled by the detection policy
+    (tag confluence), not by propagation. *)
+
+val with_address_deps : t
+(** Address dependencies everywhere: the overtainting end of the dilemma. *)
+
+val with_control_deps : t
+(** Bounded control-dependency windows after tainted conditionals. *)
+
+val with_all_indirect : t
+
+val minos : t
+(** The Minos heuristics (Crandall & Chong): address dependencies for 8- and
+    16-bit accesses only, tainted immediates, single-bit tags, network-only
+    sources. *)
+
+val bit_taint : t
+(** Classic 1-bit whole-system DIFT. *)
+
+val all : t list
+
+val address_dep_applies : t -> width:int -> bool

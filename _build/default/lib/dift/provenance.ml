@@ -1,0 +1,63 @@
+(* Provenance lists (Fig. 4): ordered tag lists, newest first.
+
+   A byte's provenance is its life story: "came from this netflow, was
+   touched by this process, then that one".  Lists are immutable and share
+   structure, so the copy rule of Table I is O(1).  A length cap bounds the
+   memory an adversary could force by generating enormous tag chains (the
+   paper's "exhaust FAROS' memory" evasion); the cap drops the *oldest*
+   entries, preserving recent history and type membership of recent tags. *)
+
+type t = Tag.t list
+
+let empty : t = []
+let is_empty (p : t) = p = []
+
+let max_length = 64
+
+let cap p = if List.length p <= max_length then p else List.filteri (fun i _ -> i < max_length) p
+
+(* Prepend a tag; skipped if it is already the head (so hot loops do not
+   grow lists) or already present anywhere for process tags re-touching. *)
+let prepend tag (p : t) : t =
+  match p with
+  | head :: _ when Tag.equal head tag -> p
+  | _ -> cap (tag :: p)
+
+(* Order-preserving union: tags of [b] not already in [a], appended after
+   [a] (Table I's union rule). *)
+let union (a : t) (b : t) : t =
+  if is_empty b then a
+  else if is_empty a then cap b
+  else cap (a @ List.filter (fun tb -> not (List.exists (Tag.equal tb) a)) b)
+
+let mem tag (p : t) = List.exists (Tag.equal tag) p
+
+let has_type ty (p : t) = List.exists (fun tag -> Tag.ty tag = ty) p
+
+let has_netflow p = has_type Tag.Ty_netflow p
+let has_export p = has_type Tag.Ty_export p
+let has_file p = has_type Tag.Ty_file p
+
+(* Distinct process-tag indices, oldest last (list order preserved). *)
+let process_indices (p : t) =
+  List.filter_map (function Tag.Process i -> Some i | _ -> None) p
+  |> List.fold_left (fun acc i -> if List.mem i acc then acc else i :: acc) []
+  |> List.rev
+
+let netflow_indices (p : t) =
+  List.filter_map (function Tag.Netflow i -> Some i | _ -> None) p
+  |> List.fold_left (fun acc i -> if List.mem i acc then acc else i :: acc) []
+  |> List.rev
+
+let file_indices (p : t) =
+  List.filter_map (function Tag.File i -> Some i | _ -> None) p
+  |> List.fold_left (fun acc i -> if List.mem i acc then acc else i :: acc) []
+  |> List.rev
+
+(* Tag confluence (Section IV): number of distinct tag *types* present. *)
+let distinct_types (p : t) =
+  List.sort_uniq compare (List.map Tag.ty p)
+
+let confluence p = List.length (distinct_types p)
+
+let pp ppf (p : t) = Fmt.(list ~sep:(any " -> ") Tag.pp) ppf p

@@ -1,0 +1,44 @@
+(** Provenance lists (Fig. 4): ordered tag lists, newest first.
+
+    A byte's provenance is its life story — "came from this netflow, was
+    touched by this process, then that one".  Lists are immutable and share
+    structure, so Table I's copy rule is O(1).  {!max_length} bounds the
+    memory an adversary could force by generating enormous tag chains (the
+    "exhaust FAROS' memory" evasion of Section VI-D); the cap drops the
+    oldest entries. *)
+
+type t = Tag.t list
+
+val empty : t
+val is_empty : t -> bool
+
+val max_length : int
+(** Upper bound on list length; prepend/union enforce it. *)
+
+val prepend : Tag.t -> t -> t
+(** [prepend tag p] puts [tag] at the head (newest position).  A no-op when
+    [tag] is already the head, so hot loops do not grow lists. *)
+
+val union : t -> t -> t
+(** Table I's union: [union a b] keeps [a]'s order and appends the tags of
+    [b] not already present. *)
+
+val mem : Tag.t -> t -> bool
+val has_type : Tag.ty -> t -> bool
+val has_netflow : t -> bool
+val has_export : t -> bool
+val has_file : t -> bool
+
+val process_indices : t -> int list
+(** Distinct process-tag indices, newest first. *)
+
+val netflow_indices : t -> int list
+val file_indices : t -> int list
+
+val distinct_types : t -> Tag.ty list
+
+val confluence : t -> int
+(** Number of distinct tag {e types} present — the "tag confluence" of
+    Section IV that the detection policy keys on. *)
+
+val pp : t Fmt.t

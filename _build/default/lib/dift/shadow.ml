@@ -1,0 +1,64 @@
+(* Shadow state: provenance for guest memory, registers and flags.
+
+   Shadow memory is keyed by *physical* address and is byte granular; an
+   absent entry means empty provenance.  Shadow registers are per address
+   space (one guest CPU per process) at whole-register granularity — a
+   documented simplification over the paper's byte-granular memory.
+   Shadow flags feed the control-dependency policy. *)
+
+type t = {
+  mem : (int, Provenance.t) Hashtbl.t;  (* paddr -> provenance *)
+  regs : (int, Provenance.t) Hashtbl.t;  (* asid * num_regs + reg *)
+  flags : (int, Provenance.t) Hashtbl.t;  (* asid -> provenance *)
+}
+
+let create () =
+  { mem = Hashtbl.create 4096; regs = Hashtbl.create 64; flags = Hashtbl.create 8 }
+
+let get_mem t paddr =
+  match Hashtbl.find_opt t.mem paddr with Some p -> p | None -> Provenance.empty
+
+let set_mem t paddr prov =
+  if Provenance.is_empty prov then Hashtbl.remove t.mem paddr
+  else Hashtbl.replace t.mem paddr prov
+
+let reg_key asid reg = (asid * Faros_vm.Isa.num_regs) + reg
+
+let get_reg t ~asid reg =
+  match Hashtbl.find_opt t.regs (reg_key asid reg) with
+  | Some p -> p
+  | None -> Provenance.empty
+
+let set_reg t ~asid reg prov =
+  if Provenance.is_empty prov then Hashtbl.remove t.regs (reg_key asid reg)
+  else Hashtbl.replace t.regs (reg_key asid reg) prov
+
+let get_flags t ~asid =
+  match Hashtbl.find_opt t.flags asid with Some p -> p | None -> Provenance.empty
+
+let set_flags t ~asid prov =
+  if Provenance.is_empty prov then Hashtbl.remove t.flags asid
+  else Hashtbl.replace t.flags asid prov
+
+(* Union of the provenance of [width] bytes starting at [paddr]. *)
+let get_mem_range t paddr width =
+  let rec go i acc =
+    if i >= width then acc
+    else go (i + 1) (Provenance.union acc (get_mem t (paddr + i)))
+  in
+  go 0 Provenance.empty
+
+let set_mem_range t paddr width prov =
+  for i = 0 to width - 1 do
+    set_mem t (paddr + i) prov
+  done
+
+let tainted_bytes t = Hashtbl.length t.mem
+let tainted_regs t = Hashtbl.length t.regs
+
+let iter_mem t f = Hashtbl.iter f t.mem
+
+let clear t =
+  Hashtbl.reset t.mem;
+  Hashtbl.reset t.regs;
+  Hashtbl.reset t.flags

@@ -1,0 +1,37 @@
+(** Shadow state: provenance for guest memory, registers and flags.
+
+    Shadow memory is keyed by {e physical} address and is byte granular; an
+    absent entry means empty provenance.  Shadow registers are per address
+    space (one guest CPU per process) at whole-register granularity — a
+    documented simplification over the paper's byte-granular memory.
+    Shadow flags feed the control-dependency policy. *)
+
+type t
+
+val create : unit -> t
+
+val get_mem : t -> int -> Provenance.t
+(** Provenance of the byte at a physical address (empty if untracked). *)
+
+val set_mem : t -> int -> Provenance.t -> unit
+(** Setting an empty provenance removes the entry. *)
+
+val get_reg : t -> asid:int -> int -> Provenance.t
+val set_reg : t -> asid:int -> int -> Provenance.t -> unit
+
+val get_flags : t -> asid:int -> Provenance.t
+val set_flags : t -> asid:int -> Provenance.t -> unit
+
+val get_mem_range : t -> int -> int -> Provenance.t
+(** [get_mem_range t paddr width] is the union over [width] bytes. *)
+
+val set_mem_range : t -> int -> int -> Provenance.t -> unit
+
+val tainted_bytes : t -> int
+(** Number of bytes currently carrying non-empty provenance. *)
+
+val tainted_regs : t -> int
+
+val iter_mem : t -> (int -> Provenance.t -> unit) -> unit
+
+val clear : t -> unit

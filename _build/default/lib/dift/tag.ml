@@ -1,0 +1,61 @@
+(* Provenance tags.
+
+   Four tag types, as in the paper: netflow (the byte arrived on a network
+   connection), process (a process touched the byte; payload is the CR3),
+   file (the byte passed through a file), and export-table (the byte belongs
+   to the kernel region where linking/loading information lives).
+
+   All four tag types carry an index into the corresponding hash map of
+   {!Tag_store} (Fig. 5).  The paper's implementation left the export-table
+   tag payload-free and listed per-function information as future work
+   (Section V-A); we implement that extension, so an export-table tag
+   identifies *which* exported function's pointer was touched. *)
+
+type t = Netflow of int | Process of int | File of int | Export_table of int
+
+type ty = Ty_netflow | Ty_process | Ty_file | Ty_export
+
+let ty = function
+  | Netflow _ -> Ty_netflow
+  | Process _ -> Ty_process
+  | File _ -> Ty_file
+  | Export_table _ -> Ty_export
+
+(* prov_tag wire format (Fig. 6): one type byte, two index bytes. *)
+let type_byte = function
+  | Netflow _ -> 1
+  | File _ -> 2
+  | Process _ -> 3
+  | Export_table _ -> 4
+
+let index = function
+  | Netflow i | Process i | File i | Export_table i -> i
+
+exception Bad_prov_tag of string
+
+let encode t =
+  let i = index t in
+  if i < 0 || i > 0xFFFF then raise (Bad_prov_tag (Printf.sprintf "index %d" i));
+  let b = Bytes.create 3 in
+  Bytes.set b 0 (Char.chr (type_byte t));
+  Bytes.set b 1 (Char.chr (i land 0xFF));
+  Bytes.set b 2 (Char.chr ((i lsr 8) land 0xFF));
+  Bytes.to_string b
+
+let decode s =
+  if String.length s <> 3 then raise (Bad_prov_tag "length");
+  let i = Char.code s.[1] lor (Char.code s.[2] lsl 8) in
+  match Char.code s.[0] with
+  | 1 -> Netflow i
+  | 2 -> File i
+  | 3 -> Process i
+  | 4 -> Export_table i
+  | b -> raise (Bad_prov_tag (Printf.sprintf "type byte %d" b))
+
+let equal (a : t) b = a = b
+
+let pp ppf = function
+  | Netflow i -> Fmt.pf ppf "netflow#%d" i
+  | Process i -> Fmt.pf ppf "process#%d" i
+  | File i -> Fmt.pf ppf "file#%d" i
+  | Export_table i -> Fmt.pf ppf "export-table#%d" i

@@ -1,0 +1,40 @@
+(** Provenance tags.
+
+    Four tag types, as in the paper (Section V-A): netflow (the byte arrived
+    on a network connection), process (a process touched the byte; the
+    payload is its CR3), file (the byte passed through a file), and
+    export-table (the byte belongs to the kernel region where
+    linking/loading information lives).
+
+    Every tag carries a 16-bit index into the corresponding hash map of
+    {!Tag_store}.  The paper's implementation left the export-table tag
+    payload-free and listed per-function information as future work; this
+    implementation includes that extension, so an export-table tag
+    identifies {e which} exported function's pointer was touched. *)
+
+type t = Netflow of int | Process of int | File of int | Export_table of int
+
+(** Tag types, the granularity at which the confluence policy reasons. *)
+type ty = Ty_netflow | Ty_process | Ty_file | Ty_export
+
+val ty : t -> ty
+
+val type_byte : t -> int
+(** First byte of the prov_tag wire format (Fig. 6): 1 = netflow, 2 = file,
+    3 = process, 4 = export-table. *)
+
+val index : t -> int
+(** The tag's index into its {!Tag_store} hash map. *)
+
+exception Bad_prov_tag of string
+
+val encode : t -> string
+(** [encode t] is the 3-byte prov_tag of Fig. 6: type byte followed by the
+    16-bit index, little-endian.  Raises {!Bad_prov_tag} if the index does
+    not fit in 16 bits. *)
+
+val decode : string -> t
+(** Inverse of {!encode}.  Raises {!Bad_prov_tag} on malformed input. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/os/export_table.ml: Bytes Char Faros_vm List String Syscall

@@ -1,0 +1,1 @@
+lib/os/export_table.mli: Faros_vm

@@ -1,0 +1,1 @@
+lib/os/fs.ml: Bytes Hashtbl List

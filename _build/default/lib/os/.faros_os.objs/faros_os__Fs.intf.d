@@ -1,0 +1,1 @@
+lib/os/fs.mli: Bytes

@@ -1,0 +1,1 @@
+lib/os/input_dev.ml: Bytes Char List String

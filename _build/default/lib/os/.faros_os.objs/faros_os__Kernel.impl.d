@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Array Export_table Faros_vm Fs Kstate Os_event Pe Process Sched Spawn Sys_file Sys_mem Sys_misc Sys_net Sys_proc Syscall Types

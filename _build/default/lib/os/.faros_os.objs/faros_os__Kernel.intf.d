@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Kstate Os_event Pe Types

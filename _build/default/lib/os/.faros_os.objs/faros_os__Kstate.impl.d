@@ -1,0 +1,1 @@
+lib/os/kstate.ml: Bytes Export_table Faros_vm Fs Hashtbl Input_dev List Netstack Os_event Printf Process Types

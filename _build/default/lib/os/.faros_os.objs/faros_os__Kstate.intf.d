@@ -1,0 +1,1 @@
+lib/os/kstate.mli: Bytes Export_table Faros_vm Fs Hashtbl Input_dev Netstack Os_event Process Types

@@ -1,0 +1,1 @@
+lib/os/loader.ml: Bytes Export_table Faros_vm List Pe String

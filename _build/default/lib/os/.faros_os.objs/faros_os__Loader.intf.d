@@ -1,0 +1,1 @@
+lib/os/loader.mli: Export_table Faros_vm Pe

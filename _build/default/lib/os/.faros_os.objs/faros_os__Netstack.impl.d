@@ -1,0 +1,1 @@
+lib/os/netstack.ml: Buffer Hashtbl List Queue String Types

@@ -1,0 +1,1 @@
+lib/os/os_event.ml: Types

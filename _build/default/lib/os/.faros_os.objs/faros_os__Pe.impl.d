@@ -1,0 +1,1 @@
+lib/os/pe.ml: Buffer Bytes Char Faros_vm List String

@@ -1,0 +1,1 @@
+lib/os/pe.mli: Faros_vm

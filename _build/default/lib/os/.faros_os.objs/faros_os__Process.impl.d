@@ -1,0 +1,1 @@
+lib/os/process.ml: Faros_vm Fmt Hashtbl Pe Types

@@ -1,0 +1,1 @@
+lib/os/process.mli: Faros_vm Fmt Hashtbl Pe Types

@@ -1,0 +1,1 @@
+lib/os/sched.ml: Kstate List Process

@@ -1,0 +1,1 @@
+lib/os/sched.mli: Kstate Process

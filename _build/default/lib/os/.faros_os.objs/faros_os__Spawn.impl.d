@@ -1,0 +1,1 @@
+lib/os/spawn.ml: Bytes Export_table Faros_vm Fs Hashtbl Kstate List Loader Os_event Pe Process Types

@@ -1,0 +1,1 @@
+lib/os/spawn.mli: Kstate Types

@@ -1,0 +1,1 @@
+lib/os/sys_file.ml: Array Bytes Faros_vm Fs Kstate List Netstack Os_event Process

@@ -1,0 +1,1 @@
+lib/os/sys_mem.ml: Array Faros_vm Kstate Os_event Process

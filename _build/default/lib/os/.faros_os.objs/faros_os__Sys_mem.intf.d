@@ -1,0 +1,1 @@
+lib/os/sys_mem.mli: Kstate Process

@@ -1,0 +1,1 @@
+lib/os/sys_misc.ml: Array Bytes Faros_vm Fs Input_dev Kstate List Loader Os_event Pe Process

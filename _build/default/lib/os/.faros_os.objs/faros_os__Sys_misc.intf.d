@@ -1,0 +1,1 @@
+lib/os/sys_misc.mli: Kstate Process

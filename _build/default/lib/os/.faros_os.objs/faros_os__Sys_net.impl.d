@@ -1,0 +1,1 @@
+lib/os/sys_net.ml: Array Bytes Faros_vm Kstate Netstack Os_event Process String

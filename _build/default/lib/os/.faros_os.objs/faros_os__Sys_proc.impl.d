@@ -1,0 +1,1 @@
+lib/os/sys_proc.ml: Array Faros_vm Kstate List Os_event Process Spawn

@@ -1,0 +1,1 @@
+lib/os/sys_proc.mli: Kstate Process

@@ -1,0 +1,1 @@
+lib/os/types.ml: Fmt Printf String

@@ -1,0 +1,100 @@
+(* The kernel region and its export table.
+
+   The kernel's API stubs and export directory live in physical frames
+   shared into every process address space at 0x8000_0000+, mirroring how
+   Windows maps ntdll/kernel32 everywhere.  The export directory is the
+   memory the paper's export-table tag covers: an array of
+   (name-hash, function-pointer) entries that reflective loaders walk to
+   resolve LoadLibraryA / GetProcAddress / VirtualAlloc without asking the
+   OS.  FAROS taints the function-pointer words; [pointer_paddrs] hands
+   their physical addresses to the taint-insertion pass. *)
+
+let kernel_base = 0x80000000
+let kernel_stub_pages = 4
+let export_dir_vaddr = 0x80100000
+let export_dir_pages = 1
+
+(* djb2: the name hash reflective payloads embed as constants (standing in
+   for the ROR13 hashes of real shellcode). *)
+let hash_name s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0xFFFFFFFF) s;
+  !h
+
+type t = {
+  exports : (string * int) list;  (* API name -> stub vaddr *)
+  stub_frames : int list;  (* pfns of the stub code region *)
+  dir_frames : int list;  (* pfns of the export directory *)
+  pointer_paddrs : int list;  (* physical addrs of every pointer byte *)
+  pointers_by_name : (string * int list) list;  (* per exported function *)
+  stub_span : int;  (* bytes of stub code *)
+  space : Faros_vm.Mmu.space;  (* the kernel's own view *)
+}
+
+let in_kernel vaddr = vaddr >= kernel_base
+
+(* Stub code: [mov r0, sysno; syscall; ret] per API, assembled into the
+   shared kernel region. *)
+let build (machine : Faros_vm.Machine.t) =
+  let mmu = machine.mmu in
+  let space = Faros_vm.Mmu.create_space mmu ~name:"kernel" in
+  Faros_vm.Mmu.map mmu space ~vaddr:kernel_base ~pages:kernel_stub_pages;
+  Faros_vm.Mmu.map mmu space ~vaddr:export_dir_vaddr ~pages:export_dir_pages;
+  let items =
+    List.concat_map
+      (fun (api, sysno) ->
+        [
+          Faros_vm.Asm.Label api;
+          Faros_vm.Asm.I (Faros_vm.Isa.Mov_ri (Faros_vm.Isa.r0, sysno));
+          Faros_vm.Asm.I Faros_vm.Isa.Syscall;
+          Faros_vm.Asm.I Faros_vm.Isa.Ret;
+        ])
+      Syscall.exported_apis
+  in
+  let prog = Faros_vm.Asm.assemble ~origin:kernel_base items in
+  Faros_vm.Mmu.write_bytes mmu ~asid:space.asid kernel_base prog.code;
+  let exports =
+    List.map (fun (api, _) -> (api, Faros_vm.Asm.lookup prog api)) Syscall.exported_apis
+  in
+  (* Export directory: count, then (hash, pointer) pairs. *)
+  let w32 vaddr v = Faros_vm.Mmu.write ~width:4 mmu ~asid:space.asid vaddr v in
+  w32 export_dir_vaddr (List.length exports);
+  List.iteri
+    (fun i (api, addr) ->
+      let entry = export_dir_vaddr + 4 + (8 * i) in
+      w32 entry (hash_name api);
+      w32 (entry + 4) addr)
+    exports;
+  let pointers_by_name =
+    List.mapi
+      (fun i (api, _) ->
+        let ptr_vaddr = export_dir_vaddr + 4 + (8 * i) + 4 in
+        (api, Faros_vm.Mmu.phys_range mmu ~asid:space.asid ptr_vaddr 4))
+      exports
+  in
+  let pointer_paddrs = List.concat_map snd pointers_by_name in
+  {
+    exports;
+    stub_frames =
+      Faros_vm.Mmu.frames_of space ~vaddr:kernel_base ~pages:kernel_stub_pages;
+    dir_frames =
+      Faros_vm.Mmu.frames_of space ~vaddr:export_dir_vaddr ~pages:export_dir_pages;
+    pointer_paddrs;
+    pointers_by_name;
+    stub_span = Bytes.length prog.code;
+    space;
+  }
+
+(* Share the kernel region into a process address space. *)
+let map_into t space =
+  Faros_vm.Mmu.map_frames space ~vaddr:kernel_base t.stub_frames;
+  Faros_vm.Mmu.map_frames space ~vaddr:export_dir_vaddr t.dir_frames
+
+let stub_addr t api =
+  match List.assoc_opt api t.exports with
+  | Some a -> a
+  | None -> raise Not_found
+
+(* Directory layout helpers used by guest payload builders. *)
+let entry_count t = List.length t.exports
+let entries_vaddr = export_dir_vaddr + 4

@@ -1,0 +1,68 @@
+(* The guest's in-memory filesystem.
+
+   Files carry a version counter incremented on each open-for-access, which
+   is exactly the payload of the paper's file tag (Fig. 5: file name +
+   "how many times a file has been accessed"). *)
+
+type file = { mutable data : Bytes.t; mutable version : int }
+
+type t = { files : (string, file) Hashtbl.t }
+
+exception No_such_file of string
+
+let create () = { files = Hashtbl.create 32 }
+
+let exists t path = Hashtbl.mem t.files path
+
+let find t path =
+  match Hashtbl.find_opt t.files path with
+  | Some f -> f
+  | None -> raise (No_such_file path)
+
+(* Creating truncates; returns the file. *)
+let create_file t path =
+  match Hashtbl.find_opt t.files path with
+  | Some f ->
+    f.data <- Bytes.create 0;
+    f.version <- f.version + 1;
+    f
+  | None ->
+    let f = { data = Bytes.create 0; version = 1 } in
+    Hashtbl.replace t.files path f;
+    f
+
+let open_file t path =
+  let f = find t path in
+  f.version <- f.version + 1;
+  f
+
+let delete t path =
+  if not (exists t path) then raise (No_such_file path);
+  Hashtbl.remove t.files path
+
+let size t path = Bytes.length (find t path).data
+
+let version t path = (find t path).version
+
+(* Install file contents wholesale (used to provision images and inputs). *)
+let install t path data =
+  let f = create_file t path in
+  f.data <- Bytes.of_string data
+
+let read_all t path = Bytes.to_string (find t path).data
+
+let read f ~offset ~len =
+  let avail = max 0 (Bytes.length f.data - offset) in
+  let n = min len avail in
+  if n <= 0 then Bytes.create 0 else Bytes.sub f.data offset n
+
+let write f ~offset data =
+  let needed = offset + Bytes.length data in
+  if needed > Bytes.length f.data then begin
+    let grown = Bytes.make needed '\000' in
+    Bytes.blit f.data 0 grown 0 (Bytes.length f.data);
+    f.data <- grown
+  end;
+  Bytes.blit data 0 f.data offset (Bytes.length data)
+
+let list t = Hashtbl.fold (fun path _ acc -> path :: acc) t.files [] |> List.sort compare

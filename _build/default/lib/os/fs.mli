@@ -1,0 +1,42 @@
+(** The guest's in-memory filesystem.
+
+    Files carry a version counter incremented on each open-for-access,
+    which is exactly the payload of the paper's file tag (Fig. 5: file name
+    plus "how many times a file has been accessed"). *)
+
+type file = { mutable data : Bytes.t; mutable version : int }
+
+type t
+
+exception No_such_file of string
+
+val create : unit -> t
+val exists : t -> string -> bool
+
+val find : t -> string -> file
+(** Raises {!No_such_file}. *)
+
+val create_file : t -> string -> file
+(** Create (truncating if present); bumps the version. *)
+
+val open_file : t -> string -> file
+(** Open for access; bumps the version.  Raises {!No_such_file}. *)
+
+val delete : t -> string -> unit
+
+val size : t -> string -> int
+val version : t -> string -> int
+
+val install : t -> string -> string -> unit
+(** Provision file contents wholesale (images, input data). *)
+
+val read_all : t -> string -> string
+
+val read : file -> offset:int -> len:int -> Bytes.t
+(** Short read past end of file; empty at or beyond the end. *)
+
+val write : file -> offset:int -> Bytes.t -> unit
+(** Extends the file, zero-filling any gap. *)
+
+val list : t -> string list
+(** All paths, sorted. *)

@@ -1,0 +1,41 @@
+(** Kernel state: everything the syscall handlers and the scheduler
+    touch. *)
+
+type t = {
+  machine : Faros_vm.Machine.t;
+  fs : Fs.t;
+  net : Netstack.t;
+  input : Input_dev.t;
+  exports : Export_table.t;
+  procs : (Types.pid, Process.t) Hashtbl.t;
+  mutable next_pid : int;
+  mutable subscribers : (Os_event.t -> unit) list;
+  mutable tick : int;  (** instructions executed, whole system *)
+  mutable run_queue : Types.pid list;
+}
+
+val create : local_ip:Types.Ip.t -> t
+
+val subscribe : t -> (Os_event.t -> unit) -> unit
+val emit : t -> Os_event.t -> unit
+
+val proc : t -> Types.pid -> Process.t option
+val proc_exn : t -> Types.pid -> Process.t
+val proc_name : t -> Types.pid -> string
+
+val proc_by_asid : t -> int -> Process.t option
+(** CR3 back to a process: how analyses resolve process tags. *)
+
+val processes : t -> Process.t list
+(** All processes (including terminated), sorted by pid. *)
+
+val live_processes : t -> Process.t list
+
+(** {2 Guest-memory helpers shared by syscall handlers} *)
+
+val read_guest_bytes : t -> Process.t -> int -> int -> Bytes.t
+val write_guest_bytes : t -> Process.t -> int -> Bytes.t -> unit
+val read_guest_string : t -> Process.t -> int -> int -> string
+
+val phys_range : t -> Process.t -> int -> int -> int list
+(** Physical addresses of a guest range (empty for non-positive length). *)

@@ -1,0 +1,39 @@
+(* Image loader.
+
+   Maps a MiniPE image into an address space, copies section bytes in, and
+   resolves imports by writing kernel-stub addresses into the image's IAT
+   slots — the benign linking path, which never makes the *process* read the
+   export directory (the kernel does the lookup), so ordinary imports never
+   trip FAROS's export-table policy.
+
+   Returns the physical addresses that received file bytes so the kernel can
+   report the load as a file-read for provenance purposes. *)
+
+type loaded = {
+  ld_image : Pe.t;
+  ld_entry : int;
+  ld_section_paddrs : (string * int list) list;  (* section name -> paddrs *)
+}
+
+exception Unresolved_import of string
+
+let load (mmu : Faros_vm.Mmu.t) (space : Faros_vm.Mmu.space)
+    (exports : Export_table.t) (image : Pe.t) : loaded =
+  let pages = Pe.mapped_pages image in
+  Faros_vm.Mmu.map mmu space ~vaddr:image.base ~pages;
+  let asid = space.asid in
+  let section_paddrs =
+    List.map
+      (fun (s : Pe.section) ->
+        Faros_vm.Mmu.write_bytes mmu ~asid s.sec_vaddr (Bytes.of_string s.sec_data);
+        ( s.sec_name,
+          Faros_vm.Mmu.phys_range mmu ~asid s.sec_vaddr (String.length s.sec_data) ))
+      image.sections
+  in
+  List.iter
+    (fun (api, slot) ->
+      match List.assoc_opt api exports.exports with
+      | Some addr -> Faros_vm.Mmu.write ~width:4 mmu ~asid slot addr
+      | None -> raise (Unresolved_import api))
+    image.imports;
+  { ld_image = image; ld_entry = image.entry; ld_section_paddrs = section_paddrs }

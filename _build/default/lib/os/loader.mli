@@ -1,0 +1,19 @@
+(** Image loader.
+
+    Maps a MiniPE image into an address space, copies section bytes in, and
+    resolves imports by writing kernel-stub addresses into the image's IAT
+    slots — the benign linking path, under which the {e process} never
+    reads the export directory (the kernel does the lookup), so ordinary
+    imports never trip FAROS's export-table policy. *)
+
+type loaded = {
+  ld_image : Pe.t;
+  ld_entry : int;
+  ld_section_paddrs : (string * int list) list;
+      (** per section: the physical addresses that received file bytes, so
+          the kernel can report the load as a file read *)
+}
+
+exception Unresolved_import of string
+
+val load : Faros_vm.Mmu.t -> Faros_vm.Mmu.space -> Export_table.t -> Pe.t -> loaded

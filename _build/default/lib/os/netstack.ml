@@ -1,0 +1,224 @@
+(* A miniature TCP-like network stack.
+
+   Remote endpoints are [actor]s: host-side scripts that stand in for the
+   attacker machine (Metasploit listener, C2 server, web server).  In live
+   (record) mode actors respond to guest connects/sends and their payloads
+   are handed to a record sink; in replay mode actors are never consulted
+   and received data comes from the recorded trace — the PANDA record/replay
+   discipline, where network input is the non-deterministic event.
+
+   Ephemeral ports are allocated deterministically starting at 49162 (the
+   port in the paper's Table II / Fig. 7 example). *)
+
+type socket = {
+  sock_id : int;
+  mutable flow : Types.flow option;  (* src = remote, dst = local, as seen by rx *)
+  rx : Buffer.t;
+  mutable rx_pos : int;
+  mutable connected : bool;
+  mutable peer : int option;  (* loopback peer socket *)
+  mutable listening : bool;
+  mutable bound_port : int option;
+  pending : int Queue.t;  (* loopback connections awaiting accept *)
+}
+
+type actor = {
+  actor_name : string;
+  actor_ip : Types.Ip.t;
+  actor_port : int;
+  on_connect : Types.flow -> string list;
+  on_data : Types.flow -> string -> string list;
+}
+
+type t = {
+  local_ip : Types.Ip.t;
+  sockets : (int, socket) Hashtbl.t;
+  actors : (int * int, actor) Hashtbl.t;  (* (ip, port) -> actor *)
+  listeners : (int, int) Hashtbl.t;  (* local port -> listening socket *)
+  mutable next_sock : int;
+  mutable next_port : int;
+  mutable record_sink : (Types.flow -> string -> unit) option;
+  mutable replay_source : (Types.flow -> string list) option;
+  mutable sent : (Types.flow * string) list;  (* outbound traffic, for forensics *)
+}
+
+exception Bad_socket of int
+exception Connection_refused of Types.flow
+
+let first_ephemeral_port = 49162
+
+let create ~local_ip =
+  {
+    local_ip;
+    sockets = Hashtbl.create 16;
+    actors = Hashtbl.create 8;
+    listeners = Hashtbl.create 4;
+    next_sock = 1;
+    next_port = first_ephemeral_port;
+    record_sink = None;
+    replay_source = None;
+    sent = [];
+  }
+
+let set_record_sink t f = t.record_sink <- Some f
+let set_replay_source t f = t.replay_source <- Some f
+
+let register_actor t actor =
+  Hashtbl.replace t.actors (actor.actor_ip, actor.actor_port) actor
+
+let socket t =
+  let id = t.next_sock in
+  t.next_sock <- id + 1;
+  let s =
+    {
+      sock_id = id;
+      flow = None;
+      rx = Buffer.create 64;
+      rx_pos = 0;
+      connected = false;
+      peer = None;
+      listening = false;
+      bound_port = None;
+      pending = Queue.create ();
+    }
+  in
+  Hashtbl.replace t.sockets id s;
+  id
+
+let find t id =
+  match Hashtbl.find_opt t.sockets id with
+  | Some s -> s
+  | None -> raise (Bad_socket id)
+
+let deliver t s chunk =
+  Buffer.add_string s.rx chunk;
+  match (s.flow, t.record_sink) with
+  | Some flow, Some sink -> sink flow chunk
+  | _ -> ()
+
+let loopback_ip = Types.Ip.of_string "127.0.0.1"
+
+(* Guest-to-guest loopback connection: entirely deterministic, so it goes
+   through neither the record sink nor the replay source. *)
+let connect_loopback t (s : socket) ~port ~local_port =
+  match Hashtbl.find_opt t.listeners port with
+  | None ->
+    raise
+      (Connection_refused
+         {
+           Types.src_ip = loopback_ip;
+           src_port = port;
+           dst_ip = loopback_ip;
+           dst_port = local_port;
+         })
+  | Some listener_id ->
+    let listener = find t listener_id in
+    (* server-side half of the pair *)
+    let server_id = socket t in
+    let server = find t server_id in
+    let client_flow =
+      (* data the client receives: from the server's port *)
+      {
+        Types.src_ip = loopback_ip;
+        src_port = port;
+        dst_ip = loopback_ip;
+        dst_port = local_port;
+      }
+    in
+    let server_flow =
+      {
+        Types.src_ip = loopback_ip;
+        src_port = local_port;
+        dst_ip = loopback_ip;
+        dst_port = port;
+      }
+    in
+    s.flow <- Some client_flow;
+    s.connected <- true;
+    s.peer <- Some server_id;
+    server.flow <- Some server_flow;
+    server.connected <- true;
+    server.peer <- Some s.sock_id;
+    Queue.add server_id listener.pending;
+    client_flow
+
+(* Connect to a remote endpoint.  Returns the flow describing inbound data
+   (src = remote endpoint, dst = our ephemeral endpoint). *)
+let connect t id ~ip ~port =
+  let s = find t id in
+  let local_port = t.next_port in
+  t.next_port <- local_port + 1;
+  if ip = loopback_ip || ip = t.local_ip then connect_loopback t s ~port ~local_port
+  else begin
+  let flow =
+    { Types.src_ip = ip; src_port = port; dst_ip = t.local_ip; dst_port = local_port }
+  in
+  s.flow <- Some flow;
+  s.connected <- true;
+  (match t.replay_source with
+  | Some source ->
+    (* Replayed input: everything this flow ever received, in order. *)
+    List.iter (fun chunk -> Buffer.add_string s.rx chunk) (source flow)
+  | None -> (
+    match Hashtbl.find_opt t.actors (ip, port) with
+    | Some actor -> List.iter (deliver t s) (actor.on_connect flow)
+    | None -> raise (Connection_refused flow)));
+  flow
+  end
+
+let send t id data =
+  let s = find t id in
+  match s.flow with
+  | None -> raise (Bad_socket id)
+  | Some flow -> (
+    t.sent <- (flow, data) :: t.sent;
+    match s.peer with
+    | Some peer_id ->
+      (* loopback: deliver straight into the peer, no recording *)
+      Buffer.add_string (find t peer_id).rx data;
+      String.length data
+    | None ->
+      (match t.replay_source with
+      | Some _ -> ()  (* replies already preloaded from the trace *)
+      | None -> (
+        match Hashtbl.find_opt t.actors (flow.src_ip, flow.src_port) with
+        | Some actor -> List.iter (deliver t s) (actor.on_data flow data)
+        | None -> ()));
+      String.length data)
+
+(* Byte-stream recv: returns at most [len] bytes, "" when nothing pending. *)
+let recv t id ~len =
+  let s = find t id in
+  let avail = Buffer.length s.rx - s.rx_pos in
+  let n = min len avail in
+  if n <= 0 then ""
+  else begin
+    let out = Buffer.sub s.rx s.rx_pos n in
+    s.rx_pos <- s.rx_pos + n;
+    out
+  end
+
+(* Server-side API: bind a local port, listen, accept pending loopback
+   connections. *)
+let bind t id ~port =
+  let s = find t id in
+  if Hashtbl.mem t.listeners port then raise (Bad_socket id);
+  s.bound_port <- Some port;
+  Hashtbl.replace t.listeners port id
+
+let listen t id =
+  let s = find t id in
+  match s.bound_port with None -> raise (Bad_socket id) | Some _ -> s.listening <- true
+
+(* Returns the accepted socket id, or None when nothing is pending. *)
+let accept t id =
+  let s = find t id in
+  if not s.listening then raise (Bad_socket id)
+  else if Queue.is_empty s.pending then None
+  else Some (Queue.pop s.pending)
+
+let flow_of t id = (find t id).flow
+
+let close t id = Hashtbl.remove t.sockets id
+
+let sent_traffic t = List.rev t.sent

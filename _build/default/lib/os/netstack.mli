@@ -1,0 +1,77 @@
+(** A miniature TCP-like network stack.
+
+    Remote endpoints are {!actor}s: host-side scripts standing in for the
+    attacker machine (Metasploit listener, C2 server, web server).  In live
+    (record) mode actors respond to guest connects/sends and their payloads
+    are handed to the record sink; in replay mode actors are never
+    consulted and received data comes from the recorded trace — the PANDA
+    record/replay discipline, where network input is the non-deterministic
+    event.
+
+    Ephemeral ports are allocated deterministically starting at
+    {!first_ephemeral_port} = 49162, the port in the paper's Table II /
+    Fig. 7 example. *)
+
+type socket
+
+(** A scripted remote endpoint. *)
+type actor = {
+  actor_name : string;
+  actor_ip : Types.Ip.t;
+  actor_port : int;
+  on_connect : Types.flow -> string list;
+      (** chunks to deliver when a guest connects *)
+  on_data : Types.flow -> string -> string list;
+      (** chunks to deliver in response to guest data *)
+}
+
+type t
+
+exception Bad_socket of int
+exception Connection_refused of Types.flow
+
+val first_ephemeral_port : int
+
+val create : local_ip:Types.Ip.t -> t
+
+val set_record_sink : t -> (Types.flow -> string -> unit) -> unit
+(** Called for every chunk delivered to a guest socket (record mode). *)
+
+val set_replay_source : t -> (Types.flow -> string list) -> unit
+(** Replace actors with recorded per-flow input (replay mode). *)
+
+val register_actor : t -> actor -> unit
+
+val socket : t -> int
+(** Allocate a socket; returns its id. *)
+
+val connect : t -> int -> ip:Types.Ip.t -> port:int -> Types.flow
+(** Connect to a remote endpoint.  Returns the flow describing inbound data
+    (src = remote, dst = local ephemeral).  Raises
+    {!Connection_refused} in live mode when no actor listens there. *)
+
+val send : t -> int -> string -> int
+(** Send guest data; live-mode actors may respond.  Returns bytes sent. *)
+
+val recv : t -> int -> len:int -> string
+(** Byte-stream receive: at most [len] bytes, [""] when nothing pending. *)
+
+val loopback_ip : Types.Ip.t
+
+val bind : t -> int -> port:int -> unit
+(** Claim a local port for a listening socket.  Raises {!Bad_socket} if the
+    port is taken. *)
+
+val listen : t -> int -> unit
+(** Mark a bound socket as listening.  Raises {!Bad_socket} if unbound. *)
+
+val accept : t -> int -> int option
+(** Pop a pending loopback connection; [None] when nothing is waiting.
+    Loopback (guest-to-guest) traffic is deterministic and bypasses both
+    the record sink and the replay source. *)
+
+val flow_of : t -> int -> Types.flow option
+val close : t -> int -> unit
+
+val sent_traffic : t -> (Types.flow * string) list
+(** Outbound traffic in order — the packet capture a sandbox keeps. *)

@@ -1,0 +1,89 @@
+(* Kernel events.
+
+   These are the introspection surface of the guest OS — the equivalent of
+   PANDA's syscalls2 and OSI plugins.  Whole-system analyses (the FAROS
+   plugin, the Cuckoo-style sandbox) subscribe to this stream.
+
+   Every host-side byte copy the kernel performs on behalf of the guest is
+   reported with resolved *physical* addresses, so that taint can be
+   propagated through syscalls exactly as it is through instructions. *)
+
+type t =
+  | Proc_created of {
+      pid : Types.pid;
+      name : string;
+      parent : Types.pid option;
+      asid : int;
+      suspended : bool;
+    }
+  | Proc_exited of { pid : Types.pid; code : int }
+  | Proc_suspended of { pid : Types.pid; by : Types.pid }
+  | Proc_resumed of { pid : Types.pid; by : Types.pid }
+  | Proc_unmapped of { pid : Types.pid; by : Types.pid; vaddr : int; pages : int }
+  | Sys_enter of {
+      pid : Types.pid;
+      sysno : int;
+      sysname : string;
+      args : int array;
+      via_stub : bool;  (* entered through a hooked library stub *)
+    }
+  | Sys_exit of { pid : Types.pid; sysno : int; ret : int }
+  | File_opened of { pid : Types.pid; path : string; created : bool }
+  | File_read of {
+      pid : Types.pid;
+      path : string;
+      version : int;
+      offset : int;
+      dst_paddrs : int list;  (* where the bytes landed in guest memory *)
+    }
+  | File_write of {
+      pid : Types.pid;
+      path : string;
+      version : int;
+      offset : int;
+      src_paddrs : int list;
+    }
+  | File_deleted of { pid : Types.pid; path : string }
+  | Net_connect of { pid : Types.pid; flow : Types.flow }
+  | Net_recv of { pid : Types.pid; flow : Types.flow; dst_paddrs : int list }
+  | Net_send of { pid : Types.pid; flow : Types.flow; src_paddrs : int list }
+  | Mem_copy of {
+      by : Types.pid;  (* the process that asked for the copy *)
+      src_pid : Types.pid;
+      dst_pid : Types.pid;
+      src_paddrs : int list;
+      dst_paddrs : int list;
+    }
+  | Mem_alloc of { by : Types.pid; in_pid : Types.pid; vaddr : int; pages : int }
+  | Module_loaded of { pid : Types.pid; image : string; base : int }
+  | Context_set of { pid : Types.pid; by : Types.pid; new_pc : int }
+  | Popup of { pid : Types.pid; text : string }
+  | Debug_print of { pid : Types.pid; text : string }
+  | Key_read of { pid : Types.pid; key : int }
+  | Audio_read of { pid : Types.pid; bytes : int }
+  | Screenshot of { pid : Types.pid; bytes : int }
+
+let name = function
+  | Proc_created _ -> "proc_created"
+  | Proc_exited _ -> "proc_exited"
+  | Proc_suspended _ -> "proc_suspended"
+  | Proc_resumed _ -> "proc_resumed"
+  | Proc_unmapped _ -> "proc_unmapped"
+  | Sys_enter _ -> "sys_enter"
+  | Sys_exit _ -> "sys_exit"
+  | File_opened _ -> "file_opened"
+  | File_read _ -> "file_read"
+  | File_write _ -> "file_write"
+  | File_deleted _ -> "file_deleted"
+  | Net_connect _ -> "net_connect"
+  | Net_recv _ -> "net_recv"
+  | Net_send _ -> "net_send"
+  | Mem_copy _ -> "mem_copy"
+  | Mem_alloc _ -> "mem_alloc"
+  | Module_loaded _ -> "module_loaded"
+  | Context_set _ -> "context_set"
+  | Popup _ -> "popup"
+  | Debug_print _ -> "debug_print"
+  | Key_read _ -> "key_read"
+  | Audio_read _ -> "audio_read"
+  | Screenshot _ -> "screenshot"

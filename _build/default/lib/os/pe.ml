@@ -1,0 +1,166 @@
+(* MiniPE: the guest's executable image format.
+
+   A deliberately small analogue of the Windows PE format with the pieces
+   the paper's attacks manipulate: sections mapped at fixed virtual
+   addresses, an import table the loader resolves against kernel exports
+   (writing resolved addresses into IAT slots inside the image), and an
+   export list for DLL images.  Images serialize to bytes so they live in
+   the guest filesystem and acquire file provenance when loaded. *)
+
+type section = {
+  sec_name : string;
+  sec_vaddr : int;
+  sec_data : string;
+  sec_exec : bool;
+  sec_write : bool;
+}
+
+type t = {
+  img_name : string;
+  base : int;
+  entry : int;
+  sections : section list;
+  imports : (string * int) list;  (* function name -> IAT slot vaddr *)
+  exports : (string * int) list;  (* function name -> vaddr *)
+}
+
+exception Bad_image of string
+
+(* Build an image from an assembler program.  Entry point is the "start"
+   label if present, else the image base.  An IAT slot labelled
+   ["iat_<name>"] is appended for each import; code calls imports with
+   [Load r, [iat_<name>]; Call_r r]. *)
+let of_program ~name ~base ?(imports = []) ?(exports = []) items =
+  let iat_items =
+    List.concat_map
+      (fun imp -> [ Faros_vm.Asm.Label ("iat_" ^ imp); Faros_vm.Asm.U32 0 ])
+      imports
+  in
+  let prog =
+    Faros_vm.Asm.assemble ~origin:base (items @ (Faros_vm.Asm.Align 4 :: iat_items))
+  in
+  let lookup l = Faros_vm.Asm.lookup prog l in
+  let entry =
+    match List.assoc_opt "start" prog.symbols with Some a -> a | None -> base
+  in
+  {
+    img_name = name;
+    base;
+    entry;
+    sections =
+      [
+        {
+          sec_name = ".text";
+          sec_vaddr = base;
+          sec_data = Bytes.to_string prog.code;
+          sec_exec = true;
+          sec_write = true;
+        };
+      ];
+    imports = List.map (fun imp -> (imp, lookup ("iat_" ^ imp))) imports;
+    exports = List.map (fun e -> (e, lookup e)) exports;
+  }
+
+(* -- serialization -- *)
+
+let magic = "MPE1"
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let serialize t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf magic;
+  put_str buf t.img_name;
+  put_u32 buf t.base;
+  put_u32 buf t.entry;
+  put_u32 buf (List.length t.sections);
+  List.iter
+    (fun s ->
+      put_str buf s.sec_name;
+      put_u32 buf s.sec_vaddr;
+      put_u32 buf ((if s.sec_exec then 1 else 0) lor if s.sec_write then 2 else 0);
+      put_str buf s.sec_data)
+    t.sections;
+  put_u32 buf (List.length t.imports);
+  List.iter
+    (fun (n, slot) ->
+      put_str buf n;
+      put_u32 buf slot)
+    t.imports;
+  put_u32 buf (List.length t.exports);
+  List.iter
+    (fun (n, a) ->
+      put_str buf n;
+      put_u32 buf a)
+    t.exports;
+  Buffer.contents buf
+
+type reader = { src : string; mutable pos : int }
+
+let get_u32 r =
+  if r.pos + 4 > String.length r.src then raise (Bad_image "truncated u32");
+  let b i = Char.code r.src.[r.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  r.pos <- r.pos + 4;
+  v
+
+let get_str r =
+  let n = get_u32 r in
+  if r.pos + n > String.length r.src then raise (Bad_image "truncated string");
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let parse src =
+  if String.length src < 4 || String.sub src 0 4 <> magic then
+    raise (Bad_image "bad magic");
+  let r = { src; pos = 4 } in
+  let img_name = get_str r in
+  let base = get_u32 r in
+  let entry = get_u32 r in
+  let nsec = get_u32 r in
+  let sections =
+    List.init nsec (fun _ ->
+        let sec_name = get_str r in
+        let sec_vaddr = get_u32 r in
+        let flags = get_u32 r in
+        let sec_data = get_str r in
+        {
+          sec_name;
+          sec_vaddr;
+          sec_data;
+          sec_exec = flags land 1 <> 0;
+          sec_write = flags land 2 <> 0;
+        })
+  in
+  let nimp = get_u32 r in
+  let imports =
+    List.init nimp (fun _ ->
+        let n = get_str r in
+        (n, get_u32 r))
+  in
+  let nexp = get_u32 r in
+  let exports =
+    List.init nexp (fun _ ->
+        let n = get_str r in
+        (n, get_u32 r))
+  in
+  { img_name; base; entry; sections; imports; exports }
+
+(* Total mapped span of the image, page-rounded. *)
+let mapped_pages t =
+  let page = Faros_vm.Phys_mem.page_size in
+  let hi =
+    List.fold_left
+      (fun acc s -> max acc (s.sec_vaddr + String.length s.sec_data))
+      (t.base + 1) t.sections
+  in
+  (hi - t.base + page - 1) / page

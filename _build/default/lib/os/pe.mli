@@ -1,0 +1,49 @@
+(** MiniPE: the guest's executable image format.
+
+    A deliberately small analogue of the Windows PE format with the pieces
+    the paper's attacks manipulate: sections mapped at fixed virtual
+    addresses, an import table the loader resolves against kernel exports
+    (writing resolved addresses into IAT slots inside the image), and an
+    export list for DLL images.  Images serialize to bytes so they live in
+    the guest filesystem and acquire file provenance when loaded. *)
+
+type section = {
+  sec_name : string;
+  sec_vaddr : int;
+  sec_data : string;
+  sec_exec : bool;
+  sec_write : bool;
+}
+
+type t = {
+  img_name : string;
+  base : int;
+  entry : int;
+  sections : section list;
+  imports : (string * int) list;  (** function name -> IAT slot vaddr *)
+  exports : (string * int) list;  (** function name -> vaddr *)
+}
+
+exception Bad_image of string
+
+val of_program :
+  name:string ->
+  base:int ->
+  ?imports:string list ->
+  ?exports:string list ->
+  Faros_vm.Asm.item list ->
+  t
+(** Build an image from an assembler program.  Entry point is the ["start"]
+    label if present, else the image base.  An IAT slot labelled
+    [iat_<name>] is appended for each import; code calls imports with
+    [Mov_label (r, "iat_<name>"); Load (4, r, based r); Call_r r].
+    Exported names must be labels of the program. *)
+
+val serialize : t -> string
+(** Binary image format ("MPE1"). *)
+
+val parse : string -> t
+(** Inverse of {!serialize}.  Raises {!Bad_image}. *)
+
+val mapped_pages : t -> int
+(** Total mapped span of the image, page-rounded. *)

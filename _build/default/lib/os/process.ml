@@ -1,0 +1,56 @@
+(* Process control blocks.
+
+   One CPU per process (single-threaded guests).  The address-space id is
+   the process's CR3 — the identity FAROS's process tags carry.  Terminated
+   processes keep their address space so end-of-run memory forensics (the
+   Volatility baseline) can still walk them. *)
+
+type state = Ready | Suspended | Terminated
+
+type file_handle = { path : string; mutable pos : int }
+
+type handle_obj = Hfile of file_handle | Hsock of int | Hproc of Types.pid
+
+type t = {
+  pid : Types.pid;
+  mutable proc_name : string;
+  cpu : Faros_vm.Cpu.t;
+  space : Faros_vm.Mmu.space;
+  mutable state : state;
+  parent : Types.pid option;
+  handles : (Types.handle, handle_obj) Hashtbl.t;
+  mutable next_handle : int;
+  mutable heap_next : int;
+  mutable image : Pe.t option;
+  mutable modules : (string * Pe.t) list;  (* runtime-loaded DLLs *)
+  mutable exit_code : int;
+  mutable fault : Faros_vm.Cpu.fault option;
+  mutable slice_budget : int;  (* instructions left in the current slice *)
+}
+
+(* Guest virtual-memory layout. *)
+let image_base = 0x00400000
+let dll_base = 0x00800000
+let heap_base = 0x10000000
+let stack_pages = 32
+let stack_base = 0x7FFE0000
+let initial_sp = 0x7FFFFFF0
+
+let asid t = t.space.Faros_vm.Mmu.asid
+
+let alloc_handle t obj =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  Hashtbl.replace t.handles h obj;
+  h
+
+let find_handle t h = Hashtbl.find_opt t.handles h
+
+let close_handle t h = Hashtbl.remove t.handles h
+
+let is_ready t = t.state = Ready
+
+let pp_state ppf = function
+  | Ready -> Fmt.string ppf "ready"
+  | Suspended -> Fmt.string ppf "suspended"
+  | Terminated -> Fmt.string ppf "terminated"

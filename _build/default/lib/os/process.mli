@@ -1,0 +1,48 @@
+(** Process control blocks.
+
+    One CPU per process (single-threaded guests).  The address-space id is
+    the process's CR3 — the identity FAROS's process tags carry.
+    Terminated processes keep their address space so end-of-run memory
+    forensics (the Volatility baseline) can still walk them. *)
+
+type state = Ready | Suspended | Terminated
+
+type file_handle = { path : string; mutable pos : int }
+
+type handle_obj = Hfile of file_handle | Hsock of int | Hproc of Types.pid
+
+type t = {
+  pid : Types.pid;
+  mutable proc_name : string;
+  cpu : Faros_vm.Cpu.t;
+  space : Faros_vm.Mmu.space;
+  mutable state : state;
+  parent : Types.pid option;
+  handles : (Types.handle, handle_obj) Hashtbl.t;
+  mutable next_handle : int;
+  mutable heap_next : int;  (** next NtAllocateVirtualMemory result *)
+  mutable image : Pe.t option;
+  mutable modules : (string * Pe.t) list;  (** runtime-loaded DLLs *)
+  mutable exit_code : int;
+  mutable fault : Faros_vm.Cpu.fault option;
+  mutable slice_budget : int;
+}
+
+(** {2 Guest virtual-memory layout} *)
+
+val image_base : int
+val dll_base : int
+val heap_base : int
+val stack_pages : int
+val stack_base : int
+val initial_sp : int
+
+val asid : t -> int
+(** The process's CR3. *)
+
+val alloc_handle : t -> handle_obj -> Types.handle
+val find_handle : t -> Types.handle -> handle_obj option
+val close_handle : t -> Types.handle -> unit
+
+val is_ready : t -> bool
+val pp_state : state Fmt.t

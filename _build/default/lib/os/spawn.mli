@@ -1,0 +1,8 @@
+(** Process creation: read an image from the filesystem, build an address
+    space with the kernel mapped in, load the image, and report every byte
+    that came from the file so provenance starts at the file. *)
+
+exception Bad_executable of string
+
+val spawn :
+  Kstate.t -> path:string -> suspended:bool -> parent:Types.pid option -> Types.pid

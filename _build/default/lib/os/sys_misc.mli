@@ -1,0 +1,16 @@
+(** Loader and device syscall handlers. *)
+
+type handler := Kstate.t -> Process.t -> int array -> int
+
+val load_library : handler
+(** The benign Windows loading path the reflective technique bypasses. *)
+
+val get_proc_address : handler
+(** Kernel-side symbol resolution: the process never touches the export
+    directory itself. *)
+
+val key_read : handler
+val audio_record : handler
+val screenshot : handler
+val popup : handler
+val debug_print : handler

@@ -1,0 +1,17 @@
+(** Network syscall handlers.  [recv] is the taint source for netflow tags:
+    the kernel reports the flow and the physical addresses the payload
+    landed on, and FAROS's taint-insertion pass tags every one of those
+    bytes. *)
+
+type handler := Kstate.t -> Process.t -> int array -> int
+
+val socket : handler
+val connect : handler
+val send : handler
+val recv : handler
+
+val bind : handler
+val listen : handler
+
+val accept : handler
+(** Non-blocking: returns a fresh handle or -1; guests poll. *)

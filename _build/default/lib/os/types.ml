@@ -1,0 +1,38 @@
+(* Shared kernel object identifiers and small helpers. *)
+
+type pid = int
+type handle = int
+
+(* IPv4 addresses as 32-bit words, dotted-quad for display. *)
+module Ip = struct
+  type t = int
+
+  let of_string s =
+    match String.split_on_char '.' s with
+    | [ a; b; c; d ] ->
+      let p x =
+        let v = int_of_string x in
+        if v < 0 || v > 255 then invalid_arg ("Ip.of_string: " ^ s);
+        v
+      in
+      (p a lsl 24) lor (p b lsl 16) lor (p c lsl 8) lor p d
+    | _ -> invalid_arg ("Ip.of_string: " ^ s)
+
+  let to_string v =
+    Printf.sprintf "%d.%d.%d.%d"
+      ((v lsr 24) land 0xFF)
+      ((v lsr 16) land 0xFF)
+      ((v lsr 8) land 0xFF)
+      (v land 0xFF)
+
+  let pp ppf v = Fmt.string ppf (to_string v)
+end
+
+(* A network flow: the paper's netflow-tag payload (Fig. 5). *)
+type flow = { src_ip : Ip.t; src_port : int; dst_ip : Ip.t; dst_port : int }
+
+let pp_flow ppf f =
+  Fmt.pf ppf "{src ip,port: %a:%d, dest ip.port: %a:%d}" Ip.pp f.src_ip
+    f.src_port Ip.pp f.dst_ip f.dst_port
+
+let flow_equal (a : flow) b = a = b

@@ -1,0 +1,24 @@
+(** Shared kernel object identifiers and small helpers. *)
+
+type pid = int
+type handle = int
+
+(** IPv4 addresses as 32-bit words, dotted-quad for display. *)
+module Ip : sig
+  type t = int
+
+  val of_string : string -> t
+  (** Parse dotted-quad.  Raises [Invalid_argument] on malformed input. *)
+
+  val to_string : t -> string
+  val pp : t Fmt.t
+end
+
+(** A network flow: the paper's netflow-tag payload (Fig. 5).  For data a
+    guest receives, [src] is the remote endpoint and [dst] the local one. *)
+type flow = { src_ip : Ip.t; src_port : int; dst_ip : Ip.t; dst_port : int }
+
+val pp_flow : flow Fmt.t
+(** Rendered exactly as Table II prints netflows. *)
+
+val flow_equal : flow -> flow -> bool

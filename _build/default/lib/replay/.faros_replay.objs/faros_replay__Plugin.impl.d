@@ -1,0 +1,1 @@
+lib/replay/plugin.ml: Faros_os Faros_vm List

@@ -1,0 +1,1 @@
+lib/replay/plugin.mli: Faros_os Faros_vm

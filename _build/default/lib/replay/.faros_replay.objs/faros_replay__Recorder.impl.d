@@ -1,0 +1,1 @@
+lib/replay/recorder.ml: Faros_os List Plugin Trace

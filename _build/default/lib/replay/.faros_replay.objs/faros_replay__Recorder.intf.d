@@ -1,0 +1,1 @@
+lib/replay/recorder.mli: Faros_os Plugin Trace

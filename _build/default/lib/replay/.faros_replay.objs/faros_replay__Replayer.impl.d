@@ -1,0 +1,1 @@
+lib/replay/replayer.ml: Faros_os Plugin Trace

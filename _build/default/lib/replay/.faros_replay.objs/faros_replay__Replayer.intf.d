@@ -1,0 +1,1 @@
+lib/replay/replayer.mli: Faros_os Plugin Trace

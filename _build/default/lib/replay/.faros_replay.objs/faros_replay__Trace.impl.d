@@ -1,0 +1,1 @@
+lib/replay/trace.ml: Buffer Char Faros_os List Printf String

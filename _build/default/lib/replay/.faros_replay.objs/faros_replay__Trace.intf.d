@@ -1,0 +1,1 @@
+lib/replay/trace.mli: Faros_os

@@ -1,0 +1,25 @@
+(* PANDA-style plugin API.
+
+   A plugin is a set of callbacks over the execution: per-instruction hooks
+   (what PANDA exposes via LLVM/TCG instrumentation), syscall hooks (the
+   syscalls2 plugin) and OS-introspection hooks (the OSI / Win7x86intro
+   plugin).  Plugins attach to a kernel; the FAROS analysis and the Cuckoo
+   baseline are both plugins. *)
+
+type t = {
+  name : string;
+  on_exec : (Faros_vm.Cpu.t -> Faros_vm.Cpu.effect -> unit) option;
+  on_os_event : (Faros_os.Os_event.t -> unit) option;
+}
+
+let make ?on_exec ?on_os_event name = { name; on_exec; on_os_event }
+
+let attach (kernel : Faros_os.Kernel.t) plugin =
+  (match plugin.on_exec with
+  | Some f -> Faros_vm.Machine.add_exec_hook kernel.machine f
+  | None -> ());
+  match plugin.on_os_event with
+  | Some f -> Faros_os.Kernel.subscribe kernel f
+  | None -> ()
+
+let attach_all kernel plugins = List.iter (attach kernel) plugins

@@ -1,0 +1,45 @@
+(* Deterministic replay.
+
+   Rebuilds the system from the same [setup]/[boot] functions used at
+   record time, feeds non-deterministic input from the trace instead of
+   live actors, and runs with analysis plugins attached.  Divergence is
+   detected by comparing instruction and syscall counts against the
+   trace's integrity metadata — if the guest asked for anything the trace
+   does not determine, the counts cannot match. *)
+
+type result = {
+  kernel : Faros_os.Kernel.t;
+  replay_ticks : int;
+  replay_syscalls : int;
+  diverged : bool;
+}
+
+(* [plugins] builds the plugin list against the freshly constructed kernel,
+   after images are provisioned but before any process runs — the window in
+   which FAROS scans and taints the export tables. *)
+let replay ?max_ticks ?timeslice
+    ?(plugins : (Faros_os.Kernel.t -> Plugin.t list) option) ~setup ~boot
+    (trace : Trace.t) =
+  let kernel = Faros_os.Kernel.create () in
+  setup kernel;
+  Faros_os.Netstack.set_replay_source kernel.net (fun flow ->
+      Trace.rx_chunks trace flow);
+  Faros_os.Input_dev.set_replay_keys kernel.input (Trace.keys trace);
+  let syscalls = ref 0 in
+  Faros_os.Kernel.subscribe kernel (fun ev ->
+      match ev with
+      | Faros_os.Os_event.Sys_enter _ -> incr syscalls
+      | _ -> ());
+  (match plugins with
+  | Some make -> Plugin.attach_all kernel (make kernel)
+  | None -> ());
+  boot kernel;
+  Faros_os.Kernel.run ?max_ticks ?timeslice kernel;
+  let replay_ticks = Faros_os.Kernel.tick kernel in
+  {
+    kernel;
+    replay_ticks;
+    replay_syscalls = !syscalls;
+    diverged =
+      replay_ticks <> trace.final_tick || !syscalls <> trace.syscall_count;
+  }

@@ -1,0 +1,26 @@
+(** Deterministic replay.
+
+    Rebuilds the system from the same [setup]/[boot] functions used at
+    record time, feeds non-deterministic input from the trace instead of
+    live actors, and runs with analysis plugins attached.  Divergence is
+    detected by comparing instruction and syscall counts against the
+    trace's integrity metadata. *)
+
+type result = {
+  kernel : Faros_os.Kernel.t;
+  replay_ticks : int;
+  replay_syscalls : int;
+  diverged : bool;
+}
+
+val replay :
+  ?max_ticks:int ->
+  ?timeslice:int ->
+  ?plugins:(Faros_os.Kernel.t -> Plugin.t list) ->
+  setup:(Faros_os.Kernel.t -> unit) ->
+  boot:(Faros_os.Kernel.t -> unit) ->
+  Trace.t ->
+  result
+(** [plugins] builds the plugin list against the freshly constructed
+    kernel, after images are provisioned but before any process runs — the
+    window in which FAROS scans and taints the export tables. *)

@@ -1,0 +1,114 @@
+(* Recorded non-deterministic input.
+
+   Everything else in the guest is deterministic (pure-function scheduler,
+   synthetic devices, no wall clock), so a trace of network arrivals and
+   keystrokes is sufficient to replay a whole-system execution exactly —
+   the property PANDA's record/replay provides the paper.  The trace also
+   carries integrity metadata so the replayer can detect divergence. *)
+
+type event = Packet of Faros_os.Types.flow * string | Key of int
+
+type t = {
+  events : event list;  (* in arrival order *)
+  final_tick : int;  (* instruction count when recording stopped *)
+  syscall_count : int;
+}
+
+let empty = { events = []; final_tick = 0; syscall_count = 0 }
+
+(* All payload chunks received on [flow], in order. *)
+let rx_chunks t flow =
+  List.filter_map
+    (function
+      | Packet (f, data) when Faros_os.Types.flow_equal f flow -> Some data
+      | Packet _ | Key _ -> None)
+    t.events
+
+let keys t = List.filter_map (function Key k -> Some k | Packet _ -> None) t.events
+
+let packet_count t =
+  List.length (List.filter (function Packet _ -> true | Key _ -> false) t.events)
+
+let total_rx_bytes t =
+  List.fold_left
+    (fun acc -> function Packet (_, d) -> acc + String.length d | Key _ -> acc)
+    0 t.events
+
+(* -- serialization (trace files an analyst can keep alongside a sample) -- *)
+
+let put_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let serialize t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "FTR1";
+  put_u32 buf t.final_tick;
+  put_u32 buf t.syscall_count;
+  put_u32 buf (List.length t.events);
+  List.iter
+    (fun ev ->
+      match ev with
+      | Packet (f, data) ->
+        Buffer.add_char buf 'P';
+        put_u32 buf f.Faros_os.Types.src_ip;
+        put_u32 buf f.src_port;
+        put_u32 buf f.dst_ip;
+        put_u32 buf f.dst_port;
+        put_str buf data
+      | Key k ->
+        Buffer.add_char buf 'K';
+        put_u32 buf k)
+    t.events;
+  Buffer.contents buf
+
+exception Bad_trace of string
+
+type reader = { src : string; mutable pos : int }
+
+let get_u32 r =
+  if r.pos + 4 > String.length r.src then raise (Bad_trace "truncated");
+  let b i = Char.code r.src.[r.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  r.pos <- r.pos + 4;
+  v
+
+let get_str r =
+  let n = get_u32 r in
+  if r.pos + n > String.length r.src then raise (Bad_trace "truncated string");
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_char r =
+  if r.pos >= String.length r.src then raise (Bad_trace "truncated tag");
+  let c = r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let parse src =
+  if String.length src < 4 || String.sub src 0 4 <> "FTR1" then
+    raise (Bad_trace "bad magic");
+  let r = { src; pos = 4 } in
+  let final_tick = get_u32 r in
+  let syscall_count = get_u32 r in
+  let n = get_u32 r in
+  let events =
+    List.init n (fun _ ->
+        match get_char r with
+        | 'P' ->
+          let src_ip = get_u32 r in
+          let src_port = get_u32 r in
+          let dst_ip = get_u32 r in
+          let dst_port = get_u32 r in
+          let data = get_str r in
+          Packet ({ src_ip; src_port; dst_ip; dst_port }, data)
+        | 'K' -> Key (get_u32 r)
+        | c -> raise (Bad_trace (Printf.sprintf "bad event tag %C" c)))
+  in
+  { events; final_tick; syscall_count }

@@ -1,0 +1,34 @@
+(** Recorded non-deterministic input.
+
+    Everything else in the guest is deterministic (pure-function scheduler,
+    synthetic devices, no wall clock), so a trace of network arrivals and
+    keystrokes is sufficient to replay a whole-system execution exactly —
+    the property PANDA's record/replay gives the paper.  The trace also
+    carries integrity metadata so the replayer can detect divergence. *)
+
+type event =
+  | Packet of Faros_os.Types.flow * string  (** one received chunk *)
+  | Key of int  (** one user keystroke *)
+
+type t = {
+  events : event list;  (** in arrival order *)
+  final_tick : int;  (** instruction count when recording stopped *)
+  syscall_count : int;
+}
+
+val empty : t
+
+val rx_chunks : t -> Faros_os.Types.flow -> string list
+(** All payload chunks received on a flow, in order. *)
+
+val keys : t -> int list
+val packet_count : t -> int
+val total_rx_bytes : t -> int
+
+val serialize : t -> string
+(** Binary trace-file format ("FTR1"). *)
+
+exception Bad_trace of string
+
+val parse : string -> t
+(** Inverse of {!serialize}.  Raises {!Bad_trace}. *)

@@ -1,0 +1,1 @@
+lib/sandbox/compare.ml: Core Cuckoo Faros_corpus Faros_dift Faros_replay Fmt List Malfind Memdump Option Volatility

@@ -1,0 +1,1 @@
+lib/sandbox/compare.mli: Faros_corpus Fmt

@@ -1,0 +1,1 @@
+lib/sandbox/cuckoo.ml: Faros_os Faros_replay Fmt List

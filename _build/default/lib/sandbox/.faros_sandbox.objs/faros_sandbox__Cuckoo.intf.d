@@ -1,0 +1,1 @@
+lib/sandbox/cuckoo.mli: Faros_os Faros_replay Fmt

@@ -1,0 +1,1 @@
+lib/sandbox/malfind.ml: Bytes Faros_os Faros_vm Fmt List Memdump String

@@ -1,0 +1,1 @@
+lib/sandbox/malfind.mli: Faros_os Fmt Memdump

@@ -1,0 +1,1 @@
+lib/sandbox/memdump.ml: Bytes Faros_os Faros_vm Fmt List

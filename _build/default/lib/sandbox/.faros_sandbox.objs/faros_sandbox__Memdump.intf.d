@@ -1,0 +1,1 @@
+lib/sandbox/memdump.mli: Faros_os

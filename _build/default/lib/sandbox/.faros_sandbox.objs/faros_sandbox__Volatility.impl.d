@@ -1,0 +1,1 @@
+lib/sandbox/volatility.ml: Fmt List Memdump

@@ -1,0 +1,1 @@
+lib/sandbox/volatility.mli: Fmt Memdump

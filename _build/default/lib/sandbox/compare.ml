@@ -1,0 +1,62 @@
+(* The Section VI-B comparison harness: run one sample under
+   (a) Cuckoo alone, (b) Cuckoo + Volatility/malfind on the end-of-run
+   memory dump, and (c) FAROS record/replay — then line the verdicts up. *)
+
+type verdict = {
+  v_sample : string;
+  v_cuckoo : bool;  (* event-based sandbox alone *)
+  v_malfind : bool;  (* + snapshot forensics *)
+  v_malfind_findings : int;
+  v_hollowing_vadinfo : bool;
+  v_faros : bool;
+  v_faros_netflow : bool;  (* provenance links the attack to a netflow *)
+  v_faros_sites : int;
+  v_api_calls : int;
+  v_raw_syscalls : int;
+}
+
+let run (sample : Faros_corpus.Registry.sample) : verdict =
+  let scenario = sample.scenario in
+  (* Live sandboxed run with the Cuckoo monitor attached. *)
+  let cuckoo_report = ref None in
+  let kernel, _trace =
+    Faros_replay.Recorder.record ~max_ticks:scenario.max_ticks
+      ~plugins:(fun kernel ->
+        let report, plugin = Cuckoo.plugin kernel in
+        cuckoo_report := Some report;
+        [ plugin ])
+      ~setup:(Faros_corpus.Scenario.setup_record scenario)
+      ~boot:(Faros_corpus.Scenario.boot scenario)
+      ()
+  in
+  let report = Option.get !cuckoo_report in
+  let dump = Memdump.take kernel in
+  let findings = Malfind.scan dump in
+  (* FAROS workflow on the same sample. *)
+  let outcome = Faros_corpus.Scenario.analyze scenario in
+  let flags = Core.Report.effective_flags outcome.report in
+  {
+    v_sample = sample.id;
+    v_cuckoo = Cuckoo.flags_injection report;
+    v_malfind = findings <> [];
+    v_malfind_findings = List.length findings;
+    v_hollowing_vadinfo = Volatility.hollowing_suspects dump <> [];
+    v_faros = flags <> [];
+    v_faros_netflow =
+      List.exists
+        (fun (f : Core.Report.flag) ->
+          Faros_dift.Provenance.has_netflow f.f_instr_prov)
+        flags;
+    v_faros_sites = List.length (Core.Report.flagged_sites outcome.report);
+    v_api_calls = Cuckoo.api_call_count report;
+    v_raw_syscalls = report.raw_syscalls;
+  }
+
+let pp_header ppf () =
+  Fmt.pf ppf "%-36s %-7s %-8s %-9s %-6s %-9s@." "sample" "cuckoo" "malfind"
+    "vadinfo" "FAROS" "netflow"
+
+let pp_row ppf v =
+  let b x = if x then "yes" else "no" in
+  Fmt.pf ppf "%-36s %-7s %-8s %-9s %-6s %-9s@." v.v_sample (b v.v_cuckoo)
+    (b v.v_malfind) (b v.v_hollowing_vadinfo) (b v.v_faros) (b v.v_faros_netflow)

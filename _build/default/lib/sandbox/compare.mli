@@ -1,0 +1,20 @@
+(** The Section VI-B comparison harness: run one sample under (a) Cuckoo
+    alone, (b) Cuckoo + Volatility/malfind on the end-of-run memory dump,
+    and (c) FAROS record/replay — then line the verdicts up. *)
+
+type verdict = {
+  v_sample : string;
+  v_cuckoo : bool;
+  v_malfind : bool;
+  v_malfind_findings : int;
+  v_hollowing_vadinfo : bool;
+  v_faros : bool;
+  v_faros_netflow : bool;  (** provenance links the attack to a netflow *)
+  v_faros_sites : int;
+  v_api_calls : int;
+  v_raw_syscalls : int;
+}
+
+val run : Faros_corpus.Registry.sample -> verdict
+val pp_header : unit Fmt.t
+val pp_row : verdict Fmt.t

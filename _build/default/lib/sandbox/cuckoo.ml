@@ -1,0 +1,88 @@
+(* The Cuckoo-sandbox baseline (Section VI-B).
+
+   An event-based monitor: it hooks *library-level* API calls (the stubs),
+   file activity, process lifecycle and network traffic — exactly what real
+   sandboxes collect — and takes no position on guest memory.  Raw-syscall
+   attacks are invisible to it, and even fully visible injection API calls
+   do not let it reconstruct what executed in memory; that asymmetry is
+   what the comparison demonstrates. *)
+
+type api_call = {
+  ac_pid : Faros_os.Types.pid;
+  ac_process : string;
+  ac_api : string;
+  ac_args : int array;
+}
+
+type report = {
+  mutable api_calls : api_call list;  (* newest first; stub calls only *)
+  mutable raw_syscalls : int;  (* counted but carries no names in real life *)
+  mutable files_written : string list;
+  mutable files_created : string list;
+  mutable files_deleted : string list;
+  mutable netflows : Faros_os.Types.flow list;
+  mutable processes : (Faros_os.Types.pid * string) list;
+  mutable dropped_then_spawned : string list;  (* disk artifact executed *)
+  mutable popups : string list;
+}
+
+let create_report () =
+  {
+    api_calls = [];
+    raw_syscalls = 0;
+    files_written = [];
+    files_created = [];
+    files_deleted = [];
+    netflows = [];
+    processes = [];
+    dropped_then_spawned = [];
+    popups = [];
+  }
+
+let add_once item list = if List.mem item list then list else item :: list
+
+let monitor (kernel : Faros_os.Kernel.t) (r : report) (ev : Faros_os.Os_event.t) =
+  let name pid = Faros_os.Kstate.proc_name kernel pid in
+  match ev with
+  | Sys_enter { pid; sysname; args; via_stub; _ } ->
+    if via_stub then
+      r.api_calls <-
+        { ac_pid = pid; ac_process = name pid; ac_api = sysname; ac_args = args }
+        :: r.api_calls
+    else r.raw_syscalls <- r.raw_syscalls + 1
+  | File_opened { path; created; _ } ->
+    if created then r.files_created <- add_once path r.files_created
+  | File_write { path; _ } -> r.files_written <- add_once path r.files_written
+  | File_deleted { path; _ } -> r.files_deleted <- add_once path r.files_deleted
+  | Net_connect { flow; _ } -> r.netflows <- add_once flow r.netflows
+  | Proc_created { pid; name; _ } ->
+    r.processes <- (pid, name) :: r.processes;
+    (* classic dropper signature: a file this run wrote is now executing *)
+    if List.mem name r.files_written then
+      r.dropped_then_spawned <- add_once name r.dropped_then_spawned
+  | Popup { text; _ } -> r.popups <- add_once text r.popups
+  | _ -> ()
+
+(* Build the plugin + report pair for a kernel. *)
+let plugin kernel =
+  let report = create_report () in
+  ( report,
+    Faros_replay.Plugin.make "cuckoo" ~on_os_event:(monitor kernel report) )
+
+(* Cuckoo's own verdict, without memory forensics: it can flag disk-borne
+   droppers (artifact written then executed) but has no signal for
+   in-memory-only injection. *)
+let flags_injection r = r.dropped_then_spawned <> []
+
+let api_call_count r = List.length r.api_calls
+
+let called r api = List.exists (fun c -> c.ac_api = api) r.api_calls
+
+let pp_summary ppf r =
+  Fmt.pf ppf
+    "@[<v>api calls (hooked): %d@ raw syscalls (unhooked): %d@ files created: %d@ netflows: %d@ processes: %d@ dropper signature: %b@]"
+    (api_call_count r) r.raw_syscalls
+    (List.length r.files_created)
+    (List.length r.netflows)
+    (List.length r.processes)
+    (flags_injection r)

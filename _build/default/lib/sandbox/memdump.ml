@@ -1,0 +1,81 @@
+(* End-of-run memory snapshot: what Cuckoo hands to Volatility.
+
+   One region per contiguous mapped range of each process (kernel mappings
+   excluded), annotated with whether the loader put it there — the VAD
+   metadata malfind keys on.  This is a *single point in time*: anything a
+   transient attack scrubbed before the snapshot is simply gone, which is
+   the paper's core argument for whole-execution visibility. *)
+
+type region_kind = Image | Stack | Private
+
+type region = {
+  rg_pid : Faros_os.Types.pid;
+  rg_process : string;
+  rg_vaddr : int;
+  rg_size : int;
+  rg_kind : region_kind;
+  rg_data : string;
+}
+
+type t = {
+  regions : region list;
+  proc_states : (int * string * string) list;
+  proc_modules : (int * string list) list;
+      (* per pid: loader-registered modules, what dlllist walks *)
+}
+
+let region_kind (p : Faros_os.Process.t) vaddr =
+  let in_image (img : Faros_os.Pe.t) =
+    vaddr >= img.base
+    && vaddr < img.base + (Faros_os.Pe.mapped_pages img * Faros_vm.Phys_mem.page_size)
+  in
+  if
+    vaddr >= Faros_os.Process.stack_base
+    && vaddr < Faros_os.Process.stack_base
+               + (Faros_os.Process.stack_pages * Faros_vm.Phys_mem.page_size)
+  then Stack
+  else if
+    (match p.image with Some img -> in_image img | None -> false)
+    || List.exists (fun (_, img) -> in_image img) p.modules
+  then Image
+  else Private
+
+let take (kernel : Faros_os.Kernel.t) : t =
+  let mmu = kernel.machine.mmu in
+  let regions =
+    List.concat_map
+      (fun (p : Faros_os.Process.t) ->
+        Faros_vm.Mmu.mapped_ranges p.space
+        |> List.filter (fun (vaddr, _) -> vaddr < Faros_os.Export_table.kernel_base)
+        |> List.map (fun (vaddr, size) ->
+               {
+                 rg_pid = p.pid;
+                 rg_process = p.proc_name;
+                 rg_vaddr = vaddr;
+                 rg_size = size;
+                 rg_kind = region_kind p vaddr;
+                 rg_data =
+                   Bytes.to_string
+                     (Faros_vm.Mmu.read_bytes mmu ~asid:(Faros_os.Process.asid p)
+                        vaddr size);
+               }))
+      (Faros_os.Kstate.processes kernel)
+  in
+  let proc_states =
+    List.map
+      (fun (p : Faros_os.Process.t) ->
+        (p.pid, p.proc_name, Fmt.str "%a" Faros_os.Process.pp_state p.state))
+      (Faros_os.Kstate.processes kernel)
+  in
+  let proc_modules =
+    List.map
+      (fun (p : Faros_os.Process.t) ->
+        let image =
+          match p.image with Some img -> [ img.Faros_os.Pe.img_name ] | None -> []
+        in
+        (p.pid, image @ List.map fst p.modules))
+      (Faros_os.Kstate.processes kernel)
+  in
+  { regions; proc_states; proc_modules }
+
+let regions_of t pid = List.filter (fun r -> r.rg_pid = pid) t.regions

@@ -1,0 +1,28 @@
+(** End-of-run memory snapshot: what Cuckoo hands to Volatility.
+
+    One region per contiguous mapped range of each process (kernel mappings
+    excluded), annotated with whether the loader put it there — the VAD
+    metadata malfind keys on.  This is a {e single point in time}: anything
+    a transient attack scrubbed before the snapshot is simply gone, which
+    is the paper's core argument for whole-execution visibility. *)
+
+type region_kind = Image | Stack | Private
+
+type region = {
+  rg_pid : Faros_os.Types.pid;
+  rg_process : string;
+  rg_vaddr : int;
+  rg_size : int;
+  rg_kind : region_kind;
+  rg_data : string;
+}
+
+type t = {
+  regions : region list;
+  proc_states : (int * string * string) list;  (** pid, name, state *)
+  proc_modules : (int * string list) list;
+      (** per pid: loader-registered modules — what dlllist walks *)
+}
+
+val take : Faros_os.Kernel.t -> t
+val regions_of : t -> Faros_os.Types.pid -> region list

@@ -1,0 +1,42 @@
+(* Volatility-style snapshot forensics: pslist and vadinfo analogues.
+
+   [hollowing_suspects] reproduces the manual vadinfo investigation of
+   Section VI-B: a process whose image region is missing or whose in-memory
+   image bytes no longer match the backing file on disk. *)
+
+type process_entry = { pe_pid : int; pe_name : string; pe_state : string }
+
+let pslist (dump : Memdump.t) =
+  List.map
+    (fun (pid, name, state) -> { pe_pid = pid; pe_name = name; pe_state = state })
+    dump.proc_states
+
+type vad = { vad_vaddr : int; vad_size : int; vad_kind : Memdump.region_kind }
+
+let vadinfo (dump : Memdump.t) pid =
+  List.map
+    (fun (r : Memdump.region) ->
+      { vad_vaddr = r.rg_vaddr; vad_size = r.rg_size; vad_kind = r.rg_kind })
+    (Memdump.regions_of dump pid)
+
+(* dlllist: the loader-registered modules of a process.  Reflectively
+   loaded DLLs bypass the loader and therefore never appear here — the
+   Section VI-B observation that "we failed to identify a trace of our DLL
+   under the DLL list". *)
+let dlllist (dump : Memdump.t) pid =
+  match List.assoc_opt pid dump.proc_modules with Some l -> l | None -> []
+
+(* A process looks hollowed when it has no image-backed region left (the
+   attacker unmapped the legitimate image) but does have private memory. *)
+let hollowing_suspects (dump : Memdump.t) =
+  let pids =
+    List.sort_uniq compare (List.map (fun (r : Memdump.region) -> r.rg_pid) dump.regions)
+  in
+  List.filter
+    (fun pid ->
+      let vads = vadinfo dump pid in
+      (not (List.exists (fun v -> v.vad_kind = Memdump.Image) vads))
+      && List.exists (fun v -> v.vad_kind = Memdump.Private) vads)
+    pids
+
+let pp_process ppf p = Fmt.pf ppf "%4d  %-24s %s" p.pe_pid p.pe_name p.pe_state

@@ -1,0 +1,20 @@
+(** Volatility-style snapshot forensics: pslist and vadinfo analogues. *)
+
+type process_entry = { pe_pid : int; pe_name : string; pe_state : string }
+
+val pslist : Memdump.t -> process_entry list
+
+type vad = { vad_vaddr : int; vad_size : int; vad_kind : Memdump.region_kind }
+
+val vadinfo : Memdump.t -> int -> vad list
+
+val dlllist : Memdump.t -> int -> string list
+(** Loader-registered modules of a process.  Reflectively loaded DLLs
+    bypass the loader and never appear here — Section VI-B's "no trace of
+    our DLL under the DLL list". *)
+
+val hollowing_suspects : Memdump.t -> int list
+(** The manual vadinfo investigation of Section VI-B: processes with no
+    image-backed region left but private memory present. *)
+
+val pp_process : process_entry Fmt.t

@@ -1,0 +1,1 @@
+lib/vm/asm.ml: Buffer Bytes Encode Hashtbl Isa List String Word

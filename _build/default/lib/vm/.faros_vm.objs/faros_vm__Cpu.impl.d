@@ -1,0 +1,1 @@
+lib/vm/cpu.ml: Array Decode Fmt Isa List Mmu Word

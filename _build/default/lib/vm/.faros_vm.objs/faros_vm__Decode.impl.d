@@ -1,0 +1,1 @@
+lib/vm/decode.ml: Bytes Char Encode Isa

@@ -1,0 +1,1 @@
+lib/vm/decode.mli: Bytes Isa

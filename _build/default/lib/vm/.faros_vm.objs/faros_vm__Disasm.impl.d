@@ -1,0 +1,1 @@
+lib/vm/disasm.ml: Bytes Decode Fmt Isa List Printf String

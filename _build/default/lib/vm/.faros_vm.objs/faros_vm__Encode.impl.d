@@ -1,0 +1,1 @@
+lib/vm/encode.ml: Buffer Char Isa Option Printf Word

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Cpu List Mmu Phys_mem

@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Cpu Mmu Phys_mem

@@ -1,0 +1,1 @@
+lib/vm/mmu.ml: Bytes Char Hashtbl List Phys_mem Printf

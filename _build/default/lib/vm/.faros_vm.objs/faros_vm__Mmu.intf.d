@@ -1,0 +1,1 @@
+lib/vm/mmu.mli: Bytes Hashtbl Phys_mem

@@ -1,0 +1,104 @@
+(* Two-pass assembler with symbolic labels.
+
+   Guest programs — the malware corpus, the benign workloads, the injected
+   payloads — are written as [item list] values and assembled at a given
+   origin (their virtual load address).  Branch targets are labels; the
+   first pass lays out offsets, the second emits bytes. *)
+
+type item =
+  | Label of string
+  | I of Isa.t  (* an instruction with no symbolic operand *)
+  | Jmp_l of string
+  | Jz_l of string
+  | Jnz_l of string
+  | Jl_l of string
+  | Jge_l of string
+  | Jg_l of string
+  | Jle_l of string
+  | Call_l of string
+  | Mov_label of Isa.reg * string  (* reg <- address of label *)
+  | Bytes of string  (* raw data *)
+  | U32 of int
+  | U32_label of string
+  | Space of int  (* zero-filled gap *)
+  | Align of int
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+let item_length = function
+  | Label _ -> 0
+  | I i -> Encode.length i
+  | Jmp_l _ | Jz_l _ | Jnz_l _ | Jl_l _ | Jge_l _ | Jg_l _ | Jle_l _
+  | Call_l _ ->
+    5
+  | Mov_label _ -> 6
+  | Bytes s -> String.length s
+  | U32 _ | U32_label _ -> 4
+  | Space n -> n
+  | Align _ -> -1 (* position dependent; handled in layout *)
+
+type program = {
+  code : Bytes.t;
+  symbols : (string * int) list;  (* label -> virtual address *)
+  origin : int;
+}
+
+let lookup prog name =
+  match List.assoc_opt name prog.symbols with
+  | Some a -> a
+  | None -> raise (Undefined_label name)
+
+let assemble ~origin items =
+  (* Pass 1: compute label addresses. *)
+  let tbl = Hashtbl.create 64 in
+  let pos = ref origin in
+  List.iter
+    (fun item ->
+      match item with
+      | Label name ->
+        if Hashtbl.mem tbl name then raise (Duplicate_label name);
+        Hashtbl.replace tbl name !pos
+      | Align n ->
+        let r = !pos mod n in
+        if r <> 0 then pos := !pos + (n - r)
+      | it -> pos := !pos + item_length it)
+    items;
+  let resolve name =
+    match Hashtbl.find_opt tbl name with
+    | Some a -> a
+    | None -> raise (Undefined_label name)
+  in
+  (* Pass 2: emit. *)
+  let buf = Buffer.create 256 in
+  let emit i = Encode.emit buf i in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | I i -> emit i
+      | Jmp_l l -> emit (Jmp (resolve l))
+      | Jz_l l -> emit (Jz (resolve l))
+      | Jnz_l l -> emit (Jnz (resolve l))
+      | Jl_l l -> emit (Jl (resolve l))
+      | Jge_l l -> emit (Jge (resolve l))
+      | Jg_l l -> emit (Jg (resolve l))
+      | Jle_l l -> emit (Jle (resolve l))
+      | Call_l l -> emit (Call (resolve l))
+      | Mov_label (r, l) -> emit (Mov_ri (r, resolve l))
+      | Bytes s -> Buffer.add_string buf s
+      | U32 v -> Encode.put_u32 buf (Word.of_int v)
+      | U32_label l -> Encode.put_u32 buf (resolve l)
+      | Space n -> Buffer.add_string buf (String.make n '\000')
+      | Align n ->
+        let here = origin + Buffer.length buf in
+        let r = here mod n in
+        if r <> 0 then Buffer.add_string buf (String.make (n - r) '\000'))
+    items;
+  {
+    code = Buffer.to_bytes buf;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [];
+    origin;
+  }
+
+let length prog = Bytes.length prog.code

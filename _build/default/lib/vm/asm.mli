@@ -1,0 +1,40 @@
+(** Two-pass assembler with symbolic labels.
+
+    Guest programs — the malware corpus, the benign workloads, the injected
+    payloads — are written as [item list] values and assembled at a given
+    origin (their virtual load address). *)
+
+type item =
+  | Label of string
+  | I of Isa.t  (** an instruction with no symbolic operand *)
+  | Jmp_l of string
+  | Jz_l of string
+  | Jnz_l of string
+  | Jl_l of string
+  | Jge_l of string
+  | Jg_l of string
+  | Jle_l of string
+  | Call_l of string
+  | Mov_label of Isa.reg * string  (** reg <- address of label *)
+  | Bytes of string  (** raw data *)
+  | U32 of int
+  | U32_label of string  (** 4-byte word holding a label's address *)
+  | Space of int  (** zero-filled gap *)
+  | Align of int
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+type program = {
+  code : Bytes.t;
+  symbols : (string * int) list;  (** label -> virtual address *)
+  origin : int;
+}
+
+val lookup : program -> string -> int
+(** Address of a label.  Raises {!Undefined_label}. *)
+
+val assemble : origin:int -> item list -> program
+(** Two-pass assembly.  Raises {!Undefined_label} / {!Duplicate_label}. *)
+
+val length : program -> int

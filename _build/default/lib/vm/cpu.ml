@@ -1,0 +1,202 @@
+(* The guest CPU.
+
+   [step] executes exactly one instruction and reports an {!effect}: the
+   decoded instruction, the physical addresses of its own code bytes, and
+   every data load/store it performed with both virtual and physical
+   addresses resolved.  The DIFT engine consumes effects to propagate
+   provenance without re-implementing address translation, and the kernel
+   consumes them to dispatch syscalls. *)
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cr3 : int;  (* asid of the current address space *)
+  mutable halted : bool;
+  mutable instr_count : int;
+}
+
+let create ~cr3 ~pc ~sp =
+  let regs = Array.make Isa.num_regs 0 in
+  regs.(Isa.sp) <- sp;
+  { regs; pc; zf = false; sf = false; cr3; halted = false; instr_count = 0 }
+
+let get t r = t.regs.(r)
+let set t r v = t.regs.(r) <- Word.of_int v
+
+type mem_access = { vaddr : int; paddr : int; width : int }
+
+type effect = {
+  e_pc : int;
+  e_code_paddrs : int list;  (* physical address of each code byte *)
+  e_len : int;
+  e_instr : Isa.t;
+  e_loads : mem_access list;
+  e_stores : mem_access list;
+  e_asid : int;
+  e_taken : bool option;  (* Some b for executed conditional branches *)
+}
+
+type fault =
+  | Fault_page of int  (* faulting virtual address *)
+  | Fault_decode of int  (* bad opcode *)
+  | Fault_halted
+  | Fault_breakpoint
+
+type step_result = (effect, fault) result
+
+let effective_address t (a : Isa.addr) =
+  let base = match a.base with Some r -> get t r | None -> 0 in
+  let index = match a.index with Some r -> get t r * a.scale | None -> 0 in
+  Word.of_int (base + index + a.disp)
+
+let set_flags_sub t a b =
+  let d = Word.sub a b in
+  t.zf <- d = 0;
+  t.sf <- Word.to_signed a < Word.to_signed b
+
+(* Execute one instruction.  On fault the CPU state is left at the faulting
+   instruction (pc unchanged) so the kernel can report or kill. *)
+let step t (mmu : Mmu.t) : step_result =
+  if t.halted then Error Fault_halted
+  else
+    let asid = t.cr3 in
+    let pc = t.pc in
+    match
+      let fetch off = Mmu.read_u8 mmu ~asid (pc + off) in
+      Decode.decode fetch
+    with
+    | exception Mmu.Page_fault { vaddr; _ } -> Error (Fault_page vaddr)
+    | exception Decode.Invalid_opcode _ -> Error (Fault_decode pc)
+    | instr, len -> (
+      let loads = ref [] and stores = ref [] in
+      let read ~width vaddr =
+        let paddr = Mmu.translate mmu ~asid vaddr in
+        loads := { vaddr; paddr; width } :: !loads;
+        Mmu.read ~width mmu ~asid vaddr
+      in
+      let write ~width vaddr v =
+        let paddr = Mmu.translate mmu ~asid vaddr in
+        stores := { vaddr; paddr; width } :: !stores;
+        Mmu.write ~width mmu ~asid vaddr v
+      in
+      let push v =
+        set t Isa.sp (get t Isa.sp - 4);
+        write ~width:4 (get t Isa.sp) v
+      in
+      let pop () =
+        let v = read ~width:4 (get t Isa.sp) in
+        set t Isa.sp (get t Isa.sp + 4);
+        v
+      in
+      let next = Word.of_int (pc + len) in
+      let taken = ref None in
+      let goto target = t.pc <- target in
+      let branch cond target =
+        taken := Some cond;
+        if cond then goto target else goto next
+      in
+      let alu dst f a b =
+        set t dst (f a b);
+        goto next
+      in
+      match
+        (match instr with
+        | Nop -> goto next
+        | Halt ->
+          t.halted <- true;
+          goto next
+        | Mov_ri (r, v) ->
+          set t r v;
+          goto next
+        | Mov_rr (a, b) ->
+          set t a (get t b);
+          goto next
+        | Load (w, r, a) ->
+          set t r (read ~width:w (effective_address t a));
+          goto next
+        | Store (w, a, r) ->
+          write ~width:w (effective_address t a) (Word.truncate ~width:w (get t r));
+          goto next
+        | Lea (r, a) ->
+          set t r (effective_address t a);
+          goto next
+        | Push r ->
+          push (get t r);
+          goto next
+        | Pop r ->
+          set t r (pop ());
+          goto next
+        | Add_rr (a, b) -> alu a Word.add (get t a) (get t b)
+        | Add_ri (a, v) -> alu a Word.add (get t a) v
+        | Sub_rr (a, b) -> alu a Word.sub (get t a) (get t b)
+        | Sub_ri (a, v) -> alu a Word.sub (get t a) v
+        | Mul_rr (a, b) -> alu a Word.mul (get t a) (get t b)
+        | And_rr (a, b) -> alu a Word.logand (get t a) (get t b)
+        | And_ri (a, v) -> alu a Word.logand (get t a) v
+        | Or_rr (a, b) -> alu a Word.logor (get t a) (get t b)
+        | Or_ri (a, v) -> alu a Word.logor (get t a) v
+        | Xor_rr (a, b) -> alu a Word.logxor (get t a) (get t b)
+        | Xor_ri (a, v) -> alu a Word.logxor (get t a) v
+        | Shl_ri (a, v) -> alu a Word.shift_left (get t a) v
+        | Shr_ri (a, v) -> alu a Word.shift_right (get t a) v
+        | Shl_rr (a, b) -> alu a Word.shift_left (get t a) (get t b land 31)
+        | Shr_rr (a, b) -> alu a Word.shift_right (get t a) (get t b land 31)
+        | Not_r a ->
+          set t a (Word.lognot (get t a));
+          goto next
+        | Cmp_rr (a, b) ->
+          set_flags_sub t (get t a) (get t b);
+          goto next
+        | Cmp_ri (a, v) ->
+          set_flags_sub t (get t a) (Word.of_int v);
+          goto next
+        | Test_rr (a, b) ->
+          let v = Word.logand (get t a) (get t b) in
+          t.zf <- v = 0;
+          t.sf <- v land 0x80000000 <> 0;
+          goto next
+        | Jmp target -> goto target
+        | Jz target -> branch t.zf target
+        | Jnz target -> branch (not t.zf) target
+        | Jl target -> branch t.sf target
+        | Jge target -> branch (not t.sf) target
+        | Jg target -> branch ((not t.sf) && not t.zf) target
+        | Jle target -> branch (t.sf || t.zf) target
+        | Call target ->
+          push next;
+          goto target
+        | Call_r r ->
+          let target = get t r in
+          push next;
+          goto target
+        | Jmp_r r -> goto (get t r)
+        | Ret -> goto (pop ())
+        | Syscall -> goto next  (* dispatched by the kernel from the effect *)
+        | Int3 -> raise Exit)
+      with
+      | exception Mmu.Page_fault { vaddr; _ } ->
+        t.pc <- pc;
+        Error (Fault_page vaddr)
+      | exception Exit -> Error Fault_breakpoint
+      | () ->
+        t.instr_count <- t.instr_count + 1;
+        let code_paddrs = Mmu.phys_range mmu ~asid pc len in
+        Ok
+          {
+            e_pc = pc;
+            e_code_paddrs = code_paddrs;
+            e_len = len;
+            e_instr = instr;
+            e_loads = List.rev !loads;
+            e_stores = List.rev !stores;
+            e_asid = asid;
+            e_taken = !taken;
+          })
+
+let pp_fault ppf = function
+  | Fault_page v -> Fmt.pf ppf "page fault at %a" Word.pp v
+  | Fault_decode pc -> Fmt.pf ppf "invalid instruction at %a" Word.pp pc
+  | Fault_halted -> Fmt.string ppf "halted"
+  | Fault_breakpoint -> Fmt.string ppf "breakpoint"

@@ -1,0 +1,50 @@
+(** The guest CPU.
+
+    {!step} executes exactly one instruction and reports an {!effect}: the
+    decoded instruction, the physical addresses of its own code bytes, and
+    every data load/store it performed with both virtual and physical
+    addresses resolved.  The DIFT engine consumes effects to propagate
+    provenance without re-implementing address translation; the kernel
+    consumes them to dispatch syscalls. *)
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cr3 : int;  (** asid of the current address space *)
+  mutable halted : bool;
+  mutable instr_count : int;
+}
+
+val create : cr3:int -> pc:int -> sp:int -> t
+
+val get : t -> Isa.reg -> int
+val set : t -> Isa.reg -> int -> unit
+
+type mem_access = { vaddr : int; paddr : int; width : int }
+
+type effect = {
+  e_pc : int;
+  e_code_paddrs : int list;  (** physical address of each code byte *)
+  e_len : int;
+  e_instr : Isa.t;
+  e_loads : mem_access list;
+  e_stores : mem_access list;
+  e_asid : int;
+  e_taken : bool option;  (** [Some b] for executed conditional branches *)
+}
+
+type fault =
+  | Fault_page of int  (** faulting virtual address *)
+  | Fault_decode of int  (** pc of the undecodable instruction *)
+  | Fault_halted
+  | Fault_breakpoint
+
+type step_result = (effect, fault) result
+
+val step : t -> Mmu.t -> step_result
+(** Execute one instruction.  On fault the CPU is left at the faulting
+    instruction (pc unchanged) so the kernel can report or kill. *)
+
+val pp_fault : fault Fmt.t

@@ -1,0 +1,199 @@
+(* Binary encoding of instructions.
+
+   Instructions must live as bytes in guest memory: FAROS's flagging rule
+   inspects the provenance of the *code bytes* of the executing instruction,
+   so injected payloads have to travel through the system as data and only
+   become code when fetched.
+
+   Layout: one opcode byte, then operands in order.  Registers are one byte.
+   Immediates and branch targets are 4-byte little-endian words.  Effective
+   addresses are a mode byte (bit0: base present, bit1: index present,
+   bits2-3: log2 scale) followed by base byte, index byte and a 4-byte
+   displacement. *)
+
+let op_nop = 0x00
+let op_halt = 0x01
+let op_mov_ri = 0x02
+let op_mov_rr = 0x03
+let op_load1 = 0x04
+let op_load2 = 0x05
+let op_load4 = 0x06
+let op_store1 = 0x07
+let op_store2 = 0x08
+let op_store4 = 0x09
+let op_lea = 0x0A
+let op_push = 0x0B
+let op_pop = 0x0C
+let op_add_rr = 0x10
+let op_add_ri = 0x11
+let op_sub_rr = 0x12
+let op_sub_ri = 0x13
+let op_mul_rr = 0x14
+let op_and_rr = 0x15
+let op_and_ri = 0x16
+let op_or_rr = 0x17
+let op_or_ri = 0x18
+let op_xor_rr = 0x19
+let op_xor_ri = 0x1A
+let op_shl_ri = 0x1B
+let op_shr_ri = 0x1C
+let op_not_r = 0x1D
+let op_shl_rr = 0x1E
+let op_shr_rr = 0x1F
+let op_cmp_rr = 0x20
+let op_cmp_ri = 0x21
+let op_test_rr = 0x22
+let op_jmp = 0x30
+let op_jz = 0x31
+let op_jnz = 0x32
+let op_jl = 0x33
+let op_jge = 0x34
+let op_jg = 0x35
+let op_jle = 0x36
+let op_call = 0x40
+let op_call_r = 0x41
+let op_jmp_r = 0x42
+let op_ret = 0x43
+let op_syscall = 0x50
+let op_int3 = 0x51
+
+let log2_scale = function
+  | 1 -> 0
+  | 2 -> 1
+  | 4 -> 2
+  | s -> invalid_arg (Printf.sprintf "Encode: scale %d" s)
+
+let addr_mode (a : Isa.addr) =
+  let m = log2_scale a.scale lsl 2 in
+  let m = if a.base <> None then m lor 1 else m in
+  if a.index <> None then m lor 2 else m
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let put_reg buf r =
+  if r < 0 || r >= Isa.num_regs then
+    invalid_arg (Printf.sprintf "Encode: register %d" r);
+  Buffer.add_char buf (Char.chr r)
+
+let put_addr buf (a : Isa.addr) =
+  Buffer.add_char buf (Char.chr (addr_mode a));
+  Buffer.add_char buf (Char.chr (Option.value a.base ~default:0));
+  Buffer.add_char buf (Char.chr (Option.value a.index ~default:0));
+  put_u32 buf (Word.of_int a.disp)
+
+let op buf o = Buffer.add_char buf (Char.chr o)
+
+let emit buf (i : Isa.t) =
+  let rr o a b =
+    op buf o;
+    put_reg buf a;
+    put_reg buf b
+  in
+  let ri o r v =
+    op buf o;
+    put_reg buf r;
+    put_u32 buf (Word.of_int v)
+  in
+  let jump o target =
+    op buf o;
+    put_u32 buf (Word.of_int target)
+  in
+  match i with
+  | Nop -> op buf op_nop
+  | Halt -> op buf op_halt
+  | Mov_ri (r, v) -> ri op_mov_ri r v
+  | Mov_rr (a, b) -> rr op_mov_rr a b
+  | Load (w, r, a) ->
+    let o =
+      match w with
+      | 1 -> op_load1
+      | 2 -> op_load2
+      | 4 -> op_load4
+      | _ -> invalid_arg "Encode: load width"
+    in
+    op buf o;
+    put_reg buf r;
+    put_addr buf a
+  | Store (w, a, r) ->
+    let o =
+      match w with
+      | 1 -> op_store1
+      | 2 -> op_store2
+      | 4 -> op_store4
+      | _ -> invalid_arg "Encode: store width"
+    in
+    op buf o;
+    put_addr buf a;
+    put_reg buf r
+  | Lea (r, a) ->
+    op buf op_lea;
+    put_reg buf r;
+    put_addr buf a
+  | Push r ->
+    op buf op_push;
+    put_reg buf r
+  | Pop r ->
+    op buf op_pop;
+    put_reg buf r
+  | Add_rr (a, b) -> rr op_add_rr a b
+  | Add_ri (r, v) -> ri op_add_ri r v
+  | Sub_rr (a, b) -> rr op_sub_rr a b
+  | Sub_ri (r, v) -> ri op_sub_ri r v
+  | Mul_rr (a, b) -> rr op_mul_rr a b
+  | And_rr (a, b) -> rr op_and_rr a b
+  | And_ri (r, v) -> ri op_and_ri r v
+  | Or_rr (a, b) -> rr op_or_rr a b
+  | Or_ri (r, v) -> ri op_or_ri r v
+  | Xor_rr (a, b) -> rr op_xor_rr a b
+  | Xor_ri (r, v) -> ri op_xor_ri r v
+  | Shl_ri (r, v) -> ri op_shl_ri r v
+  | Shr_ri (r, v) -> ri op_shr_ri r v
+  | Shl_rr (a, b) -> rr op_shl_rr a b
+  | Shr_rr (a, b) -> rr op_shr_rr a b
+  | Not_r r ->
+    op buf op_not_r;
+    put_reg buf r
+  | Cmp_rr (a, b) -> rr op_cmp_rr a b
+  | Cmp_ri (r, v) -> ri op_cmp_ri r v
+  | Test_rr (a, b) -> rr op_test_rr a b
+  | Jmp t -> jump op_jmp t
+  | Jz t -> jump op_jz t
+  | Jnz t -> jump op_jnz t
+  | Jl t -> jump op_jl t
+  | Jge t -> jump op_jge t
+  | Jg t -> jump op_jg t
+  | Jle t -> jump op_jle t
+  | Call t -> jump op_call t
+  | Call_r r ->
+    op buf op_call_r;
+    put_reg buf r
+  | Jmp_r r ->
+    op buf op_jmp_r;
+    put_reg buf r
+  | Ret -> op buf op_ret
+  | Syscall -> op buf op_syscall
+  | Int3 -> op buf op_int3
+
+let to_bytes i =
+  let buf = Buffer.create 16 in
+  emit buf i;
+  Buffer.to_bytes buf
+
+(* Encoded length, used by the assembler's first pass. *)
+let length (i : Isa.t) =
+  match i with
+  | Nop | Halt | Ret | Syscall | Int3 -> 1
+  | Push _ | Pop _ | Not_r _ | Call_r _ | Jmp_r _ -> 2
+  | Mov_rr _ | Add_rr _ | Sub_rr _ | Mul_rr _ | And_rr _ | Or_rr _ | Xor_rr _
+  | Shl_rr _ | Shr_rr _ | Cmp_rr _ | Test_rr _ ->
+    3
+  | Jmp _ | Jz _ | Jnz _ | Jl _ | Jge _ | Jg _ | Jle _ | Call _ -> 5
+  | Mov_ri _ | Add_ri _ | Sub_ri _ | And_ri _ | Or_ri _ | Xor_ri _ | Shl_ri _
+  | Shr_ri _ | Cmp_ri _ ->
+    6
+  | Load _ | Lea _ -> 9
+  | Store _ -> 9

@@ -1,0 +1,73 @@
+(** Binary encoding of instructions.
+
+    Instructions must live as bytes in guest memory: FAROS's flagging rule
+    inspects the provenance of the {e code bytes} of the executing
+    instruction, so injected payloads travel through the system as data and
+    only become code when fetched.
+
+    Layout: one opcode byte, then operands in order.  Registers are one
+    byte; immediates and branch targets are 4-byte little-endian words;
+    effective addresses are a mode byte, base byte, index byte and a 4-byte
+    displacement. *)
+
+(** Opcode values — exposed so guest JIT compilers in the corpus can emit
+    code at runtime. *)
+
+val op_nop : int
+val op_halt : int
+val op_mov_ri : int
+val op_mov_rr : int
+val op_load1 : int
+val op_load2 : int
+val op_load4 : int
+val op_store1 : int
+val op_store2 : int
+val op_store4 : int
+val op_lea : int
+val op_push : int
+val op_pop : int
+val op_add_rr : int
+val op_add_ri : int
+val op_sub_rr : int
+val op_sub_ri : int
+val op_mul_rr : int
+val op_and_rr : int
+val op_and_ri : int
+val op_or_rr : int
+val op_or_ri : int
+val op_xor_rr : int
+val op_xor_ri : int
+val op_shl_ri : int
+val op_shr_ri : int
+val op_not_r : int
+val op_shl_rr : int
+val op_shr_rr : int
+val op_cmp_rr : int
+val op_cmp_ri : int
+val op_test_rr : int
+val op_jmp : int
+val op_jz : int
+val op_jnz : int
+val op_jl : int
+val op_jge : int
+val op_jg : int
+val op_jle : int
+val op_call : int
+val op_call_r : int
+val op_jmp_r : int
+val op_ret : int
+val op_syscall : int
+val op_int3 : int
+
+val put_u32 : Buffer.t -> int -> unit
+(** Append a 4-byte little-endian word (also used by the assembler's data
+    directives). *)
+
+val emit : Buffer.t -> Isa.t -> unit
+(** Append one encoded instruction.  Raises [Invalid_argument] on bad
+    registers, widths or scales. *)
+
+val to_bytes : Isa.t -> Bytes.t
+
+val length : Isa.t -> int
+(** Encoded length without emitting — the assembler's first pass. *)

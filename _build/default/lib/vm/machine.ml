@@ -1,0 +1,28 @@
+(* The machine: physical memory plus its MMU.
+
+   CPUs (one per guest thread of control, managed by the kernel's scheduler)
+   execute against the shared machine.  Execution hooks let whole-system
+   analyses — the FAROS plugin in particular — observe every instruction,
+   in the same position PANDA's instrumentation occupies over QEMU. *)
+
+type t = {
+  mem : Phys_mem.t;
+  mmu : Mmu.t;
+  mutable hooks : (Cpu.t -> Cpu.effect -> unit) list;
+}
+
+let create () =
+  let mem = Phys_mem.create () in
+  { mem; mmu = Mmu.create mem; hooks = [] }
+
+(* Hooks run after each successfully executed instruction, in registration
+   order. *)
+let add_exec_hook t f = t.hooks <- t.hooks @ [ f ]
+let clear_exec_hooks t = t.hooks <- []
+
+let step t cpu =
+  match Cpu.step cpu t.mmu with
+  | Ok eff as r ->
+    List.iter (fun f -> f cpu eff) t.hooks;
+    r
+  | Error _ as r -> r

@@ -1,0 +1,23 @@
+(** The machine: physical memory plus its MMU.
+
+    CPUs (one per guest process, managed by the kernel's scheduler) execute
+    against the shared machine.  Execution hooks let whole-system analyses
+    — the FAROS plugin in particular — observe every instruction, in the
+    same position PANDA's instrumentation occupies over QEMU. *)
+
+type t = {
+  mem : Phys_mem.t;
+  mmu : Mmu.t;
+  mutable hooks : (Cpu.t -> Cpu.effect -> unit) list;
+}
+
+val create : unit -> t
+
+val add_exec_hook : t -> (Cpu.t -> Cpu.effect -> unit) -> unit
+(** Hooks run after each successfully executed instruction, in registration
+    order. *)
+
+val clear_exec_hooks : t -> unit
+
+val step : t -> Cpu.t -> Cpu.step_result
+(** {!Cpu.step} plus hook dispatch. *)

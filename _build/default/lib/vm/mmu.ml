@@ -1,0 +1,125 @@
+(* MMU: virtual address spaces over {!Phys_mem}.
+
+   Each guest process owns one address space; its identifier plays the role
+   x86's CR3 plays in the paper — the architecture-level identity of a
+   process, and the value FAROS uses for process tags.  The kernel region is
+   a set of frames mapped (shared) into every address space, which is what
+   lets export-table tags, attached to physical bytes, be visible from any
+   process. *)
+
+type space = {
+  asid : int;  (* the "CR3" value *)
+  mutable space_name : string;
+  table : (int, int) Hashtbl.t;  (* vpn -> pfn *)
+}
+
+type t = {
+  mem : Phys_mem.t;
+  spaces : (int, space) Hashtbl.t;
+  mutable next_asid : int;
+}
+
+exception Page_fault of { asid : int; vaddr : int }
+
+let page_size = Phys_mem.page_size
+let page_shift = Phys_mem.page_shift
+
+let create mem = { mem; spaces = Hashtbl.create 16; next_asid = 1 }
+
+let create_space t ~name =
+  let asid = t.next_asid in
+  t.next_asid <- asid + 1;
+  let s = { asid; space_name = name; table = Hashtbl.create 64 } in
+  Hashtbl.replace t.spaces asid s;
+  s
+
+let destroy_space t space = Hashtbl.remove t.spaces space.asid
+
+let find_space t asid =
+  match Hashtbl.find_opt t.spaces asid with
+  | Some s -> s
+  | None -> raise (Page_fault { asid; vaddr = -1 })
+
+let space_name t asid =
+  match Hashtbl.find_opt t.spaces asid with
+  | Some s -> s.space_name
+  | None -> Printf.sprintf "asid%d" asid
+
+(* Map [pages] fresh zero frames at [vaddr] (page aligned). *)
+let map t space ~vaddr ~pages =
+  let vpn0 = vaddr lsr page_shift in
+  for i = 0 to pages - 1 do
+    Hashtbl.replace space.table (vpn0 + i) (Phys_mem.alloc_frame t.mem)
+  done
+
+(* Map existing frames (sharing) at [vaddr]. *)
+let map_frames space ~vaddr pfns =
+  let vpn0 = vaddr lsr page_shift in
+  List.iteri (fun i pfn -> Hashtbl.replace space.table (vpn0 + i) pfn) pfns
+
+let unmap space ~vaddr ~pages =
+  let vpn0 = vaddr lsr page_shift in
+  for i = 0 to pages - 1 do
+    Hashtbl.remove space.table (vpn0 + i)
+  done
+
+let frames_of space ~vaddr ~pages =
+  let vpn0 = vaddr lsr page_shift in
+  List.init pages (fun i ->
+      match Hashtbl.find_opt space.table (vpn0 + i) with
+      | Some pfn -> pfn
+      | None -> raise (Page_fault { asid = space.asid; vaddr = (vpn0 + i) lsl page_shift }))
+
+let is_mapped space ~vaddr = Hashtbl.mem space.table (vaddr lsr page_shift)
+
+let mapped_ranges space =
+  let vpns = Hashtbl.fold (fun vpn _ acc -> vpn :: acc) space.table [] in
+  let vpns = List.sort compare vpns in
+  let rec group acc cur = function
+    | [] -> List.rev (match cur with None -> acc | Some r -> r :: acc)
+    | vpn :: rest -> (
+      match cur with
+      | Some (lo, hi) when vpn = hi + 1 -> group acc (Some (lo, vpn)) rest
+      | Some r -> group (r :: acc) (Some (vpn, vpn)) rest
+      | None -> group acc (Some (vpn, vpn)) rest)
+  in
+  group [] None vpns
+  |> List.map (fun (lo, hi) -> (lo lsl page_shift, (hi - lo + 1) * page_size))
+
+let translate t ~asid vaddr =
+  let space = find_space t asid in
+  match Hashtbl.find_opt space.table (vaddr lsr page_shift) with
+  | Some pfn -> (pfn lsl page_shift) lor (vaddr land (page_size - 1))
+  | None -> raise (Page_fault { asid; vaddr })
+
+let read_u8 t ~asid vaddr = Phys_mem.read_u8 t.mem (translate t ~asid vaddr)
+let write_u8 t ~asid vaddr v = Phys_mem.write_u8 t.mem (translate t ~asid vaddr) v
+
+(* Multi-byte accesses translate per byte so they may legally span pages. *)
+let read ~width t ~asid vaddr =
+  let rec go i acc =
+    if i >= width then acc
+    else go (i + 1) (acc lor (read_u8 t ~asid (vaddr + i) lsl (8 * i)))
+  in
+  go 0 0
+
+let write ~width t ~asid vaddr v =
+  for i = 0 to width - 1 do
+    write_u8 t ~asid (vaddr + i) ((v lsr (8 * i)) land 0xFF)
+  done
+
+let read_bytes t ~asid vaddr len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (read_u8 t ~asid (vaddr + i)))
+  done;
+  b
+
+let write_bytes t ~asid vaddr b =
+  for i = 0 to Bytes.length b - 1 do
+    write_u8 t ~asid (vaddr + i) (Char.code (Bytes.get b i))
+  done
+
+(* Physical addresses of the [len] bytes starting at [vaddr]. *)
+let phys_range t ~asid vaddr len =
+  List.init len (fun i -> translate t ~asid (vaddr + i))

@@ -1,0 +1,67 @@
+(** MMU: virtual address spaces over {!Phys_mem}.
+
+    Each guest process owns one address space; its identifier plays the
+    role x86's CR3 plays in the paper — the architecture-level identity of
+    a process, and the value FAROS uses for process tags.  The kernel
+    region is a set of frames mapped (shared) into every address space,
+    which is what lets export-table tags, attached to physical bytes, be
+    visible from any process. *)
+
+type space = {
+  asid : int;  (** the "CR3" value *)
+  mutable space_name : string;
+  table : (int, int) Hashtbl.t;  (** vpn -> pfn *)
+}
+
+type t = {
+  mem : Phys_mem.t;
+  spaces : (int, space) Hashtbl.t;
+  mutable next_asid : int;
+}
+
+exception Page_fault of { asid : int; vaddr : int }
+
+val page_size : int
+val page_shift : int
+
+val create : Phys_mem.t -> t
+val create_space : t -> name:string -> space
+val destroy_space : t -> space -> unit
+val find_space : t -> int -> space
+
+val space_name : t -> int -> string
+(** Display name for an address space (process image name). *)
+
+val map : t -> space -> vaddr:int -> pages:int -> unit
+(** Map fresh zero frames at a page-aligned virtual address. *)
+
+val map_frames : space -> vaddr:int -> int list -> unit
+(** Map existing frames (sharing). *)
+
+val unmap : space -> vaddr:int -> pages:int -> unit
+
+val frames_of : space -> vaddr:int -> pages:int -> int list
+(** Frame numbers backing a mapped range.  Raises {!Page_fault} on holes. *)
+
+val is_mapped : space -> vaddr:int -> bool
+
+val mapped_ranges : space -> (int * int) list
+(** Contiguous mapped ranges as (vaddr, byte length), sorted. *)
+
+val translate : t -> asid:int -> int -> int
+(** Virtual to physical.  Raises {!Page_fault}. *)
+
+val read_u8 : t -> asid:int -> int -> int
+val write_u8 : t -> asid:int -> int -> int -> unit
+
+val read : width:int -> t -> asid:int -> int -> int
+(** Little-endian; accesses may span pages. *)
+
+val write : width:int -> t -> asid:int -> int -> int -> unit
+
+val read_bytes : t -> asid:int -> int -> int -> Bytes.t
+val write_bytes : t -> asid:int -> int -> Bytes.t -> unit
+
+val phys_range : t -> asid:int -> int -> int -> int list
+(** Physical addresses of the [len] bytes starting at a virtual address —
+    what kernel events report so taint can follow host-side copies. *)

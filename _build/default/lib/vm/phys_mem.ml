@@ -1,0 +1,51 @@
+(* Physical memory: a sparse store of 4 KiB frames.
+
+   Frames are allocated on demand by the MMU; shadow (taint) state is kept
+   by the DIFT library keyed on physical addresses, so frame identity is the
+   ground truth that lets taint survive cross-address-space sharing (the
+   kernel's export-table region is one set of frames mapped everywhere). *)
+
+let page_size = 4096
+let page_shift = 12
+
+type t = {
+  frames : (int, Bytes.t) Hashtbl.t;  (* pfn -> contents *)
+  mutable next_pfn : int;
+}
+
+exception Bad_frame of int
+
+let create () = { frames = Hashtbl.create 256; next_pfn = 0 }
+
+let alloc_frame t =
+  let pfn = t.next_pfn in
+  t.next_pfn <- pfn + 1;
+  Hashtbl.replace t.frames pfn (Bytes.make page_size '\000');
+  pfn
+
+let frame t pfn =
+  match Hashtbl.find_opt t.frames pfn with
+  | Some b -> b
+  | None -> raise (Bad_frame pfn)
+
+let frame_count t = Hashtbl.length t.frames
+
+(* Physical addresses are [pfn * page_size + offset]. *)
+let read_u8 t paddr =
+  let b = frame t (paddr lsr page_shift) in
+  Char.code (Bytes.get b (paddr land (page_size - 1)))
+
+let write_u8 t paddr v =
+  let b = frame t (paddr lsr page_shift) in
+  Bytes.set b (paddr land (page_size - 1)) (Char.chr (v land 0xFF))
+
+let read ~width t paddr =
+  let rec go i acc =
+    if i >= width then acc else go (i + 1) (acc lor (read_u8 t (paddr + i) lsl (8 * i)))
+  in
+  go 0 0
+
+let write ~width t paddr v =
+  for i = 0 to width - 1 do
+    write_u8 t (paddr + i) ((v lsr (8 * i)) land 0xFF)
+  done

@@ -1,0 +1,33 @@
+(** Physical memory: a sparse store of 4 KiB frames.
+
+    Frames are allocated on demand by the MMU; shadow (taint) state is
+    keyed on physical addresses, so frame identity is the ground truth that
+    lets taint survive cross-address-space sharing (the kernel's
+    export-table region is one set of frames mapped everywhere). *)
+
+val page_size : int
+val page_shift : int
+
+type t
+
+exception Bad_frame of int
+
+val create : unit -> t
+
+val alloc_frame : t -> int
+(** Allocate a zeroed frame; returns its frame number. *)
+
+val frame : t -> int -> Bytes.t
+(** Raw contents of a frame.  Raises {!Bad_frame}. *)
+
+val frame_count : t -> int
+
+val read_u8 : t -> int -> int
+(** Read the byte at a physical address ([pfn * page_size + offset]). *)
+
+val write_u8 : t -> int -> int -> unit
+
+val read : width:int -> t -> int -> int
+(** Little-endian multi-byte read. *)
+
+val write : width:int -> t -> int -> int -> unit

@@ -1,0 +1,34 @@
+(* 32-bit word arithmetic on top of OCaml's native [int].
+
+   All guest values are kept masked to 32 bits.  Signedness only matters
+   for comparisons, where [to_signed] re-interprets the masked value. *)
+
+let mask = 0xFFFFFFFF
+
+let of_int v = v land mask
+
+let to_signed v =
+  let v = v land mask in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = (a * b) land mask
+let logand a b = (a land b) land mask
+let logor a b = (a lor b) land mask
+let logxor a b = (a lxor b) land mask
+let lognot a = lnot a land mask
+
+let shift_left a n = if n >= 32 then 0 else (a lsl n) land mask
+
+let shift_right a n = if n >= 32 then 0 else (a land mask) lsr n
+
+(* Truncate a value to a load/store width in bytes (1, 2 or 4). *)
+let truncate ~width v =
+  match width with
+  | 1 -> v land 0xFF
+  | 2 -> v land 0xFFFF
+  | 4 -> v land mask
+  | w -> invalid_arg (Printf.sprintf "Word.truncate: width %d" w)
+
+let pp ppf v = Fmt.pf ppf "0x%08x" (v land mask)

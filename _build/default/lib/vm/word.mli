@@ -1,0 +1,31 @@
+(** 32-bit word arithmetic on top of OCaml's native [int].
+
+    All guest values are kept masked to 32 bits.  Signedness only matters
+    for comparisons, where {!to_signed} re-interprets the masked value. *)
+
+val mask : int
+(** [0xFFFFFFFF]. *)
+
+val of_int : int -> int
+(** Mask to 32 bits. *)
+
+val to_signed : int -> int
+(** Reinterpret a masked word as a signed 32-bit value. *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+val logand : int -> int -> int
+val logor : int -> int -> int
+val logxor : int -> int -> int
+val lognot : int -> int
+
+val shift_left : int -> int -> int
+(** Shift counts of 32 or more yield 0, as the guest ISA specifies. *)
+
+val shift_right : int -> int -> int
+
+val truncate : width:int -> int -> int
+(** Truncate to a 1-, 2- or 4-byte access width. *)
+
+val pp : int Fmt.t

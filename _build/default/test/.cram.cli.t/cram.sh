@@ -1,0 +1,13 @@
+  $ faros list | tail -1
+  $ faros list | head -4
+  $ faros policies
+  $ faros run reflective_dll_inject
+  $ faros run snipping_tool_s0
+  $ faros run no_such_sample
+  $ faros ps process_hollowing
+  $ faros record process_hollowing -o t.ftr
+  $ faros replay process_hollowing -i t.ftr | head -2
+  $ faros compare reflective_dll_inject_transient
+  $ faros malfind process_hollowing
+  $ faros strings reflective_dll_inject | grep notepad | grep injected
+  $ faros taint reverse_tcp_dns | head -3

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Engine Faros_corpus Faros_dift Faros_os Faros_replay Faros_vm Fmt List Policy Printf Provenance String Tag Tag_store

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Behavior Bytes Core Extras Faros_corpus Faros_dift Faros_os Faros_replay Faros_vm Fig4 Indirect Jit List Payloads Perf Printf Rats Registry Scenario String

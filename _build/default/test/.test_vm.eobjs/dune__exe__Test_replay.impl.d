@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Char Core Faros_corpus Faros_os Faros_replay List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sandbox.ml: Alcotest Asm Buffer Bytes Compare Cuckoo Faros_corpus Faros_os Faros_replay Faros_sandbox Faros_vm Isa List Malfind Memdump Option Progs Scenario String Volatility

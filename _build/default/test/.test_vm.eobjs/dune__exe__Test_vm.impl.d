@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Asm Bytes Char Cpu Decode Disasm Encode Faros_vm Isa List Machine Mmu Phys_mem QCheck QCheck_alcotest Word

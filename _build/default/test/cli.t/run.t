@@ -1,0 +1,93 @@
+The corpus registry enumerates all samples deterministically.
+
+  $ faros list | tail -1
+  136 samples
+
+  $ faros list | head -4
+  id                                       category               expected
+  reflective_dll_inject                    attack(reflective-dll-injection) flag
+  reverse_tcp_dns                          attack(reflective-dll-injection) flag
+  bypassuac_injection                      attack(reflective-dll-injection) flag
+
+The available DIFT policies.
+
+  $ faros policies
+  name             addr-deps  ctrl-deps  imm    1-bit  files
+  faros            false      false      false  false  true
+  address-deps     true       false      false  false  true
+  control-deps     false      true       false  false  true
+  all-indirect     true       true       false  false  true
+  minos            true       false      true   true   false
+  bit-taint        false      false      false  true   false
+
+The headline attack: record, replay under FAROS, Table II report.
+Everything is deterministic, down to the instruction counts.
+
+  $ faros run reflective_dll_inject
+  sample:       reflective_dll_inject
+  record:       376 instructions, 1 packets, 217 rx bytes
+  replay:       376 instructions, diverged: false
+  taint:        376 instrs processed, 4753 tainted bytes, tags: 1 netflow / 2 process / 2 file
+  verdict:      IN-MEMORY INJECTION FLAGGED
+  4 flagged load(s) at 2 site(s), 0 whitelisted
+  Memory Address Provenance List
+  0x1000009D  NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} ->Process: inject_client.exe ->Process: notepad.exe;
+  0x10000042  NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} ->Process: inject_client.exe ->Process: notepad.exe;
+
+A clean sample stays clean.
+
+  $ faros run snipping_tool_s0
+  sample:       snipping_tool_s0
+  record:       26 instructions, 0 packets, 0 rx bytes
+  replay:       26 instructions, diverged: false
+  taint:        26 instrs processed, 400 tainted bytes, tags: 0 netflow / 1 process / 2 file
+  verdict:      clean
+  0 flagged load(s) at 0 site(s), 0 whitelisted
+
+Unknown samples are rejected with a hint.
+
+  $ faros run no_such_sample
+  unknown sample "no_such_sample" (try `faros list`)
+  [1]
+
+The end-of-run process list of the hollowing attack.
+
+  $ faros ps process_hollowing
+   100  process_hollowing.exe    terminated
+   101  svchost.exe              terminated
+
+Trace files round-trip through disk.
+
+  $ faros record process_hollowing -o t.ftr
+  recorded process_hollowing: 1107 instructions, 16 events, 96 trace bytes -> t.ftr
+  $ faros replay process_hollowing -i t.ftr | head -2
+  replayed process_hollowing from t.ftr: 1107 instructions, diverged: false
+  verdict: IN-MEMORY INJECTION FLAGGED
+
+The Section VI-B comparison on the transient attack: only FAROS flags.
+
+  $ faros compare reflective_dll_inject_transient
+  sample                               cuckoo  malfind  vadinfo   FAROS  netflow  
+  reflective_dll_inject_transient      no      no       no        yes    yes      
+  hooked api calls seen by cuckoo: 2; raw syscalls it missed: 50
+
+Snapshot forensics on the hollowing sample.
+
+  $ faros malfind process_hollowing
+  pslist:
+     100  process_hollowing.exe    terminated
+     101  svchost.exe              terminated
+  hollowing suspects: 101
+  malfind: pid 101 (svchost.exe): private executable region at 0x10000000 (46 instrs)
+
+Provenance-aware strings find the attacker's artifacts in the victim.
+
+  $ faros strings reflective_dll_inject | grep notepad | grep injected
+  notepad.exe          0x100000BD "MessageBoxAinjected!"   NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} ->Process: inject_client.exe
+
+The taint map after the self-injection run.
+
+  $ faros taint reverse_tcp_dns | head -3
+  process              tainted    netflow-tainted
+  inject_client.exe    4517       4517
+  

@@ -1,0 +1,443 @@
+(* Tests for the sample corpus: payload builders, behaviour fragments, the
+   registry's shape, and the indirect-flow experiments. *)
+
+open Faros_corpus
+
+let check = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+(* -- payloads ------------------------------------------------------------- *)
+
+let payload_tests =
+  [
+    Alcotest.test_case "popup payload assembles and starts at origin" `Quick
+      (fun () ->
+        let p = Payloads.popup ~text:"hi" () in
+        check_b "non-empty" true (String.length p > 50);
+        (* first instruction decodes *)
+        let _, len = Faros_vm.Decode.of_bytes (Bytes.of_string p) 0 in
+        check_b "decodes" true (len > 0));
+    Alcotest.test_case "payload fits one page (single VirtualAlloc)" `Quick
+      (fun () ->
+        List.iter
+          (fun p ->
+            check_b "fits" true (String.length p <= Faros_vm.Phys_mem.page_size))
+          [
+            Payloads.popup ~text:"x" ();
+            Payloads.popup ~scrub:true ~text:"x" ();
+            Payloads.keylogger ();
+            Payloads.applet_native_stub ~origin:Jit.java_cache_base ();
+          ]);
+    Alcotest.test_case "scrub variant embeds the unmap syscall" `Quick (fun () ->
+        let plain = Payloads.popup ~text:"x" () in
+        let scrub = Payloads.popup ~scrub:true ~text:"x" () in
+        check_b "longer" true (String.length scrub > String.length plain));
+    Alcotest.test_case "payloads embed the paper's three loader hashes" `Quick
+      (fun () ->
+        (* the reflective prologue resolves LoadLibraryA, GetProcAddress and
+           VirtualAlloc: their hashes must appear as immediates *)
+        let p = Payloads.popup ~text:"x" () in
+        let listing = Faros_vm.Disasm.buffer (Bytes.of_string p) in
+        let imms =
+          List.filter_map
+            (function _, Faros_vm.Isa.Mov_ri (_, v) -> Some v | _ -> None)
+            listing
+        in
+        List.iter
+          (fun api ->
+            check_b api true
+              (List.mem (Faros_os.Export_table.hash_name api) imms))
+          [ "LoadLibraryA"; "GetProcAddress"; "VirtualAlloc" ]);
+  ]
+
+(* -- behaviours ------------------------------------------------------------ *)
+
+let behavior_tests =
+  [
+    Alcotest.test_case "every behaviour yields a fragment" `Quick (fun () ->
+        List.iter
+          (fun b ->
+            let f = Behavior.fragment ~prefix:"t" ~seed:0 b in
+            check_b (Behavior.to_string b) true
+              (f.Behavior.code <> [] || b = Behavior.Idle))
+          Behavior.all);
+    Alcotest.test_case "compose follows matrix column order" `Quick (fun () ->
+        let frags =
+          Behavior.compose ~seed:0 [ Behavior.Remote_shell; Behavior.Idle ]
+        in
+        check "two" 2 (List.length frags));
+    Alcotest.test_case "imports deduplicated" `Quick (fun () ->
+        let frags =
+          Behavior.compose ~seed:0
+            [ Behavior.File_transfer; Behavior.Upload; Behavior.Download ]
+        in
+        let imports = Behavior.imports frags in
+        check "unique" (List.length imports)
+          (List.length (List.sort_uniq compare imports)));
+    Alcotest.test_case "c2 feed concatenates in order" `Quick (fun () ->
+        let frags =
+          Behavior.compose ~seed:0 [ Behavior.Download; Behavior.Remote_shell ]
+        in
+        let feed = Behavior.c2_feed frags in
+        check_b "non-empty" true (String.length feed > 0));
+    Alcotest.test_case "seeds produce different programs" `Quick (fun () ->
+        let image seed =
+          Rats.image ~name:"x.exe" ~port:1 ~behaviors:[ Behavior.Key_logger ] ~seed
+        in
+        check_b "distinct" true
+          (Faros_os.Pe.serialize (image 0) <> Faros_os.Pe.serialize (image 1)));
+  ]
+
+(* -- registry ---------------------------------------------------------------- *)
+
+let registry_tests =
+  [
+    Alcotest.test_case "corpus sizes match the paper" `Quick (fun () ->
+        check "attacks" 6 (List.length (Registry.attacks ()));
+        check "rats" 90 (List.length (Registry.rats ()));
+        check "benign" 14 (List.length (Registry.benign ()));
+        check "jits" 20 (List.length (Registry.jits ()));
+        check "total" 130 (List.length (Registry.all ())));
+    Alcotest.test_case "sample ids unique" `Quick (fun () ->
+        let ids =
+          List.map
+            (fun (s : Registry.sample) -> s.id)
+            (Registry.all () @ Registry.transient_attacks ())
+        in
+        check "unique" (List.length ids) (List.length (List.sort_uniq compare ids)));
+    Alcotest.test_case "find locates every sample" `Quick (fun () ->
+        List.iter
+          (fun (s : Registry.sample) ->
+            match Registry.find s.id with
+            | Some found -> check_b s.id true (found.id = s.id)
+            | None -> Alcotest.failf "lost %s" s.id)
+          (Registry.all ()));
+    Alcotest.test_case "expected verdicts partition correctly" `Quick (fun () ->
+        let flagged, clean =
+          List.partition
+            (fun (s : Registry.sample) -> s.expected = Registry.Expect_flag)
+            (Registry.all ())
+        in
+        (* 6 attacks + 2 native applets *)
+        check "expect flag" 8 (List.length flagged);
+        check "expect clean" 122 (List.length clean));
+    Alcotest.test_case "every scenario's boot images are provided" `Quick
+      (fun () ->
+        List.iter
+          (fun (s : Registry.sample) ->
+            List.iter
+              (fun b ->
+                check_b
+                  (Printf.sprintf "%s boots %s" s.id b)
+                  true
+                  (List.mem_assoc b s.scenario.images))
+              s.scenario.boot)
+          (Registry.all ()));
+    Alcotest.test_case "17 families, Table IV shape" `Quick (fun () ->
+        check "families" 17 (List.length Rats.families);
+        List.iter
+          (fun (_, _, behaviors) ->
+            check_b "non-empty behaviours" true (behaviors <> []))
+          Rats.families);
+    Alcotest.test_case "perf workloads cover the Table V rows" `Quick (fun () ->
+        let names = List.map fst (Perf.workloads ()) in
+        Alcotest.(check (list string))
+          "rows"
+          [ "Skype"; "Team Viewer"; "Bozok"; "Spygate"; "Pandora"; "Remote Utility" ]
+          names);
+  ]
+
+(* -- scenarios run ------------------------------------------------------------- *)
+
+let scenario_tests =
+  [
+    Alcotest.test_case "attack scenarios terminate well before max_ticks" `Quick
+      (fun () ->
+        List.iter
+          (fun (s : Registry.sample) ->
+            let _, trace = Scenario.record s.scenario in
+            check_b s.id true (trace.final_tick < s.scenario.max_ticks))
+          (Registry.attacks ()));
+    Alcotest.test_case "every registry sample records deterministically" `Slow
+      (fun () ->
+        List.iter
+          (fun (s : Registry.sample) ->
+            let _, t1 = Scenario.record s.scenario in
+            let _, t2 = Scenario.record s.scenario in
+            check_b s.id true
+              (t1.final_tick = t2.final_tick && t1.events = t2.events))
+          (Registry.attacks () @ Registry.jits ()));
+    Alcotest.test_case "RAT behaviours produce their side effects" `Quick
+      (fun () ->
+        (* extremerat has Download: payload.bin must exist afterwards *)
+        match Registry.find "extremerat_v2.7.1_s0" with
+        | None -> Alcotest.fail "missing sample"
+        | Some s ->
+          let kernel, _ = Scenario.record s.scenario in
+          check_b "dropped download" true
+            (Faros_os.Fs.exists kernel.fs "payload.bin"));
+    Alcotest.test_case "JIT-generated code actually runs" `Quick (fun () ->
+        (* the AJAX browser halts only after calling its generated code; a
+           crash would surface as a fault *)
+        match Registry.find "ajax_gmail.com" with
+        | None -> Alcotest.fail "missing sample"
+        | Some s ->
+          let kernel, _ = Scenario.record s.scenario in
+          List.iter
+            (fun (p : Faros_os.Process.t) ->
+              check_b (p.proc_name ^ " no fault") true (p.fault = None))
+            (Faros_os.Kstate.processes kernel));
+    Alcotest.test_case "JVM runs both compilation modes without faulting"
+      `Quick (fun () ->
+        List.iter
+          (fun id ->
+            match Registry.find id with
+            | None -> Alcotest.failf "missing %s" id
+            | Some s ->
+              let kernel, _ = Scenario.record s.scenario in
+              List.iter
+                (fun (p : Faros_os.Process.t) ->
+                  check_b
+                    (Printf.sprintf "%s/%s no fault" id p.proc_name)
+                    true (p.fault = None))
+                (Faros_os.Kstate.processes kernel))
+          [ "applet_ncradle"; "applet_acceleration" ]);
+  ]
+
+(* -- indirect experiments -------------------------------------------------------- *)
+
+let indirect_tests =
+  [
+    Alcotest.test_case "experiments expose buffer addresses" `Quick (fun () ->
+        let e1 = Indirect.lookup_experiment () in
+        let e2 = Indirect.bitcopy_experiment () in
+        check_b "distinct buffers" true (e1.exp_input_vaddr <> e1.exp_output_vaddr);
+        check "len" 14 e1.exp_len;
+        check "len2" 14 e2.exp_len);
+    Alcotest.test_case "lookup copy preserves values (guest correctness)" `Quick
+      (fun () ->
+        let e = Indirect.lookup_experiment () in
+        let kernel, _ = Scenario.record e.exp_scenario in
+        match Faros_os.Kstate.processes kernel with
+        | [ p ] ->
+          let out =
+            Faros_vm.Mmu.read_bytes kernel.machine.mmu
+              ~asid:(Faros_os.Process.asid p) e.exp_output_vaddr e.exp_len
+          in
+          Alcotest.(check string) "copied" "Tainted string" (Bytes.to_string out)
+        | _ -> Alcotest.fail "expected one process");
+    Alcotest.test_case "bit copy reconstructs values bit by bit" `Quick
+      (fun () ->
+        let e = Indirect.bitcopy_experiment () in
+        let kernel, _ = Scenario.record e.exp_scenario in
+        match Faros_os.Kstate.processes kernel with
+        | [ p ] ->
+          let out =
+            Faros_vm.Mmu.read_bytes kernel.machine.mmu
+              ~asid:(Faros_os.Process.asid p) e.exp_output_vaddr e.exp_len
+          in
+          Alcotest.(check string) "copied" "Tainted string" (Bytes.to_string out)
+        | _ -> Alcotest.fail "expected one process");
+  ]
+
+(* -- extras ----------------------------------------------------------------- *)
+
+let extras_tests =
+  [
+    Alcotest.test_case "dll_host loads and calls through the legit path" `Quick
+      (fun () ->
+        let scn = Extras.dll_host () in
+        let kernel, _ = Scenario.record scn in
+        match Faros_os.Kstate.processes kernel with
+        | [ p ] -> check "double_it(21)" 42 p.exit_code
+        | _ -> Alcotest.fail "expected one process");
+    Alcotest.test_case "dll_host is clean under FAROS" `Quick (fun () ->
+        let outcome = Scenario.analyze (Extras.dll_host ()) in
+        check_b "clean" false (Core.Report.flagged outcome.report);
+        check_b "no divergence" false outcome.replay.diverged);
+    Alcotest.test_case "ipc pair delivers the message over loopback" `Quick
+      (fun () ->
+        let scn = Extras.ipc_pair () in
+        let printed = ref [] in
+        let kernel, _ =
+          Faros_replay.Recorder.record ~max_ticks:scn.max_ticks
+            ~plugins:(fun _ ->
+              [
+                Faros_replay.Plugin.make "w" ~on_os_event:(fun ev ->
+                    match ev with
+                    | Faros_os.Os_event.Debug_print { text; _ } ->
+                      printed := text :: !printed
+                    | _ -> ());
+              ])
+            ~setup:(Scenario.setup_record scn) ~boot:(Scenario.boot scn) ()
+        in
+        ignore kernel;
+        Alcotest.(check (list string)) "message" [ "ping" ] !printed);
+    Alcotest.test_case "ipc pair replays deterministically and clean" `Quick
+      (fun () ->
+        let outcome = Scenario.analyze (Extras.ipc_pair ()) in
+        check_b "no divergence" false outcome.replay.diverged;
+        check_b "clean" false (Core.Report.flagged outcome.report));
+  ]
+
+
+(* -- more corpus invariants ------------------------------------------------------ *)
+
+let more_corpus_tests =
+  [
+    Alcotest.test_case "JVM cache base matches the deterministic allocator"
+      `Quick (fun () ->
+        check "base"
+          (Faros_os.Process.heap_base + (2 * Faros_vm.Phys_mem.page_size))
+          Jit.java_cache_base);
+    Alcotest.test_case "native stub is assembled for the cache base" `Quick
+      (fun () ->
+        (* its export scan must reference the directory, and its internal
+           calls must land inside [cache, cache+len) *)
+        let stub = Payloads.applet_native_stub ~origin:Jit.java_cache_base () in
+        let listing = Faros_vm.Disasm.buffer (Bytes.of_string stub) in
+        let call_targets =
+          List.filter_map
+            (function _, Faros_vm.Isa.Call t -> Some t | _ -> None)
+            listing
+        in
+        check_b "has calls" true (call_targets <> []);
+        List.iter
+          (fun t ->
+            check_b "in-range" true
+              (t >= Jit.java_cache_base
+              && t < Jit.java_cache_base + String.length stub))
+          call_targets);
+    Alcotest.test_case "perf workloads replay deterministically" `Slow (fun () ->
+        List.iter
+          (fun (label, scn) ->
+            let _, trace = Scenario.record scn in
+            let r = Scenario.replay_plain scn trace in
+            check_b label false r.diverged)
+          (Perf.workloads ()));
+    Alcotest.test_case "transient attack leaves no payload mapping behind"
+      `Quick (fun () ->
+        match Registry.find "reflective_dll_inject_transient" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let kernel, _ = Scenario.record s.scenario in
+          let victim =
+            List.find
+              (fun (p : Faros_os.Process.t) -> p.proc_name = "notepad.exe")
+              (Faros_os.Kstate.processes kernel)
+          in
+          check_b "payload page unmapped" false
+            (Faros_vm.Mmu.is_mapped victim.space ~vaddr:Faros_os.Process.heap_base));
+    Alcotest.test_case "evasive client produces byte-identical payload" `Quick
+      (fun () ->
+        (* the laundering loop must not corrupt the payload, or the attack
+           would not work at all *)
+        match Registry.find "evasive_laundering_injection" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let popped = ref [] in
+          let _kernel, _ =
+            Faros_replay.Recorder.record ~max_ticks:s.scenario.max_ticks
+              ~plugins:(fun kernel ->
+                [
+                  Faros_replay.Plugin.make "w" ~on_os_event:(fun ev ->
+                      match ev with
+                      | Faros_os.Os_event.Popup { pid; text } ->
+                        popped :=
+                          (Faros_os.Kstate.proc_name kernel pid, text) :: !popped
+                      | _ -> ());
+                ])
+              ~setup:(Scenario.setup_record s.scenario)
+              ~boot:(Scenario.boot s.scenario)
+              ()
+          in
+          Alcotest.(check (list (pair string string)))
+            "payload executed in the victim"
+            [ ("notepad.exe", "laundered!") ]
+            !popped);
+    Alcotest.test_case "behaviour c2 feeds are consumed exactly" `Quick
+      (fun () ->
+        (* a RAT with Download+Remote_shell finishes cleanly: the feed
+           matches what the fragments recv *)
+        match Registry.find "extremerat_v2.7.1_s1" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let kernel, _ = Scenario.record s.scenario in
+          List.iter
+            (fun (p : Faros_os.Process.t) ->
+              check_b (p.proc_name ^ " clean exit") true (p.fault = None))
+            (Faros_os.Kstate.processes kernel));
+    Alcotest.test_case "RAT C2 traffic actually flows" `Quick (fun () ->
+        (* regression: an earlier bug clobbered the socket handle and every
+           behaviour send silently failed *)
+        match Registry.find "pandora_v2.2_s0" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let sends = ref 0 in
+          let _k, _ =
+            Faros_replay.Recorder.record ~max_ticks:s.scenario.max_ticks
+              ~plugins:(fun _ ->
+                [
+                  Faros_replay.Plugin.make "w" ~on_os_event:(fun ev ->
+                      match ev with
+                      | Faros_os.Os_event.Net_send _ -> incr sends
+                      | _ -> ());
+                ])
+              ~setup:(Scenario.setup_record s.scenario)
+              ~boot:(Scenario.boot s.scenario)
+              ()
+          in
+          check_b "behaviours sent traffic" true (!sends >= 4));
+    Alcotest.test_case "fig4: the full provenance life cycle" `Slow (fun () ->
+        let exp = Fig4.experiment () in
+        let outcome = Scenario.analyze exp.exp_scenario in
+        let kernel = outcome.Core.Analysis.faros.kernel in
+        check_b "no divergence" false outcome.replay.diverged;
+        (* the data really travelled: file1 holds the payload *)
+        Alcotest.(check string)
+          "file contents" Fig4.payload
+          (Faros_os.Fs.read_all kernel.fs Fig4.file1);
+        let p3 =
+          List.find
+            (fun (p : Faros_os.Process.t) -> p.proc_name = "process3.exe")
+            (Faros_os.Kstate.processes kernel)
+        in
+        let paddr =
+          Faros_vm.Mmu.translate kernel.machine.mmu
+            ~asid:(Faros_os.Process.asid p3) exp.exp_sink_vaddr
+        in
+        let prov =
+          Faros_dift.Shadow.get_mem outcome.faros.engine.shadow paddr
+        in
+        (* newest first: P3, file hops, P2, P1, netflow — the Fig. 4 chain *)
+        check_b "netflow at origin" true (Faros_dift.Provenance.has_netflow prov);
+        check_b "file hop present" true (Faros_dift.Provenance.has_file prov);
+        check "three processes touched it" 3
+          (List.length (Faros_dift.Provenance.process_indices prov));
+        (* and nothing was flagged: a legitimate multi-hop flow *)
+        check_b "clean" false (Core.Report.flagged outcome.report));
+    Alcotest.test_case "all attack images disassemble fully" `Quick (fun () ->
+        List.iter
+          (fun (s : Registry.sample) ->
+            List.iter
+              (fun (_, (img : Faros_os.Pe.t)) ->
+                List.iter
+                  (fun (sec : Faros_os.Pe.section) ->
+                    check_b (s.id ^ "/" ^ sec.sec_name) true
+                      (Faros_vm.Disasm.buffer (Bytes.of_string sec.sec_data) <> []))
+                  img.sections)
+              s.scenario.images)
+          (Registry.attacks ()));
+  ]
+
+let () =
+  Alcotest.run "faros_corpus"
+    [
+      ("payloads", payload_tests);
+      ("behaviors", behavior_tests);
+      ("registry", registry_tests);
+      ("scenarios", scenario_tests);
+      ("indirect", indirect_tests);
+      ("extras", extras_tests);
+      ("corpus-more", more_corpus_tests);
+    ]

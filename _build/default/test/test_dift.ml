@@ -1,0 +1,891 @@
+(* Tests for the DIFT library: tags, the tag store, provenance lists
+   (with qcheck properties), shadow state, Table I propagation, and the
+   engine's per-instruction and per-event semantics. *)
+
+open Faros_dift
+
+let check = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+(* -- tags ------------------------------------------------------------------ *)
+
+let arb_tag =
+  QCheck.Gen.(
+    let* i = int_range 0 0xFFFF in
+    oneofl [ Tag.Netflow i; Tag.Process i; Tag.File i; Tag.Export_table i ])
+
+let tag_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"prov_tag 3-byte encode/decode roundtrip"
+    (QCheck.make arb_tag) (fun t ->
+      let s = Tag.encode t in
+      String.length s = 3 && Tag.decode s = t)
+
+let tag_tests =
+  [
+    Alcotest.test_case "type bytes per Fig. 6" `Quick (fun () ->
+        check "netflow" 1 (Char.code (Tag.encode (Tag.Netflow 0)).[0]);
+        check "file" 2 (Char.code (Tag.encode (Tag.File 0)).[0]);
+        check "process" 3 (Char.code (Tag.encode (Tag.Process 0)).[0]);
+        check "export" 4 (Char.code (Tag.encode (Tag.Export_table 0)).[0]));
+    Alcotest.test_case "index encodes little-endian in bytes 2-3" `Quick
+      (fun () ->
+        let s = Tag.encode (Tag.Process 0xBEEF) in
+        check "lo" 0xEF (Char.code s.[1]);
+        check "hi" 0xBE (Char.code s.[2]));
+    Alcotest.test_case "oversized index rejected" `Quick (fun () ->
+        match Tag.encode (Tag.File 0x10000) with
+        | exception Tag.Bad_prov_tag _ -> ()
+        | _ -> Alcotest.fail "expected Bad_prov_tag");
+    Alcotest.test_case "bad decode rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Tag.decode s with
+            | exception Tag.Bad_prov_tag _ -> ()
+            | _ -> Alcotest.failf "accepted %S" s)
+          [ ""; "\x01\x00"; "\x07\x00\x00"; "\x00\x00\x00\x00" ]);
+    QCheck_alcotest.to_alcotest tag_roundtrip;
+  ]
+
+(* -- tag store -------------------------------------------------------------- *)
+
+let flow a b =
+  { Faros_os.Types.src_ip = a; src_port = 1; dst_ip = b; dst_port = 2 }
+
+let store_tests =
+  [
+    Alcotest.test_case "interning is stable" `Quick (fun () ->
+        let s = Tag_store.create () in
+        let t1 = Tag_store.netflow s (flow 1 2) in
+        let t2 = Tag_store.netflow s (flow 1 2) in
+        let t3 = Tag_store.netflow s (flow 3 4) in
+        check_b "same" true (Tag.equal t1 t2);
+        check_b "different" false (Tag.equal t1 t3);
+        check "count" 2 (Tag_store.netflow_count s));
+    Alcotest.test_case "reverse lookup returns the payload" `Quick (fun () ->
+        let s = Tag_store.create () in
+        (match Tag_store.process s 42 with
+        | Tag.Process i ->
+          Alcotest.(check (option int)) "cr3" (Some 42) (Tag_store.cr3_of s i)
+        | _ -> Alcotest.fail "expected process tag");
+        match Tag_store.file s ~name:"f" ~version:3 with
+        | Tag.File i -> (
+          match Tag_store.file_of s i with
+          | Some { file_name; file_version } ->
+            Alcotest.(check string) "name" "f" file_name;
+            check "version" 3 file_version
+          | None -> Alcotest.fail "missing file")
+        | _ -> Alcotest.fail "expected file tag");
+    Alcotest.test_case "file versions intern separately" `Quick (fun () ->
+        let s = Tag_store.create () in
+        let a = Tag_store.file s ~name:"f" ~version:1 in
+        let b = Tag_store.file s ~name:"f" ~version:2 in
+        check_b "distinct" false (Tag.equal a b);
+        check "two entries" 2 (Tag_store.file_count s));
+  ]
+
+(* -- provenance ------------------------------------------------------------- *)
+
+let arb_prov = QCheck.Gen.(list_size (int_range 0 10) arb_tag)
+
+let prov_union_keeps_membership =
+  QCheck.Test.make ~count:300 ~name:"union contains both operands' tags"
+    (QCheck.make QCheck.Gen.(pair arb_prov arb_prov))
+    (fun (a, b) ->
+      let u = Provenance.union a b in
+      List.for_all (fun t -> Provenance.mem t u) a
+      && List.for_all (fun t -> Provenance.mem t u) b)
+
+let prov_union_no_dups =
+  QCheck.Test.make ~count:300 ~name:"union of duplicate-free lists is duplicate-free"
+    (QCheck.make QCheck.Gen.(pair arb_prov arb_prov))
+    (fun (a, b) ->
+      (* provenance lists are only ever built by prepend/union, so they are
+         duplicate free; mirror that invariant in the inputs *)
+      let dedup l = List.sort_uniq compare l in
+      let u = Provenance.union (dedup a) (dedup b) in
+      List.length u = List.length (List.sort_uniq compare u))
+
+let prov_prepend_idempotent_head =
+  QCheck.Test.make ~count:300 ~name:"prepend of the current head is a no-op"
+    (QCheck.make QCheck.Gen.(pair arb_tag arb_prov))
+    (fun (t, p) ->
+      let p1 = Provenance.prepend t p in
+      Provenance.prepend t p1 == p1)
+
+let prov_capped =
+  QCheck.Test.make ~count:100 ~name:"length is capped"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 200) arb_tag))
+    (fun big ->
+      List.length (Provenance.union [] big) <= Provenance.max_length + 1)
+
+let prov_tests =
+  [
+    Alcotest.test_case "prepend puts newest first" `Quick (fun () ->
+        let p = Provenance.prepend (Tag.Process 1) [ Tag.Netflow 0 ] in
+        check_b "head" true (List.hd p = Tag.Process 1);
+        check "len" 2 (List.length p));
+    Alcotest.test_case "union is order preserving" `Quick (fun () ->
+        let u = Provenance.union [ Tag.Netflow 0 ] [ Tag.File 1; Tag.Netflow 0 ] in
+        Alcotest.(check bool) "order" true (u = [ Tag.Netflow 0; Tag.File 1 ]));
+    Alcotest.test_case "type queries" `Quick (fun () ->
+        let p = [ Tag.Process 1; Tag.Netflow 0; Tag.Export_table 0 ] in
+        check_b "nf" true (Provenance.has_netflow p);
+        check_b "export" true (Provenance.has_export p);
+        check_b "file" false (Provenance.has_file p);
+        check "confluence" 3 (Provenance.confluence p));
+    Alcotest.test_case "process_indices dedupes, preserves order" `Quick
+      (fun () ->
+        let p = [ Tag.Process 2; Tag.Netflow 0; Tag.Process 1; Tag.Process 2 ] in
+        Alcotest.(check (list int)) "indices" [ 2; 1 ] (Provenance.process_indices p));
+    Alcotest.test_case "empty provenance" `Quick (fun () ->
+        check_b "empty" true (Provenance.is_empty Provenance.empty);
+        check "confluence" 0 (Provenance.confluence Provenance.empty));
+    QCheck_alcotest.to_alcotest prov_union_keeps_membership;
+    QCheck_alcotest.to_alcotest prov_union_no_dups;
+    QCheck_alcotest.to_alcotest prov_prepend_idempotent_head;
+    QCheck_alcotest.to_alcotest prov_capped;
+  ]
+
+(* -- shadow + propagate ------------------------------------------------------ *)
+
+let shadow_tests =
+  [
+    Alcotest.test_case "absent means empty; empty removes" `Quick (fun () ->
+        let s = Shadow.create () in
+        check_b "empty" true (Provenance.is_empty (Shadow.get_mem s 5));
+        Shadow.set_mem s 5 [ Tag.Netflow 0 ];
+        check "one" 1 (Shadow.tainted_bytes s);
+        Shadow.set_mem s 5 [];
+        check "removed" 0 (Shadow.tainted_bytes s));
+    Alcotest.test_case "registers keyed by asid" `Quick (fun () ->
+        let s = Shadow.create () in
+        Shadow.set_reg s ~asid:1 3 [ Tag.Netflow 0 ];
+        check_b "other asid clean" true
+          (Provenance.is_empty (Shadow.get_reg s ~asid:2 3));
+        check_b "same asid tainted" false
+          (Provenance.is_empty (Shadow.get_reg s ~asid:1 3)));
+    Alcotest.test_case "range union" `Quick (fun () ->
+        let s = Shadow.create () in
+        Shadow.set_mem s 0 [ Tag.Netflow 0 ];
+        Shadow.set_mem s 2 [ Tag.File 1 ];
+        let p = Shadow.get_mem_range s 0 4 in
+        check "both" 2 (List.length p));
+    Alcotest.test_case "clear resets everything" `Quick (fun () ->
+        let s = Shadow.create () in
+        Shadow.set_mem s 0 [ Tag.Netflow 0 ];
+        Shadow.set_reg s ~asid:1 0 [ Tag.Netflow 0 ];
+        Shadow.clear s;
+        check "mem" 0 (Shadow.tainted_bytes s);
+        check "regs" 0 (Shadow.tainted_regs s));
+    Alcotest.test_case "Table I copy/union/delete" `Quick (fun () ->
+        let s = Shadow.create () in
+        Shadow.set_mem s 0 [ Tag.Netflow 0 ];
+        Shadow.set_reg s ~asid:1 2 [ Tag.File 1 ];
+        Propagate.copy s ~dst:(Propagate.Reg (1, 0)) ~src:(Propagate.Mem 0);
+        check_b "copied" true (Shadow.get_reg s ~asid:1 0 = [ Tag.Netflow 0 ]);
+        Propagate.union s ~dst:(Propagate.Mem 9) ~src1:(Propagate.Mem 0)
+          ~src2:(Propagate.Reg (1, 2));
+        check "union" 2 (List.length (Shadow.get_mem s 9));
+        Propagate.delete s (Propagate.Mem 9);
+        check_b "deleted" true (Provenance.is_empty (Shadow.get_mem s 9)));
+  ]
+
+(* -- engine ------------------------------------------------------------------ *)
+
+(* A little harness: machine + space + program, an engine with [policy], and
+   helpers to taint guest memory and read taint back. *)
+type harness = {
+  machine : Faros_vm.Machine.t;
+  space : Faros_vm.Mmu.space;
+  cpu : Faros_vm.Cpu.t;
+  engine : Engine.t;
+}
+
+let harness ?(policy = Policy.faros_default) items =
+  let machine = Faros_vm.Machine.create () in
+  let space = Faros_vm.Mmu.create_space machine.mmu ~name:"guest" in
+  Faros_vm.Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:4;
+  Faros_vm.Mmu.map machine.mmu space ~vaddr:0x7F000 ~pages:2;
+  let prog = Faros_vm.Asm.assemble ~origin:0x1000 items in
+  Faros_vm.Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+  let cpu = Faros_vm.Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0x80000 in
+  let engine = Engine.create ~policy () in
+  Faros_vm.Machine.add_exec_hook machine (fun c e -> Engine.on_exec engine c e);
+  { machine; space; cpu; engine }
+
+let run h =
+  let rec go n =
+    if n > 10_000 then Alcotest.fail "no halt"
+    else
+      match Faros_vm.Machine.step h.machine h.cpu with
+      | Ok _ when h.cpu.halted -> ()
+      | Ok _ -> go (n + 1)
+      | Error f -> Alcotest.failf "fault %a" Faros_vm.Cpu.pp_fault f
+  in
+  go 0
+
+let paddr h vaddr = Faros_vm.Mmu.translate h.machine.mmu ~asid:h.space.asid vaddr
+
+let taint_mem h vaddr prov = Shadow.set_mem h.engine.shadow (paddr h vaddr) prov
+
+let mem_prov h vaddr = Shadow.get_mem h.engine.shadow (paddr h vaddr)
+
+let reg_prov h r = Shadow.get_reg h.engine.shadow ~asid:h.space.asid r
+
+let i x = Faros_vm.Asm.I x
+let r0 = Faros_vm.Isa.r0
+let r1 = Faros_vm.Isa.r1
+let r2 = Faros_vm.Isa.r2
+let r3 = Faros_vm.Isa.r3
+
+let nf = Tag.Netflow 0
+
+let engine_tests =
+  [
+    Alcotest.test_case "load copies memory taint to register" `Quick (fun () ->
+        let h =
+          harness [ i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000)); i Faros_vm.Isa.Halt ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "r0 tainted" true (Provenance.has_netflow (reg_prov h r0));
+        (* the executing process's tag was prepended on access *)
+        check_b "process tag" true
+          (Provenance.process_indices (reg_prov h r0) <> []));
+    Alcotest.test_case "store copies register taint to memory" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Store (1, Faros_vm.Isa.abs 0x2100, r0));
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "dst tainted" true (Provenance.has_netflow (mem_prov h 0x2100)));
+    Alcotest.test_case "overwrite with clean data clears taint" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Mov_ri (r0, 0));
+              i (Faros_vm.Isa.Store (1, Faros_vm.Isa.abs 0x2000, r0));
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "cleared" true (Provenance.is_empty (mem_prov h 0x2000)));
+    Alcotest.test_case "mov_ri deletes register taint" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Mov_ri (r0, 7));
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "deleted" true (Provenance.is_empty (reg_prov h r0)));
+    Alcotest.test_case "alu union combines operand taint" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2004));
+              i (Faros_vm.Isa.Add_rr (r0, r1));
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        taint_mem h 0x2004 [ Tag.File 0 ];
+        run h;
+        check_b "nf" true (Provenance.has_netflow (reg_prov h r0));
+        check_b "file" true (Provenance.has_file (reg_prov h r0)));
+    Alcotest.test_case "xor r,r deletes taint (Table I delete)" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Xor_rr (r0, r0));
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "deleted" true (Provenance.is_empty (reg_prov h r0)));
+    Alcotest.test_case "push/pop carry taint through the stack" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Push r0);
+              i (Faros_vm.Isa.Mov_ri (r0, 0));
+              i (Faros_vm.Isa.Pop r1);
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "through stack" true (Provenance.has_netflow (reg_prov h r1)));
+    Alcotest.test_case "call's pushed return address stays clean" `Quick
+      (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000));
+              Faros_vm.Asm.Call_l "f";
+              i Faros_vm.Isa.Halt;
+              Faros_vm.Asm.Label "f";
+              i (Faros_vm.Isa.Pop r2) (* read the return address *);
+              i (Faros_vm.Isa.Jmp_r r2);
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "return addr clean" true (Provenance.is_empty (reg_prov h r2)));
+    Alcotest.test_case "address dep OFF by default (Fig. 1 undertaint)" `Quick
+      (fun () ->
+        (* r2 <- table[tainted index]: default policy loses the taint *)
+        let items =
+          [
+            i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+            i (Faros_vm.Isa.Load (1, r2, Faros_vm.Isa.indexed ~scale:1 ~disp:0x2100 r1));
+            i Faros_vm.Isa.Halt;
+          ]
+        in
+        let h = harness items in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "laundered" false (Provenance.has_netflow (reg_prov h r2)));
+    Alcotest.test_case "address dep ON propagates (Fig. 1 overtaint)" `Quick
+      (fun () ->
+        let items =
+          [
+            i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+            i (Faros_vm.Isa.Load (1, r2, Faros_vm.Isa.indexed ~scale:1 ~disp:0x2100 r1));
+            i Faros_vm.Isa.Halt;
+          ]
+        in
+        let h = harness ~policy:Policy.with_address_deps items in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "kept" true (Provenance.has_netflow (reg_prov h r2)));
+    Alcotest.test_case "minos: address dep only for 8/16-bit" `Quick (fun () ->
+        let items w =
+          [
+            i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+            i (Faros_vm.Isa.Load (w, r2, Faros_vm.Isa.indexed ~scale:1 ~disp:0x2100 r1));
+            i Faros_vm.Isa.Halt;
+          ]
+        in
+        let h1 = harness ~policy:Policy.minos (items 1) in
+        taint_mem h1 0x2000 [ nf ];
+        run h1;
+        check_b "8-bit propagates" true (Provenance.has_netflow (reg_prov h1 r2));
+        let h4 = harness ~policy:Policy.minos (items 4) in
+        taint_mem h4 0x2000 [ nf ];
+        run h4;
+        check_b "32-bit does not" false (Provenance.has_netflow (reg_prov h4 r2)));
+    Alcotest.test_case "control dep OFF by default (Fig. 2 undertaint)" `Quick
+      (fun () ->
+        (* if (tainted) r2 |= 1 — default: r2 stays clean *)
+        let items =
+          [
+            i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+            i (Faros_vm.Isa.Mov_ri (r2, 0));
+            i (Faros_vm.Isa.Mov_ri (r3, 1));
+            i (Faros_vm.Isa.Cmp_ri (r1, 0));
+            Faros_vm.Asm.Jz_l "skip";
+            i (Faros_vm.Isa.Or_rr (r2, r3));
+            Faros_vm.Asm.Label "skip";
+            i Faros_vm.Isa.Halt;
+          ]
+        in
+        let h = harness items in
+        taint_mem h 0x2000 [ nf ];
+        Faros_vm.Mmu.write_u8 h.machine.mmu ~asid:h.space.asid 0x2000 1;
+        run h;
+        check_b "clean" false (Provenance.has_netflow (reg_prov h r2)));
+    Alcotest.test_case "control dep ON taints the guarded write (Fig. 2)" `Quick
+      (fun () ->
+        let items =
+          [
+            i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+            i (Faros_vm.Isa.Mov_ri (r2, 0));
+            i (Faros_vm.Isa.Mov_ri (r3, 1));
+            i (Faros_vm.Isa.Cmp_ri (r1, 0));
+            Faros_vm.Asm.Jz_l "skip";
+            i (Faros_vm.Isa.Or_rr (r2, r3));
+            Faros_vm.Asm.Label "skip";
+            i Faros_vm.Isa.Halt;
+          ]
+        in
+        let h = harness ~policy:Policy.with_control_deps items in
+        taint_mem h 0x2000 [ nf ];
+        Faros_vm.Mmu.write_u8 h.machine.mmu ~asid:h.space.asid 0x2000 1;
+        run h;
+        check_b "tainted" true (Provenance.has_netflow (reg_prov h r2)));
+    Alcotest.test_case "immediates taint under minos" `Quick (fun () ->
+        (* code bytes tainted -> immediate inherits their provenance *)
+        let items = [ i (Faros_vm.Isa.Mov_ri (r0, 5)); i Faros_vm.Isa.Halt ] in
+        let h = harness ~policy:Policy.minos items in
+        (* taint the instruction's own bytes *)
+        for off = 0 to 5 do
+          taint_mem h (0x1000 + off) [ nf ]
+        done;
+        run h;
+        check_b "immediate tainted" true (Provenance.has_netflow (reg_prov h r0)));
+    Alcotest.test_case "instruction fetch prepends process tag to code" `Quick
+      (fun () ->
+        let h = harness [ i Faros_vm.Isa.Nop; i Faros_vm.Isa.Halt ] in
+        taint_mem h 0x1000 [ nf ];
+        run h;
+        match mem_prov h 0x1000 with
+        | Tag.Process _ :: _ -> ()
+        | p -> Alcotest.failf "expected process tag head, got %a" Provenance.pp p);
+    Alcotest.test_case "load observers see instr and data provenance" `Quick
+      (fun () ->
+        let h =
+          harness
+            [ i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000)); i Faros_vm.Isa.Halt ]
+        in
+        taint_mem h 0x2000 [ Tag.Export_table 0 ];
+        taint_mem h 0x1000 [ nf ];
+        let seen = ref [] in
+        Engine.add_load_observer h.engine (fun info -> seen := info :: !seen);
+        run h;
+        match !seen with
+        | [ info ] ->
+          check "pc" 0x1000 info.li_pc;
+          check_b "instr prov has nf" true (Provenance.has_netflow info.li_instr_prov);
+          check_b "read prov has export" true (Provenance.has_export info.li_read_prov)
+        | l -> Alcotest.failf "expected 1 load, got %d" (List.length l));
+    Alcotest.test_case "taint_export_pointers marks bytes" `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.taint_export_pointers e [ ("VirtualAlloc", [ 10; 11; 12; 13 ]) ];
+        check_b "export" true (Provenance.has_export (Shadow.get_mem e.shadow 10)));
+  ]
+
+(* -- engine events ------------------------------------------------------------ *)
+
+let no_asid _ = None
+
+let event_tests =
+  [
+    Alcotest.test_case "net_recv inserts fresh netflow tags" `Quick (fun () ->
+        let e = Engine.create () in
+        Shadow.set_mem e.shadow 100 [ Tag.File 0 ];
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.Net_recv
+             { pid = 1; flow = flow 1 2; dst_paddrs = [ 100; 101 ] });
+        let p = Shadow.get_mem e.shadow 100 in
+        check_b "netflow" true (Provenance.has_netflow p);
+        check_b "old taint overwritten" false (Provenance.has_file p));
+    Alcotest.test_case "file write then read flows provenance through the file"
+      `Quick (fun () ->
+        let e = Engine.create () in
+        Shadow.set_mem e.shadow 50 [ Tag.Netflow 7 ];
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_write
+             { pid = 1; path = "x"; version = 1; offset = 0; src_paddrs = [ 50 ] });
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_read
+             { pid = 2; path = "x"; version = 2; offset = 0; dst_paddrs = [ 90 ] });
+        let p = Shadow.get_mem e.shadow 90 in
+        check_b "netflow survives the file hop" true (Provenance.has_netflow p);
+        check_b "file tag added" true (Provenance.has_file p));
+    Alcotest.test_case "file read at an offset uses the right file bytes" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        Shadow.set_mem e.shadow 50 [ Tag.Netflow 7 ];
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_write
+             { pid = 1; path = "x"; version = 1; offset = 4; src_paddrs = [ 50 ] });
+        (* read offset 0..3: clean apart from the file tag *)
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_read
+             { pid = 2; path = "x"; version = 2; offset = 0; dst_paddrs = [ 80 ] });
+        check_b "no netflow" false
+          (Provenance.has_netflow (Shadow.get_mem e.shadow 80));
+        (* read offset 4: carries the netflow *)
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_read
+             { pid = 2; path = "x"; version = 2; offset = 4; dst_paddrs = [ 81 ] });
+        check_b "netflow" true (Provenance.has_netflow (Shadow.get_mem e.shadow 81)));
+    Alcotest.test_case "mem_copy moves taint and adds the copier's tag" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        Shadow.set_mem e.shadow 10 [ Tag.Netflow 0 ];
+        Engine.on_os_event e
+          ~resolve_asid:(fun pid -> if pid = 7 then Some 77 else None)
+          (Faros_os.Os_event.Mem_copy
+             {
+               by = 7;
+               src_pid = 7;
+               dst_pid = 8;
+               src_paddrs = [ 10; 11 ];
+               dst_paddrs = [ 20; 21 ];
+             });
+        let p = Shadow.get_mem e.shadow 20 in
+        check_b "netflow" true (Provenance.has_netflow p);
+        check_b "copier tag" true (Provenance.process_indices p <> []);
+        check_b "clean source copies clean" true
+          (Provenance.is_empty (Shadow.get_mem e.shadow 21)));
+    Alcotest.test_case "mem_copy over tainted dst clears when src clean" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        Shadow.set_mem e.shadow 20 [ Tag.Netflow 0 ];
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.Mem_copy
+             { by = 1; src_pid = 1; dst_pid = 2; src_paddrs = [ 10 ]; dst_paddrs = [ 20 ] });
+        check_b "cleared" true (Provenance.is_empty (Shadow.get_mem e.shadow 20)));
+    Alcotest.test_case "track_files=false suppresses file tags, keeps flow"
+      `Quick (fun () ->
+        let e = Engine.create ~policy:Policy.bit_taint () in
+        Shadow.set_mem e.shadow 50 [ Tag.Netflow 7 ];
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_write
+             { pid = 1; path = "x"; version = 1; offset = 0; src_paddrs = [ 50 ] });
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_read
+             { pid = 2; path = "x"; version = 2; offset = 0; dst_paddrs = [ 90 ] });
+        let p = Shadow.get_mem e.shadow 90 in
+        check_b "netflow still flows" true (Provenance.has_netflow p);
+        check_b "no file tag" false (Provenance.has_file p));
+    Alcotest.test_case "file delete clears the file shadow" `Quick (fun () ->
+        let e = Engine.create () in
+        Shadow.set_mem e.shadow 50 [ Tag.Netflow 7 ];
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_write
+             { pid = 1; path = "x"; version = 1; offset = 0; src_paddrs = [ 50 ] });
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_deleted { pid = 1; path = "x" });
+        Engine.on_os_event e ~resolve_asid:no_asid
+          (Faros_os.Os_event.File_read
+             { pid = 2; path = "x"; version = 3; offset = 0; dst_paddrs = [ 91 ] });
+        check_b "no stale flow" false
+          (Provenance.has_netflow (Shadow.get_mem e.shadow 91)));
+  ]
+
+
+(* -- more propagation semantics ----------------------------------------------- *)
+
+let more_engine_tests =
+  [
+    Alcotest.test_case "store4 taints all four destination bytes" `Quick
+      (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Store (4, Faros_vm.Isa.abs 0x2100, r0));
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        for k = 0 to 3 do
+          check_b
+            (Printf.sprintf "byte %d" k)
+            true
+            (Provenance.has_netflow (mem_prov h (0x2100 + k)))
+        done);
+    Alcotest.test_case "load2 only unions the two bytes read" `Quick (fun () ->
+        let h =
+          harness
+            [ i (Faros_vm.Isa.Load (2, r0, Faros_vm.Isa.abs 0x2000)); i Faros_vm.Isa.Halt ]
+        in
+        taint_mem h 0x2002 [ nf ] (* outside the access *);
+        run h;
+        check_b "clean" false (Provenance.has_netflow (reg_prov h r0)));
+    Alcotest.test_case "lea unions base and index register taint" `Quick
+      (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Mov_ri (r2, 4));
+              i (Faros_vm.Isa.Lea (r3, Faros_vm.Isa.indexed ~base:r1 ~scale:2 r2));
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "lea result tainted" true (Provenance.has_netflow (reg_prov h r3)));
+    Alcotest.test_case "shl_rr and mul union operand taint" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Mov_ri (r2, 3));
+              i (Faros_vm.Isa.Shl_rr (r2, r1));
+              i (Faros_vm.Isa.Mov_ri (r3, 5));
+              i (Faros_vm.Isa.Mul_rr (r3, r1));
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "shl" true (Provenance.has_netflow (reg_prov h r2));
+        check_b "mul" true (Provenance.has_netflow (reg_prov h r3)));
+    Alcotest.test_case "not preserves provenance" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+              i (Faros_vm.Isa.Not_r r1);
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "kept" true (Provenance.has_netflow (reg_prov h r1)));
+    Alcotest.test_case "control window expires" `Quick (fun () ->
+        (* a write far after the tainted conditional stays clean even under
+           the control-dep policy *)
+        let filler = List.init 40 (fun _ -> i Faros_vm.Isa.Nop) in
+        let items =
+          [
+            i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+            i (Faros_vm.Isa.Cmp_ri (r1, 0));
+            Faros_vm.Asm.Jz_l "skip";
+            Faros_vm.Asm.Label "skip";
+          ]
+          @ filler
+          @ [ i (Faros_vm.Isa.Mov_ri (r2, 0)); i (Faros_vm.Isa.Or_ri (r2, 1)); i Faros_vm.Isa.Halt ]
+        in
+        let h = harness ~policy:Policy.with_control_deps items in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        check_b "expired" false (Provenance.has_netflow (reg_prov h r2)));
+    Alcotest.test_case "engine counts processed instructions" `Quick (fun () ->
+        let h = harness [ i Faros_vm.Isa.Nop; i Faros_vm.Isa.Nop; i Faros_vm.Isa.Halt ] in
+        run h;
+        check "three" 3 h.engine.instrs_processed);
+    Alcotest.test_case "pop notifies load observers" `Quick (fun () ->
+        let h =
+          harness
+            [
+              i (Faros_vm.Isa.Mov_ri (r0, 7));
+              i (Faros_vm.Isa.Push r0);
+              i (Faros_vm.Isa.Pop r1);
+              i Faros_vm.Isa.Halt;
+            ]
+        in
+        let loads = ref 0 in
+        Engine.add_load_observer h.engine (fun _ -> incr loads);
+        run h;
+        check "one pop load" 1 !loads);
+    Alcotest.test_case "stats reflect tag store population" `Quick (fun () ->
+        let h =
+          harness
+            [ i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000)); i Faros_vm.Isa.Halt ]
+        in
+        taint_mem h 0x2000 [ nf ];
+        run h;
+        let instrs, tainted, _nf, procs, _files = Engine.stats h.engine in
+        check_b "instrs" true (instrs > 0);
+        check_b "tainted" true (tainted > 0);
+        check_b "process tag interned" true (procs >= 1));
+    Alcotest.test_case "same program, two engines, different policies differ"
+      `Quick (fun () ->
+        let items =
+          [
+            i (Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.abs 0x2000));
+            i (Faros_vm.Isa.Load (1, r2, Faros_vm.Isa.indexed ~scale:1 ~disp:0x2100 r1));
+            i Faros_vm.Isa.Halt;
+          ]
+        in
+        let run_with policy =
+          let h = harness ~policy items in
+          taint_mem h 0x2000 [ nf ];
+          run h;
+          Provenance.has_netflow (reg_prov h r2)
+        in
+        check_b "default drops" false (run_with Policy.faros_default);
+        check_b "addr-dep keeps" true (run_with Policy.with_address_deps));
+  ]
+
+
+(* -- block-batched engine equivalence --------------------------------------------- *)
+
+(* Run one replay of a real attack with two independent engines attached —
+   per-instruction and basic-block batched — and require identical shadow
+   outcomes and identical detection decisions. *)
+let block_tests =
+  [
+    Alcotest.test_case "block batching is observationally equivalent" `Slow
+      (fun () ->
+        let scn = Faros_corpus.Attack_reflective.reflective_dll_inject () in
+        let _, trace = Faros_corpus.Scenario.record scn in
+        let direct = ref None and batched = ref None in
+        let direct_flags = ref 0 and batched_flags = ref 0 in
+        ignore
+          (Faros_corpus.Scenario.replay_with scn
+             ~plugins:(fun kernel ->
+               let resolve pid =
+                 Option.map Faros_os.Process.asid (Faros_os.Kstate.proc kernel pid)
+               in
+               let e1 = Engine.create () in
+               let b = Block_engine.create () in
+               direct := Some e1;
+               batched := Some b;
+               Engine.taint_export_pointers e1
+                 kernel.exports.Faros_os.Export_table.pointers_by_name;
+               Engine.taint_export_pointers b.engine
+                 kernel.exports.Faros_os.Export_table.pointers_by_name;
+               let flag_rule counter (info : Engine.load_info) =
+                 if
+                   Provenance.has_export info.li_read_prov
+                   && Provenance.has_netflow info.li_instr_prov
+                 then incr counter
+               in
+               Engine.add_load_observer e1 (flag_rule direct_flags);
+               Engine.add_load_observer b.engine (flag_rule batched_flags);
+               [
+                 Faros_replay.Plugin.make "direct"
+                   ~on_exec:(fun cpu eff -> Engine.on_exec e1 cpu eff)
+                   ~on_os_event:(Engine.on_os_event e1 ~resolve_asid:resolve);
+                 Faros_replay.Plugin.make "batched"
+                   ~on_exec:(fun cpu eff -> Block_engine.on_exec b cpu eff)
+                   ~on_os_event:(Block_engine.on_os_event b ~resolve_asid:resolve);
+               ])
+             trace);
+        let e1 = Option.get !direct and b = Option.get !batched in
+        Block_engine.finish b;
+        check "same instruction count" e1.instrs_processed
+          b.engine.instrs_processed;
+        check "same tainted byte count" (Shadow.tainted_bytes e1.shadow)
+          (Shadow.tainted_bytes b.engine.shadow);
+        check "same flags" !direct_flags !batched_flags;
+        check_b "flags fired" true (!direct_flags > 0);
+        check_b "batching actually batched" true
+          (b.blocks_flushed < e1.instrs_processed);
+        (* byte-for-byte shadow equality *)
+        Shadow.iter_mem e1.shadow (fun paddr prov ->
+            check_b
+              (Printf.sprintf "shadow@%x" paddr)
+              true
+              (Shadow.get_mem b.engine.shadow paddr = prov)));
+    Alcotest.test_case "flush on kernel events preserves interleaving" `Quick
+      (fun () ->
+        let b = Block_engine.create () in
+        (* a pending straight-line effect must be processed before the event *)
+        let machine = Faros_vm.Machine.create () in
+        let space = Faros_vm.Mmu.create_space machine.mmu ~name:"t" in
+        Faros_vm.Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:1;
+        let prog =
+          Faros_vm.Asm.assemble ~origin:0x1000
+            [ i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x1080)) ]
+        in
+        Faros_vm.Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+        let cpu = Faros_vm.Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0 in
+        Faros_vm.Machine.add_exec_hook machine (fun c e -> Block_engine.on_exec b c e);
+        let paddr = Faros_vm.Mmu.translate machine.mmu ~asid:space.asid 0x1080 in
+        Shadow.set_mem b.engine.shadow paddr [ Tag.Netflow 0 ];
+        (match Faros_vm.Machine.step machine cpu with
+        | Ok _ -> ()
+        | Error f -> Alcotest.failf "fault %a" Faros_vm.Cpu.pp_fault f);
+        (* still pending: no branch yet *)
+        check "nothing processed yet" 0 b.engine.instrs_processed;
+        Block_engine.on_os_event b ~resolve_asid:(fun _ -> None)
+          (Faros_os.Os_event.Net_recv
+             { pid = 1; flow = flow 1 2; dst_paddrs = [ paddr ] });
+        check "flushed before the event" 1 b.engine.instrs_processed;
+        (* event then overwrote the byte with fresh netflow provenance *)
+        check_b "net_recv applied after" true
+          (Shadow.get_mem b.engine.shadow paddr = [ Tag.Netflow 0 ]));
+  ]
+
+
+(* -- engine soundness properties ---------------------------------------------------- *)
+
+(* Random straight-line programs with memory traffic inside a scratch
+   window. *)
+let arb_mem_instrs =
+  QCheck.Gen.(
+    let* r1 = int_range 0 7 in
+    let* r2 = int_range 0 7 in
+    let* v = int_range 0 0xFFFF in
+    let* off = int_range 0 0xF00 in
+    let* w = oneofl [ 1; 2; 4 ] in
+    oneofl
+      [
+        [ Faros_vm.Isa.Mov_ri (r1, v) ];
+        [ Faros_vm.Isa.Mov_rr (r1, r2) ];
+        [ Faros_vm.Isa.Add_rr (r1, r2) ];
+        [ Faros_vm.Isa.Xor_rr (r1, r2) ];
+        [ Faros_vm.Isa.And_ri (r1, v) ];
+        [ Faros_vm.Isa.Load (w, r1, Faros_vm.Isa.abs (0x2000 + off)) ];
+        [ Faros_vm.Isa.Store (w, Faros_vm.Isa.abs (0x2000 + off), r1) ];
+        (* keep the index inside the mapped scratch window *)
+        [
+          Faros_vm.Isa.And_ri (r2, 0xFF);
+          Faros_vm.Isa.Load (1, r1, Faros_vm.Isa.indexed ~scale:1 ~disp:0x2000 r2);
+        ];
+        [ Faros_vm.Isa.Push r1 ];
+        [ Faros_vm.Isa.Pop r1 ];
+      ])
+
+let arb_mem_program =
+  QCheck.Gen.(map List.concat (list_size (int_range 1 50) arb_mem_instrs))
+
+(* Pushes can outnumber pops; keep sp inside the mapped stack by resetting
+   it high and bounding program length (60 * 4 bytes << stack pages). *)
+let run_program ~policy instrs =
+  let h = harness ~policy (List.map (fun x -> i x) instrs @ [ i Faros_vm.Isa.Halt ]) in
+  (h, fun () -> run h)
+
+let no_spontaneous_taint =
+  QCheck.Test.make ~count:150
+    ~name:"no taint appears from nowhere (clean run stays clean)"
+    (QCheck.make arb_mem_program)
+    (fun instrs ->
+      let h, go = run_program ~policy:Policy.with_all_indirect instrs in
+      go ();
+      Shadow.tainted_bytes h.engine.shadow = 0
+      && Shadow.tainted_regs h.engine.shadow = 0)
+
+let tainted_mem_set h =
+  let acc = ref [] in
+  Shadow.iter_mem h.engine.shadow (fun paddr _ -> acc := paddr :: !acc);
+  List.sort_uniq compare !acc
+
+let policy_monotone =
+  QCheck.Test.make ~count:150
+    ~name:"direct-flow taint is a subset of all-indirect taint"
+    (QCheck.make arb_mem_program)
+    (fun instrs ->
+      let run policy =
+        let h, go = run_program ~policy instrs in
+        taint_mem h 0x2000 [ nf ];
+        taint_mem h 0x2001 [ nf ];
+        go ();
+        (h, tainted_mem_set h)
+      in
+      let _, base = run Policy.faros_default in
+      let h_all, all = run Policy.with_all_indirect in
+      ignore h_all;
+      List.for_all (fun p -> List.mem p all) base)
+
+let soundness_tests =
+  [
+    QCheck_alcotest.to_alcotest no_spontaneous_taint;
+    QCheck_alcotest.to_alcotest policy_monotone;
+  ]
+
+let () =
+  Alcotest.run "faros_dift"
+    [
+      ("tag", tag_tests);
+      ("tag-store", store_tests);
+      ("provenance", prov_tests);
+      ("shadow", shadow_tests);
+      ("engine", engine_tests);
+      ("engine-more", more_engine_tests);
+      ("engine-events", event_tests);
+      ("block-engine", block_tests);
+      ("soundness", soundness_tests);
+    ]

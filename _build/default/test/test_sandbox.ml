@@ -1,0 +1,304 @@
+(* Tests for the baseline tool suite: the Cuckoo-style sandbox, the memory
+   snapshot, malfind and the Volatility analogues, and the Section VI-B
+   comparison harness. *)
+
+open Faros_sandbox
+
+let check = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+(* Run a scenario live with the Cuckoo monitor attached; return kernel and
+   report. *)
+let sandboxed (scn : Faros_corpus.Scenario.t) =
+  let report = ref None in
+  let kernel, _trace =
+    Faros_replay.Recorder.record ~max_ticks:scn.max_ticks
+      ~plugins:(fun kernel ->
+        let r, plugin = Cuckoo.plugin kernel in
+        report := Some r;
+        [ plugin ])
+      ~setup:(Faros_corpus.Scenario.setup_record scn)
+      ~boot:(Faros_corpus.Scenario.boot scn)
+      ()
+  in
+  (kernel, Option.get !report)
+
+let reflective () = Faros_corpus.Attack_reflective.reflective_dll_inject ()
+
+(* -- cuckoo -------------------------------------------------------------------- *)
+
+let cuckoo_tests =
+  [
+    Alcotest.test_case "raw-syscall attack is invisible to API hooks" `Quick
+      (fun () ->
+        let _, r = sandboxed (reflective ()) in
+        check_b "no injection verdict" false (Cuckoo.flags_injection r);
+        check_b "raw syscalls went past it" true (r.raw_syscalls > 10);
+        check_b "netflow observed" true (r.netflows <> []));
+    Alcotest.test_case "API-level injector is visible but still not flagged"
+      `Quick (fun () ->
+        let _, r = sandboxed (Faros_corpus.Attack_injection.darkcomet ()) in
+        check_b "sees WriteProcessMemory" true (Cuckoo.called r "NtWriteVirtualMemory");
+        check_b "still no verdict" false (Cuckoo.flags_injection r));
+    Alcotest.test_case "benign RAT-like tool produces a rich trace" `Quick
+      (fun () ->
+        match Faros_corpus.Registry.find "remote_utility_s0" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let _, r = sandboxed s.scenario in
+          check_b "api calls" true (Cuckoo.api_call_count r > 5);
+          check_b "no verdict" false (Cuckoo.flags_injection r));
+    Alcotest.test_case "classic disk dropper IS flagged by cuckoo" `Quick
+      (fun () ->
+        (* write an executable to disk, then spawn it: the one pattern
+           event-based sandboxes catch *)
+        let open Faros_vm in
+        let open Faros_corpus in
+        let payload_image =
+          Faros_os.Pe.serialize
+            (Faros_os.Pe.of_program ~name:"mal.exe"
+               ~base:Faros_os.Process.image_base
+               [ Progs.i Isa.Halt ])
+        in
+        let dropper =
+          Faros_os.Pe.of_program ~name:"dropper.exe"
+            ~base:Faros_os.Process.image_base
+            ~imports:[ "CreateFileA"; "WriteFile"; "CreateProcessA" ]
+            (List.concat
+               [
+                 [ Progs.lbl "start"; Progs.lea_label Isa.r1 "name"; Progs.movi Isa.r2 7 ];
+                 Progs.call_api "CreateFileA";
+                 [
+                   Progs.movr Isa.r1 Isa.r0;
+                   Progs.lea_label Isa.r2 "blob";
+                   Progs.movi Isa.r3 (String.length payload_image);
+                 ];
+                 Progs.call_api "WriteFile";
+                 [
+                   Progs.lea_label Isa.r1 "name";
+                   Progs.movi Isa.r2 7;
+                   Progs.movi Isa.r3 0;
+                 ];
+                 Progs.call_api "CreateProcessA";
+                 [ Progs.halt ];
+                 Progs.cstring "name" "mal.exe";
+                 [ Asm.Align 4; Progs.lbl "blob"; Asm.Bytes payload_image ];
+               ])
+        in
+        let scn =
+          Scenario.make ~images:[ ("dropper.exe", dropper) ]
+            ~boot:[ "dropper.exe" ] "dropper"
+        in
+        let _, r = sandboxed scn in
+        check_b "dropper signature" true (Cuckoo.flags_injection r));
+  ]
+
+(* -- memdump / malfind / volatility ---------------------------------------------- *)
+
+let forensics_tests =
+  [
+    Alcotest.test_case "dump separates image, stack and private regions" `Quick
+      (fun () ->
+        let kernel, _ = sandboxed (reflective ()) in
+        let dump = Memdump.take kernel in
+        let kinds =
+          List.sort_uniq compare
+            (List.map (fun (r : Memdump.region) -> r.rg_kind) dump.regions)
+        in
+        check "three kinds" 3 (List.length kinds));
+    Alcotest.test_case "kernel region excluded from dumps" `Quick (fun () ->
+        let kernel, _ = sandboxed (reflective ()) in
+        let dump = Memdump.take kernel in
+        List.iter
+          (fun (r : Memdump.region) ->
+            check_b "below kernel" true
+              (r.rg_vaddr < Faros_os.Export_table.kernel_base))
+          dump.regions);
+    Alcotest.test_case "malfind finds the persistent injected region" `Quick
+      (fun () ->
+        let kernel, _ = sandboxed (reflective ()) in
+        let findings = Malfind.scan (Memdump.take kernel) in
+        check_b "found" true (findings <> []);
+        check_b "in the victim" true
+          (List.exists (fun f -> f.Malfind.fd_process = "notepad.exe") findings));
+    Alcotest.test_case "malfind misses the transient (self-unmapping) attack"
+      `Quick (fun () ->
+        let kernel, _ =
+          sandboxed (Faros_corpus.Attack_reflective.reflective_dll_inject ~scrub:true ())
+        in
+        let findings = Malfind.scan (Memdump.take kernel) in
+        check_b "nothing in notepad" true
+          (not (List.exists (fun f -> f.Malfind.fd_process = "notepad.exe") findings)));
+    Alcotest.test_case "malfind quiet on benign samples" `Quick (fun () ->
+        match Faros_corpus.Registry.find "skype_s0" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let kernel, _ = sandboxed s.scenario in
+          check "no findings" 0 (List.length (Malfind.scan (Memdump.take kernel))));
+    Alcotest.test_case "code_score ignores zeroed pages" `Quick (fun () ->
+        check "zeros" 0 (Malfind.code_score (String.make 256 '\000')));
+    Alcotest.test_case "pslist shows processes and states" `Quick (fun () ->
+        let kernel, _ = sandboxed (reflective ()) in
+        let entries = Volatility.pslist (Memdump.take kernel) in
+        check "two processes" 2 (List.length entries);
+        List.iter
+          (fun (e : Volatility.process_entry) ->
+            check_b "terminated" true (e.pe_state = "terminated"))
+          entries);
+    Alcotest.test_case "vadinfo flags the hollowed svchost" `Quick (fun () ->
+        let kernel, _ = sandboxed (Faros_corpus.Attack_hollowing.scenario ()) in
+        let dump = Memdump.take kernel in
+        let suspects = Volatility.hollowing_suspects dump in
+        check "one suspect" 1 (List.length suspects);
+        let entries = Volatility.pslist dump in
+        let suspect_name =
+          List.find_map
+            (fun (e : Volatility.process_entry) ->
+              if List.mem e.pe_pid suspects then Some e.pe_name else None)
+            entries
+        in
+        Alcotest.(check (option string)) "svchost" (Some "svchost.exe") suspect_name);
+    Alcotest.test_case "dlllist never shows the reflectively loaded payload"
+      `Quick (fun () ->
+        (* Section VI-B: "we failed to identify a trace of our DLL under the
+           DLL list either under the injector or the victim process" *)
+        let kernel, _ = sandboxed (reflective ()) in
+        let dump = Memdump.take kernel in
+        List.iter
+          (fun (e : Volatility.process_entry) ->
+            Alcotest.(check (list string))
+              (e.pe_name ^ " modules")
+              [ e.pe_name ]
+              (Volatility.dlllist dump e.pe_pid))
+          (Volatility.pslist dump));
+    Alcotest.test_case "dlllist does show loader-loaded DLLs" `Quick (fun () ->
+        let kernel, _ = sandboxed (Faros_corpus.Extras.dll_host ()) in
+        let dump = Memdump.take kernel in
+        match Volatility.pslist dump with
+        | [ e ] ->
+          Alcotest.(check (list string))
+            "modules"
+            [ "dll_host.exe"; "helper.dll" ]
+            (Volatility.dlllist dump e.pe_pid)
+        | _ -> Alcotest.fail "expected one process");
+    Alcotest.test_case "no hollowing suspects in clean runs" `Quick (fun () ->
+        match Faros_corpus.Registry.find "pandora_v2.2_s0" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let kernel, _ = sandboxed s.scenario in
+          check "none" 0
+            (List.length (Volatility.hollowing_suspects (Memdump.take kernel))));
+  ]
+
+(* -- comparison harness ------------------------------------------------------------ *)
+
+let compare_tests =
+  [
+    Alcotest.test_case "reflective: malfind yes, cuckoo no, faros yes+netflow"
+      `Slow (fun () ->
+        match Faros_corpus.Registry.find "reflective_dll_inject" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let v = Compare.run s in
+          check_b "cuckoo" false v.v_cuckoo;
+          check_b "malfind" true v.v_malfind;
+          check_b "faros" true v.v_faros;
+          check_b "netflow provenance" true v.v_faros_netflow);
+    Alcotest.test_case "transient: only faros" `Slow (fun () ->
+        match Faros_corpus.Registry.find "reflective_dll_inject_transient" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let v = Compare.run s in
+          check_b "cuckoo" false v.v_cuckoo;
+          check_b "malfind blind" false v.v_malfind;
+          check_b "faros" true v.v_faros);
+    Alcotest.test_case "hollowing: vadinfo agrees, provenance is file-borne"
+      `Slow (fun () ->
+        match Faros_corpus.Registry.find "process_hollowing" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let v = Compare.run s in
+          check_b "vadinfo" true v.v_hollowing_vadinfo;
+          check_b "faros" true v.v_faros;
+          check_b "no netflow link" false v.v_faros_netflow);
+  ]
+
+
+(* -- more baseline coverage -------------------------------------------------------- *)
+
+let more_sandbox_tests =
+  [
+    Alcotest.test_case "malfind threshold: short code runs are not findings"
+      `Quick (fun () ->
+        (* four instructions decode, below min_instructions *)
+        let buf = Buffer.create 16 in
+        List.iter
+          (Faros_vm.Encode.emit buf)
+          [
+            Faros_vm.Isa.Mov_ri (0, 1);
+            Faros_vm.Isa.Mov_rr (1, 0);
+            Faros_vm.Isa.Add_rr (1, 0);
+            Faros_vm.Isa.Halt;
+          ];
+        let score = Malfind.code_score (Buffer.contents buf) in
+        check_b "scored below threshold" true (score < Malfind.min_instructions));
+    Alcotest.test_case "malfind counts nops as filler, not code" `Quick
+      (fun () ->
+        (* zeros + one real instruction: still not plausible code *)
+        let data = String.make 64 '\000' ^ "\x01" in
+        check_b "low" true (Malfind.code_score data < Malfind.min_instructions));
+    Alcotest.test_case "memdump region data matches guest memory" `Quick
+      (fun () ->
+        let kernel, _ = sandboxed (Faros_corpus.Extras.dll_host ()) in
+        let dump = Memdump.take kernel in
+        let p = List.hd (Faros_os.Kstate.processes kernel) in
+        let image_region =
+          List.find
+            (fun (r : Memdump.region) -> r.rg_kind = Memdump.Image)
+            (Memdump.regions_of dump p.pid)
+        in
+        let live =
+          Faros_vm.Mmu.read_bytes kernel.machine.mmu
+            ~asid:(Faros_os.Process.asid p) image_region.rg_vaddr
+            image_region.rg_size
+        in
+        check_b "identical" true (Bytes.to_string live = image_region.rg_data));
+    Alcotest.test_case "cuckoo records the popup from the injected payload"
+      `Quick (fun () ->
+        let _, r = sandboxed (reflective ()) in
+        Alcotest.(check (list string)) "popups" [ "injected!" ] r.popups);
+    Alcotest.test_case "cuckoo sees hollowing's keylogger file activity" `Quick
+      (fun () ->
+        let _, r = sandboxed (Faros_corpus.Attack_hollowing.scenario ()) in
+        check_b "log file created" true
+          (List.mem "practicalmalware.log" r.files_created));
+    Alcotest.test_case "compare verdict for njrat matches reflective pattern"
+      `Slow (fun () ->
+        match Faros_corpus.Registry.find "njrat_injection" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let v = Compare.run s in
+          check_b "cuckoo" false v.v_cuckoo;
+          check_b "malfind" true v.v_malfind;
+          check_b "faros + netflow" true (v.v_faros && v.v_faros_netflow);
+          check_b "sites" true (v.v_faros_sites >= 1));
+    Alcotest.test_case "benign sample: everything agrees it is clean" `Slow
+      (fun () ->
+        match Faros_corpus.Registry.find "teamviewer_s0" with
+        | None -> Alcotest.fail "missing"
+        | Some s ->
+          let v = Compare.run s in
+          check_b "cuckoo" false v.v_cuckoo;
+          check_b "malfind" false v.v_malfind;
+          check_b "vadinfo" false v.v_hollowing_vadinfo;
+          check_b "faros" false v.v_faros);
+  ]
+
+let () =
+  Alcotest.run "faros_sandbox"
+    [
+      ("cuckoo", cuckoo_tests);
+      ("forensics", forensics_tests);
+      ("compare", compare_tests);
+      ("baselines-more", more_sandbox_tests);
+    ]

@@ -1,0 +1,718 @@
+(* Tests for the VM substrate: words, instruction encoding, the assembler,
+   physical memory, the MMU and the CPU's execution semantics. *)
+
+open Faros_vm
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- word ---------------------------------------------------------------- *)
+
+let word_tests =
+  [
+    Alcotest.test_case "mask wraps" `Quick (fun () ->
+        check "of_int" 0 (Word.of_int 0x100000000);
+        check "add wraps" 0 (Word.add 0xFFFFFFFF 1);
+        check "sub wraps" 0xFFFFFFFF (Word.sub 0 1));
+    Alcotest.test_case "signed reinterpretation" `Quick (fun () ->
+        check "negative" (-1) (Word.to_signed 0xFFFFFFFF);
+        check "positive" 5 (Word.to_signed 5);
+        check "min int" (-0x80000000) (Word.to_signed 0x80000000));
+    Alcotest.test_case "shifts saturate at 32" `Quick (fun () ->
+        check "shl 32" 0 (Word.shift_left 1 32);
+        check "shr 32" 0 (Word.shift_right 0xFFFFFFFF 32);
+        check "shl 31" 0x80000000 (Word.shift_left 1 31));
+    Alcotest.test_case "truncate widths" `Quick (fun () ->
+        check "w1" 0xEF (Word.truncate ~width:1 0xDEADBEEF);
+        check "w2" 0xBEEF (Word.truncate ~width:2 0xDEADBEEF);
+        check "w4" 0xDEADBEEF (Word.truncate ~width:4 0xDEADBEEF));
+    Alcotest.test_case "logical ops mask" `Quick (fun () ->
+        check "lognot" 0xFFFFFFFE (Word.lognot 1);
+        check "xor" 0 (Word.logxor 0xAAAAAAAA 0xAAAAAAAA));
+  ]
+
+(* -- encode / decode ----------------------------------------------------- *)
+
+let arb_reg = QCheck.Gen.int_range 0 (Isa.num_regs - 1)
+
+let arb_addr =
+  QCheck.Gen.(
+    let* base = opt arb_reg in
+    let* index = opt arb_reg in
+    let* scale = oneofl [ 1; 2; 4 ] in
+    let* disp = int_range 0 0xFFFFFF in
+    return { Isa.base; index; scale; disp })
+
+let arb_width = QCheck.Gen.oneofl [ 1; 2; 4 ]
+
+let arb_instr : Isa.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let* imm = int_range 0 0xFFFFFF in
+    let* r1 = arb_reg in
+    let* r2 = arb_reg in
+    let* a = arb_addr in
+    let* w = arb_width in
+    let* sh = int_range 0 31 in
+    oneofl
+      [
+        Isa.Nop;
+        Halt;
+        Mov_ri (r1, imm);
+        Mov_rr (r1, r2);
+        Load (w, r1, a);
+        Store (w, a, r1);
+        Lea (r1, a);
+        Push r1;
+        Pop r1;
+        Add_rr (r1, r2);
+        Add_ri (r1, imm);
+        Sub_rr (r1, r2);
+        Sub_ri (r1, imm);
+        Mul_rr (r1, r2);
+        And_rr (r1, r2);
+        And_ri (r1, imm);
+        Or_rr (r1, r2);
+        Or_ri (r1, imm);
+        Xor_rr (r1, r2);
+        Xor_ri (r1, imm);
+        Shl_ri (r1, sh);
+        Shr_ri (r1, sh);
+        Shl_rr (r1, r2);
+        Shr_rr (r1, r2);
+        Not_r r1;
+        Cmp_rr (r1, r2);
+        Cmp_ri (r1, imm);
+        Test_rr (r1, r2);
+        Jmp imm;
+        Jz imm;
+        Jnz imm;
+        Jl imm;
+        Jge imm;
+        Jg imm;
+        Jle imm;
+        Call imm;
+        Call_r r1;
+        Jmp_r r1;
+        Ret;
+        Syscall;
+        Int3;
+      ])
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"encode/decode roundtrip"
+    (QCheck.make arb_instr) (fun i ->
+      let b = Encode.to_bytes i in
+      let i', len = Decode.of_bytes b 0 in
+      i = i' && len = Bytes.length b)
+
+let length_prop =
+  QCheck.Test.make ~count:500 ~name:"Encode.length matches emitted bytes"
+    (QCheck.make arb_instr) (fun i ->
+      Encode.length i = Bytes.length (Encode.to_bytes i))
+
+let encode_tests =
+  [
+    Alcotest.test_case "invalid opcode rejected" `Quick (fun () ->
+        Alcotest.check_raises "0xFF"
+          (Decode.Invalid_opcode 0xFF)
+          (fun () -> ignore (Decode.of_bytes (Bytes.of_string "\xFF") 0)));
+    Alcotest.test_case "bad register rejected by encoder" `Quick (fun () ->
+        match Encode.to_bytes (Isa.Push 12) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "scaled-index-base encodes scale" `Quick (fun () ->
+        let a = Isa.indexed ~base:Isa.r1 ~scale:4 Isa.r2 in
+        let i = Isa.Load (4, Isa.r0, a) in
+        let i', _ = Decode.of_bytes (Encode.to_bytes i) 0 in
+        Alcotest.(check bool) "roundtrip" true (i = i'));
+    QCheck_alcotest.to_alcotest roundtrip_prop;
+    QCheck_alcotest.to_alcotest length_prop;
+  ]
+
+(* -- assembler ----------------------------------------------------------- *)
+
+let asm_tests =
+  [
+    Alcotest.test_case "labels resolve forward and back" `Quick (fun () ->
+        let prog =
+          Asm.assemble ~origin:0x1000
+            [
+              Asm.Label "a";
+              Asm.Jmp_l "b";
+              Asm.Label "b";
+              Asm.Jmp_l "a";
+            ]
+        in
+        check "a" 0x1000 (Asm.lookup prog "a");
+        check "b" 0x1005 (Asm.lookup prog "b");
+        let i, _ = Decode.of_bytes prog.code 0 in
+        Alcotest.(check bool) "jmp to b" true (i = Isa.Jmp 0x1005));
+    Alcotest.test_case "duplicate label rejected" `Quick (fun () ->
+        Alcotest.check_raises "dup" (Asm.Duplicate_label "x") (fun () ->
+            ignore (Asm.assemble ~origin:0 [ Asm.Label "x"; Asm.Label "x" ])));
+    Alcotest.test_case "undefined label rejected" `Quick (fun () ->
+        Alcotest.check_raises "undef" (Asm.Undefined_label "nope") (fun () ->
+            ignore (Asm.assemble ~origin:0 [ Asm.Jmp_l "nope" ])));
+    Alcotest.test_case "align pads to boundary" `Quick (fun () ->
+        let prog =
+          Asm.assemble ~origin:0
+            [ Asm.Bytes "abc"; Asm.Align 4; Asm.Label "here"; Asm.U32 7 ]
+        in
+        check "here" 4 (Asm.lookup prog "here");
+        check "len" 8 (Asm.length prog));
+    Alcotest.test_case "align at boundary is a no-op" `Quick (fun () ->
+        let prog =
+          Asm.assemble ~origin:0 [ Asm.Bytes "abcd"; Asm.Align 4; Asm.Label "x" ]
+        in
+        check "x" 4 (Asm.lookup prog "x"));
+    Alcotest.test_case "u32_label emits the address" `Quick (fun () ->
+        let prog =
+          Asm.assemble ~origin:0x400000
+            [ Asm.U32_label "t"; Asm.Label "t"; Asm.Bytes "z" ]
+        in
+        let v =
+          Char.code (Bytes.get prog.code 0)
+          lor (Char.code (Bytes.get prog.code 1) lsl 8)
+          lor (Char.code (Bytes.get prog.code 2) lsl 16)
+          lor (Char.code (Bytes.get prog.code 3) lsl 24)
+        in
+        check "value" 0x400004 v);
+    Alcotest.test_case "space emits zeros" `Quick (fun () ->
+        let prog = Asm.assemble ~origin:0 [ Asm.Space 5 ] in
+        check "len" 5 (Asm.length prog);
+        Bytes.iter (fun c -> check "zero" 0 (Char.code c)) prog.code);
+    Alcotest.test_case "mov_label loads label address" `Quick (fun () ->
+        let prog =
+          Asm.assemble ~origin:0x100
+            [ Asm.Mov_label (Isa.r3, "d"); Asm.Label "d"; Asm.U32 0 ]
+        in
+        let i, _ = Decode.of_bytes prog.code 0 in
+        Alcotest.(check bool) "mov" true (i = Isa.Mov_ri (Isa.r3, 0x106)));
+  ]
+
+(* -- physical memory and MMU ---------------------------------------------- *)
+
+let mem_tests =
+  [
+    Alcotest.test_case "frame allocation is zeroed" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        let pfn = Phys_mem.alloc_frame m in
+        check "zero" 0 (Phys_mem.read_u8 m (pfn * Phys_mem.page_size)));
+    Alcotest.test_case "read/write widths little-endian" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        let _ = Phys_mem.alloc_frame m in
+        Phys_mem.write ~width:4 m 0 0xDEADBEEF;
+        check "u8" 0xEF (Phys_mem.read_u8 m 0);
+        check "u16" 0xBEEF (Phys_mem.read ~width:2 m 0);
+        check "u32" 0xDEADBEEF (Phys_mem.read ~width:4 m 0));
+    Alcotest.test_case "bad frame raises" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        Alcotest.check_raises "bad" (Phys_mem.Bad_frame 9) (fun () ->
+            ignore (Phys_mem.read_u8 m (9 * Phys_mem.page_size))));
+    Alcotest.test_case "mmu translate and page fault" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        let mmu = Mmu.create m in
+        let s = Mmu.create_space mmu ~name:"p" in
+        Mmu.map mmu s ~vaddr:0x400000 ~pages:2;
+        Mmu.write_u8 mmu ~asid:s.asid 0x400005 0xAB;
+        check "read" 0xAB (Mmu.read_u8 mmu ~asid:s.asid 0x400005);
+        Alcotest.check_raises "fault"
+          (Mmu.Page_fault { asid = s.asid; vaddr = 0x500000 })
+          (fun () -> ignore (Mmu.read_u8 mmu ~asid:s.asid 0x500000)));
+    Alcotest.test_case "cross-page access" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        let mmu = Mmu.create m in
+        let s = Mmu.create_space mmu ~name:"p" in
+        Mmu.map mmu s ~vaddr:0x400000 ~pages:2;
+        let boundary = 0x400000 + Phys_mem.page_size - 2 in
+        Mmu.write ~width:4 mmu ~asid:s.asid boundary 0x11223344;
+        check "read back" 0x11223344 (Mmu.read ~width:4 mmu ~asid:s.asid boundary));
+    Alcotest.test_case "shared frames alias across spaces" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        let mmu = Mmu.create m in
+        let a = Mmu.create_space mmu ~name:"a" in
+        let b = Mmu.create_space mmu ~name:"b" in
+        Mmu.map mmu a ~vaddr:0x1000 ~pages:1;
+        Mmu.map_frames b ~vaddr:0x8000 (Mmu.frames_of a ~vaddr:0x1000 ~pages:1);
+        Mmu.write_u8 mmu ~asid:a.asid 0x1004 0x42;
+        check "alias" 0x42 (Mmu.read_u8 mmu ~asid:b.asid 0x8004);
+        check "same phys" (Mmu.translate mmu ~asid:a.asid 0x1004)
+          (Mmu.translate mmu ~asid:b.asid 0x8004));
+    Alcotest.test_case "unmap removes pages" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        let mmu = Mmu.create m in
+        let s = Mmu.create_space mmu ~name:"p" in
+        Mmu.map mmu s ~vaddr:0x1000 ~pages:1;
+        Mmu.unmap s ~vaddr:0x1000 ~pages:1;
+        check_bool "unmapped" false (Mmu.is_mapped s ~vaddr:0x1000));
+    Alcotest.test_case "mapped_ranges coalesces" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        let mmu = Mmu.create m in
+        let s = Mmu.create_space mmu ~name:"p" in
+        Mmu.map mmu s ~vaddr:0x1000 ~pages:2;
+        Mmu.map mmu s ~vaddr:0x5000 ~pages:1;
+        let ranges = Mmu.mapped_ranges s in
+        Alcotest.(check (list (pair int int)))
+          "ranges"
+          [ (0x1000, 2 * Phys_mem.page_size); (0x5000, Phys_mem.page_size) ]
+          ranges);
+    Alcotest.test_case "phys_range is byte exact" `Quick (fun () ->
+        let m = Phys_mem.create () in
+        let mmu = Mmu.create m in
+        let s = Mmu.create_space mmu ~name:"p" in
+        Mmu.map mmu s ~vaddr:0x1000 ~pages:1;
+        check "len" 4 (List.length (Mmu.phys_range mmu ~asid:s.asid 0x1000 4)));
+  ]
+
+(* -- CPU ------------------------------------------------------------------ *)
+
+(* Run [items] to completion on a fresh machine; returns (cpu, machine,
+   space). *)
+let exec ?(max_steps = 10_000) items =
+  let machine = Machine.create () in
+  let space = Mmu.create_space machine.mmu ~name:"t" in
+  Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:4;
+  Mmu.map machine.mmu space ~vaddr:0x7F000 ~pages:4;
+  let prog = Asm.assemble ~origin:0x1000 items in
+  Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+  let cpu = Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:(0x7F000 + 0x3FF0) in
+  let rec go n =
+    if n >= max_steps then Alcotest.fail "program did not halt"
+    else
+      match Machine.step machine cpu with
+      | Ok _ when cpu.halted -> ()
+      | Ok _ -> go (n + 1)
+      | Error f -> Alcotest.failf "fault: %a" Cpu.pp_fault f
+  in
+  go 0;
+  (cpu, machine, space)
+
+let i x = Asm.I x
+
+let cpu_tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 7));
+              i (Isa.Mov_ri (Isa.r1, 5));
+              i (Isa.Add_rr (Isa.r0, Isa.r1));
+              i (Isa.Mul_rr (Isa.r0, Isa.r1));
+              i (Isa.Sub_ri (Isa.r0, 10));
+              i Isa.Halt;
+            ]
+        in
+        check "r0" 50 (Cpu.get cpu Isa.r0));
+    Alcotest.test_case "logic and shifts" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 0xF0));
+              i (Isa.Or_ri (Isa.r0, 0x0F));
+              i (Isa.Shl_ri (Isa.r0, 8));
+              i (Isa.Shr_ri (Isa.r0, 4));
+              i (Isa.And_ri (Isa.r0, 0xFF0));
+              i (Isa.Not_r Isa.r0);
+              i Isa.Halt;
+            ]
+        in
+        check "r0" (Word.lognot 0xFF0) (Cpu.get cpu Isa.r0));
+    Alcotest.test_case "xor self zeroes" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r2, 123));
+              i (Isa.Xor_rr (Isa.r2, Isa.r2));
+              i Isa.Halt;
+            ]
+        in
+        check "r2" 0 (Cpu.get cpu Isa.r2));
+    Alcotest.test_case "load/store with scaled index" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r1, 0x2000));
+              i (Isa.Mov_ri (Isa.r2, 3));
+              i (Isa.Mov_ri (Isa.r3, 0xAB));
+              i (Isa.Store (1, Isa.indexed ~base:Isa.r1 ~scale:4 Isa.r2, Isa.r3));
+              i (Isa.Load (1, Isa.r4, Isa.abs (0x2000 + 12)));
+              i Isa.Halt;
+            ]
+        in
+        check "r4" 0xAB (Cpu.get cpu Isa.r4));
+    Alcotest.test_case "store truncates to width" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r1, 0x11223344));
+              i (Isa.Store (2, Isa.abs 0x2000, Isa.r1));
+              i (Isa.Load (4, Isa.r2, Isa.abs 0x2000));
+              i Isa.Halt;
+            ]
+        in
+        check "r2" 0x3344 (Cpu.get cpu Isa.r2));
+    Alcotest.test_case "conditional branches (signed)" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 0xFFFFFFFF)) (* -1 *);
+              i (Isa.Cmp_ri (Isa.r0, 1));
+              Asm.Jl_l "less";
+              i (Isa.Mov_ri (Isa.r1, 111));
+              i Isa.Halt;
+              Asm.Label "less";
+              i (Isa.Mov_ri (Isa.r1, 222));
+              i Isa.Halt;
+            ]
+        in
+        check "took signed-less branch" 222 (Cpu.get cpu Isa.r1));
+    Alcotest.test_case "loop with counter" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 0));
+              i (Isa.Mov_ri (Isa.r1, 10));
+              Asm.Label "loop";
+              i (Isa.Add_ri (Isa.r0, 2));
+              i (Isa.Sub_ri (Isa.r1, 1));
+              i (Isa.Cmp_ri (Isa.r1, 0));
+              Asm.Jnz_l "loop";
+              i Isa.Halt;
+            ]
+        in
+        check "r0" 20 (Cpu.get cpu Isa.r0));
+    Alcotest.test_case "call/ret and stack" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 1));
+              Asm.Call_l "f";
+              i (Isa.Add_ri (Isa.r0, 100));
+              i Isa.Halt;
+              Asm.Label "f";
+              i (Isa.Add_ri (Isa.r0, 10));
+              i Isa.Ret;
+            ]
+        in
+        check "r0" 111 (Cpu.get cpu Isa.r0));
+    Alcotest.test_case "push/pop preserve values" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 42));
+              i (Isa.Push Isa.r0);
+              i (Isa.Mov_ri (Isa.r0, 0));
+              i (Isa.Pop Isa.r1);
+              i Isa.Halt;
+            ]
+        in
+        check "r1" 42 (Cpu.get cpu Isa.r1));
+    Alcotest.test_case "lea computes effective address" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r1, 0x100));
+              i (Isa.Mov_ri (Isa.r2, 4));
+              i (Isa.Lea (Isa.r3, Isa.indexed ~base:Isa.r1 ~scale:2 ~disp:1 Isa.r2));
+              i Isa.Halt;
+            ]
+        in
+        check "r3" 0x109 (Cpu.get cpu Isa.r3));
+    Alcotest.test_case "call through register" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              Asm.Mov_label (Isa.r5, "f");
+              i (Isa.Call_r Isa.r5);
+              i Isa.Halt;
+              Asm.Label "f";
+              i (Isa.Mov_ri (Isa.r0, 77));
+              i Isa.Ret;
+            ]
+        in
+        check "r0" 77 (Cpu.get cpu Isa.r0));
+    Alcotest.test_case "page fault reported with address" `Quick (fun () ->
+        let machine = Machine.create () in
+        let space = Mmu.create_space machine.mmu ~name:"t" in
+        Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:1;
+        let prog =
+          Asm.assemble ~origin:0x1000 [ i (Isa.Load (4, Isa.r0, Isa.abs 0xDEAD000)) ]
+        in
+        Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+        let cpu = Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0 in
+        (match Machine.step machine cpu with
+        | Error (Cpu.Fault_page v) -> check "vaddr" 0xDEAD000 v
+        | _ -> Alcotest.fail "expected page fault");
+        check "pc unchanged" 0x1000 cpu.pc);
+    Alcotest.test_case "invalid opcode faults" `Quick (fun () ->
+        let machine = Machine.create () in
+        let space = Mmu.create_space machine.mmu ~name:"t" in
+        Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:1;
+        Mmu.write_u8 machine.mmu ~asid:space.asid 0x1000 0xEE;
+        let cpu = Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0 in
+        match Machine.step machine cpu with
+        | Error (Cpu.Fault_decode pc) -> check "pc" 0x1000 pc
+        | _ -> Alcotest.fail "expected decode fault");
+    Alcotest.test_case "effects report loads and stores" `Quick (fun () ->
+        let machine = Machine.create () in
+        let space = Mmu.create_space machine.mmu ~name:"t" in
+        Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:2;
+        let prog =
+          Asm.assemble ~origin:0x1000
+            [
+              i (Isa.Mov_ri (Isa.r1, 0x1800));
+              i (Isa.Store (4, Isa.based Isa.r1, Isa.r1));
+              i (Isa.Load (2, Isa.r2, Isa.based Isa.r1));
+            ]
+        in
+        Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+        let cpu = Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0 in
+        let effects = ref [] in
+        Machine.add_exec_hook machine (fun _ e -> effects := e :: !effects);
+        for _ = 1 to 3 do
+          match Machine.step machine cpu with
+          | Ok _ -> ()
+          | Error f -> Alcotest.failf "fault %a" Cpu.pp_fault f
+        done;
+        match List.rev !effects with
+        | [ mov; store; load ] ->
+          check "mov no mem" 0 (List.length mov.Cpu.e_loads + List.length mov.e_stores);
+          (match store.e_stores with
+          | [ acc ] ->
+            check "store width" 4 acc.width;
+            check "store vaddr" 0x1800 acc.vaddr
+          | _ -> Alcotest.fail "store effects");
+          (match load.e_loads with
+          | [ acc ] -> check "load width" 2 acc.width
+          | _ -> Alcotest.fail "load effects");
+          check "code bytes reported" (Encode.length (Isa.Mov_ri (Isa.r1, 0)))
+            (List.length mov.e_code_paddrs)
+        | _ -> Alcotest.fail "expected three effects");
+    Alcotest.test_case "halted cpu refuses to step" `Quick (fun () ->
+        let cpu, machine, _ = exec [ i Isa.Halt ] in
+        match Machine.step machine cpu with
+        | Error Cpu.Fault_halted -> ()
+        | _ -> Alcotest.fail "expected halted fault");
+    Alcotest.test_case "int3 reports breakpoint" `Quick (fun () ->
+        let machine = Machine.create () in
+        let space = Mmu.create_space machine.mmu ~name:"t" in
+        Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:1;
+        let prog = Asm.assemble ~origin:0x1000 [ i Isa.Int3 ] in
+        Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+        let cpu = Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0 in
+        match Machine.step machine cpu with
+        | Error Cpu.Fault_breakpoint -> ()
+        | _ -> Alcotest.fail "expected breakpoint");
+  ]
+
+(* -- disassembler --------------------------------------------------------- *)
+
+let disasm_tests =
+  [
+    Alcotest.test_case "renders operands" `Quick (fun () ->
+        Alcotest.(check string)
+          "load" "load4 r0, [r5+0x8]"
+          (Disasm.to_string
+             (Isa.Load (4, Isa.r0, Isa.based ~disp:8 Isa.r5)));
+        Alcotest.(check string) "mov" "mov r1, 0x2a" (Disasm.to_string (Isa.Mov_ri (1, 42))));
+    Alcotest.test_case "buffer disassembly stops at invalid" `Quick (fun () ->
+        let buf = Bytes.of_string "\x00\x01\xFF" in
+        let listing = Disasm.buffer buf in
+        check "two instructions" 2 (List.length listing));
+  ]
+
+
+(* -- reference-interpreter property -------------------------------------- *)
+
+(* A pure OCaml evaluator for straight-line ALU programs: the ground truth
+   the CPU must agree with on randomly generated instruction sequences. *)
+let reference_eval instrs =
+  let regs = Array.make Isa.num_regs 0 in
+  List.iter
+    (fun (i : Isa.t) ->
+      match i with
+      | Mov_ri (r, v) -> regs.(r) <- Word.of_int v
+      | Mov_rr (a, b) -> regs.(a) <- regs.(b)
+      | Add_rr (a, b) -> regs.(a) <- Word.add regs.(a) regs.(b)
+      | Add_ri (a, v) -> regs.(a) <- Word.add regs.(a) v
+      | Sub_rr (a, b) -> regs.(a) <- Word.sub regs.(a) regs.(b)
+      | Sub_ri (a, v) -> regs.(a) <- Word.sub regs.(a) v
+      | Mul_rr (a, b) -> regs.(a) <- Word.mul regs.(a) regs.(b)
+      | And_rr (a, b) -> regs.(a) <- Word.logand regs.(a) regs.(b)
+      | And_ri (a, v) -> regs.(a) <- Word.logand regs.(a) v
+      | Or_rr (a, b) -> regs.(a) <- Word.logor regs.(a) regs.(b)
+      | Or_ri (a, v) -> regs.(a) <- Word.logor regs.(a) v
+      | Xor_rr (a, b) -> regs.(a) <- Word.logxor regs.(a) regs.(b)
+      | Xor_ri (a, v) -> regs.(a) <- Word.logxor regs.(a) v
+      | Shl_ri (a, v) -> regs.(a) <- Word.shift_left regs.(a) v
+      | Shr_ri (a, v) -> regs.(a) <- Word.shift_right regs.(a) v
+      | Not_r a -> regs.(a) <- Word.lognot regs.(a)
+      | _ -> invalid_arg "reference_eval: not straight-line ALU")
+    instrs;
+  regs
+
+let arb_gpr = QCheck.Gen.int_range 0 7
+
+let arb_alu_instr : Isa.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let* a = arb_gpr in
+    let* b = arb_gpr in
+    let* v = int_range 0 0xFFFFFF in
+    let* sh = int_range 0 31 in
+    oneofl
+      [
+        Isa.Mov_ri (a, v);
+        Mov_rr (a, b);
+        Add_rr (a, b);
+        Add_ri (a, v);
+        Sub_rr (a, b);
+        Sub_ri (a, v);
+        Mul_rr (a, b);
+        And_rr (a, b);
+        And_ri (a, v);
+        Or_rr (a, b);
+        Or_ri (a, v);
+        Xor_rr (a, b);
+        Xor_ri (a, v);
+        Shl_ri (a, sh);
+        Shr_ri (a, sh);
+        Not_r a;
+      ])
+
+let cpu_vs_reference =
+  QCheck.Test.make ~count:200 ~name:"CPU agrees with the reference evaluator"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) arb_alu_instr))
+    (fun instrs ->
+      let expected = reference_eval instrs in
+      let cpu, _, _ = exec (List.map (fun x -> i x) instrs @ [ i Isa.Halt ]) in
+      List.for_all (fun r -> expected.(r) = Cpu.get cpu r) [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let assemble_disasm_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"assembled programs disassemble to the same instructions"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 30) arb_alu_instr))
+    (fun instrs ->
+      let prog = Asm.assemble ~origin:0 (List.map (fun x -> Asm.I x) instrs) in
+      List.map snd (Disasm.buffer prog.code) = instrs)
+
+let more_cpu_tests =
+  [
+    QCheck_alcotest.to_alcotest cpu_vs_reference;
+    QCheck_alcotest.to_alcotest assemble_disasm_roundtrip;
+    Alcotest.test_case "push adjusts sp down, pop back up" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_rr (Isa.r5, Isa.sp));
+              i (Isa.Mov_ri (Isa.r0, 1));
+              i (Isa.Push Isa.r0);
+              i (Isa.Push Isa.r0);
+              i (Isa.Pop Isa.r1);
+              i (Isa.Pop Isa.r1);
+              i (Isa.Mov_rr (Isa.r6, Isa.sp));
+              i Isa.Halt;
+            ]
+        in
+        check "sp restored" (Cpu.get cpu Isa.r5) (Cpu.get cpu Isa.r6));
+    Alcotest.test_case "jg/jle are signed and strict" `Quick (fun () ->
+        let run_branch v w =
+          let cpu, _, _ =
+            exec
+              [
+                i (Isa.Mov_ri (Isa.r0, v));
+                i (Isa.Cmp_ri (Isa.r0, w));
+                Asm.Jg_l "greater";
+                i (Isa.Mov_ri (Isa.r1, 0));
+                i Isa.Halt;
+                Asm.Label "greater";
+                i (Isa.Mov_ri (Isa.r1, 1));
+                i Isa.Halt;
+              ]
+          in
+          Cpu.get cpu Isa.r1
+        in
+        check "5 > 3" 1 (run_branch 5 3);
+        check "3 > 3 is false" 0 (run_branch 3 3);
+        check "-1 > 3 is false (signed)" 0 (run_branch 0xFFFFFFFF 3));
+    Alcotest.test_case "test_rr sets zf without writing" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 0xF0));
+              i (Isa.Mov_ri (Isa.r1, 0x0F));
+              i (Isa.Test_rr (Isa.r0, Isa.r1));
+              Asm.Jz_l "zero";
+              i (Isa.Mov_ri (Isa.r2, 1));
+              i Isa.Halt;
+              Asm.Label "zero";
+              i (Isa.Mov_ri (Isa.r2, 2));
+              i Isa.Halt;
+            ]
+        in
+        check "disjoint masks give zf" 2 (Cpu.get cpu Isa.r2);
+        check "operand untouched" 0xF0 (Cpu.get cpu Isa.r0));
+    Alcotest.test_case "16-bit load reads exactly two bytes" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 0x11223344));
+              i (Isa.Store (4, Isa.abs 0x2000, Isa.r0));
+              i (Isa.Load (2, Isa.r1, Isa.abs 0x2001));
+              i Isa.Halt;
+            ]
+        in
+        check "middle bytes" 0x2233 (Cpu.get cpu Isa.r1));
+    Alcotest.test_case "nested calls return correctly" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [
+              i (Isa.Mov_ri (Isa.r0, 0));
+              Asm.Call_l "outer";
+              i Isa.Halt;
+              Asm.Label "outer";
+              i (Isa.Add_ri (Isa.r0, 1));
+              Asm.Call_l "inner";
+              i (Isa.Add_ri (Isa.r0, 100));
+              i Isa.Ret;
+              Asm.Label "inner";
+              i (Isa.Add_ri (Isa.r0, 10));
+              i Isa.Ret;
+            ]
+        in
+        check "r0" 111 (Cpu.get cpu Isa.r0));
+    Alcotest.test_case "conditional effect reports taken flag" `Quick (fun () ->
+        let machine = Machine.create () in
+        let space = Mmu.create_space machine.mmu ~name:"t" in
+        Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:1;
+        let prog =
+          Asm.assemble ~origin:0x1000
+            [ i (Isa.Cmp_ri (Isa.r0, 0)); Asm.Jz_l "t"; Asm.Label "t"; i Isa.Halt ]
+        in
+        Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+        let cpu = Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0 in
+        (match Machine.step machine cpu with
+        | Ok eff -> Alcotest.(check (option bool)) "no branch" None eff.e_taken
+        | Error _ -> Alcotest.fail "fault");
+        match Machine.step machine cpu with
+        | Ok eff -> Alcotest.(check (option bool)) "taken" (Some true) eff.e_taken
+        | Error _ -> Alcotest.fail "fault");
+    Alcotest.test_case "arithmetic wraps at 32 bits" `Quick (fun () ->
+        let cpu, _, _ =
+          exec
+            [ i (Isa.Mov_ri (Isa.r3, 0xFFFFFFFF)); i (Isa.Add_ri (Isa.r3, 2)); i Isa.Halt ]
+        in
+        check "wrap" 1 (Cpu.get cpu Isa.r3));
+  ]
+
+let () =
+  Alcotest.run "faros_vm"
+    [
+      ("word", word_tests);
+      ("encode", encode_tests);
+      ("asm", asm_tests);
+      ("memory", mem_tests);
+      ("cpu", cpu_tests);
+      ("cpu-more", more_cpu_tests);
+      ("disasm", disasm_tests);
+    ]
