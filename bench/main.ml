@@ -67,8 +67,8 @@ let table1 () =
       { src_ip = 0x01020304; src_port = 4444; dst_ip = 0x05060708; dst_port = 49162 }
   in
   let ft = Tag_store.file store ~name:"a.txt" ~version:1 in
-  Shadow.set_mem shadow 0x100 [ nf ];
-  Shadow.set_mem shadow 0x101 [ ft ];
+  Shadow.set_mem shadow 0x100 (Provenance.singleton nf);
+  Shadow.set_mem shadow 0x101 (Provenance.singleton ft);
   Propagate.copy shadow ~dst:(Propagate.Mem 0x200) ~src:(Propagate.Mem 0x100);
   Fmt.pf pp "copy(a, b)     prov(a) <- prov(b)            : %a@." Provenance.pp
     (Shadow.get_mem shadow 0x200);
@@ -444,6 +444,90 @@ let memory () =
 
 (* -- bechamel micro-benchmarks ------------------------------------------- *)
 
+(* The pre-interning representation, kept as the measurement baseline for
+   the before/after comparison: provenance as raw tag lists with the old
+   append-and-cap union, and shadow memory as a per-byte hashtable. *)
+module List_prov = struct
+  let cap l = List.filteri (fun i _ -> i < Faros_dift.Provenance.max_length) l
+
+  let union a b = cap (a @ List.filter (fun t -> not (List.mem t a)) b)
+
+  let prepend tag l =
+    match l with
+    | hd :: _ when Faros_dift.Tag.equal hd tag -> l
+    | _ -> cap (tag :: l)
+end
+
+module Hashtbl_shadow = struct
+  type t = (int, Faros_dift.Tag.t list) Hashtbl.t
+
+  let create () : t = Hashtbl.create 1024
+
+  let set_mem h paddr prov =
+    if prov = [] then Hashtbl.remove h paddr else Hashtbl.replace h paddr prov
+
+  let get_mem h paddr = Option.value ~default:[] (Hashtbl.find_opt h paddr)
+
+  let get_mem_range h paddr width =
+    let acc = ref [] in
+    for i = 0 to width - 1 do
+      acc := List_prov.union !acc (get_mem h (paddr + i))
+    done;
+    !acc
+end
+
+(* Steady-state speedup of the interned hot-path operations over the list /
+   per-byte-hashtable baseline, measured directly: the same operands hit the
+   memo tables every iteration, exactly as a replay's inner loop does. *)
+let micro_speedups () =
+  let open Faros_dift in
+  let time_op ~iters f =
+    (* warm up (fill memo tables / allocate pages), then time *)
+    f ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let iters = 200_000 in
+  let tags_a = List.init 8 (fun i -> Tag.Process i)
+  and tags_b = List.init 8 (fun i -> Tag.File i) in
+  let pa = Provenance.of_list tags_a and pb = Provenance.of_list tags_b in
+  let nf = Tag.Netflow 0 in
+  (* shadows with identically-tainted 4 KiB regions *)
+  let width = 256 in
+  let paged = Shadow.create () in
+  Shadow.set_mem_range paged 0 4096 (Provenance.of_list [ nf; Tag.Process 1 ]);
+  let perbyte = Hashtbl_shadow.create () in
+  for a = 0 to 4095 do
+    Hashtbl_shadow.set_mem perbyte a [ nf; Tag.Process 1 ]
+  done;
+  let rows =
+    [
+      ( "prepend",
+        time_op ~iters (fun () -> ignore (List_prov.prepend nf tags_a)),
+        time_op ~iters (fun () -> ignore (Provenance.prepend nf pa)) );
+      ( "union",
+        time_op ~iters (fun () -> ignore (List_prov.union tags_a tags_b)),
+        time_op ~iters (fun () -> ignore (Provenance.union pa pb)) );
+      ( Printf.sprintf "get_mem_range(%db)" width,
+        time_op ~iters (fun () ->
+            ignore (Hashtbl_shadow.get_mem_range perbyte 0 width)),
+        time_op ~iters (fun () -> ignore (Shadow.get_mem_range paged 0 width))
+      );
+    ]
+  in
+  Fmt.pf pp "@.steady-state speedup over the list/per-byte-hashtbl baseline:@.";
+  Fmt.pf pp "%-22s %-16s %-16s %s@." "operation" "baseline ns/op"
+    "interned ns/op" "speedup";
+  List.iter
+    (fun (name, t_base, t_new) ->
+      let per t = t /. float_of_int iters *. 1e9 in
+      Fmt.pf pp "%-22s %-16.1f %-16.1f %.1fx@." name (per t_base) (per t_new)
+        (t_base /. t_new))
+    rows
+
 let micro () =
   section "Bechamel micro-benchmarks (engine primitives and whole-sample runs)";
   let open Bechamel in
@@ -454,13 +538,29 @@ let micro () =
     Faros_dift.Tag_store.netflow store
       { src_ip = 1; src_port = 2; dst_ip = 3; dst_port = 4 }
   in
-  Faros_dift.Shadow.set_mem shadow 0 [ nf ];
-  let prov_a = List.init 8 (fun i -> Faros_dift.Tag.Process i)
-  and prov_b = List.init 8 (fun i -> Faros_dift.Tag.File i) in
+  Faros_dift.Shadow.set_mem shadow 0 (Faros_dift.Provenance.singleton nf);
+  let tags_a = List.init 8 (fun i -> Faros_dift.Tag.Process i)
+  and tags_b = List.init 8 (fun i -> Faros_dift.Tag.File i) in
+  let prov_a = Faros_dift.Provenance.of_list tags_a
+  and prov_b = Faros_dift.Provenance.of_list tags_b in
+  (* the per-byte-hashtable baseline, pre-populated like [shadow] *)
+  let perbyte = Hashtbl_shadow.create () in
+  Hashtbl_shadow.set_mem perbyte 0 [ nf ];
   let reflective =
     match Faros_corpus.Registry.find "reflective_dll_inject" with
     | Some s -> s
     | None -> assert false
+  in
+  (* one recorded hollowing trace shared by the whole-scenario pair *)
+  let scn = Faros_corpus.Attack_hollowing.scenario () in
+  let _, trace = Faros_corpus.Scenario.record scn in
+  let replay_with_faros () =
+    ignore
+      (Faros_corpus.Scenario.replay_with scn
+         ~plugins:(fun kernel ->
+           let faros = Core.Faros_plugin.create kernel in
+           [ Core.Faros_plugin.plugin faros ])
+         trace)
   in
   let tests =
     Test.make_grouped ~name:"faros"
@@ -469,9 +569,22 @@ let micro () =
           (Staged.stage (fun () ->
                Faros_dift.Propagate.copy shadow ~dst:(Faros_dift.Propagate.Mem 1)
                  ~src:(Faros_dift.Propagate.Mem 0)));
-        Test.make ~name:"table1/provenance-union"
+        Test.make ~name:"table1/union-interned"
           (Staged.stage (fun () ->
                ignore (Faros_dift.Provenance.union prov_a prov_b)));
+        Test.make ~name:"table1/union-list-baseline"
+          (Staged.stage (fun () -> ignore (List_prov.union tags_a tags_b)));
+        Test.make ~name:"table1/prepend-interned"
+          (Staged.stage (fun () ->
+               ignore (Faros_dift.Provenance.prepend nf prov_a)));
+        Test.make ~name:"table1/prepend-list-baseline"
+          (Staged.stage (fun () -> ignore (List_prov.prepend nf tags_a)));
+        Test.make ~name:"shadow/get_mem_range-paged"
+          (Staged.stage (fun () ->
+               ignore (Faros_dift.Shadow.get_mem_range shadow 0 16)));
+        Test.make ~name:"shadow/get_mem_range-hashtbl-baseline"
+          (Staged.stage (fun () ->
+               ignore (Hashtbl_shadow.get_mem_range perbyte 0 16)));
         Test.make ~name:"table1/prov-tag-encode"
           (Staged.stage (fun () -> ignore (Faros_dift.Tag.encode nf)));
         Test.make ~name:"table2/analyze-reflective"
@@ -487,10 +600,10 @@ let micro () =
                | Some s -> ignore (analyze s)
                | None -> ()));
         Test.make ~name:"table5/replay-plain"
-          (Staged.stage
-             (let scn = Faros_corpus.Attack_hollowing.scenario () in
-              let _, trace = Faros_corpus.Scenario.record scn in
-              fun () -> ignore (Faros_corpus.Scenario.replay_plain scn trace)));
+          (Staged.stage (fun () ->
+               ignore (Faros_corpus.Scenario.replay_plain scn trace)));
+        Test.make ~name:"table5/replay-with-faros"
+          (Staged.stage replay_with_faros);
       ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
@@ -508,7 +621,8 @@ let micro () =
       in
       let r2 = Option.value ~default:nan (Analyze.OLS.r_square r) in
       Fmt.pf pp "%-40s %-16.1f %.4f@." name est r2)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  micro_speedups ()
 
 (* -- driver --------------------------------------------------------------- *)
 

@@ -22,19 +22,23 @@ type t = {
 let create ~config ~name_of_asid =
   { config; report = Report.create (); name_of_asid; loads_checked = 0 }
 
+(* With interned provenance every clause is an integer compare: the type
+   queries read the bitmask cached on the node, and the distinct process
+   count is cached at intern time. *)
 let matches t (info : Faros_dift.Engine.load_info) =
   Faros_dift.Provenance.has_export info.li_read_prov
   &&
   if t.config.policy.single_bit then
     not (Faros_dift.Provenance.is_empty info.li_instr_prov)
   else
-    let procs = Faros_dift.Provenance.process_indices info.li_instr_prov in
     let has_source =
       Faros_dift.Provenance.has_netflow info.li_instr_prov
       || ((not t.config.require_netflow)
          && Faros_dift.Provenance.has_file info.li_instr_prov)
     in
-    List.length procs >= t.config.min_process_tags && has_source
+    Faros_dift.Provenance.distinct_process_count info.li_instr_prov
+    >= t.config.min_process_tags
+    && has_source
 
 let on_load t ~tick (info : Faros_dift.Engine.load_info) =
   t.loads_checked <- t.loads_checked + 1;

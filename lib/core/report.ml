@@ -66,7 +66,7 @@ let describe_tag ~(store : Faros_dift.Tag_store.t) ~name_of_asid tag =
 (* Provenance rendered oldest-first with "->" separators, as Table II
    prints it (origin first: NetFlow -> inject_client.exe -> notepad.exe). *)
 let render_provenance ~store ~name_of_asid prov =
-  List.rev prov
+  List.rev (Faros_dift.Provenance.to_list prov)
   |> List.map (describe_tag ~store ~name_of_asid)
   |> String.concat " ->"
 

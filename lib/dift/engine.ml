@@ -30,7 +30,7 @@ type t = {
   policy : Policy.t;
   file_shadow : (string, Provenance.t array ref) Hashtbl.t;
   control : (int, int * Provenance.t) Hashtbl.t;  (* asid -> window left, prov *)
-  mutable load_observers : (load_info -> unit) list;
+  load_observers : (load_info -> unit) Queue.t;  (* invoked in registration order *)
   mutable instrs_processed : int;
 }
 
@@ -41,11 +41,13 @@ let create ?(policy = Policy.faros_default) () =
     policy;
     file_shadow = Hashtbl.create 16;
     control = Hashtbl.create 8;
-    load_observers = [];
+    load_observers = Queue.create ();
     instrs_processed = 0;
   }
 
-let add_load_observer t f = t.load_observers <- t.load_observers @ [ f ]
+(* O(1) registration; a Queue iterates in insertion order, preserving the
+   callback order the old append-based list gave. *)
+let add_load_observer t f = Queue.add f t.load_observers
 
 (* Process-tag insertion: a byte a process touches records that process at
    the head of its provenance list — but only bytes already involved with
@@ -124,7 +126,7 @@ let on_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
   in
   let imm_prov = if t.policy.taint_immediates then instr_prov else Provenance.empty in
   let notify_load (acc : Faros_vm.Cpu.mem_access) prov =
-    if t.load_observers <> [] then begin
+    if not (Queue.is_empty t.load_observers) then begin
       let info =
         {
           li_asid = asid;
@@ -136,7 +138,7 @@ let on_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
           li_read_prov = prov;
         }
       in
-      List.iter (fun f -> f info) t.load_observers
+      Queue.iter (fun f -> f info) t.load_observers
     end
   in
   match eff.e_instr with
@@ -223,7 +225,8 @@ let on_os_event t ~resolve_asid (ev : Faros_os.Os_event.t) =
   | Net_recv { flow; dst_paddrs; _ } ->
     (* Fresh network data overwrites whatever was there. *)
     let tag = Tag_store.netflow t.store flow in
-    List.iter (fun paddr -> Shadow.set_mem t.shadow paddr [ tag ]) dst_paddrs
+    let prov = Provenance.singleton tag in
+    List.iter (fun paddr -> Shadow.set_mem t.shadow paddr prov) dst_paddrs
   | File_read { path; version; offset; dst_paddrs; _ } ->
     (* Provenance flows through the file's shadow in any policy; the file
        tag itself is only inserted when the policy tracks files. *)

@@ -32,7 +32,7 @@ type t = {
   file_shadow : (string, Provenance.t array ref) Hashtbl.t;
       (** per-file byte provenance: how taint flows through files (Fig. 4) *)
   control : (int, int * Provenance.t) Hashtbl.t;
-  mutable load_observers : (load_info -> unit) list;
+  load_observers : (load_info -> unit) Queue.t;
   mutable instrs_processed : int;
 }
 

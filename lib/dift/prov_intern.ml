@@ -1,0 +1,189 @@
+(* Hash-consed provenance lists.
+
+   Every distinct provenance list is interned exactly once, as a chain of
+   interned cons cells: a cell is unique for its (tag, tail) pair, so a
+   whole list is identified by the integer id of its head cell.  Id 0 is
+   the empty provenance — the invariant {!Shadow} relies on to store one
+   int per byte with 0 meaning "untracked".
+
+   Interning buys the hot path three things:
+
+   - equality is physical equality (one pointer compare), and a list's id
+     is a perfect O(1) hash;
+   - the Table I operations memoize: [prepend (tag, id)] and
+     [union (id, id)] each hit a table keyed by ids, so the steady state
+     of a replay — the same few provenance values flowing through millions
+     of instructions — does no list traversal at all;
+   - every cell caches a bitmask of the tag *types* below it plus the
+     distinct-process count, so the confluence queries the detector asks
+     on every load are integer compares, not list scans.
+
+   The intern tables are global and append-only.  That is deliberate:
+   tag lists are pure values (tags are just constructors around 16-bit
+   store indices), so nodes are shareable across engines, and the length
+   cap bounds how many distinct lists an adversary can force per tag-store
+   population (the paper's memory-exhaustion evasion is bounded at the
+   tag-store layer, which refuses to mint more than 2^16 tags per type). *)
+
+type t = {
+  id : int;
+  tag : Tag.t;  (* newest tag; a sentinel for the empty list *)
+  next : t;
+  len : int;
+  mask : int;  (* bitmask of tag types present in the whole list *)
+  nproc : int;  (* distinct process-tag indices in the whole list *)
+}
+
+let max_length = 64
+
+let rec empty =
+  { id = 0; tag = Tag.Netflow 0; next = empty; len = 0; mask = 0; nproc = 0 }
+
+let id p = p.id
+let length p = p.len
+let is_empty p = p.len = 0
+let equal (a : t) (b : t) = a == b
+let hash p = p.id
+
+let ty_bit = function
+  | Tag.Ty_netflow -> 1
+  | Tag.Ty_process -> 2
+  | Tag.Ty_file -> 4
+  | Tag.Ty_export -> 8
+
+(* Injective int key for a tag: tags are a type byte plus a store index. *)
+let tag_key tag = (Tag.index tag * 8) + Tag.type_byte tag
+
+(* id -> node, for Shadow's int-array pages. *)
+let nodes = ref (Array.make 1024 empty)
+let node_count = ref 1  (* id 0 is the pre-registered empty list *)
+
+let cons_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 4096
+let prepend_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 4096
+let union_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 4096
+
+let interned_count () = !node_count
+
+let of_id i =
+  if i < 0 || i >= !node_count then invalid_arg "Prov_intern.of_id";
+  !nodes.(i)
+
+let register n =
+  if n.id >= Array.length !nodes then begin
+    let grown = Array.make (2 * Array.length !nodes) empty in
+    Array.blit !nodes 0 grown 0 (Array.length !nodes);
+    nodes := grown
+  end;
+  !nodes.(n.id) <- n
+
+let rec mem_proc i p =
+  p.len > 0
+  && ((match p.tag with Tag.Process j -> j = i | _ -> false) || mem_proc i p.next)
+
+(* The unique cell for [tag :: next].  All construction funnels through
+   here, so two structurally equal lists are always the same node. *)
+let cons tag next =
+  let key = (tag_key tag, next.id) in
+  match Hashtbl.find_opt cons_tbl key with
+  | Some n -> n
+  | None ->
+    let nproc =
+      match tag with
+      | Tag.Process i when not (mem_proc i next) -> next.nproc + 1
+      | _ -> next.nproc
+    in
+    let n =
+      {
+        id = !node_count;
+        tag;
+        next;
+        len = next.len + 1;
+        mask = next.mask lor ty_bit (Tag.ty tag);
+        nproc;
+      }
+    in
+    incr node_count;
+    register n;
+    Hashtbl.replace cons_tbl key n;
+    n
+
+let rec to_list p = if p.len = 0 then [] else p.tag :: to_list p.next
+
+(* Keep the newest [max_length] tags (the cap drops oldest entries). *)
+let cap_list tags =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take max_length tags
+
+let of_list tags = List.fold_right cons (cap_list tags) empty
+
+let mem tag p =
+  p.mask land ty_bit (Tag.ty tag) <> 0
+  &&
+  let rec go q = q.len > 0 && (Tag.equal q.tag tag || go q.next) in
+  go p
+
+let has_type ty p = p.mask land ty_bit ty <> 0
+
+let distinct_types p =
+  List.filter
+    (fun ty -> has_type ty p)
+    [ Tag.Ty_netflow; Tag.Ty_process; Tag.Ty_file; Tag.Ty_export ]
+
+let confluence p =
+  let m = p.mask in
+  (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1) + ((m lsr 3) land 1)
+
+let distinct_process_count p = p.nproc
+
+(* Remove the first occurrence of [tag] (rebuilds the prefix above it). *)
+let rec remove tag p =
+  if p.len = 0 then p
+  else if Tag.equal p.tag tag then p.next
+  else cons p.tag (remove tag p.next)
+
+(* Drop the oldest (last) entry. *)
+let rec remove_last p =
+  if p.len <= 1 then empty else cons p.tag (remove_last p.next)
+
+(* Prepend with dedup anywhere in the list: a tag already present is moved
+   to the front instead of duplicated, so a byte alternately touched by two
+   processes keeps a two-entry history instead of growing to the cap and
+   evicting its origin tags. *)
+let prepend tag p =
+  if p.len > 0 && Tag.equal p.tag tag then p
+  else
+    let key = (tag_key tag, p.id) in
+    match Hashtbl.find_opt prepend_tbl key with
+    | Some n -> n
+    | None ->
+      let n =
+        if mem tag p then cons tag (remove tag p)
+        else if p.len >= max_length then cons tag (remove_last p)
+        else cons tag p
+      in
+      Hashtbl.replace prepend_tbl key n;
+      n
+
+let singleton tag = cons tag empty
+
+(* Order-preserving union (Table I): [a]'s tags in order, then the tags of
+   [b] not already present, capped to the newest [max_length]. *)
+let union a b =
+  if b.len = 0 then a
+  else if a.len = 0 then b
+  else if a == b then a
+  else
+    let key = (a.id, b.id) in
+    match Hashtbl.find_opt union_tbl key with
+    | Some n -> n
+    | None ->
+      let extra = List.filter (fun tb -> not (mem tb a)) (to_list b) in
+      let n = if extra = [] then a else of_list (to_list a @ extra) in
+      Hashtbl.replace union_tbl key n;
+      n
+
+let pp ppf p = Fmt.(list ~sep:(any " -> ") Tag.pp) ppf (to_list p)

@@ -1,0 +1,70 @@
+(** Hash-consed provenance lists.
+
+    Every distinct provenance list is interned exactly once; a list is
+    identified by a dense integer {!id}, with {b id 0 reserved for the
+    empty provenance} — the invariant {!Shadow}'s paged layout relies on
+    (its pages are int arrays where 0 means "untracked byte").
+
+    Equality is physical equality, ids are perfect hashes, and the Table I
+    operations ({!prepend}, {!union}) are memoized per id, so the steady
+    state of a replay does no list traversal.  Each interned node also
+    caches a bitmask of the tag types present and the distinct-process
+    count, making the detector's confluence queries integer compares. *)
+
+type t
+
+val empty : t
+(** The empty provenance; the unique node with {!id} 0. *)
+
+val max_length : int
+(** Length cap; constructors drop the {e oldest} entries beyond it. *)
+
+val id : t -> int
+(** Dense non-negative integer identifying this list; 0 iff empty. *)
+
+val of_id : int -> t
+(** Inverse of {!id}.  Raises [Invalid_argument] on an id never issued. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Physical equality — valid because lists are interned. *)
+
+val hash : t -> int
+
+val of_list : Tag.t list -> t
+(** Intern a newest-first tag list as-is (capped to {!max_length}). *)
+
+val to_list : t -> Tag.t list
+(** The tags, newest first. *)
+
+val singleton : Tag.t -> t
+
+val prepend : Tag.t -> t -> t
+(** [prepend tag p] puts [tag] at the head (newest position).  A no-op
+    when [tag] is already the head; when [tag] is present deeper in the
+    list it is {e moved} to the front rather than duplicated, so repeated
+    touches by alternating processes cannot grow the list and evict its
+    origin tags.  Memoized on [(tag, id p)]. *)
+
+val union : t -> t -> t
+(** Table I's union: [a]'s tags in order, then tags of [b] not already
+    present, capped.  Memoized on [(id a, id b)]. *)
+
+val mem : Tag.t -> t -> bool
+val has_type : Tag.ty -> t -> bool
+
+val distinct_types : t -> Tag.ty list
+(** Tag types present, in [Tag.ty] declaration order. *)
+
+val confluence : t -> int
+(** Number of distinct tag types present (popcount of the cached mask). *)
+
+val distinct_process_count : t -> int
+(** Number of distinct process-tag indices (cached at intern time). *)
+
+val interned_count : unit -> int
+(** Number of distinct lists interned so far, for memory accounting. *)
+
+val pp : t Fmt.t

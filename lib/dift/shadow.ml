@@ -1,26 +1,64 @@
 (* Shadow state: provenance for guest memory, registers and flags.
 
-   Shadow memory is keyed by *physical* address and is byte granular; an
-   absent entry means empty provenance.  Shadow registers are per address
-   space (one guest CPU per process) at whole-register granularity — a
-   documented simplification over the paper's byte-granular memory.
-   Shadow flags feed the control-dependency policy. *)
+   Shadow memory is keyed by *physical* address and is byte granular; it
+   is a two-level page table: a directory from page number to 4 KiB pages,
+   each page an int array of interned provenance ids (Prov_intern), with
+   0 — the empty provenance — meaning "untracked".  Pages materialize on
+   first taint and a running counter tracks non-empty bytes, so
+   tainted_bytes is O(1).  Shadow registers are per address space (one
+   guest CPU per process) at whole-register granularity — a documented
+   simplification over the paper's byte-granular memory.  Shadow flags
+   feed the control-dependency policy. *)
+
+let page_shift = 12
+let page_size = 1 lsl page_shift  (* bytes per shadow page *)
 
 type t = {
-  mem : (int, Provenance.t) Hashtbl.t;  (* paddr -> provenance *)
+  mem_dir : (int, int array) Hashtbl.t;  (* page number -> interned ids *)
+  mutable mem_tainted : int;  (* bytes with a non-empty provenance *)
   regs : (int, Provenance.t) Hashtbl.t;  (* asid * num_regs + reg *)
   flags : (int, Provenance.t) Hashtbl.t;  (* asid -> provenance *)
 }
 
 let create () =
-  { mem = Hashtbl.create 4096; regs = Hashtbl.create 64; flags = Hashtbl.create 8 }
+  {
+    mem_dir = Hashtbl.create 64;
+    mem_tainted = 0;
+    regs = Hashtbl.create 64;
+    flags = Hashtbl.create 8;
+  }
 
 let get_mem t paddr =
-  match Hashtbl.find_opt t.mem paddr with Some p -> p | None -> Provenance.empty
+  match Hashtbl.find_opt t.mem_dir (paddr lsr page_shift) with
+  | None -> Provenance.empty
+  | Some page -> Prov_intern.of_id page.(paddr land (page_size - 1))
+
+let page_for t pno =
+  match Hashtbl.find_opt t.mem_dir pno with
+  | Some page -> page
+  | None ->
+    let page = Array.make page_size 0 in
+    Hashtbl.replace t.mem_dir pno page;
+    page
+
+(* Write one byte's id into a page, maintaining the taint counter.  An
+   empty write never materializes a page. *)
+let set_slot t page off id =
+  let old = page.(off) in
+  if old <> id then begin
+    page.(off) <- id;
+    if old = 0 then t.mem_tainted <- t.mem_tainted + 1
+    else if id = 0 then t.mem_tainted <- t.mem_tainted - 1
+  end
 
 let set_mem t paddr prov =
-  if Provenance.is_empty prov then Hashtbl.remove t.mem paddr
-  else Hashtbl.replace t.mem paddr prov
+  let id = Prov_intern.id prov in
+  let pno = paddr lsr page_shift and off = paddr land (page_size - 1) in
+  if id = 0 then (
+    match Hashtbl.find_opt t.mem_dir pno with
+    | None -> ()
+    | Some page -> set_slot t page off 0)
+  else set_slot t (page_for t pno) off id
 
 let reg_key asid reg = (asid * Faros_vm.Isa.num_regs) + reg
 
@@ -40,25 +78,63 @@ let set_flags t ~asid prov =
   if Provenance.is_empty prov then Hashtbl.remove t.flags asid
   else Hashtbl.replace t.flags asid prov
 
-(* Union of the provenance of [width] bytes starting at [paddr]. *)
+(* Union of the provenance of [width] bytes starting at [paddr].  One
+   directory lookup per page touched (accesses are small; at most two
+   pages), then straight int-array reads; absent pages contribute
+   nothing, and the per-id union is memoized by Prov_intern. *)
 let get_mem_range t paddr width =
-  let rec go i acc =
-    if i >= width then acc
-    else go (i + 1) (Provenance.union acc (get_mem t (paddr + i)))
-  in
-  go 0 Provenance.empty
+  let acc = ref Provenance.empty in
+  let i = ref 0 in
+  while !i < width do
+    let a = paddr + !i in
+    let pno = a lsr page_shift and off = a land (page_size - 1) in
+    (* bytes of this access that fall inside this page *)
+    let chunk = min (width - !i) (page_size - off) in
+    (match Hashtbl.find_opt t.mem_dir pno with
+    | None -> ()
+    | Some page ->
+      for j = off to off + chunk - 1 do
+        let id = page.(j) in
+        if id <> 0 then acc := Provenance.union !acc (Prov_intern.of_id id)
+      done);
+    i := !i + chunk
+  done;
+  !acc
 
 let set_mem_range t paddr width prov =
-  for i = 0 to width - 1 do
-    set_mem t (paddr + i) prov
+  let id = Prov_intern.id prov in
+  let i = ref 0 in
+  while !i < width do
+    let a = paddr + !i in
+    let pno = a lsr page_shift and off = a land (page_size - 1) in
+    let chunk = min (width - !i) (page_size - off) in
+    (match (Hashtbl.find_opt t.mem_dir pno, id) with
+    | None, 0 -> ()  (* clearing an untracked page: nothing to do *)
+    | None, _ ->
+      let page = page_for t pno in
+      Array.fill page off chunk id;
+      t.mem_tainted <- t.mem_tainted + chunk
+    | Some page, _ ->
+      for j = off to off + chunk - 1 do
+        set_slot t page j id
+      done);
+    i := !i + chunk
   done
 
-let tainted_bytes t = Hashtbl.length t.mem
+let tainted_bytes t = t.mem_tainted
 let tainted_regs t = Hashtbl.length t.regs
 
-let iter_mem t f = Hashtbl.iter f t.mem
+let iter_mem t f =
+  Hashtbl.iter
+    (fun pno page ->
+      let base = pno lsl page_shift in
+      Array.iteri
+        (fun off id -> if id <> 0 then f (base + off) (Prov_intern.of_id id))
+        page)
+    t.mem_dir
 
 let clear t =
-  Hashtbl.reset t.mem;
+  Hashtbl.reset t.mem_dir;
+  t.mem_tainted <- 0;
   Hashtbl.reset t.regs;
   Hashtbl.reset t.flags

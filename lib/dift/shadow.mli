@@ -1,12 +1,18 @@
 (** Shadow state: provenance for guest memory, registers and flags.
 
-    Shadow memory is keyed by {e physical} address and is byte granular; an
-    absent entry means empty provenance.  Shadow registers are per address
-    space (one guest CPU per process) at whole-register granularity — a
-    documented simplification over the paper's byte-granular memory.
-    Shadow flags feed the control-dependency policy. *)
+    Shadow memory is keyed by {e physical} address and is byte granular.
+    It is a two-level page table — a directory from page number to 4 KiB
+    pages of interned provenance ids ({!Prov_intern}), id 0 meaning empty —
+    so reads and writes are int-array accesses and {!tainted_bytes} is a
+    counter read.  Shadow registers are per address space (one guest CPU
+    per process) at whole-register granularity — a documented
+    simplification over the paper's byte-granular memory.  Shadow flags
+    feed the control-dependency policy. *)
 
 type t
+
+val page_size : int
+(** Bytes per shadow page (4096). *)
 
 val create : unit -> t
 
@@ -14,7 +20,7 @@ val get_mem : t -> int -> Provenance.t
 (** Provenance of the byte at a physical address (empty if untracked). *)
 
 val set_mem : t -> int -> Provenance.t -> unit
-(** Setting an empty provenance removes the entry. *)
+(** Setting an empty provenance clears the entry (never allocates). *)
 
 val get_reg : t -> asid:int -> int -> Provenance.t
 val set_reg : t -> asid:int -> int -> Provenance.t -> unit
@@ -28,7 +34,7 @@ val get_mem_range : t -> int -> int -> Provenance.t
 val set_mem_range : t -> int -> int -> Provenance.t -> unit
 
 val tainted_bytes : t -> int
-(** Number of bytes currently carrying non-empty provenance. *)
+(** Number of bytes currently carrying non-empty provenance (O(1)). *)
 
 val tainted_regs : t -> int
 

@@ -38,11 +38,25 @@ let create () =
     next_export = 0;
   }
 
-let intern fwd rev next key =
+exception Overflow of string
+
+(* prov_tags carry 16-bit indices on the wire (Fig. 6); refuse to mint an
+   index that cannot be encoded, naming the store that filled up, instead
+   of letting Tag.encode raise much later with no hint of the culprit. *)
+let max_index = 0xFFFF
+
+let intern ~store fwd rev next key =
   match Hashtbl.find_opt fwd key with
   | Some i -> i
   | None ->
     let i = !next in
+    if i > max_index then
+      raise
+        (Overflow
+           (Printf.sprintf
+              "%s tag store overflow: index %d does not fit the 16-bit \
+               prov_tag wire format"
+              store i));
     incr next;
     Hashtbl.replace fwd key i;
     Hashtbl.replace rev i key;
@@ -50,19 +64,22 @@ let intern fwd rev next key =
 
 let netflow t flow =
   let next = ref t.next_netflow in
-  let i = intern t.netflows t.netflow_rev next flow in
+  let i = intern ~store:"netflow" t.netflows t.netflow_rev next flow in
   t.next_netflow <- !next;
   Tag.Netflow i
 
 let process t cr3 =
   let next = ref t.next_process in
-  let i = intern t.processes t.process_rev next cr3 in
+  let i = intern ~store:"process" t.processes t.process_rev next cr3 in
   t.next_process <- !next;
   Tag.Process i
 
 let file t ~name ~version =
   let next = ref t.next_file in
-  let i = intern t.files t.file_rev next { file_name = name; file_version = version } in
+  let i =
+    intern ~store:"file" t.files t.file_rev next
+      { file_name = name; file_version = version }
+  in
   t.next_file <- !next;
   Tag.File i
 
@@ -70,7 +87,7 @@ let file t ~name ~version =
    touched function's identity. *)
 let export t ~name =
   let next = ref t.next_export in
-  let i = intern t.exports t.export_rev next name in
+  let i = intern ~store:"export" t.exports t.export_rev next name in
   t.next_export <- !next;
   Tag.Export_table i
 

@@ -10,6 +10,12 @@ type file_id = { file_name : string; file_version : int }
 
 type t
 
+exception Overflow of string
+(** Raised when a store would mint index 0x10000 — one past what the
+    16-bit prov_tag wire format (Fig. 6) can carry.  Raised at intern
+    time with the overflowing store's name, rather than surfacing as a
+    [Tag.Bad_prov_tag] much later at encode time. *)
+
 val create : unit -> t
 
 val netflow : t -> Faros_os.Types.flow -> Tag.t

@@ -14,10 +14,10 @@ let info ?(instr_prov = []) ?(read_prov = []) () : Engine.load_info =
     li_asid = 1;
     li_pc = 0x1000;
     li_instr = Faros_vm.Isa.Load (4, 0, Faros_vm.Isa.abs 0);
-    li_instr_prov = instr_prov;
+    li_instr_prov = Provenance.of_list instr_prov;
     li_read_vaddr = 0x80100008;
     li_read_paddr = 0;
-    li_read_prov = read_prov;
+    li_read_prov = Provenance.of_list read_prov;
   }
 
 let detector ?(config = Core.Config.default) () =
@@ -102,9 +102,9 @@ let mk_flag ?(pc = 0x1000) ?(process = "a.exe") () : Core.Report.flag =
     f_pc = pc;
     f_process = process;
     f_instr = Faros_vm.Isa.Nop;
-    f_instr_prov = [ Tag.Process 0; Tag.Netflow 0 ];
+    f_instr_prov = Provenance.of_list [ Tag.Process 0; Tag.Netflow 0 ];
     f_read_vaddr = 0;
-    f_read_prov = [ Tag.Export_table 0 ];
+    f_read_prov = Provenance.of_list [ Tag.Export_table 0 ];
     f_whitelisted = false;
   }
 
@@ -137,7 +137,7 @@ let report_tests =
         in
         let p1 = Tag_store.process store 7 in
         (* newest first in the list: process touched it after the netflow *)
-        let prov = [ p1; nf ] in
+        let prov = Provenance.of_list [ p1; nf ] in
         let rendered =
           Core.Report.render_provenance ~store
             ~name_of_asid:(fun _ -> "inject_client.exe")
@@ -152,14 +152,16 @@ let report_tests =
         let rendered =
           Core.Report.render_provenance ~store
             ~name_of_asid:(fun _ -> "?")
-            [ Tag.Export_table 0; f ]
+            (Provenance.of_list [ Tag.Export_table 0; f ])
         in
         check_s "rendered" "File: x.exe (v2) ->Export-table" rendered);
     Alcotest.test_case "export tag renders its function name" `Quick (fun () ->
         let store = Tag_store.create () in
         let e = Tag_store.export store ~name:"GetProcAddress" in
         check_s "rendered" "Export-table: GetProcAddress"
-          (Core.Report.render_provenance ~store ~name_of_asid:(fun _ -> "?") [ e ]));
+          (Core.Report.render_provenance ~store
+             ~name_of_asid:(fun _ -> "?")
+             (Provenance.singleton e)));
   ]
 
 (* -- end-to-end analyses -------------------------------------------------------- *)
@@ -531,7 +533,11 @@ let query_tests =
         let store = Tag_store.create () in
         let r = Core.Report.create () in
         Core.Report.add r
-          { (mk_flag ~process:{|we"ird|} ()) with f_instr_prov = []; f_read_prov = [] };
+          {
+            (mk_flag ~process:{|we"ird|} ()) with
+            f_instr_prov = Provenance.empty;
+            f_read_prov = Provenance.empty;
+          };
         let json = Core.Report.to_json ~store ~name_of_asid:(fun _ -> "?") r in
         check_b "escaped quote" true
           (let needle = {|we\"ird|} in

@@ -7,6 +7,9 @@ open Faros_dift
 let check = Alcotest.(check int)
 let check_b = Alcotest.(check bool)
 
+(* Shorthand: intern a literal tag list as a provenance value. *)
+let pl = Provenance.of_list
+
 (* -- tags ------------------------------------------------------------------ *)
 
 let arb_tag =
@@ -81,6 +84,24 @@ let store_tests =
         let b = Tag_store.file s ~name:"f" ~version:2 in
         check_b "distinct" false (Tag.equal a b);
         check "two entries" 2 (Tag_store.file_count s));
+    Alcotest.test_case "overflow raises at intern time, at 65536 entries" `Quick
+      (fun () ->
+        (* indices 0..0xFFFF fit the 16-bit wire format; the 65537th
+           distinct payload must be refused by the store itself, naming
+           the culprit, not by Tag.encode much later *)
+        let s = Tag_store.create () in
+        for v = 0 to 0xFFFF do
+          ignore (Tag_store.file s ~name:"f" ~version:v)
+        done;
+        check "full" 0x10000 (Tag_store.file_count s);
+        (match Tag_store.file s ~name:"f" ~version:0 with
+        | Tag.File 0 -> () (* re-interning an existing payload still works *)
+        | _ -> Alcotest.fail "expected File 0");
+        match Tag_store.file s ~name:"f" ~version:0x10000 with
+        | exception Tag_store.Overflow msg ->
+          check_b "names the store" true
+            (String.length msg >= 4 && String.sub msg 0 4 = "file")
+        | _ -> Alcotest.fail "expected Overflow");
   ]
 
 (* -- provenance ------------------------------------------------------------- *)
@@ -91,7 +112,7 @@ let prov_union_keeps_membership =
   QCheck.Test.make ~count:300 ~name:"union contains both operands' tags"
     (QCheck.make QCheck.Gen.(pair arb_prov arb_prov))
     (fun (a, b) ->
-      let u = Provenance.union a b in
+      let u = Provenance.union (pl a) (pl b) in
       List.for_all (fun t -> Provenance.mem t u) a
       && List.for_all (fun t -> Provenance.mem t u) b)
 
@@ -102,48 +123,127 @@ let prov_union_no_dups =
       (* provenance lists are only ever built by prepend/union, so they are
          duplicate free; mirror that invariant in the inputs *)
       let dedup l = List.sort_uniq compare l in
-      let u = Provenance.union (dedup a) (dedup b) in
-      List.length u = List.length (List.sort_uniq compare u))
+      let u = Provenance.union (pl (dedup a)) (pl (dedup b)) in
+      let l = Provenance.to_list u in
+      List.length l = List.length (List.sort_uniq compare l))
 
 let prov_prepend_idempotent_head =
   QCheck.Test.make ~count:300 ~name:"prepend of the current head is a no-op"
     (QCheck.make QCheck.Gen.(pair arb_tag arb_prov))
     (fun (t, p) ->
-      let p1 = Provenance.prepend t p in
+      let p1 = Provenance.prepend t (pl p) in
       Provenance.prepend t p1 == p1)
 
 let prov_capped =
   QCheck.Test.make ~count:100 ~name:"length is capped"
     (QCheck.make QCheck.Gen.(list_size (int_range 0 200) arb_tag))
     (fun big ->
-      List.length (Provenance.union [] big) <= Provenance.max_length + 1)
+      Provenance.length (Provenance.union Provenance.empty (pl big))
+      <= Provenance.max_length)
+
+(* The interning invariant: structural equality is physical equality, so
+   the same tag list built twice is the very same node with the same id. *)
+let prov_interned_unique =
+  QCheck.Test.make ~count:300 ~name:"equal lists intern to the same node"
+    (QCheck.make arb_prov)
+    (fun l ->
+      let a = pl l and b = pl l in
+      a == b && Provenance.equal a b
+      && Prov_intern.id a = Prov_intern.id b
+      && Provenance.to_list a = Provenance.to_list b)
+
+(* Union is not associative on *order* (the cap can differ), but type
+   membership — what the detector reads — must be. *)
+let prov_union_type_assoc =
+  QCheck.Test.make ~count:300
+    ~name:"union type-membership is associative"
+    (QCheck.make QCheck.Gen.(triple arb_prov arb_prov arb_prov))
+    (fun (a, b, c) ->
+      let a = pl a and b = pl b and c = pl c in
+      let l = Provenance.union (Provenance.union a b) c in
+      let r = Provenance.union a (Provenance.union b c) in
+      List.for_all
+        (fun ty -> Provenance.has_type ty l = Provenance.has_type ty r)
+        [ Tag.Ty_netflow; Tag.Ty_process; Tag.Ty_file; Tag.Ty_export ])
+
+(* Order preservation + cap: union is a's tags in order, then b's missing
+   tags in order, truncated to the newest max_length entries. *)
+let prov_union_order =
+  QCheck.Test.make ~count:300
+    ~name:"union preserves order and caps keeping newest-first"
+    (QCheck.make QCheck.Gen.(pair arb_prov arb_prov))
+    (fun (a, b) ->
+      let pa = pl a and pb = pl b in
+      let la = Provenance.to_list pa in
+      let extra =
+        List.filter (fun t -> not (Provenance.mem t pa)) (Provenance.to_list pb)
+      in
+      let expect =
+        List.filteri (fun i _ -> i < Provenance.max_length) (la @ extra)
+      in
+      Provenance.to_list (Provenance.union pa pb) = expect)
 
 let prov_tests =
   [
     Alcotest.test_case "prepend puts newest first" `Quick (fun () ->
-        let p = Provenance.prepend (Tag.Process 1) [ Tag.Netflow 0 ] in
-        check_b "head" true (List.hd p = Tag.Process 1);
-        check "len" 2 (List.length p));
+        let p = Provenance.prepend (Tag.Process 1) (pl [ Tag.Netflow 0 ]) in
+        check_b "head" true (List.hd (Provenance.to_list p) = Tag.Process 1);
+        check "len" 2 (Provenance.length p));
+    Alcotest.test_case "prepend of a deeper tag moves it to the front" `Quick
+      (fun () ->
+        (* present anywhere — not just at the head — must not duplicate *)
+        let p = pl [ Tag.Process 2; Tag.Process 1; Tag.Netflow 0 ] in
+        let p' = Provenance.prepend (Tag.Process 1) p in
+        Alcotest.(check (list int))
+          "moved to front, not duplicated" [ 1; 2 ]
+          (Provenance.process_indices p');
+        check "len" 3 (Provenance.length p');
+        check_b "origin kept" true (Provenance.has_netflow p'));
+    Alcotest.test_case
+      "alternating touches do not evict the origin tag (regression)" `Quick
+      (fun () ->
+        (* Two processes ping-ponging over one byte used to append a tag per
+           touch — the head-only dedupe never fired — until the cap evicted
+           the netflow origin.  With dedupe-anywhere the history stays at
+           three entries and the origin survives any number of touches. *)
+        let p = ref (pl [ Tag.Netflow 0 ]) in
+        for i = 1 to 100 do
+          p := Provenance.prepend (Tag.Process (i mod 2)) !p
+        done;
+        check "length stays bounded" 3 (Provenance.length !p);
+        check_b "origin netflow survives" true (Provenance.has_netflow !p);
+        Alcotest.(check (list int))
+          "both processes, newest first" [ 0; 1 ]
+          (Provenance.process_indices !p));
     Alcotest.test_case "union is order preserving" `Quick (fun () ->
-        let u = Provenance.union [ Tag.Netflow 0 ] [ Tag.File 1; Tag.Netflow 0 ] in
-        Alcotest.(check bool) "order" true (u = [ Tag.Netflow 0; Tag.File 1 ]));
+        let u =
+          Provenance.union (pl [ Tag.Netflow 0 ]) (pl [ Tag.File 1; Tag.Netflow 0 ])
+        in
+        Alcotest.(check bool)
+          "order" true
+          (Provenance.to_list u = [ Tag.Netflow 0; Tag.File 1 ]));
     Alcotest.test_case "type queries" `Quick (fun () ->
-        let p = [ Tag.Process 1; Tag.Netflow 0; Tag.Export_table 0 ] in
+        let p = pl [ Tag.Process 1; Tag.Netflow 0; Tag.Export_table 0 ] in
         check_b "nf" true (Provenance.has_netflow p);
         check_b "export" true (Provenance.has_export p);
         check_b "file" false (Provenance.has_file p);
         check "confluence" 3 (Provenance.confluence p));
     Alcotest.test_case "process_indices dedupes, preserves order" `Quick
       (fun () ->
-        let p = [ Tag.Process 2; Tag.Netflow 0; Tag.Process 1; Tag.Process 2 ] in
-        Alcotest.(check (list int)) "indices" [ 2; 1 ] (Provenance.process_indices p));
+        let p = pl [ Tag.Process 2; Tag.Netflow 0; Tag.Process 1; Tag.Process 2 ] in
+        Alcotest.(check (list int)) "indices" [ 2; 1 ] (Provenance.process_indices p);
+        check "distinct count cached" 2 (Provenance.distinct_process_count p));
     Alcotest.test_case "empty provenance" `Quick (fun () ->
         check_b "empty" true (Provenance.is_empty Provenance.empty);
-        check "confluence" 0 (Provenance.confluence Provenance.empty));
+        check "confluence" 0 (Provenance.confluence Provenance.empty);
+        check "empty is id 0" 0 (Prov_intern.id Provenance.empty));
     QCheck_alcotest.to_alcotest prov_union_keeps_membership;
     QCheck_alcotest.to_alcotest prov_union_no_dups;
     QCheck_alcotest.to_alcotest prov_prepend_idempotent_head;
     QCheck_alcotest.to_alcotest prov_capped;
+    QCheck_alcotest.to_alcotest prov_interned_unique;
+    QCheck_alcotest.to_alcotest prov_union_type_assoc;
+    QCheck_alcotest.to_alcotest prov_union_order;
   ]
 
 (* -- shadow + propagate ------------------------------------------------------ *)
@@ -153,42 +253,109 @@ let shadow_tests =
     Alcotest.test_case "absent means empty; empty removes" `Quick (fun () ->
         let s = Shadow.create () in
         check_b "empty" true (Provenance.is_empty (Shadow.get_mem s 5));
-        Shadow.set_mem s 5 [ Tag.Netflow 0 ];
+        Shadow.set_mem s 5 (pl [ Tag.Netflow 0 ]);
         check "one" 1 (Shadow.tainted_bytes s);
-        Shadow.set_mem s 5 [];
+        Shadow.set_mem s 5 Provenance.empty;
         check "removed" 0 (Shadow.tainted_bytes s));
     Alcotest.test_case "registers keyed by asid" `Quick (fun () ->
         let s = Shadow.create () in
-        Shadow.set_reg s ~asid:1 3 [ Tag.Netflow 0 ];
+        Shadow.set_reg s ~asid:1 3 (pl [ Tag.Netflow 0 ]);
         check_b "other asid clean" true
           (Provenance.is_empty (Shadow.get_reg s ~asid:2 3));
         check_b "same asid tainted" false
           (Provenance.is_empty (Shadow.get_reg s ~asid:1 3)));
     Alcotest.test_case "range union" `Quick (fun () ->
         let s = Shadow.create () in
-        Shadow.set_mem s 0 [ Tag.Netflow 0 ];
-        Shadow.set_mem s 2 [ Tag.File 1 ];
+        Shadow.set_mem s 0 (pl [ Tag.Netflow 0 ]);
+        Shadow.set_mem s 2 (pl [ Tag.File 1 ]);
         let p = Shadow.get_mem_range s 0 4 in
-        check "both" 2 (List.length p));
+        check "both" 2 (Provenance.length p));
     Alcotest.test_case "clear resets everything" `Quick (fun () ->
         let s = Shadow.create () in
-        Shadow.set_mem s 0 [ Tag.Netflow 0 ];
-        Shadow.set_reg s ~asid:1 0 [ Tag.Netflow 0 ];
+        Shadow.set_mem s 0 (pl [ Tag.Netflow 0 ]);
+        Shadow.set_reg s ~asid:1 0 (pl [ Tag.Netflow 0 ]);
         Shadow.clear s;
         check "mem" 0 (Shadow.tainted_bytes s);
         check "regs" 0 (Shadow.tainted_regs s));
     Alcotest.test_case "Table I copy/union/delete" `Quick (fun () ->
         let s = Shadow.create () in
-        Shadow.set_mem s 0 [ Tag.Netflow 0 ];
-        Shadow.set_reg s ~asid:1 2 [ Tag.File 1 ];
+        Shadow.set_mem s 0 (pl [ Tag.Netflow 0 ]);
+        Shadow.set_reg s ~asid:1 2 (pl [ Tag.File 1 ]);
         Propagate.copy s ~dst:(Propagate.Reg (1, 0)) ~src:(Propagate.Mem 0);
-        check_b "copied" true (Shadow.get_reg s ~asid:1 0 = [ Tag.Netflow 0 ]);
+        check_b "copied" true
+          (Provenance.equal (Shadow.get_reg s ~asid:1 0) (pl [ Tag.Netflow 0 ]));
         Propagate.union s ~dst:(Propagate.Mem 9) ~src1:(Propagate.Mem 0)
           ~src2:(Propagate.Reg (1, 2));
-        check "union" 2 (List.length (Shadow.get_mem s 9));
+        check "union" 2 (Provenance.length (Shadow.get_mem s 9));
         Propagate.delete s (Propagate.Mem 9);
         check_b "deleted" true (Provenance.is_empty (Shadow.get_mem s 9)));
+    Alcotest.test_case "range ops round-trip across a page boundary" `Quick
+      (fun () ->
+        let s = Shadow.create () in
+        let prov = pl [ Tag.Netflow 0; Tag.Process 1 ] in
+        (* 12 bytes straddling the first page boundary: 4090..4101 *)
+        let base = Shadow.page_size - 6 in
+        Shadow.set_mem_range s base 12 prov;
+        check "tainted count" 12 (Shadow.tainted_bytes s);
+        for k = 0 to 11 do
+          check_b
+            (Printf.sprintf "byte %d" k)
+            true
+            (Provenance.equal (Shadow.get_mem s (base + k)) prov)
+        done;
+        check_b "byte before clean" true
+          (Provenance.is_empty (Shadow.get_mem s (base - 1)));
+        check_b "byte after clean" true
+          (Provenance.is_empty (Shadow.get_mem s (base + 12)));
+        check_b "range read unions across the boundary" true
+          (Provenance.equal (Shadow.get_mem_range s base 12) prov);
+        (* clearing the straddling range drops both pages' slots *)
+        Shadow.set_mem_range s base 12 Provenance.empty;
+        check "cleared" 0 (Shadow.tainted_bytes s));
+    Alcotest.test_case "iter_mem visits exactly the tainted bytes" `Quick
+      (fun () ->
+        let s = Shadow.create () in
+        let prov = pl [ Tag.File 3 ] in
+        List.iter
+          (fun a -> Shadow.set_mem s a prov)
+          [ 0; Shadow.page_size - 1; Shadow.page_size; 3 * Shadow.page_size + 7 ];
+        let seen = ref [] in
+        Shadow.iter_mem s (fun paddr p ->
+            check_b "prov" true (Provenance.equal p prov);
+            seen := paddr :: !seen);
+        Alcotest.(check (list int))
+          "addresses"
+          [ 0; Shadow.page_size - 1; Shadow.page_size; 3 * Shadow.page_size + 7 ]
+          (List.sort compare !seen);
+        check "count matches" 4 (Shadow.tainted_bytes s));
   ]
+
+(* Random round-trips: writes through set_mem_range at arbitrary offsets
+   and widths (often straddling pages) must read back byte-exact. *)
+let shadow_range_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"set_mem_range/get_mem round-trip"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 0 (5 * 4096)) (int_range 1 64)
+           (list_size (int_range 1 4) arb_tag)))
+    (fun (base, width, tags) ->
+      let s = Shadow.create () in
+      let prov = pl tags in
+      Shadow.set_mem_range s base width prov;
+      Shadow.tainted_bytes s = width
+      && (let ok = ref true in
+          for k = 0 to width - 1 do
+            if not (Provenance.equal (Shadow.get_mem s (base + k)) prov) then
+              ok := false
+          done;
+          !ok)
+      && Provenance.equal (Shadow.get_mem_range s base width) prov
+      &&
+      (Shadow.set_mem_range s base width Provenance.empty;
+       Shadow.tainted_bytes s = 0))
+
+let shadow_prop_tests =
+  [ QCheck_alcotest.to_alcotest shadow_range_roundtrip ]
 
 (* -- engine ------------------------------------------------------------------ *)
 
@@ -226,7 +393,9 @@ let run h =
 
 let paddr h vaddr = Faros_vm.Mmu.translate h.machine.mmu ~asid:h.space.asid vaddr
 
-let taint_mem h vaddr prov = Shadow.set_mem h.engine.shadow (paddr h vaddr) prov
+(* Taint a guest byte from a literal tag list (interned on the way in). *)
+let taint_mem h vaddr tags =
+  Shadow.set_mem h.engine.shadow (paddr h vaddr) (pl tags)
 
 let mem_prov h vaddr = Shadow.get_mem h.engine.shadow (paddr h vaddr)
 
@@ -442,9 +611,10 @@ let engine_tests =
         let h = harness [ i Faros_vm.Isa.Nop; i Faros_vm.Isa.Halt ] in
         taint_mem h 0x1000 [ nf ];
         run h;
-        match mem_prov h 0x1000 with
+        let p = mem_prov h 0x1000 in
+        match Provenance.to_list p with
         | Tag.Process _ :: _ -> ()
-        | p -> Alcotest.failf "expected process tag head, got %a" Provenance.pp p);
+        | _ -> Alcotest.failf "expected process tag head, got %a" Provenance.pp p);
     Alcotest.test_case "load observers see instr and data provenance" `Quick
       (fun () ->
         let h =
@@ -476,7 +646,7 @@ let event_tests =
   [
     Alcotest.test_case "net_recv inserts fresh netflow tags" `Quick (fun () ->
         let e = Engine.create () in
-        Shadow.set_mem e.shadow 100 [ Tag.File 0 ];
+        Shadow.set_mem e.shadow 100 (pl [ Tag.File 0 ]);
         Engine.on_os_event e ~resolve_asid:no_asid
           (Faros_os.Os_event.Net_recv
              { pid = 1; flow = flow 1 2; dst_paddrs = [ 100; 101 ] });
@@ -486,7 +656,7 @@ let event_tests =
     Alcotest.test_case "file write then read flows provenance through the file"
       `Quick (fun () ->
         let e = Engine.create () in
-        Shadow.set_mem e.shadow 50 [ Tag.Netflow 7 ];
+        Shadow.set_mem e.shadow 50 (pl [ Tag.Netflow 7 ]);
         Engine.on_os_event e ~resolve_asid:no_asid
           (Faros_os.Os_event.File_write
              { pid = 1; path = "x"; version = 1; offset = 0; src_paddrs = [ 50 ] });
@@ -499,7 +669,7 @@ let event_tests =
     Alcotest.test_case "file read at an offset uses the right file bytes" `Quick
       (fun () ->
         let e = Engine.create () in
-        Shadow.set_mem e.shadow 50 [ Tag.Netflow 7 ];
+        Shadow.set_mem e.shadow 50 (pl [ Tag.Netflow 7 ]);
         Engine.on_os_event e ~resolve_asid:no_asid
           (Faros_os.Os_event.File_write
              { pid = 1; path = "x"; version = 1; offset = 4; src_paddrs = [ 50 ] });
@@ -517,7 +687,7 @@ let event_tests =
     Alcotest.test_case "mem_copy moves taint and adds the copier's tag" `Quick
       (fun () ->
         let e = Engine.create () in
-        Shadow.set_mem e.shadow 10 [ Tag.Netflow 0 ];
+        Shadow.set_mem e.shadow 10 (pl [ Tag.Netflow 0 ]);
         Engine.on_os_event e
           ~resolve_asid:(fun pid -> if pid = 7 then Some 77 else None)
           (Faros_os.Os_event.Mem_copy
@@ -536,7 +706,7 @@ let event_tests =
     Alcotest.test_case "mem_copy over tainted dst clears when src clean" `Quick
       (fun () ->
         let e = Engine.create () in
-        Shadow.set_mem e.shadow 20 [ Tag.Netflow 0 ];
+        Shadow.set_mem e.shadow 20 (pl [ Tag.Netflow 0 ]);
         Engine.on_os_event e ~resolve_asid:no_asid
           (Faros_os.Os_event.Mem_copy
              { by = 1; src_pid = 1; dst_pid = 2; src_paddrs = [ 10 ]; dst_paddrs = [ 20 ] });
@@ -544,7 +714,7 @@ let event_tests =
     Alcotest.test_case "track_files=false suppresses file tags, keeps flow"
       `Quick (fun () ->
         let e = Engine.create ~policy:Policy.bit_taint () in
-        Shadow.set_mem e.shadow 50 [ Tag.Netflow 7 ];
+        Shadow.set_mem e.shadow 50 (pl [ Tag.Netflow 7 ]);
         Engine.on_os_event e ~resolve_asid:no_asid
           (Faros_os.Os_event.File_write
              { pid = 1; path = "x"; version = 1; offset = 0; src_paddrs = [ 50 ] });
@@ -556,7 +726,7 @@ let event_tests =
         check_b "no file tag" false (Provenance.has_file p));
     Alcotest.test_case "file delete clears the file shadow" `Quick (fun () ->
         let e = Engine.create () in
-        Shadow.set_mem e.shadow 50 [ Tag.Netflow 7 ];
+        Shadow.set_mem e.shadow 50 (pl [ Tag.Netflow 7 ]);
         Engine.on_os_event e ~resolve_asid:no_asid
           (Faros_os.Os_event.File_write
              { pid = 1; path = "x"; version = 1; offset = 0; src_paddrs = [ 50 ] });
@@ -664,6 +834,21 @@ let more_engine_tests =
         let h = harness [ i Faros_vm.Isa.Nop; i Faros_vm.Isa.Nop; i Faros_vm.Isa.Halt ] in
         run h;
         check "three" 3 h.engine.instrs_processed);
+    Alcotest.test_case "load observers fire in registration order" `Quick
+      (fun () ->
+        (* observer registration is O(1) on a queue now; the iteration
+           order must still be the order the observers were added in *)
+        let h =
+          harness
+            [ i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2000)); i Faros_vm.Isa.Halt ]
+        in
+        let calls = ref [] in
+        List.iter
+          (fun id ->
+            Engine.add_load_observer h.engine (fun _ -> calls := id :: !calls))
+          [ 1; 2; 3 ];
+        run h;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !calls));
     Alcotest.test_case "pop notifies load observers" `Quick (fun () ->
         let h =
           harness
@@ -768,7 +953,7 @@ let block_tests =
             check_b
               (Printf.sprintf "shadow@%x" paddr)
               true
-              (Shadow.get_mem b.engine.shadow paddr = prov)));
+              (Provenance.equal (Shadow.get_mem b.engine.shadow paddr) prov)));
     Alcotest.test_case "flush on kernel events preserves interleaving" `Quick
       (fun () ->
         let b = Block_engine.create () in
@@ -784,7 +969,7 @@ let block_tests =
         let cpu = Faros_vm.Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0 in
         Faros_vm.Machine.add_exec_hook machine (fun c e -> Block_engine.on_exec b c e);
         let paddr = Faros_vm.Mmu.translate machine.mmu ~asid:space.asid 0x1080 in
-        Shadow.set_mem b.engine.shadow paddr [ Tag.Netflow 0 ];
+        Shadow.set_mem b.engine.shadow paddr (pl [ Tag.Netflow 0 ]);
         (match Faros_vm.Machine.step machine cpu with
         | Ok _ -> ()
         | Error f -> Alcotest.failf "fault %a" Faros_vm.Cpu.pp_fault f);
@@ -796,7 +981,8 @@ let block_tests =
         check "flushed before the event" 1 b.engine.instrs_processed;
         (* event then overwrote the byte with fresh netflow provenance *)
         check_b "net_recv applied after" true
-          (Shadow.get_mem b.engine.shadow paddr = [ Tag.Netflow 0 ]));
+          (Provenance.to_list (Shadow.get_mem b.engine.shadow paddr)
+          = [ Tag.Netflow 0 ]));
   ]
 
 
@@ -883,6 +1069,7 @@ let () =
       ("tag-store", store_tests);
       ("provenance", prov_tests);
       ("shadow", shadow_tests);
+      ("shadow-properties", shadow_prop_tests);
       ("engine", engine_tests);
       ("engine-more", more_engine_tests);
       ("engine-events", event_tests);
