@@ -10,6 +10,8 @@
      faros malfind <id>             snapshot forensics on a sample
      faros compare <id>             FAROS vs Cuckoo/malfind on one sample
      faros ps <id>                  end-of-run pslist of a sample
+     faros stats <id>               full metrics registry after analysis
+     faros check-json <file>        JSON well-formedness check
      faros taint <id>               post-analysis taint map
      faros strings <id>             provenance-aware strings
      faros disasm <id>              disassemble a sample's images
@@ -79,12 +81,10 @@ let print_outcome sample_id verbose (outcome : Core.Analysis.outcome) =
     (Faros_replay.Trace.total_rx_bytes outcome.trace);
   Fmt.pf pp "replay:       %d instructions, diverged: %b@."
     outcome.replay.replay_ticks outcome.replay.diverged;
-  let instrs, tainted, nf, procs, files =
-    Faros_dift.Engine.stats outcome.faros.engine
-  in
+  let s = Faros_dift.Engine.stats outcome.faros.engine in
   Fmt.pf pp
     "taint:        %d instrs processed, %d tainted bytes, tags: %d netflow / %d process / %d file@."
-    instrs tainted nf procs files;
+    s.instrs s.tainted_bytes s.netflow_tags s.process_tags s.file_tags;
   Fmt.pf pp "verdict:      %s@."
     (if Core.Report.flagged outcome.report then "IN-MEMORY INJECTION FLAGGED"
      else "clean");
@@ -93,7 +93,12 @@ let print_outcome sample_id verbose (outcome : Core.Analysis.outcome) =
     Core.Faros_plugin.pp_report pp outcome.faros;
   0
 
-let run_cmd id policy whitelist_jit verbose json block =
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let run_cmd id policy whitelist_jit verbose json block trace_out series_out =
   match find_sample id with
   | Error e ->
     prerr_endline e;
@@ -104,9 +109,81 @@ let run_cmd id policy whitelist_jit verbose json block =
       prerr_endline e;
       1
     | Ok config ->
+      let trace_sink =
+        match trace_out with
+        | None -> Faros_obs.Trace.null
+        | Some _ -> Faros_obs.Trace.collector ()
+      in
+      let telemetry =
+        match series_out with
+        | None -> None
+        | Some _ -> Some (Core.Telemetry.create ())
+      in
+      let outcome =
+        Faros_corpus.Scenario.analyze ~config ~trace_sink ?telemetry
+          sample.scenario
+      in
+      let status =
+        if json then print_outcome_json outcome
+        else print_outcome sample.id verbose outcome
+      in
+      (match trace_out with
+      | Some path ->
+        write_file path (Faros_obs.Trace.to_chrome_json trace_sink);
+        Fmt.pf pp "trace:        %d events (%d dropped) -> %s@."
+          (Faros_obs.Trace.count trace_sink)
+          (Faros_obs.Trace.dropped trace_sink)
+          path
+      | None -> ());
+      (match (series_out, telemetry) with
+      | Some path, Some t ->
+        let data =
+          if Filename.check_suffix path ".json" then Core.Telemetry.to_json t
+          else Core.Telemetry.to_csv t
+        in
+        write_file path data;
+        Fmt.pf pp "series:       %d sample(s) -> %s@."
+          (Faros_obs.Series.total (Core.Telemetry.series t))
+          path
+      | _ -> ());
+      status)
+
+(* Full metrics registry after analyzing one sample. *)
+let stats_cmd id policy block =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample -> (
+    match build_config ~block ~policy ~whitelist_jit:false () with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok config ->
       let outcome = Faros_corpus.Scenario.analyze ~config sample.scenario in
-      if json then print_outcome_json outcome
-      else print_outcome sample.id verbose outcome)
+      Fmt.pf pp "sample:  %s@." sample.id;
+      Fmt.pf pp "verdict: %s@."
+        (if Core.Report.flagged outcome.report then "IN-MEMORY INJECTION FLAGGED"
+         else "clean");
+      Faros_obs.Metrics.pp_table pp outcome.faros.metrics;
+      0)
+
+(* JSON well-formedness check (the repo carries no external JSON parser). *)
+let check_json_cmd path =
+  let data =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    b
+  in
+  match Faros_obs.Json.well_formed data with
+  | Ok () ->
+    Fmt.pf pp "%s: well-formed JSON (%d bytes)@." path (String.length data);
+    0
+  | Error msg ->
+    Fmt.epr "%s: malformed JSON: %s@." path msg;
+    1
 
 (* Record a sample and save its trace file. *)
 let record_cmd id out =
@@ -369,9 +446,45 @@ let run_t =
       value & flag
       & info [ "block" ] ~doc:"Process instructions one basic block at a time")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write structured trace events as Chrome trace_event JSON")
+  in
+  let series_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the tick-sampled telemetry series (.json for JSON, \
+             anything else for CSV)")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Analyze one sample with FAROS")
-    Term.(const run_cmd $ id_arg $ policy_arg $ whitelist $ verbose $ json $ block)
+    Term.(
+      const run_cmd $ id_arg $ policy_arg $ whitelist $ verbose $ json $ block
+      $ trace_out $ series_out)
+
+let stats_t =
+  let block =
+    Arg.(
+      value & flag
+      & info [ "block" ] ~doc:"Process instructions one basic block at a time")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Analyze one sample and print the full metrics registry")
+    Term.(const stats_cmd $ id_arg $ policy_arg $ block)
+
+let check_json_t =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "check-json" ~doc:"Check that a file is well-formed JSON")
+    Term.(const check_json_cmd $ file_arg)
 
 let compare_t =
   Cmd.v
@@ -456,6 +569,8 @@ let () =
             malfind_t;
             compare_t;
             ps_t;
+            stats_t;
+            check_json_t;
             taint_t;
             strings_t;
             disasm_t;

@@ -66,12 +66,10 @@ let () =
   Fmt.pr "2. replay deterministically under the FAROS plugin@.";
   let outcome = Scenario.analyze scenario in
   Fmt.pr "   replay diverged: %b@." outcome.replay.diverged;
-  let instrs, tainted, nf, procs, files =
-    Faros_dift.Engine.stats outcome.faros.engine
-  in
+  let s = Faros_dift.Engine.stats outcome.faros.engine in
   Fmt.pr
     "   %d instructions analyzed; %d tainted bytes; %d netflow / %d process / %d file tags@."
-    instrs tainted nf procs files;
+    s.instrs s.tainted_bytes s.netflow_tags s.process_tags s.file_tags;
 
   Fmt.pr "3. inspect the provenance of the copied buffer@.";
   let kernel = outcome.faros.kernel in

@@ -17,16 +17,28 @@ type outcome = {
    [setup_replay] provisions only the images (actors are replaced by the
    trace).  [boot] spawns the initial processes and must be identical in
    both phases. *)
-let analyze ?(config = Config.default) ?max_ticks ?timeslice ~setup_record
-    ~setup_replay ~boot () =
+let analyze ?(config = Config.default) ?max_ticks ?timeslice ?metrics
+    ?(trace_sink = Faros_obs.Trace.null) ?telemetry ~setup_record ~setup_replay
+    ~boot () =
   let _record_kernel, trace =
     Faros_replay.Recorder.record ?max_ticks ?timeslice ~setup:setup_record ~boot ()
   in
   let faros_ref = ref None in
+  let sample =
+    match telemetry with
+    | None -> None
+    | Some t ->
+      Some
+        ( config.Config.sample_interval,
+          fun ~tick ~syscalls ->
+            match !faros_ref with
+            | Some faros -> Telemetry.sample t faros ~tick ~syscalls
+            | None -> () )
+  in
   let replay =
-    Faros_replay.Replayer.replay ?max_ticks ?timeslice
+    Faros_replay.Replayer.replay ?max_ticks ?timeslice ?sample
       ~plugins:(fun kernel ->
-        let faros = Faros_plugin.create ~config kernel in
+        let faros = Faros_plugin.create ~config ?metrics ~trace:trace_sink kernel in
         faros_ref := Some faros;
         [ Faros_plugin.plugin faros ])
       ~setup:setup_replay ~boot trace

@@ -17,6 +17,9 @@ val analyze :
   ?config:Config.t ->
   ?max_ticks:int ->
   ?timeslice:int ->
+  ?metrics:Faros_obs.Metrics.t ->
+  ?trace_sink:Faros_obs.Trace.t ->
+  ?telemetry:Telemetry.t ->
   setup_record:(Faros_os.Kernel.t -> unit) ->
   setup_replay:(Faros_os.Kernel.t -> unit) ->
   boot:(Faros_os.Kernel.t -> unit) ->
@@ -25,6 +28,11 @@ val analyze :
 (** [setup_record] provisions images {e and} live actors/input scripts;
     [setup_replay] provisions only the images (actors are replaced by the
     trace).  [boot] spawns the initial processes and must be identical in
-    both phases. *)
+    both phases.
+
+    Observability: [metrics] and [trace_sink] thread into the plugin (and
+    from there into the engine, detector and kernel); [telemetry] records
+    one row every [config.sample_interval] replay ticks plus a final row
+    at the end of the replay. *)
 
 val flagged : outcome -> bool

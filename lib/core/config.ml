@@ -15,6 +15,8 @@ type t = {
   block_processing : bool;
       (* process instructions one basic block at a time, as the paper's
          PANDA plugin does (Section V-A); equivalent, per the test suite *)
+  sample_interval : int;
+      (* kernel ticks between telemetry samples when a series is recorded *)
 }
 
 (* min_process_tags is 1, not 2: the reverse_tcp_dns experiment (Fig. 8)
@@ -28,6 +30,7 @@ let default =
     min_process_tags = 1;
     require_netflow = false;
     block_processing = false;
+    sample_interval = 64;
   }
 
 let strict_netflow = { default with require_netflow = true }
@@ -35,3 +38,7 @@ let strict_netflow = { default with require_netflow = true }
 let with_policy policy t = { t with policy }
 let with_whitelist whitelist t = { t with whitelist }
 let with_block_processing t = { t with block_processing = true }
+
+let with_sample_interval sample_interval t =
+  if sample_interval <= 0 then invalid_arg "Config.with_sample_interval";
+  { t with sample_interval }

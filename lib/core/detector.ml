@@ -16,11 +16,27 @@ type t = {
   config : Config.t;
   report : Report.t;
   name_of_asid : int -> string;
-  mutable loads_checked : int;
+  trace : Faros_obs.Trace.t;
+  c_loads_checked : Faros_obs.Metrics.counter;
+  c_flags : Faros_obs.Metrics.counter;
+  c_suppressed : Faros_obs.Metrics.counter;
+  h_instr_prov_len : Faros_obs.Metrics.histogram;
 }
 
-let create ~config ~name_of_asid =
-  { config; report = Report.create (); name_of_asid; loads_checked = 0 }
+let create ?(metrics = Faros_obs.Metrics.create ())
+    ?(trace = Faros_obs.Trace.null) ~config ~name_of_asid () =
+  {
+    config;
+    report = Report.create ();
+    name_of_asid;
+    trace;
+    c_loads_checked = Faros_obs.Metrics.counter metrics "detector.loads_checked";
+    c_flags = Faros_obs.Metrics.counter metrics "detector.flags";
+    c_suppressed = Faros_obs.Metrics.counter metrics "detector.suppressed";
+    h_instr_prov_len = Faros_obs.Metrics.histogram metrics "detector.instr_prov_len";
+  }
+
+let loads_checked t = Faros_obs.Metrics.counter_value t.c_loads_checked
 
 (* With interned provenance every clause is an integer compare: the type
    queries read the bitmask cached on the node, and the distinct process
@@ -41,9 +57,42 @@ let matches t (info : Faros_dift.Engine.load_info) =
     && has_source
 
 let on_load t ~tick (info : Faros_dift.Engine.load_info) =
-  t.loads_checked <- t.loads_checked + 1;
-  if matches t info then begin
+  Faros_obs.Metrics.incr t.c_loads_checked;
+  let hit = matches t info in
+  (* The confluence-check event fires only for loads that pass the cheap
+     export-tag gate — the candidate confluence evaluations — so enabling
+     tracing does not buffer one event per executed load. *)
+  if
+    Faros_obs.Trace.enabled t.trace
+    && Faros_dift.Provenance.has_export info.li_read_prov
+  then
+    Faros_obs.Trace.emit t.trace ~cat:"detector" ~name:"confluence_check"
+      ~pid:info.li_asid
+      [
+        ("pc", Int info.li_pc);
+        ("read_vaddr", Int info.li_read_vaddr);
+        ("instr_prov_len", Int (Faros_dift.Provenance.length info.li_instr_prov));
+        ("hit", Bool hit);
+      ];
+  if hit then begin
+    Faros_obs.Metrics.incr t.c_flags;
+    Faros_obs.Metrics.observe t.h_instr_prov_len
+      (Faros_dift.Provenance.length info.li_instr_prov);
     let process = t.name_of_asid info.li_asid in
+    let whitelisted =
+      Whitelist.is_whitelisted ~whitelist:t.config.whitelist process
+    in
+    if whitelisted then Faros_obs.Metrics.incr t.c_suppressed;
+    if Faros_obs.Trace.enabled t.trace then
+      Faros_obs.Trace.emit t.trace ~cat:"detector"
+        ~name:(if whitelisted then "whitelist_suppression" else "flag")
+        ~pid:info.li_asid
+        [
+          ("process", Str process);
+          ("pc", Int info.li_pc);
+          ("instr", Str (Faros_vm.Disasm.to_string info.li_instr));
+          ("tick", Int tick);
+        ];
     Report.add t.report
       {
         f_tick = tick;
@@ -53,7 +102,6 @@ let on_load t ~tick (info : Faros_dift.Engine.load_info) =
         f_instr_prov = info.li_instr_prov;
         f_read_vaddr = info.li_read_vaddr;
         f_read_prov = info.li_read_prov;
-        f_whitelisted =
-          Whitelist.is_whitelisted ~whitelist:t.config.whitelist process;
+        f_whitelisted = whitelisted;
       }
   end

@@ -11,16 +11,36 @@
 
     Under a single-bit policy no provenance exists to interrogate, so the
     rule degrades to "tainted code reads the export region" — the ablation
-    showing why provenance tags are load-bearing. *)
+    showing why provenance tags are load-bearing.
+
+    Observability: the detector keeps its counters
+    ([detector.loads_checked], [detector.flags], [detector.suppressed]) and
+    the [detector.instr_prov_len] histogram in the registry it was created
+    with, and emits [confluence_check] / [flag] / [whitelist_suppression]
+    events (category ["detector"]) through its trace sink. *)
 
 type t = {
   config : Config.t;
   report : Report.t;
   name_of_asid : int -> string;
-  mutable loads_checked : int;
+  trace : Faros_obs.Trace.t;
+  c_loads_checked : Faros_obs.Metrics.counter;
+  c_flags : Faros_obs.Metrics.counter;
+  c_suppressed : Faros_obs.Metrics.counter;
+  h_instr_prov_len : Faros_obs.Metrics.histogram;
+      (** provenance length of the flagged instruction's code bytes *)
 }
 
-val create : config:Config.t -> name_of_asid:(int -> string) -> t
+val create :
+  ?metrics:Faros_obs.Metrics.t ->
+  ?trace:Faros_obs.Trace.t ->
+  config:Config.t ->
+  name_of_asid:(int -> string) ->
+  unit ->
+  t
+
+val loads_checked : t -> int
+(** Executed loads inspected so far (reads the registry counter). *)
 
 val matches : t -> Faros_dift.Engine.load_info -> bool
 (** Pure policy decision for one load observation. *)

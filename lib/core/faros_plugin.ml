@@ -9,6 +9,8 @@ type t = {
   detector : Detector.t;
   kernel : Faros_os.Kernel.t;
   config : Config.t;
+  metrics : Faros_obs.Metrics.t;
+  trace : Faros_obs.Trace.t;
 }
 
 let name_of_asid (kernel : Faros_os.Kernel.t) asid =
@@ -19,18 +21,25 @@ let name_of_asid (kernel : Faros_os.Kernel.t) asid =
 let resolve_asid (kernel : Faros_os.Kernel.t) pid =
   Option.map Faros_os.Process.asid (Faros_os.Kstate.proc kernel pid)
 
-let create ?(config = Config.default) (kernel : Faros_os.Kernel.t) =
-  let engine = Faros_dift.Engine.create ~policy:config.policy () in
+let create ?(config = Config.default) ?(metrics = Faros_obs.Metrics.create ())
+    ?(trace = Faros_obs.Trace.null) (kernel : Faros_os.Kernel.t) =
+  (* One registry and one sink serve every layer; the kernel tick is the
+     trace's time base, and the kernel itself emits syscall events. *)
+  Faros_obs.Trace.set_clock trace (fun () -> Faros_os.Kernel.tick kernel);
+  Faros_os.Kstate.set_trace kernel trace;
+  let engine = Faros_dift.Engine.create ~policy:config.policy ~metrics ~trace () in
   let batcher =
     if config.block_processing then Some (Faros_dift.Block_engine.of_engine engine)
     else None
   in
-  let detector = Detector.create ~config ~name_of_asid:(name_of_asid kernel) in
+  let detector =
+    Detector.create ~metrics ~trace ~config ~name_of_asid:(name_of_asid kernel) ()
+  in
   Faros_dift.Engine.taint_export_pointers engine
     kernel.exports.Faros_os.Export_table.pointers_by_name;
   Faros_dift.Engine.add_load_observer engine (fun info ->
       Detector.on_load detector ~tick:(Faros_os.Kernel.tick kernel) info);
-  { engine; batcher; detector; kernel; config }
+  { engine; batcher; detector; kernel; config; metrics; trace }
 
 let plugin t =
   match t.batcher with
@@ -49,7 +58,8 @@ let plugin t =
 
 (* Process any trailing partial block; call when the replay is over. *)
 let finalize t =
-  match t.batcher with Some b -> Faros_dift.Block_engine.finish b | None -> ()
+  (match t.batcher with Some b -> Faros_dift.Block_engine.finish b | None -> ());
+  Faros_dift.Engine.refresh_metrics t.engine
 
 let report t = t.detector.report
 

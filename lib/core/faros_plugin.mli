@@ -10,6 +10,10 @@ type t = {
   detector : Detector.t;
   kernel : Faros_os.Kernel.t;
   config : Config.t;
+  metrics : Faros_obs.Metrics.t;
+      (** the shared registry: engine, detector and batcher metrics *)
+  trace : Faros_obs.Trace.t;
+      (** the shared event sink, clocked by the kernel tick *)
 }
 
 val name_of_asid : Faros_os.Kernel.t -> int -> string
@@ -18,15 +22,24 @@ val name_of_asid : Faros_os.Kernel.t -> int -> string
 val resolve_asid : Faros_os.Kernel.t -> int -> int option
 (** Resolve a pid to its CR3. *)
 
-val create : ?config:Config.t -> Faros_os.Kernel.t -> t
+val create :
+  ?config:Config.t ->
+  ?metrics:Faros_obs.Metrics.t ->
+  ?trace:Faros_obs.Trace.t ->
+  Faros_os.Kernel.t ->
+  t
 (** Build the analysis against a freshly constructed kernel, before any
-    guest instruction runs (the export-table scan happens here). *)
+    guest instruction runs (the export-table scan happens here).  The
+    registry and trace sink thread through every layer: the sink's clock
+    is pointed at the kernel tick and the kernel's own syscall-dispatch
+    events are routed into it. *)
 
 val plugin : t -> Faros_replay.Plugin.t
 (** The attachable plugin carrying the execution and event hooks. *)
 
 val finalize : t -> unit
-(** Process any trailing partial block; call when the replay is over. *)
+(** Process any trailing partial block and refresh the registry's state
+    gauges; call when the replay is over. *)
 
 val report : t -> Report.t
 

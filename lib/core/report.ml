@@ -63,12 +63,12 @@ let describe_tag ~(store : Faros_dift.Tag_store.t) ~name_of_asid tag =
     | Some name -> Fmt.str "Export-table: %s" name
     | None -> "Export-table")
 
-(* Provenance rendered oldest-first with "->" separators, as Table II
+(* Provenance rendered oldest-first with " -> " separators, as Table II
    prints it (origin first: NetFlow -> inject_client.exe -> notepad.exe). *)
 let render_provenance ~store ~name_of_asid prov =
   List.rev (Faros_dift.Provenance.to_list prov)
   |> List.map (describe_tag ~store ~name_of_asid)
-  |> String.concat " ->"
+  |> String.concat " -> "
 
 let pp_flag ~store ~name_of_asid ppf flag =
   Fmt.pf ppf "0x%08X  %s;" flag.f_pc
@@ -83,19 +83,7 @@ let pp_table ~store ~name_of_asid ppf t =
 
 (* -- machine-readable export -- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Faros_obs.Json.escape
 
 (* A self-contained JSON document an analyst can archive with the sample:
    one object per flag with resolved provenance strings. *)

@@ -44,11 +44,12 @@ let replay_plain t trace =
     ~boot:(boot t) trace
 
 (* Replay a trace with a given plugin set. *)
-let replay_with t ~plugins trace =
-  Faros_replay.Replayer.replay ~max_ticks:t.max_ticks ~plugins
+let replay_with t ?sample ~plugins trace =
+  Faros_replay.Replayer.replay ~max_ticks:t.max_ticks ?sample ~plugins
     ~setup:(setup_replay t) ~boot:(boot t) trace
 
 (* Full FAROS workflow: record, then replay under the FAROS plugin. *)
-let analyze ?config t =
-  Core.Analysis.analyze ?config ~max_ticks:t.max_ticks ~setup_record:(setup_record t)
+let analyze ?config ?metrics ?trace_sink ?telemetry t =
+  Core.Analysis.analyze ?config ?metrics ?trace_sink ?telemetry
+    ~max_ticks:t.max_ticks ~setup_record:(setup_record t)
     ~setup_replay:(setup_replay t) ~boot:(boot t) ()

@@ -38,9 +38,18 @@ val replay_plain : t -> Faros_replay.Trace.t -> Faros_replay.Replayer.result
 
 val replay_with :
   t ->
+  ?sample:(int * (tick:int -> syscalls:int -> unit)) ->
   plugins:(Faros_os.Kernel.t -> Faros_replay.Plugin.t list) ->
   Faros_replay.Trace.t ->
   Faros_replay.Replayer.result
 
-val analyze : ?config:Core.Config.t -> t -> Core.Analysis.outcome
-(** Full FAROS workflow: record, then replay under the FAROS plugin. *)
+val analyze :
+  ?config:Core.Config.t ->
+  ?metrics:Faros_obs.Metrics.t ->
+  ?trace_sink:Faros_obs.Trace.t ->
+  ?telemetry:Core.Telemetry.t ->
+  t ->
+  Core.Analysis.outcome
+(** Full FAROS workflow: record, then replay under the FAROS plugin.
+    [metrics], [trace_sink] and [telemetry] thread through to
+    {!Core.Analysis.analyze}. *)

@@ -18,13 +18,20 @@ type t = {
   mutable pending : (Faros_vm.Cpu.t * Faros_vm.Cpu.effect) list;  (* newest first *)
   max_block : int;
   mutable blocks_flushed : int;
+  h_block_size : Faros_obs.Metrics.histogram;  (* instructions per flushed block *)
 }
 
-let create ?(policy = Policy.faros_default) ?(max_block = 64) () =
-  { engine = Engine.create ~policy (); pending = []; max_block; blocks_flushed = 0 }
+let of_engine ?(max_block = 64) (engine : Engine.t) =
+  {
+    engine;
+    pending = [];
+    max_block;
+    blocks_flushed = 0;
+    h_block_size = Faros_obs.Metrics.histogram engine.metrics "block.size";
+  }
 
-let of_engine ?(max_block = 64) engine =
-  { engine; pending = []; max_block; blocks_flushed = 0 }
+let create ?(policy = Policy.faros_default) ?(max_block = 64) () =
+  of_engine ~max_block (Engine.create ~policy ())
 
 let flush t =
   match t.pending with
@@ -32,6 +39,12 @@ let flush t =
   | pending ->
     t.pending <- [];
     t.blocks_flushed <- t.blocks_flushed + 1;
+    let size = List.length pending in
+    Faros_obs.Metrics.observe t.h_block_size size;
+    if Faros_obs.Trace.enabled t.engine.trace then
+      Faros_obs.Trace.emit t.engine.trace ~cat:"block" ~name:"block_flush"
+        ~pid:0
+        [ ("size", Int size) ];
     List.iter (fun (cpu, eff) -> Engine.on_exec t.engine cpu eff) (List.rev pending)
 
 let block_ends (i : Faros_vm.Isa.t) =

@@ -13,6 +13,9 @@ type t = {
   mutable pending : (Faros_vm.Cpu.t * Faros_vm.Cpu.effect) list;
   max_block : int;  (** flush threshold for straight-line runs *)
   mutable blocks_flushed : int;
+  h_block_size : Faros_obs.Metrics.histogram;
+      (** instructions per flushed block, in the engine's registry as
+          ["block.size"] *)
 }
 
 val create : ?policy:Policy.t -> ?max_block:int -> unit -> t

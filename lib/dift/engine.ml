@@ -31,18 +31,33 @@ type t = {
   file_shadow : (string, Provenance.t array ref) Hashtbl.t;
   control : (int, int * Provenance.t) Hashtbl.t;  (* asid -> window left, prov *)
   load_observers : (load_info -> unit) Queue.t;  (* invoked in registration order *)
-  mutable instrs_processed : int;
+  metrics : Faros_obs.Metrics.t;
+  trace : Faros_obs.Trace.t;
+  c_instrs : Faros_obs.Metrics.counter;
+  c_os_events : Faros_obs.Metrics.counter;
+  c_netflow_inserts : Faros_obs.Metrics.counter;
+  c_file_inserts : Faros_obs.Metrics.counter;
+  c_export_inserts : Faros_obs.Metrics.counter;
 }
 
-let create ?(policy = Policy.faros_default) () =
+let create ?(policy = Policy.faros_default) ?(metrics = Faros_obs.Metrics.create ())
+    ?(trace = Faros_obs.Trace.null) () =
   {
-    shadow = Shadow.create ();
+    shadow = Shadow.create ~trace ();
     store = Tag_store.create ();
     policy;
     file_shadow = Hashtbl.create 16;
     control = Hashtbl.create 8;
     load_observers = Queue.create ();
-    instrs_processed = 0;
+    metrics;
+    trace;
+    c_instrs = Faros_obs.Metrics.counter metrics "engine.instrs";
+    c_os_events = Faros_obs.Metrics.counter metrics "engine.os_events";
+    c_netflow_inserts =
+      Faros_obs.Metrics.counter metrics "engine.tag_inserts.netflow";
+    c_file_inserts = Faros_obs.Metrics.counter metrics "engine.tag_inserts.file";
+    c_export_inserts =
+      Faros_obs.Metrics.counter metrics "engine.tag_inserts.export";
   }
 
 (* O(1) registration; a Queue iterates in insertion order, preserving the
@@ -102,7 +117,7 @@ let open_control_window t ~asid prov =
 (* -- per-instruction propagation -- *)
 
 let on_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
-  t.instrs_processed <- t.instrs_processed + 1;
+  Faros_obs.Metrics.incr t.c_instrs;
   let asid = eff.e_asid in
   let ptag = lazy (Tag_store.process t.store asid) in
   tick_control t ~asid;
@@ -221,28 +236,46 @@ let file_array t path len_hint =
 (* [resolve_asid] maps a pid to its CR3; provided by the embedding analysis
    (the kernel knows, the engine must not depend on it). *)
 let on_os_event t ~resolve_asid (ev : Faros_os.Os_event.t) =
+  Faros_obs.Metrics.incr t.c_os_events;
+  let trace_tag_insert ~pid ~ty ~subject ~bytes =
+    if Faros_obs.Trace.enabled t.trace then
+      Faros_obs.Trace.emit t.trace ~cat:"engine" ~name:"tag_insert" ~pid
+        [ ("type", Str ty); ("subject", Str subject); ("bytes", Int bytes) ]
+  in
   match ev with
-  | Net_recv { flow; dst_paddrs; _ } ->
+  | Net_recv { pid; flow; dst_paddrs } ->
     (* Fresh network data overwrites whatever was there. *)
+    Faros_obs.Metrics.incr t.c_netflow_inserts;
+    trace_tag_insert ~pid ~ty:"netflow"
+      ~subject:(Fmt.str "%a" Faros_os.Types.pp_flow flow)
+      ~bytes:(List.length dst_paddrs);
     let tag = Tag_store.netflow t.store flow in
     let prov = Provenance.singleton tag in
     List.iter (fun paddr -> Shadow.set_mem t.shadow paddr prov) dst_paddrs
-  | File_read { path; version; offset; dst_paddrs; _ } ->
+  | File_read { pid; path; version; offset; dst_paddrs } ->
     (* Provenance flows through the file's shadow in any policy; the file
        tag itself is only inserted when the policy tracks files. *)
     let tag_it =
-      if t.policy.track_files then
+      if t.policy.track_files then begin
+        Faros_obs.Metrics.incr t.c_file_inserts;
+        trace_tag_insert ~pid ~ty:"file" ~subject:path
+          ~bytes:(List.length dst_paddrs);
         Provenance.prepend (Tag_store.file t.store ~name:path ~version)
+      end
       else Fun.id
     in
     let arr = file_array t path (offset + List.length dst_paddrs) in
     List.iteri
       (fun i paddr -> Shadow.set_mem t.shadow paddr (tag_it !arr.(offset + i)))
       dst_paddrs
-  | File_write { path; version; offset; src_paddrs; _ } ->
+  | File_write { pid; path; version; offset; src_paddrs } ->
     let tag_it =
-      if t.policy.track_files then
+      if t.policy.track_files then begin
+        Faros_obs.Metrics.incr t.c_file_inserts;
+        trace_tag_insert ~pid ~ty:"file" ~subject:path
+          ~bytes:(List.length src_paddrs);
         Provenance.prepend (Tag_store.file t.store ~name:path ~version)
+      end
       else Fun.id
     in
     let arr = file_array t path (offset + List.length src_paddrs) in
@@ -284,6 +317,14 @@ let on_os_event t ~resolve_asid (ev : Faros_os.Os_event.t) =
 let taint_export_pointers t entries =
   List.iter
     (fun (name, paddrs) ->
+      Faros_obs.Metrics.incr t.c_export_inserts;
+      if Faros_obs.Trace.enabled t.trace then
+        Faros_obs.Trace.emit t.trace ~cat:"engine" ~name:"tag_insert" ~pid:0
+          [
+            ("type", Str "export");
+            ("subject", Str name);
+            ("bytes", Int (List.length paddrs));
+          ];
       let tag = Tag_store.export t.store ~name in
       List.iter
         (fun paddr ->
@@ -292,9 +333,35 @@ let taint_export_pointers t entries =
         paddrs)
     entries
 
+let instrs_processed t = Faros_obs.Metrics.counter_value t.c_instrs
+
+(* Push the current sizes of the shadow and tag stores into registry
+   gauges, so `faros stats` renders live state next to the counters. *)
+let refresh_metrics t =
+  let set name v = Faros_obs.Metrics.set (Faros_obs.Metrics.gauge t.metrics name) v in
+  set "shadow.tainted_bytes" (Shadow.tainted_bytes t.shadow);
+  set "shadow.tainted_regs" (Shadow.tainted_regs t.shadow);
+  set "shadow.pages" (Shadow.pages t.shadow);
+  set "store.netflow_tags" (Tag_store.netflow_count t.store);
+  set "store.process_tags" (Tag_store.process_count t.store);
+  set "store.file_tags" (Tag_store.file_count t.store);
+  set "store.export_tags" (Tag_store.export_count t.store);
+  set "prov.interned" (Prov_intern.interned_count ())
+
+type stats = {
+  instrs : int;
+  tainted_bytes : int;
+  netflow_tags : int;
+  process_tags : int;
+  file_tags : int;
+}
+
 let stats t =
-  ( t.instrs_processed,
-    Shadow.tainted_bytes t.shadow,
-    Tag_store.netflow_count t.store,
-    Tag_store.process_count t.store,
-    Tag_store.file_count t.store )
+  refresh_metrics t;
+  {
+    instrs = instrs_processed t;
+    tainted_bytes = Shadow.tainted_bytes t.shadow;
+    netflow_tags = Tag_store.netflow_count t.store;
+    process_tags = Tag_store.process_count t.store;
+    file_tags = Tag_store.file_count t.store;
+  }

@@ -33,10 +33,25 @@ type t = {
       (** per-file byte provenance: how taint flows through files (Fig. 4) *)
   control : (int, int * Provenance.t) Hashtbl.t;
   load_observers : (load_info -> unit) Queue.t;
-  mutable instrs_processed : int;
+  metrics : Faros_obs.Metrics.t;  (** registry backing {!stats} *)
+  trace : Faros_obs.Trace.t;  (** structured-event sink (null when off) *)
+  c_instrs : Faros_obs.Metrics.counter;
+  c_os_events : Faros_obs.Metrics.counter;
+  c_netflow_inserts : Faros_obs.Metrics.counter;
+  c_file_inserts : Faros_obs.Metrics.counter;
+  c_export_inserts : Faros_obs.Metrics.counter;
 }
 
-val create : ?policy:Policy.t -> unit -> t
+val create :
+  ?policy:Policy.t ->
+  ?metrics:Faros_obs.Metrics.t ->
+  ?trace:Faros_obs.Trace.t ->
+  unit ->
+  t
+(** [metrics] is the registry the engine's counters and gauges live in (a
+    fresh one by default); [trace] receives ["tag_insert"] events
+    (category ["engine"]) and the shadow's ["page_alloc"] events, and
+    defaults to the disabled sink. *)
 
 val add_load_observer : t -> (load_info -> unit) -> unit
 
@@ -53,6 +68,22 @@ val taint_export_pointers : t -> (string * int list) list -> unit
 (** Startup scan of loaded modules: taint each exported function pointer's
     physical bytes with an export-table tag carrying the function's name. *)
 
-val stats : t -> int * int * int * int * int
-(** [(instructions processed, tainted bytes, netflow tags, process tags,
-    file tags)]. *)
+val instrs_processed : t -> int
+(** Instructions the engine has propagated over (a counter read). *)
+
+val refresh_metrics : t -> unit
+(** Push current shadow / tag-store / intern-table sizes into registry
+    gauges ([shadow.*], [store.*], [prov.interned]). *)
+
+(** A point-in-time summary of the engine, by name — the positional 5-int
+    tuple this replaces mixed up its fields too easily. *)
+type stats = {
+  instrs : int;
+  tainted_bytes : int;
+  netflow_tags : int;
+  process_tags : int;
+  file_tags : int;
+}
+
+val stats : t -> stats
+(** Snapshot the engine (also refreshes the registry gauges). *)

@@ -18,14 +18,16 @@ type t = {
   mutable mem_tainted : int;  (* bytes with a non-empty provenance *)
   regs : (int, Provenance.t) Hashtbl.t;  (* asid * num_regs + reg *)
   flags : (int, Provenance.t) Hashtbl.t;  (* asid -> provenance *)
+  trace : Faros_obs.Trace.t;  (* page-allocation events *)
 }
 
-let create () =
+let create ?(trace = Faros_obs.Trace.null) () =
   {
     mem_dir = Hashtbl.create 64;
     mem_tainted = 0;
     regs = Hashtbl.create 64;
     flags = Hashtbl.create 8;
+    trace;
   }
 
 let get_mem t paddr =
@@ -39,6 +41,9 @@ let page_for t pno =
   | None ->
     let page = Array.make page_size 0 in
     Hashtbl.replace t.mem_dir pno page;
+    if Faros_obs.Trace.enabled t.trace then
+      Faros_obs.Trace.emit t.trace ~cat:"shadow" ~name:"page_alloc" ~pid:0
+        [ ("page", Int pno); ("base", Int (pno lsl page_shift)) ];
     page
 
 (* Write one byte's id into a page, maintaining the taint counter.  An
@@ -123,6 +128,7 @@ let set_mem_range t paddr width prov =
 
 let tainted_bytes t = t.mem_tainted
 let tainted_regs t = Hashtbl.length t.regs
+let pages t = Hashtbl.length t.mem_dir
 
 let iter_mem t f =
   Hashtbl.iter

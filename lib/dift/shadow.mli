@@ -14,7 +14,9 @@ type t
 val page_size : int
 (** Bytes per shadow page (4096). *)
 
-val create : unit -> t
+val create : ?trace:Faros_obs.Trace.t -> unit -> t
+(** [trace] receives a ["page_alloc"] event (category ["shadow"]) each
+    time a shadow page materializes; defaults to the disabled sink. *)
 
 val get_mem : t -> int -> Provenance.t
 (** Provenance of the byte at a physical address (empty if untracked). *)
@@ -37,6 +39,9 @@ val tainted_bytes : t -> int
 (** Number of bytes currently carrying non-empty provenance (O(1)). *)
 
 val tainted_regs : t -> int
+
+val pages : t -> int
+(** Number of shadow pages materialized so far. *)
 
 val iter_mem : t -> (int -> Provenance.t -> unit) -> unit
 

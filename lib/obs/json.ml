@@ -1,0 +1,159 @@
+(* Minimal JSON support shared by the exporters.
+
+   The repo deliberately avoids external JSON dependencies: exporters
+   build documents with printf, and [well_formed] is the tiny
+   recursive-descent checker the tests (and `faros check-json`) use to
+   assert those documents actually parse. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+exception Bad of string
+
+(* A well-formedness checker, not a parser: it validates structure and
+   consumes the input without building any value. *)
+let well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = pos := !pos + 1 in
+  let skip_ws () =
+    while
+      !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r')
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then pos := !pos + String.length word
+    else fail (Printf.sprintf "expected %S" word)
+  in
+  let string_lit () =
+    expect '"';
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+        advance ();
+        closed := true
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ -> advance ()
+    done
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let start = !pos in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected digit"
+    in
+    (* integer part: a lone 0, or a nonzero-led digit run (no leading 0s) *)
+    (match peek () with
+    | Some '0' -> (
+      advance ();
+      match peek () with
+      | Some '0' .. '9' -> fail "leading zero"
+      | _ -> ())
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "expected digit");
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let more = ref true in
+        while !more do
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some '}' ->
+            advance ();
+            more := false
+          | _ -> fail "expected ',' or '}'"
+        done
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let more = ref true in
+        while !more do
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some ']' ->
+            advance ();
+            more := false
+          | _ -> fail "expected ',' or ']'"
+        done
+      end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    | None -> fail "unexpected end of input"
+  in
+  match
+    value ();
+    skip_ws ()
+  with
+  | () when !pos = n -> Ok ()
+  | () -> Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+  | exception Bad msg -> Error msg

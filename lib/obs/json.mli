@@ -1,0 +1,9 @@
+(** Minimal JSON support for the exporters — the repo avoids external
+    JSON dependencies. *)
+
+val escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes. *)
+
+val well_formed : string -> (unit, string) result
+(** Validate that a string is one complete, well-formed JSON value.  A
+    checker, not a parser: it builds nothing. *)

@@ -1,0 +1,49 @@
+(** Structured trace events through a pluggable sink.
+
+    Instrumented layers guard every emission with {!enabled}:
+
+    {[ if Trace.enabled sink then Trace.emit sink ~cat ~name ~pid args ]}
+
+    so the disabled sink ({!null}) costs one branch and allocates
+    nothing.  The {!collector} sink buffers events (bounded; overflow is
+    counted in {!dropped}) and {!to_chrome_json} exports them in Chrome's
+    trace_event format for chrome://tracing / Perfetto.
+
+    Timestamps come from the sink's clock — the FAROS plugin points it at
+    the kernel tick counter, the only meaningful time base a
+    deterministic replay has. *)
+
+type arg = Int of int | Str of string | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts : int;  (** kernel tick at emission *)
+  ev_pid : int;  (** pid or asid of the subject; 0 when whole-system *)
+  ev_args : (string * arg) list;
+}
+
+type t
+
+val null : t
+(** The disabled sink: {!enabled} is [false], {!emit} is a no-op. *)
+
+val collector : ?limit:int -> unit -> t
+(** A buffering sink holding at most [limit] events (default 1e6). *)
+
+val enabled : t -> bool
+
+val set_clock : t -> (unit -> int) -> unit
+(** Set the timestamp source (no-op on {!null}). *)
+
+val emit : t -> cat:string -> name:string -> pid:int -> (string * arg) list -> unit
+
+val events : t -> event list
+(** Collected events, oldest first (empty for {!null}). *)
+
+val by_category : t -> string -> event list
+val count : t -> int
+val dropped : t -> int
+
+val to_chrome_json : t -> string
+(** The whole buffer as a Chrome trace_event JSON document. *)

@@ -72,6 +72,10 @@ let dispatch (k : t) (p : Process.t) (eff : Faros_vm.Cpu.effect) =
   Kstate.emit k
     (Os_event.Sys_enter
        { pid = p.pid; sysno; sysname = Syscall.name sysno; args; via_stub });
+  if Faros_obs.Trace.enabled k.trace then
+    Faros_obs.Trace.emit k.trace ~cat:"syscall" ~name:(Syscall.name sysno)
+      ~pid:p.pid
+      [ ("class", Str (Syscall.category sysno)); ("via_stub", Bool via_stub) ];
   let ret =
     match handler sysno with
     | Some f -> ( try f k p args with Faros_vm.Mmu.Page_fault _ -> -1 land Faros_vm.Word.mask)

@@ -11,6 +11,7 @@ type t = {
   mutable subscribers : (Os_event.t -> unit) list;
   mutable tick : int;  (* instructions executed, whole system *)
   mutable run_queue : Types.pid list;
+  mutable trace : Faros_obs.Trace.t;  (* syscall-dispatch events *)
 }
 
 let create ~local_ip =
@@ -27,9 +28,12 @@ let create ~local_ip =
     subscribers = [];
     tick = 0;
     run_queue = [];
+    trace = Faros_obs.Trace.null;
   }
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+
+let set_trace t trace = t.trace <- trace
 
 let emit t ev = List.iter (fun f -> f ev) t.subscribers
 

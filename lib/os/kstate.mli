@@ -12,12 +12,18 @@ type t = {
   mutable subscribers : (Os_event.t -> unit) list;
   mutable tick : int;  (** instructions executed, whole system *)
   mutable run_queue : Types.pid list;
+  mutable trace : Faros_obs.Trace.t;
+      (** sink for syscall-dispatch events; the disabled sink by default *)
 }
 
 val create : local_ip:Types.Ip.t -> t
 
 val subscribe : t -> (Os_event.t -> unit) -> unit
 val emit : t -> Os_event.t -> unit
+
+val set_trace : t -> Faros_obs.Trace.t -> unit
+(** Point the kernel's structured-event sink somewhere (see
+    {!Faros_obs.Trace}); syscall dispatch emits one event per call. *)
 
 val proc : t -> Types.pid -> Process.t option
 val proc_exn : t -> Types.pid -> Process.t

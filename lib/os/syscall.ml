@@ -98,6 +98,16 @@ let name sysno =
   | 0x44 -> "DbgPrint"
   | n -> Printf.sprintf "sys_%#x" n
 
+(* Coarse family of a syscall number, keyed off the numbering blocks above.
+   Used as the [class] argument of syscall-dispatch trace events. *)
+let category sysno =
+  if sysno >= 0x01 && sysno <= 0x0E then "process"
+  else if sysno >= 0x10 && sysno <= 0x1A then "file"
+  else if sysno >= 0x20 && sysno <= 0x26 then "net"
+  else if sysno >= 0x30 && sysno <= 0x31 then "loader"
+  else if sysno >= 0x40 && sysno <= 0x44 then "device"
+  else "unknown"
+
 (* Filesystem-related syscalls: the hooks the paper's file-tag insertion
    driver intercepts (its "26 filesystem-related system calls"). *)
 let filesystem_syscalls =

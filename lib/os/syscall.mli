@@ -70,6 +70,11 @@ val dbg_print : int
 
 val name : int -> string
 
+val category : int -> string
+(** Coarse family of a syscall number — ["process"], ["file"], ["net"],
+    ["loader"], ["device"] or ["unknown"].  Used as the [class] argument of
+    syscall-dispatch trace events. *)
+
 val filesystem_syscalls : int list
 (** The hooks the paper's file-tag insertion driver intercepts. *)
 

@@ -18,7 +18,8 @@ type result = {
    after images are provisioned but before any process runs — the window in
    which FAROS scans and taints the export tables. *)
 let replay ?max_ticks ?timeslice
-    ?(plugins : (Faros_os.Kernel.t -> Plugin.t list) option) ~setup ~boot
+    ?(plugins : (Faros_os.Kernel.t -> Plugin.t list) option)
+    ?(sample : (int * (tick:int -> syscalls:int -> unit)) option) ~setup ~boot
     (trace : Trace.t) =
   let kernel = Faros_os.Kernel.create () in
   setup kernel;
@@ -33,8 +34,22 @@ let replay ?max_ticks ?timeslice
   (match plugins with
   | Some make -> Plugin.attach_all kernel (make kernel)
   | None -> ());
+  (* The sampler hook installs after the plugins so each sample sees the
+     analysis state with that instruction's propagation already applied. *)
+  (match sample with
+  | Some (interval, fire) when interval > 0 ->
+    Faros_vm.Machine.add_exec_hook kernel.machine (fun _ _ ->
+        let tick = Faros_os.Kernel.tick kernel in
+        if tick mod interval = 0 then fire ~tick ~syscalls:!syscalls)
+  | Some _ | None -> ());
   boot kernel;
   Faros_os.Kernel.run ?max_ticks ?timeslice kernel;
+  (* One forced sample at the end so the series' last row reflects the
+     final system state regardless of where the interval landed. *)
+  (match sample with
+  | Some (interval, fire) when interval > 0 ->
+    fire ~tick:(Faros_os.Kernel.tick kernel) ~syscalls:!syscalls
+  | Some _ | None -> ());
   let replay_ticks = Faros_os.Kernel.tick kernel in
   {
     kernel;

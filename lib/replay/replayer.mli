@@ -17,10 +17,16 @@ val replay :
   ?max_ticks:int ->
   ?timeslice:int ->
   ?plugins:(Faros_os.Kernel.t -> Plugin.t list) ->
+  ?sample:(int * (tick:int -> syscalls:int -> unit)) ->
   setup:(Faros_os.Kernel.t -> unit) ->
   boot:(Faros_os.Kernel.t -> unit) ->
   Trace.t ->
   result
 (** [plugins] builds the plugin list against the freshly constructed
     kernel, after images are provisioned but before any process runs — the
-    window in which FAROS scans and taints the export tables. *)
+    window in which FAROS scans and taints the export tables.
+
+    [sample] is [(interval, fire)]: [fire] runs every [interval] kernel
+    ticks (installed after the plugins, so it observes post-propagation
+    analysis state) and once more after the run, so the last sample always
+    reflects the final system state. *)

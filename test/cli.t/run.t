@@ -31,8 +31,8 @@ Everything is deterministic, down to the instruction counts.
   verdict:      IN-MEMORY INJECTION FLAGGED
   4 flagged load(s) at 2 site(s), 0 whitelisted
   Memory Address Provenance List
-  0x1000009D  NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} ->Process: inject_client.exe ->Process: notepad.exe;
-  0x10000042  NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} ->Process: inject_client.exe ->Process: notepad.exe;
+  0x1000009D  NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} -> Process: inject_client.exe -> Process: notepad.exe;
+  0x10000042  NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} -> Process: inject_client.exe -> Process: notepad.exe;
 
 A clean sample stays clean.
 
@@ -83,7 +83,7 @@ Snapshot forensics on the hollowing sample.
 Provenance-aware strings find the attacker's artifacts in the victim.
 
   $ faros strings reflective_dll_inject | grep notepad | grep injected
-  notepad.exe          0x100000BD "MessageBoxAinjected!"   NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} ->Process: inject_client.exe
+  notepad.exe          0x100000BD "MessageBoxAinjected!"   NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} -> Process: inject_client.exe
 
 The taint map after the self-injection run.
 
@@ -91,3 +91,83 @@ The taint map after the self-injection run.
   process              tainted    netflow-tainted
   inject_client.exe    4517       4517
   
+The full metrics registry after one analysis: a flagged sample...
+
+  $ faros stats reflective_dll_inject
+  sample:  reflective_dll_inject
+  verdict: IN-MEMORY INJECTION FLAGGED
+  metric                               kind       value
+  detector.flags                       counter    4
+  detector.instr_prov_len              histogram  n=4 sum=12 [2,4):4
+  detector.loads_checked               counter    18
+  detector.suppressed                  counter    0
+  engine.instrs                        counter    376
+  engine.os_events                     counter    119
+  engine.tag_inserts.export            counter    40
+  engine.tag_inserts.file              counter    2
+  engine.tag_inserts.netflow           counter    2
+  prov.interned                        gauge      51
+  shadow.pages                         gauge      6
+  shadow.tainted_bytes                 gauge      4753
+  shadow.tainted_regs                  gauge      3
+  store.export_tags                    gauge      40
+  store.file_tags                      gauge      2
+  store.netflow_tags                   gauge      1
+  store.process_tags                   gauge      2
+
+...and a clean one.
+
+  $ faros stats snipping_tool_s0
+  sample:  snipping_tool_s0
+  verdict: clean
+  metric                               kind       value
+  detector.flags                       counter    0
+  detector.instr_prov_len              histogram  n=0 sum=0
+  detector.loads_checked               counter    3
+  detector.suppressed                  counter    0
+  engine.instrs                        counter    26
+  engine.os_events                     counter    13
+  engine.tag_inserts.export            counter    40
+  engine.tag_inserts.file              counter    2
+  engine.tag_inserts.netflow           counter    0
+  prov.interned                        gauge      44
+  shadow.pages                         gauge      2
+  shadow.tainted_bytes                 gauge      400
+  shadow.tainted_regs                  gauge      1
+  store.export_tags                    gauge      40
+  store.file_tags                      gauge      2
+  store.netflow_tags                   gauge      0
+  store.process_tags                   gauge      1
+
+Structured trace events and the tick-sampled series, exported to disk.
+The trace is Chrome trace_event JSON and passes the JSON checker; the
+series records the replay's taint growth, tick by tick, ending on the
+final state (376 ticks, 4753 tainted bytes).
+
+  $ faros run reflective_dll_inject --trace-out rt.json --series-out rs.csv | tail -2
+  trace:        109 events (0 dropped) -> rt.json
+  series:       7 sample(s) -> rs.csv
+  $ faros check-json rt.json
+  rt.json: well-formed JSON (14896 bytes)
+  $ grep -o tag_insert rt.json | wc -l
+  44
+  $ grep -o confluence_check rt.json | wc -l
+  4
+  $ grep -o '"flag"' rt.json | wc -l
+  4
+  $ cat rs.csv
+  tick,syscalls,instrs,tainted_bytes,tainted_regs,shadow_pages,interned_provs,netflow_tags,process_tags,file_tags,export_tags,flags,suppressed
+  0,0,1,4536,0,4,44,0,1,2,40,0,0
+  64,13,65,4536,0,4,44,0,1,2,40,0,0
+  128,26,129,4536,0,4,44,0,1,2,40,0,0
+  192,38,193,4536,0,4,44,0,1,2,40,0,0
+  256,44,257,4540,2,5,47,1,2,2,40,0,0
+  320,49,321,4753,3,6,50,1,2,2,40,2,0
+  376,51,376,4753,3,6,51,1,2,2,40,4,0
+
+A malformed document is rejected with a reason.
+
+  $ printf '{"a":1,}' > bad.json
+  $ faros check-json bad.json
+  bad.json: malformed JSON: expected '"' at offset 7
+  [1]

@@ -21,8 +21,9 @@ let info ?(instr_prov = []) ?(read_prov = []) () : Engine.load_info =
   }
 
 let detector ?(config = Core.Config.default) () =
-  Core.Detector.create ~config ~name_of_asid:(fun asid ->
-      Printf.sprintf "proc%d.exe" asid)
+  Core.Detector.create ~config
+    ~name_of_asid:(fun asid -> Printf.sprintf "proc%d.exe" asid)
+    ()
 
 let detect ?config ~instr_prov ~read_prov () =
   let d = detector ?config () in
@@ -144,7 +145,7 @@ let report_tests =
             prov
         in
         check_s "rendered"
-          "NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} ->Process: inject_client.exe"
+          "NetFlow: {src ip,port: 169.254.26.161:4444, dest ip.port: 169.254.57.168:49162} -> Process: inject_client.exe"
           rendered);
     Alcotest.test_case "file and export tags render" `Quick (fun () ->
         let store = Tag_store.create () in
@@ -154,7 +155,7 @@ let report_tests =
             ~name_of_asid:(fun _ -> "?")
             (Provenance.of_list [ Tag.Export_table 0; f ])
         in
-        check_s "rendered" "File: x.exe (v2) ->Export-table" rendered);
+        check_s "rendered" "File: x.exe (v2) -> Export-table" rendered);
     Alcotest.test_case "export tag renders its function name" `Quick (fun () ->
         let store = Tag_store.create () in
         let e = Tag_store.export store ~name:"GetProcAddress" in
@@ -420,7 +421,7 @@ let config_tests =
         check_b "false" false (Core.Analysis.flagged clean));
     Alcotest.test_case "detector counts every load it checks" `Slow (fun () ->
         let outcome = analyze "reverse_tcp_dns" in
-        check_b "loads checked" true (outcome.faros.detector.loads_checked > 0));
+        check_b "loads checked" true (Core.Detector.loads_checked outcome.faros.detector > 0));
     Alcotest.test_case "report table output has the Table II header" `Slow
       (fun () ->
         let outcome = analyze "reflective_dll_inject" in

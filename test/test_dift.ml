@@ -833,7 +833,7 @@ let more_engine_tests =
     Alcotest.test_case "engine counts processed instructions" `Quick (fun () ->
         let h = harness [ i Faros_vm.Isa.Nop; i Faros_vm.Isa.Nop; i Faros_vm.Isa.Halt ] in
         run h;
-        check "three" 3 h.engine.instrs_processed);
+        check "three" 3 (Engine.instrs_processed h.engine));
     Alcotest.test_case "load observers fire in registration order" `Quick
       (fun () ->
         (* observer registration is O(1) on a queue now; the iteration
@@ -870,10 +870,10 @@ let more_engine_tests =
         in
         taint_mem h 0x2000 [ nf ];
         run h;
-        let instrs, tainted, _nf, procs, _files = Engine.stats h.engine in
-        check_b "instrs" true (instrs > 0);
-        check_b "tainted" true (tainted > 0);
-        check_b "process tag interned" true (procs >= 1));
+        let s = Engine.stats h.engine in
+        check_b "instrs" true (s.Engine.instrs > 0);
+        check_b "tainted" true (s.Engine.tainted_bytes > 0);
+        check_b "process tag interned" true (s.Engine.process_tags >= 1));
     Alcotest.test_case "same program, two engines, different policies differ"
       `Quick (fun () ->
         let items =
@@ -940,14 +940,14 @@ let block_tests =
              trace);
         let e1 = Option.get !direct and b = Option.get !batched in
         Block_engine.finish b;
-        check "same instruction count" e1.instrs_processed
-          b.engine.instrs_processed;
+        check "same instruction count" (Engine.instrs_processed e1)
+          (Engine.instrs_processed b.engine);
         check "same tainted byte count" (Shadow.tainted_bytes e1.shadow)
           (Shadow.tainted_bytes b.engine.shadow);
         check "same flags" !direct_flags !batched_flags;
         check_b "flags fired" true (!direct_flags > 0);
         check_b "batching actually batched" true
-          (b.blocks_flushed < e1.instrs_processed);
+          (b.blocks_flushed < Engine.instrs_processed e1);
         (* byte-for-byte shadow equality *)
         Shadow.iter_mem e1.shadow (fun paddr prov ->
             check_b
@@ -974,11 +974,11 @@ let block_tests =
         | Ok _ -> ()
         | Error f -> Alcotest.failf "fault %a" Faros_vm.Cpu.pp_fault f);
         (* still pending: no branch yet *)
-        check "nothing processed yet" 0 b.engine.instrs_processed;
+        check "nothing processed yet" 0 (Engine.instrs_processed b.engine);
         Block_engine.on_os_event b ~resolve_asid:(fun _ -> None)
           (Faros_os.Os_event.Net_recv
              { pid = 1; flow = flow 1 2; dst_paddrs = [ paddr ] });
-        check "flushed before the event" 1 b.engine.instrs_processed;
+        check "flushed before the event" 1 (Engine.instrs_processed b.engine);
         (* event then overwrote the byte with fresh netflow provenance *)
         check_b "net_recv applied after" true
           (Provenance.to_list (Shadow.get_mem b.engine.shadow paddr)

@@ -1,0 +1,300 @@
+(* Tests for the observability layer: metrics registry, time series, trace
+   sinks, the JSON checker, and the telemetry sampled from a real replay. *)
+
+open Faros_obs
+
+let check = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+(* -- metrics registry ---------------------------------------------------- *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "counter increments and adds" `Quick (fun () ->
+        let m = Metrics.create () in
+        let c = Metrics.counter m "a" in
+        Metrics.incr c;
+        Metrics.incr c;
+        Metrics.add c 40;
+        check "value" 42 (Metrics.counter_value c));
+    Alcotest.test_case "gauge holds the last set value" `Quick (fun () ->
+        let m = Metrics.create () in
+        let g = Metrics.gauge m "g" in
+        Metrics.set g 7;
+        Metrics.set g 3;
+        check "value" 3 (Metrics.gauge_value g));
+    Alcotest.test_case "registration is idempotent" `Quick (fun () ->
+        let m = Metrics.create () in
+        let c1 = Metrics.counter m "shared" in
+        Metrics.incr c1;
+        let c2 = Metrics.counter m "shared" in
+        Metrics.incr c2;
+        check "same underlying cell" 2 (Metrics.counter_value c1));
+    Alcotest.test_case "kind mismatch raises" `Quick (fun () ->
+        let m = Metrics.create () in
+        ignore (Metrics.counter m "x");
+        Alcotest.check_raises "gauge over counter"
+          (Invalid_argument "Metrics: \"x\" already registered with another kind")
+          (fun () -> ignore (Metrics.gauge m "x")));
+    Alcotest.test_case "histogram log2 bucketing" `Quick (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.histogram m "h" in
+        List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 1000 ];
+        check "count" 6 (Metrics.histogram_count h);
+        check "sum" 1010 (Metrics.histogram_sum h);
+        let buckets = Metrics.histogram_bucket_list h in
+        (* 0 -> (<=0); 1 -> [1,2); 2,3 -> [2,4); 4 -> [4,8); 1000 -> [512,1024) *)
+        Alcotest.(check (list (triple int int int)))
+          "buckets"
+          [
+            (min_int, 1, 1); (1, 2, 1); (2, 4, 2); (4, 8, 1); (512, 1024, 1);
+          ]
+          buckets);
+    Alcotest.test_case "rendering is sorted and deterministic" `Quick (fun () ->
+        let m = Metrics.create () in
+        Metrics.set (Metrics.gauge m "z.last") 1;
+        Metrics.incr (Metrics.counter m "a.first");
+        let rendered = Fmt.str "%a" Metrics.pp_table m in
+        let idx needle =
+          let n = String.length needle and len = String.length rendered in
+          let rec go i =
+            if i + n > len then Alcotest.failf "%s not rendered" needle
+            else if String.sub rendered i n = needle then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        check_b "a before z" true (idx "a.first" < idx "z.last"));
+    Alcotest.test_case "registry JSON is well-formed" `Quick (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr (Metrics.counter m "quoted\"name");
+        Metrics.observe (Metrics.histogram m "h") 5;
+        match Json.well_formed (Metrics.to_json m) with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* -- json ----------------------------------------------------------------- *)
+
+let json_tests =
+  [
+    Alcotest.test_case "accepts valid documents" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Json.well_formed s with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "%S rejected: %s" s e)
+          [
+            "{}";
+            "[]";
+            "  null ";
+            {|{"a":[1,-2.5e3,true,false,null],"b":{"c":"d\neA"}}|};
+            {|"lone string"|};
+            "3.14";
+          ]);
+    Alcotest.test_case "rejects malformed documents" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Json.well_formed s with
+            | Ok () -> Alcotest.failf "%S accepted" s
+            | Error _ -> ())
+          [
+            "";
+            "{";
+            "[1,]";
+            {|{"a":}|};
+            {|{"a":1,}|};
+            "[1] trailing";
+            {|"unterminated|};
+            "{1:2}";
+            "01";
+          ]);
+    Alcotest.test_case "escape round-trips through the checker" `Quick (fun () ->
+        let s = "quote\" backslash\\ newline\n ctrl\x01" in
+        match Json.well_formed (Printf.sprintf "\"%s\"" (Json.escape s)) with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* -- series ---------------------------------------------------------------- *)
+
+let series_tests =
+  [
+    Alcotest.test_case "records rows in order" `Quick (fun () ->
+        let s = Series.create ~capacity:8 ~columns:[ "a"; "b" ] in
+        Series.sample s [| 1; 2 |];
+        Series.sample s [| 3; 4 |];
+        check "length" 2 (Series.length s);
+        Alcotest.(check (list int)) "column a" [ 1; 3 ] (Series.column s "a");
+        Alcotest.(check (list int)) "column b" [ 2; 4 ] (Series.column s "b"));
+    Alcotest.test_case "ring buffer wraps, keeping the newest rows" `Quick
+      (fun () ->
+        let s = Series.create ~capacity:3 ~columns:[ "v" ] in
+        for v = 1 to 10 do
+          Series.sample s [| v |]
+        done;
+        check "total counts everything" 10 (Series.total s);
+        check "length capped" 3 (Series.length s);
+        Alcotest.(check (list int)) "newest retained" [ 8; 9; 10 ]
+          (Series.column s "v");
+        check "oldest retained row" 8 (Series.get s 0).(0);
+        Alcotest.(check (option (array int))) "last" (Some [| 10 |])
+          (Series.last s));
+    Alcotest.test_case "arity mismatch raises" `Quick (fun () ->
+        let s = Series.create ~capacity:2 ~columns:[ "a"; "b" ] in
+        Alcotest.check_raises "short row"
+          (Invalid_argument "Series.sample: row arity does not match columns")
+          (fun () -> Series.sample s [| 1 |]));
+    Alcotest.test_case "sampled row is copied" `Quick (fun () ->
+        let s = Series.create ~capacity:2 ~columns:[ "a" ] in
+        let row = [| 1 |] in
+        Series.sample s row;
+        row.(0) <- 99;
+        check "unaffected" 1 (Series.get s 0).(0));
+    Alcotest.test_case "csv has header plus one line per row" `Quick (fun () ->
+        let s = Series.create ~capacity:4 ~columns:[ "a"; "b" ] in
+        Series.sample s [| 1; 2 |];
+        check_s "csv" "a,b\n1,2\n" (Series.to_csv s));
+    Alcotest.test_case "json export is well-formed" `Quick (fun () ->
+        let s = Series.create ~capacity:4 ~columns:[ "a"; "b" ] in
+        Series.sample s [| 1; 2 |];
+        Series.sample s [| 3; 4 |];
+        match Json.well_formed (Series.to_json s) with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* -- trace ------------------------------------------------------------------ *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "null sink is disabled and collects nothing" `Quick
+      (fun () ->
+        let t = Trace.null in
+        check_b "disabled" false (Trace.enabled t);
+        Trace.emit t ~cat:"c" ~name:"n" ~pid:1 [];
+        check "no events" 0 (Trace.count t);
+        Alcotest.(check (list reject)) "empty" [] (Trace.events t));
+    Alcotest.test_case "collector records events with the clock" `Quick
+      (fun () ->
+        let t = Trace.collector () in
+        check_b "enabled" true (Trace.enabled t);
+        let now = ref 0 in
+        Trace.set_clock t (fun () -> !now);
+        now := 5;
+        Trace.emit t ~cat:"engine" ~name:"tag_insert" ~pid:7
+          [ ("bytes", Int 3) ];
+        now := 9;
+        Trace.emit t ~cat:"detector" ~name:"flag" ~pid:7 [];
+        check "count" 2 (Trace.count t);
+        (match Trace.events t with
+        | [ e1; e2 ] ->
+          check "ts1" 5 e1.Trace.ev_ts;
+          check "ts2" 9 e2.Trace.ev_ts;
+          check_s "name1" "tag_insert" e1.Trace.ev_name
+        | _ -> Alcotest.fail "expected two events");
+        check "by_category" 1 (List.length (Trace.by_category t "detector")));
+    Alcotest.test_case "collector drops past its limit" `Quick (fun () ->
+        let t = Trace.collector ~limit:2 () in
+        for i = 1 to 5 do
+          Trace.emit t ~cat:"c" ~name:"n" ~pid:i []
+        done;
+        check "kept" 2 (Trace.count t);
+        check "dropped" 3 (Trace.dropped t));
+    Alcotest.test_case "chrome export is well-formed JSON" `Quick (fun () ->
+        let t = Trace.collector () in
+        Trace.emit t ~cat:"engine" ~name:"tag \"quoted\"" ~pid:1
+          [ ("s", Str "a\nb"); ("i", Int 3); ("b", Bool true) ];
+        match Json.well_formed (Trace.to_chrome_json t) with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* -- replay-level telemetry -------------------------------------------------- *)
+
+let sorted_ascending xs = List.sort compare xs = xs
+
+let telemetry_tests =
+  [
+    Alcotest.test_case "sampled series is consistent with final engine state"
+      `Slow (fun () ->
+        let sample =
+          match Faros_corpus.Registry.find "reflective_dll_inject" with
+          | Some s -> s
+          | None -> Alcotest.fail "missing corpus sample"
+        in
+        let telemetry = Core.Telemetry.create () in
+        let trace_sink = Faros_obs.Trace.collector () in
+        let outcome =
+          Faros_corpus.Scenario.analyze ~telemetry ~trace_sink sample.scenario
+        in
+        let series = Core.Telemetry.series telemetry in
+        check_b "sampled at least twice" true (Series.total series >= 2);
+        (* ticks are strictly increasing; a replay's taint only grows *)
+        let ticks = Series.column series "tick" in
+        check_b "ticks ascend" true (sorted_ascending ticks);
+        let tainted = Series.column series "tainted_bytes" in
+        check_b "tainted bytes monotone" true (sorted_ascending tainted);
+        (* the forced final sample equals the end-of-replay state *)
+        let final = Option.get (Series.last series) in
+        let col name =
+          let rec idx i = function
+            | [] -> Alcotest.failf "no column %s" name
+            | c :: _ when c = name -> final.(i)
+            | _ :: rest -> idx (i + 1) rest
+          in
+          idx 0 (Series.columns series)
+        in
+        check "final tainted bytes" (Faros_dift.Shadow.tainted_bytes
+          outcome.faros.engine.shadow)
+          (col "tainted_bytes");
+        check "final tick" outcome.replay.replay_ticks (col "tick");
+        check "final instrs"
+          (Faros_dift.Engine.instrs_processed outcome.faros.engine)
+          (col "instrs");
+        (* the trace sink saw the events the acceptance demands *)
+        let has cat name =
+          List.exists
+            (fun (e : Trace.event) -> e.ev_cat = cat && e.ev_name = name)
+            (Trace.events trace_sink)
+        in
+        check_b "tag_insert events" true (has "engine" "tag_insert");
+        check_b "confluence_check events" true
+          (has "detector" "confluence_check");
+        check_b "flag events" true (has "detector" "flag");
+        check_b "syscall events" true
+          (List.exists
+             (fun (e : Trace.event) -> e.ev_cat = "syscall")
+             (Trace.events trace_sink));
+        (* event timestamps are valid replay ticks *)
+        check_b "timestamps within replay" true
+          (List.for_all
+             (fun (e : Trace.event) ->
+               e.ev_ts >= 0 && e.ev_ts <= outcome.replay.replay_ticks)
+             (Trace.events trace_sink)));
+    Alcotest.test_case "disabled sinks leave no observable trace" `Slow
+      (fun () ->
+        let sample =
+          match Faros_corpus.Registry.find "reflective_dll_inject" with
+          | Some s -> s
+          | None -> Alcotest.fail "missing corpus sample"
+        in
+        (* default analyze: null sink everywhere; the kernel's sink stays
+           disabled and nothing is buffered anywhere *)
+        let outcome = Faros_corpus.Scenario.analyze sample.scenario in
+        check_b "plugin sink disabled" false
+          (Trace.enabled outcome.faros.trace);
+        check "plugin sink empty" 0 (Trace.count outcome.faros.trace);
+        check_b "still flags" true (Core.Report.flagged outcome.report));
+  ]
+
+let () =
+  Alcotest.run "faros_obs"
+    [
+      ("metrics", metrics_tests);
+      ("json", json_tests);
+      ("series", series_tests);
+      ("trace", trace_tests);
+      ("telemetry", telemetry_tests);
+    ]

@@ -165,7 +165,7 @@ let replay_tests =
         check "same ticks" plain.replay_ticks with_faros.replay_ticks;
         check_b "analysis ran" true
           (match !faros with
-          | Some f -> f.engine.instrs_processed = with_faros.replay_ticks
+          | Some f -> Faros_dift.Engine.instrs_processed f.engine = with_faros.replay_ticks
           | None -> false));
   ]
 
