@@ -17,6 +17,7 @@
      evasion  taint-laundering evasion vs the policy response (Sec. VI-D)
      tomography tag-type confluence view (Sec. IV's inspiration)
      memory   shadow / tag-store growth per analysis
+     campaign worker-pool scaling over a fixed corpus slice
      micro    Bechamel micro-benchmarks of the engine primitives *)
 
 let pp = Format.std_formatter
@@ -718,6 +719,55 @@ let micro () =
   micro_speedups ();
   obs_overhead ()
 
+(* -- campaign scaling ----------------------------------------------------- *)
+
+(* Wall-clock of the same fixed corpus slice on 1/2/4 workers, plus a
+   machine-readable BENCH_campaign.json so the perf trajectory is tracked
+   across PRs.  Speedup is bounded by the host's core count — on a
+   single-core box the interesting property is that parallelism does not
+   cost anything (and the verdicts stay identical, which the test suite
+   pins byte-for-byte). *)
+let campaign () =
+  section "campaign scaling (worker pool over a fixed corpus slice)";
+  let slice =
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    take 60 (Faros_corpus.Registry.all ())
+  in
+  let run workers () =
+    let c = Faros_farm.Campaign.run ~workers slice in
+    if not (Faros_farm.Campaign.ok c) then
+      Fmt.pf pp "UNEXPECTED MISMATCHES at %d workers@." workers
+  in
+  let measured =
+    List.map
+      (fun workers -> (workers, time_runs ~reps:3 (run workers)))
+      [ 1; 2; 4 ]
+  in
+  let t1 = List.assoc 1 measured in
+  Fmt.pf pp "%-8s %-10s %-8s (%d samples, median of 3)@." "workers" "wall-s"
+    "speedup" (List.length slice);
+  List.iter
+    (fun (workers, t) ->
+      Fmt.pf pp "%-8d %-10.4f %-8.2f@." workers t (t1 /. t))
+    measured;
+  let json =
+    Printf.sprintf {|{"bench":"campaign-scaling","samples":%d,"runs":[%s]}|}
+      (List.length slice)
+      (String.concat ","
+         (List.map
+            (fun (workers, t) ->
+              Printf.sprintf {|{"workers":%d,"wall_s":%.6f,"speedup":%.4f}|}
+                workers t (t1 /. t))
+            measured))
+  in
+  let oc = open_out "BENCH_campaign.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf pp "wrote BENCH_campaign.json@."
+
 (* -- driver --------------------------------------------------------------- *)
 
 let sections =
@@ -739,6 +789,7 @@ let sections =
     ("evasion", evasion);
     ("tomography", tomography);
     ("memory", memory);
+    ("campaign", campaign);
     ("micro", micro);
   ]
 

@@ -15,7 +15,10 @@
      faros taint <id>               post-analysis taint map
      faros strings <id>             provenance-aware strings
      faros disasm <id>              disassemble a sample's images
+     faros campaign [-j N] [--filter GLOB] [--json OUT] [--csv OUT]
+                                    run the corpus on a parallel worker pool
      faros sweep                    run the whole corpus against expectations
+                                    (alias for `campaign -j 1`)
      faros policies                 list the available DIFT policies *)
 
 let pp = Format.std_formatter
@@ -365,23 +368,49 @@ let strings_cmd id =
     Fmt.pf pp "%d tainted string(s)@." (List.length found);
     0
 
-(* Run the whole corpus and compare verdicts to expectations: the CI
-   entry point. *)
+(* Run a corpus campaign on a worker pool and compare verdicts to
+   expectations: the CI entry point. *)
+let campaign_cmd workers filter policy json_out csv_out tick_budget deadline
+    summary_only =
+  match build_config ~policy ~whitelist_jit:false () with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok config -> (
+    let samples = Faros_corpus.Registry.all () in
+    let samples =
+      match filter with
+      | None -> samples
+      | Some glob -> Faros_farm.Campaign.filter ~glob samples
+    in
+    match samples with
+    | [] ->
+      prerr_endline "no samples match the filter (try `faros list`)";
+      1
+    | samples ->
+      let c =
+        Faros_farm.Campaign.run ~workers ~config ?tick_budget ?deadline samples
+      in
+      let emit data = function
+        | "-" -> print_string data
+        | path ->
+          write_file path data;
+          Fmt.pf pp "wrote %s@." path
+      in
+      Option.iter (emit (Faros_farm.Campaign.to_json c)) json_out;
+      Option.iter (emit (Faros_farm.Campaign.to_csv c)) csv_out;
+      if json_out <> Some "-" && csv_out <> Some "-" then
+        if summary_only then Faros_farm.Campaign.pp_summary pp c
+        else begin
+          Faros_farm.Campaign.pp_matrix pp c;
+          Faros_farm.Campaign.pp_summary pp c
+        end;
+      if Faros_farm.Campaign.ok c then 0 else 1)
+
+(* [sweep] is the historical serial spelling: a campaign on one worker
+   with the classic summary output and the same exit-code semantics. *)
 let sweep_cmd () =
-  let samples = Faros_corpus.Registry.all () in
-  let mismatches = ref [] in
-  List.iter
-    (fun (s : Faros_corpus.Registry.sample) ->
-      let outcome = Faros_corpus.Scenario.analyze s.scenario in
-      let flagged = Core.Report.flagged outcome.report in
-      let expected = s.expected = Faros_corpus.Registry.Expect_flag in
-      if flagged <> expected || outcome.replay.diverged then
-        mismatches := s.id :: !mismatches)
-    samples;
-  Fmt.pf pp "%d samples, %d mismatches@." (List.length samples)
-    (List.length !mismatches);
-  List.iter (Fmt.pf pp "  mismatch: %s@.") !mismatches;
-  if !mismatches = [] then 0 else 1
+  campaign_cmd 1 None None None None None None true
 
 let policies_cmd () =
   Fmt.pf pp "%-16s %-10s %-10s %-6s %-6s %s@." "name" "addr-deps" "ctrl-deps"
@@ -545,9 +574,59 @@ let strings_t =
        ~doc:"Provenance-aware strings over netflow-tainted memory")
     Term.(const strings_cmd $ id_arg)
 
+let campaign_t =
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Number of worker domains")
+  in
+  let filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"GLOB"
+          ~doc:"Only run samples whose id matches the glob ($(b,*), $(b,?))")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the campaign report as JSON ($(b,-) for stdout)")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write one CSV row per sample ($(b,-) for stdout)")
+  in
+  let tick_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tick-budget" ] ~docv:"TICKS"
+          ~doc:"Override every scenario's own instruction budget")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-job wall-clock budget; overruns become timeout verdicts")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Analyze the corpus on a parallel worker pool; exit non-zero on any \
+          verdict mismatch")
+    Term.(
+      const campaign_cmd $ workers $ filter $ policy_arg $ json_out $ csv_out
+      $ tick_budget $ deadline $ const false)
+
 let sweep_t =
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Analyze the whole corpus; exit non-zero on any verdict mismatch")
+    (Cmd.info "sweep" ~doc:"Analyze the whole corpus serially; exit non-zero on any verdict mismatch")
     Term.(const sweep_cmd $ const ())
 
 let policies_t =
@@ -574,6 +653,7 @@ let () =
             taint_t;
             strings_t;
             disasm_t;
+            campaign_t;
             sweep_t;
             policies_t;
           ]))

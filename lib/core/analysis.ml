@@ -13,27 +13,44 @@ type outcome = {
   replay : Faros_replay.Replayer.result;
 }
 
+exception Deadline_exceeded
+
 (* [setup_record] provisions images *and* live actors/input scripts;
    [setup_replay] provisions only the images (actors are replaced by the
    trace).  [boot] spawns the initial processes and must be identical in
-   both phases. *)
+   both phases.
+
+   [deadline] is a wall-clock budget in seconds for the whole analysis.
+   It is enforced cooperatively: checked once between the record and
+   replay phases, and then every [config.sample_interval] replay ticks
+   from the replayer's sampling hook — the record phase itself is bounded
+   by [max_ticks], the deterministic tick budget. *)
 let analyze ?(config = Config.default) ?max_ticks ?timeslice ?metrics
-    ?(trace_sink = Faros_obs.Trace.null) ?telemetry ~setup_record ~setup_replay
-    ~boot () =
+    ?(trace_sink = Faros_obs.Trace.null) ?telemetry ?deadline ~setup_record
+    ~setup_replay ~boot () =
+  let check_deadline =
+    match deadline with
+    | None -> Fun.id
+    | Some seconds ->
+      let limit = Unix.gettimeofday () +. seconds in
+      fun () -> if Unix.gettimeofday () > limit then raise Deadline_exceeded
+  in
   let _record_kernel, trace =
     Faros_replay.Recorder.record ?max_ticks ?timeslice ~setup:setup_record ~boot ()
   in
+  check_deadline ();
   let faros_ref = ref None in
   let sample =
-    match telemetry with
-    | None -> None
-    | Some t ->
+    match (telemetry, deadline) with
+    | None, None -> None
+    | _ ->
       Some
         ( config.Config.sample_interval,
           fun ~tick ~syscalls ->
-            match !faros_ref with
-            | Some faros -> Telemetry.sample t faros ~tick ~syscalls
-            | None -> () )
+            check_deadline ();
+            match (telemetry, !faros_ref) with
+            | Some t, Some faros -> Telemetry.sample t faros ~tick ~syscalls
+            | _ -> () )
   in
   let replay =
     Faros_replay.Replayer.replay ?max_ticks ?timeslice ?sample

@@ -13,6 +13,9 @@ type outcome = {
   replay : Faros_replay.Replayer.result;
 }
 
+exception Deadline_exceeded
+(** Raised out of {!analyze} when the [deadline] budget elapses. *)
+
 val analyze :
   ?config:Config.t ->
   ?max_ticks:int ->
@@ -20,6 +23,7 @@ val analyze :
   ?metrics:Faros_obs.Metrics.t ->
   ?trace_sink:Faros_obs.Trace.t ->
   ?telemetry:Telemetry.t ->
+  ?deadline:float ->
   setup_record:(Faros_os.Kernel.t -> unit) ->
   setup_replay:(Faros_os.Kernel.t -> unit) ->
   boot:(Faros_os.Kernel.t -> unit) ->
@@ -33,6 +37,12 @@ val analyze :
     Observability: [metrics] and [trace_sink] thread into the plugin (and
     from there into the engine, detector and kernel); [telemetry] records
     one row every [config.sample_interval] replay ticks plus a final row
-    at the end of the replay. *)
+    at the end of the replay.
+
+    [deadline] is a wall-clock budget in seconds for the whole analysis,
+    enforced cooperatively (between phases and every
+    [config.sample_interval] replay ticks); exceeding it raises
+    {!Deadline_exceeded}.  The campaign driver turns that exception into
+    a [Timeout] verdict. *)
 
 val flagged : outcome -> bool

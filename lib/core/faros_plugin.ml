@@ -22,12 +22,14 @@ let resolve_asid (kernel : Faros_os.Kernel.t) pid =
   Option.map Faros_os.Process.asid (Faros_os.Kstate.proc kernel pid)
 
 let create ?(config = Config.default) ?(metrics = Faros_obs.Metrics.create ())
-    ?(trace = Faros_obs.Trace.null) (kernel : Faros_os.Kernel.t) =
+    ?(trace = Faros_obs.Trace.null) ?interner (kernel : Faros_os.Kernel.t) =
   (* One registry and one sink serve every layer; the kernel tick is the
      trace's time base, and the kernel itself emits syscall events. *)
   Faros_obs.Trace.set_clock trace (fun () -> Faros_os.Kernel.tick kernel);
   Faros_os.Kstate.set_trace kernel trace;
-  let engine = Faros_dift.Engine.create ~policy:config.policy ~metrics ~trace () in
+  let engine =
+    Faros_dift.Engine.create ~policy:config.policy ~metrics ~trace ?interner ()
+  in
   let batcher =
     if config.block_processing then Some (Faros_dift.Block_engine.of_engine engine)
     else None

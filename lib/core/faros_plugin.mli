@@ -26,13 +26,16 @@ val create :
   ?config:Config.t ->
   ?metrics:Faros_obs.Metrics.t ->
   ?trace:Faros_obs.Trace.t ->
+  ?interner:Faros_dift.Prov_intern.store ->
   Faros_os.Kernel.t ->
   t
 (** Build the analysis against a freshly constructed kernel, before any
     guest instruction runs (the export-table scan happens here).  The
     registry and trace sink thread through every layer: the sink's clock
     is pointed at the kernel tick and the kernel's own syscall-dispatch
-    events are routed into it. *)
+    events are routed into it.  [interner] is the provenance store the
+    engine works against (default: the calling domain's current store —
+    campaign jobs install a fresh one per job). *)
 
 val plugin : t -> Faros_replay.Plugin.t
 (** The attachable plugin carrying the execution and event hooks. *)

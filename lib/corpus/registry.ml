@@ -173,13 +173,30 @@ let perf_workloads () =
     (benign ())
   @ by_id [ "bozok_s0"; "spygate_v3.2_s0"; "pandora_v2.2_s0" ] (rats ())
 
+(* A deliberately crashing sample, hidden from [all]: its boot list names
+   an executable that is never installed, so analyzing it raises
+   [Faros_os.Spawn.Bad_executable] out of the record phase.  It exists to
+   pin the campaign's crash-isolation property — a raising sample must
+   become an [Error] verdict, not abort the run. *)
+let crash_test () =
+  {
+    id = "crash_missing_boot_image";
+    family = "hidden-test";
+    category = Benign_app;
+    expected = Expect_clean;
+    behaviors = [];
+    scenario =
+      Scenario.make ~images:[] ~boot:[ "C:\\missing\\no_such_image.exe" ]
+        "crash_missing_boot_image";
+  }
+
 let all () = attacks () @ rats () @ benign () @ jits ()
 
 let find id =
   List.find_opt
     (fun s -> s.id = id)
     (all () @ transient_attacks () @ evasive_attacks () @ extended_attacks ()
-   @ extras ())
+   @ extras () @ [ crash_test () ])
 
 let pp_category ppf = function
   | Attack t -> Fmt.pf ppf "attack(%s)" t

@@ -50,6 +50,12 @@ val jits : unit -> sample list
 
 val perf_workloads : unit -> sample list
 
+val crash_test : unit -> sample
+(** A deliberately crashing hidden sample (its boot image is never
+    installed): analyzing it raises.  Kept out of {!all}; it pins the
+    campaign's crash-isolation property (a raising sample must become an
+    [Error] verdict instead of aborting the run). *)
+
 val all : unit -> sample list
 (** attacks + rats + benign + jits: the 130-sample evaluation set. *)
 

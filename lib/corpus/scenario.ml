@@ -48,8 +48,12 @@ let replay_with t ?sample ~plugins trace =
   Faros_replay.Replayer.replay ~max_ticks:t.max_ticks ?sample ~plugins
     ~setup:(setup_replay t) ~boot:(boot t) trace
 
-(* Full FAROS workflow: record, then replay under the FAROS plugin. *)
-let analyze ?config ?metrics ?trace_sink ?telemetry t =
-  Core.Analysis.analyze ?config ?metrics ?trace_sink ?telemetry
-    ~max_ticks:t.max_ticks ~setup_record:(setup_record t)
-    ~setup_replay:(setup_replay t) ~boot:(boot t) ()
+(* Full FAROS workflow: record, then replay under the FAROS plugin.
+   [max_ticks] overrides the scenario's own tick budget (campaign jobs cap
+   runaway samples with it); [deadline] is a wall-clock budget in seconds
+   (see {!Core.Analysis.analyze}). *)
+let analyze ?config ?metrics ?trace_sink ?telemetry ?max_ticks ?deadline t =
+  Core.Analysis.analyze ?config ?metrics ?trace_sink ?telemetry ?deadline
+    ~max_ticks:(Option.value max_ticks ~default:t.max_ticks)
+    ~setup_record:(setup_record t) ~setup_replay:(setup_replay t)
+    ~boot:(boot t) ()

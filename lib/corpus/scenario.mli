@@ -48,8 +48,11 @@ val analyze :
   ?metrics:Faros_obs.Metrics.t ->
   ?trace_sink:Faros_obs.Trace.t ->
   ?telemetry:Core.Telemetry.t ->
+  ?max_ticks:int ->
+  ?deadline:float ->
   t ->
   Core.Analysis.outcome
 (** Full FAROS workflow: record, then replay under the FAROS plugin.
-    [metrics], [trace_sink] and [telemetry] thread through to
-    {!Core.Analysis.analyze}. *)
+    [metrics], [trace_sink], [telemetry] and [deadline] thread through to
+    {!Core.Analysis.analyze}; [max_ticks] overrides the scenario's own
+    tick budget (a campaign job's tick cap). *)

@@ -30,8 +30,8 @@ let of_engine ?(max_block = 64) (engine : Engine.t) =
     h_block_size = Faros_obs.Metrics.histogram engine.metrics "block.size";
   }
 
-let create ?(policy = Policy.faros_default) ?(max_block = 64) () =
-  of_engine ~max_block (Engine.create ~policy ())
+let create ?(policy = Policy.faros_default) ?(max_block = 64) ?interner () =
+  of_engine ~max_block (Engine.create ~policy ?interner ())
 
 let flush t =
   match t.pending with

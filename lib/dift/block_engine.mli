@@ -18,7 +18,12 @@ type t = {
           ["block.size"] *)
 }
 
-val create : ?policy:Policy.t -> ?max_block:int -> unit -> t
+val create :
+  ?policy:Policy.t ->
+  ?max_block:int ->
+  ?interner:Prov_intern.store ->
+  unit ->
+  t
 val of_engine : ?max_block:int -> Engine.t -> t
 
 val flush : t -> unit

@@ -27,6 +27,7 @@ type load_info = {
 type t = {
   shadow : Shadow.t;
   store : Tag_store.t;
+  interner : Prov_intern.store;  (* the interner this engine's state lives in *)
   policy : Policy.t;
   file_shadow : (string, Provenance.t array ref) Hashtbl.t;
   control : (int, int * Provenance.t) Hashtbl.t;  (* asid -> window left, prov *)
@@ -41,10 +42,12 @@ type t = {
 }
 
 let create ?(policy = Policy.faros_default) ?(metrics = Faros_obs.Metrics.create ())
-    ?(trace = Faros_obs.Trace.null) () =
+    ?(trace = Faros_obs.Trace.null)
+    ?(interner = Prov_intern.current_store ()) () =
   {
-    shadow = Shadow.create ~trace ();
+    shadow = Shadow.create ~trace ~interner ();
     store = Tag_store.create ();
+    interner;
     policy;
     file_shadow = Hashtbl.create 16;
     control = Hashtbl.create 8;
@@ -346,7 +349,7 @@ let refresh_metrics t =
   set "store.process_tags" (Tag_store.process_count t.store);
   set "store.file_tags" (Tag_store.file_count t.store);
   set "store.export_tags" (Tag_store.export_count t.store);
-  set "prov.interned" (Prov_intern.interned_count ())
+  set "prov.interned" (Prov_intern.store_interned_count t.interner)
 
 type stats = {
   instrs : int;

@@ -28,6 +28,9 @@ type load_info = {
 type t = {
   shadow : Shadow.t;
   store : Tag_store.t;
+  interner : Prov_intern.store;
+      (** the {!Prov_intern.store} this engine's provenance lives in; the
+          engine must only run on a domain whose current store this is *)
   policy : Policy.t;
   file_shadow : (string, Provenance.t array ref) Hashtbl.t;
       (** per-file byte provenance: how taint flows through files (Fig. 4) *)
@@ -46,12 +49,15 @@ val create :
   ?policy:Policy.t ->
   ?metrics:Faros_obs.Metrics.t ->
   ?trace:Faros_obs.Trace.t ->
+  ?interner:Prov_intern.store ->
   unit ->
   t
 (** [metrics] is the registry the engine's counters and gauges live in (a
     fresh one by default); [trace] receives ["tag_insert"] events
     (category ["engine"]) and the shadow's ["page_alloc"] events, and
-    defaults to the disabled sink. *)
+    defaults to the disabled sink.  [interner] is the provenance store
+    the engine's shadow resolves against (default: the calling domain's
+    current store). *)
 
 val add_load_observer : t -> (load_info -> unit) -> unit
 

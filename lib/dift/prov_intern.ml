@@ -18,12 +18,20 @@
      distinct-process count, so the confluence queries the detector asks
      on every load are integer compares, not list scans.
 
-   The intern tables are global and append-only.  That is deliberate:
-   tag lists are pure values (tags are just constructors around 16-bit
-   store indices), so nodes are shareable across engines, and the length
-   cap bounds how many distinct lists an adversary can force per tag-store
-   population (the paper's memory-exhaustion evasion is bounded at the
-   tag-store layer, which refuses to mint more than 2^16 tags per type). *)
+   The intern tables live in a {!store}.  A store is append-only, and tag
+   lists are pure values, so interning is semantically transparent — but
+   the tables are mutable, so a store must never be touched by two domains
+   at once.  Each domain therefore owns a *current* store ([Domain.DLS]);
+   all construction goes through it, and analyses that must not share
+   state (one campaign job per worker) install a fresh store with
+   {!set_store} before building any provenance.  Interned nodes are only
+   meaningful relative to the store that minted them: ids from different
+   stores collide, so values must not leak across a store switch (the
+   node with id 0 — {!empty} — is the one shared exception).  The length
+   cap bounds how many distinct lists an adversary can force per
+   tag-store population (the paper's memory-exhaustion evasion is bounded
+   at the tag-store layer, which refuses to mint more than 2^16 tags per
+   type). *)
 
 type t = {
   id : int;
@@ -38,6 +46,37 @@ let max_length = 64
 
 let rec empty =
   { id = 0; tag = Tag.Netflow 0; next = empty; len = 0; mask = 0; nproc = 0 }
+
+(* One interner instance: the id->node table plus the three memo tables.
+   Everything mutable in this module lives here. *)
+type store = {
+  mutable nodes : t array;  (* id -> node, for Shadow's int-array pages *)
+  mutable node_count : int;
+  cons_tbl : (int * int, t) Hashtbl.t;
+  prepend_tbl : (int * int, t) Hashtbl.t;
+  union_tbl : (int * int, t) Hashtbl.t;
+}
+
+let create_store () =
+  {
+    nodes = Array.make 1024 empty;
+    node_count = 1;  (* id 0 is the pre-registered empty list *)
+    cons_tbl = Hashtbl.create 4096;
+    prepend_tbl = Hashtbl.create 4096;
+    union_tbl = Hashtbl.create 4096;
+  }
+
+(* The domain-local current store: domains never share an interner, and a
+   fresh domain lazily gets a fresh store. *)
+let store_key = Domain.DLS.new_key create_store
+
+let current_store () = Domain.DLS.get store_key
+let set_store st = Domain.DLS.set store_key st
+
+let with_store st f =
+  let prev = current_store () in
+  set_store st;
+  Fun.protect ~finally:(fun () -> set_store prev) f
 
 let id p = p.id
 let length p = p.len
@@ -54,37 +93,32 @@ let ty_bit = function
 (* Injective int key for a tag: tags are a type byte plus a store index. *)
 let tag_key tag = (Tag.index tag * 8) + Tag.type_byte tag
 
-(* id -> node, for Shadow's int-array pages. *)
-let nodes = ref (Array.make 1024 empty)
-let node_count = ref 1  (* id 0 is the pre-registered empty list *)
+let store_interned_count st = st.node_count
+let interned_count () = (current_store ()).node_count
 
-let cons_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 4096
-let prepend_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 4096
-let union_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 4096
+let resolve st i =
+  if i < 0 || i >= st.node_count then invalid_arg "Prov_intern.resolve";
+  st.nodes.(i)
 
-let interned_count () = !node_count
+let of_id i = resolve (current_store ()) i
 
-let of_id i =
-  if i < 0 || i >= !node_count then invalid_arg "Prov_intern.of_id";
-  !nodes.(i)
-
-let register n =
-  if n.id >= Array.length !nodes then begin
-    let grown = Array.make (2 * Array.length !nodes) empty in
-    Array.blit !nodes 0 grown 0 (Array.length !nodes);
-    nodes := grown
+let register st n =
+  if n.id >= Array.length st.nodes then begin
+    let grown = Array.make (2 * Array.length st.nodes) empty in
+    Array.blit st.nodes 0 grown 0 (Array.length st.nodes);
+    st.nodes <- grown
   end;
-  !nodes.(n.id) <- n
+  st.nodes.(n.id) <- n
 
 let rec mem_proc i p =
   p.len > 0
   && ((match p.tag with Tag.Process j -> j = i | _ -> false) || mem_proc i p.next)
 
-(* The unique cell for [tag :: next].  All construction funnels through
-   here, so two structurally equal lists are always the same node. *)
-let cons tag next =
+(* The unique cell for [tag :: next] in [st].  All construction funnels
+   through here, so two structurally equal lists are always the same node. *)
+let cons_in st tag next =
   let key = (tag_key tag, next.id) in
-  match Hashtbl.find_opt cons_tbl key with
+  match Hashtbl.find_opt st.cons_tbl key with
   | Some n -> n
   | None ->
     let nproc =
@@ -94,7 +128,7 @@ let cons tag next =
     in
     let n =
       {
-        id = !node_count;
+        id = st.node_count;
         tag;
         next;
         len = next.len + 1;
@@ -102,10 +136,12 @@ let cons tag next =
         nproc;
       }
     in
-    incr node_count;
-    register n;
-    Hashtbl.replace cons_tbl key n;
+    st.node_count <- st.node_count + 1;
+    register st n;
+    Hashtbl.replace st.cons_tbl key n;
     n
+
+let cons tag next = cons_in (current_store ()) tag next
 
 let rec to_list p = if p.len = 0 then [] else p.tag :: to_list p.next
 
@@ -118,7 +154,8 @@ let cap_list tags =
   in
   take max_length tags
 
-let of_list tags = List.fold_right cons (cap_list tags) empty
+let of_list_in st tags = List.fold_right (cons_in st) (cap_list tags) empty
+let of_list tags = of_list_in (current_store ()) tags
 
 let mem tag p =
   p.mask land ty_bit (Tag.ty tag) <> 0
@@ -140,14 +177,14 @@ let confluence p =
 let distinct_process_count p = p.nproc
 
 (* Remove the first occurrence of [tag] (rebuilds the prefix above it). *)
-let rec remove tag p =
+let rec remove st tag p =
   if p.len = 0 then p
   else if Tag.equal p.tag tag then p.next
-  else cons p.tag (remove tag p.next)
+  else cons_in st p.tag (remove st tag p.next)
 
 (* Drop the oldest (last) entry. *)
-let rec remove_last p =
-  if p.len <= 1 then empty else cons p.tag (remove_last p.next)
+let rec remove_last st p =
+  if p.len <= 1 then empty else cons_in st p.tag (remove_last st p.next)
 
 (* Prepend with dedup anywhere in the list: a tag already present is moved
    to the front instead of duplicated, so a byte alternately touched by two
@@ -156,16 +193,17 @@ let rec remove_last p =
 let prepend tag p =
   if p.len > 0 && Tag.equal p.tag tag then p
   else
+    let st = current_store () in
     let key = (tag_key tag, p.id) in
-    match Hashtbl.find_opt prepend_tbl key with
+    match Hashtbl.find_opt st.prepend_tbl key with
     | Some n -> n
     | None ->
       let n =
-        if mem tag p then cons tag (remove tag p)
-        else if p.len >= max_length then cons tag (remove_last p)
-        else cons tag p
+        if mem tag p then cons_in st tag (remove st tag p)
+        else if p.len >= max_length then cons_in st tag (remove_last st p)
+        else cons_in st tag p
       in
-      Hashtbl.replace prepend_tbl key n;
+      Hashtbl.replace st.prepend_tbl key n;
       n
 
 let singleton tag = cons tag empty
@@ -177,13 +215,14 @@ let union a b =
   else if a.len = 0 then b
   else if a == b then a
   else
+    let st = current_store () in
     let key = (a.id, b.id) in
-    match Hashtbl.find_opt union_tbl key with
+    match Hashtbl.find_opt st.union_tbl key with
     | Some n -> n
     | None ->
       let extra = List.filter (fun tb -> not (mem tb a)) (to_list b) in
-      let n = if extra = [] then a else of_list (to_list a @ extra) in
-      Hashtbl.replace union_tbl key n;
+      let n = if extra = [] then a else of_list_in st (to_list a @ extra) in
+      Hashtbl.replace st.union_tbl key n;
       n
 
 let pp ppf p = Fmt.(list ~sep:(any " -> ") Tag.pp) ppf (to_list p)

@@ -19,21 +19,26 @@ type t = {
   regs : (int, Provenance.t) Hashtbl.t;  (* asid * num_regs + reg *)
   flags : (int, Provenance.t) Hashtbl.t;  (* asid -> provenance *)
   trace : Faros_obs.Trace.t;  (* page-allocation events *)
+  interner : Prov_intern.store;  (* the store the page ids resolve against *)
 }
 
-let create ?(trace = Faros_obs.Trace.null) () =
+let create ?(trace = Faros_obs.Trace.null)
+    ?(interner = Prov_intern.current_store ()) () =
   {
     mem_dir = Hashtbl.create 64;
     mem_tainted = 0;
     regs = Hashtbl.create 64;
     flags = Hashtbl.create 8;
     trace;
+    interner;
   }
+
+let interner t = t.interner
 
 let get_mem t paddr =
   match Hashtbl.find_opt t.mem_dir (paddr lsr page_shift) with
   | None -> Provenance.empty
-  | Some page -> Prov_intern.of_id page.(paddr land (page_size - 1))
+  | Some page -> Prov_intern.resolve t.interner page.(paddr land (page_size - 1))
 
 let page_for t pno =
   match Hashtbl.find_opt t.mem_dir pno with
@@ -100,7 +105,8 @@ let get_mem_range t paddr width =
     | Some page ->
       for j = off to off + chunk - 1 do
         let id = page.(j) in
-        if id <> 0 then acc := Provenance.union !acc (Prov_intern.of_id id)
+        if id <> 0 then
+          acc := Provenance.union !acc (Prov_intern.resolve t.interner id)
       done);
     i := !i + chunk
   done;
@@ -135,7 +141,8 @@ let iter_mem t f =
     (fun pno page ->
       let base = pno lsl page_shift in
       Array.iteri
-        (fun off id -> if id <> 0 then f (base + off) (Prov_intern.of_id id))
+        (fun off id ->
+          if id <> 0 then f (base + off) (Prov_intern.resolve t.interner id))
         page)
     t.mem_dir
 

@@ -14,9 +14,16 @@ type t
 val page_size : int
 (** Bytes per shadow page (4096). *)
 
-val create : ?trace:Faros_obs.Trace.t -> unit -> t
+val create :
+  ?trace:Faros_obs.Trace.t -> ?interner:Prov_intern.store -> unit -> t
 (** [trace] receives a ["page_alloc"] event (category ["shadow"]) each
-    time a shadow page materializes; defaults to the disabled sink. *)
+    time a shadow page materializes; defaults to the disabled sink.
+    [interner] is the {!Prov_intern.store} the page ids resolve against
+    (default: the calling domain's current store); provenance written
+    into this shadow must be interned under that same store. *)
+
+val interner : t -> Prov_intern.store
+(** The store this shadow's ids resolve against. *)
 
 val get_mem : t -> int -> Provenance.t
 (** Provenance of the byte at a physical address (empty if untracked). *)

@@ -1,0 +1,318 @@
+(* The corpus-campaign driver: FAROS's evaluation (Tables II-IV) as one
+   embarrassingly-parallel workload.
+
+   Every sample is one job on the {!Pool}: install a fresh provenance
+   store (per-job isolation — see the domain-safety contract in
+   docs/farm.md), analyze under the given config with a tick budget and a
+   wall-clock deadline, and reduce the outcome to plain data (strings and
+   ints — nothing that refers back to the job's interner or kernel).  A
+   raising sample becomes an [Error] verdict, a deadline overrun becomes
+   [Timeout]; neither aborts the campaign.
+
+   Results come back in submission order regardless of completion order
+   (promises are awaited in order), so verdicts, the mismatch list and
+   the merged metrics registry are deterministic for a given corpus —
+   byte-identical across worker counts. *)
+
+type verdict = Flagged | Clean | Error of string | Timeout
+
+let verdict_name = function
+  | Flagged -> "flagged"
+  | Clean -> "clean"
+  | Error _ -> "error"
+  | Timeout -> "timeout"
+
+let verdict_detail = function
+  | Error msg -> msg
+  | Flagged | Clean | Timeout -> ""
+
+type job_result = {
+  jr_id : string;
+  jr_family : string;
+  jr_category : string;  (* rendered Registry.category *)
+  jr_expected_flag : bool;
+  jr_verdict : verdict;
+  jr_diverged : bool;
+  jr_mismatch : bool;
+  jr_record_ticks : int;
+  jr_replay_ticks : int;
+  jr_syscalls : int;
+  jr_tainted_bytes : int;
+  jr_interned_provs : int;
+  jr_wall_s : float;
+  jr_metrics : Faros_obs.Metrics.t;  (* this job's private registry *)
+}
+
+type t = {
+  results : job_result list;  (* submission (registry) order *)
+  mismatches : string list;  (* ids, submission order *)
+  workers : int;
+  wall_s : float;
+  metrics : Faros_obs.Metrics.t;  (* all job registries merged *)
+}
+
+(* -- id filtering -------------------------------------------------------- *)
+
+(* Shell-style glob over sample ids: [*] any run, [?] any one char. *)
+let glob_match ~pat s =
+  let np = String.length pat and ns = String.length s in
+  let rec go i j =
+    if i = np then j = ns
+    else
+      match pat.[i] with
+      | '*' -> go (i + 1) j || (j < ns && go i (j + 1))
+      | '?' -> j < ns && go (i + 1) (j + 1)
+      | c -> j < ns && s.[j] = c && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let filter ~glob samples =
+  List.filter
+    (fun (s : Faros_corpus.Registry.sample) -> glob_match ~pat:glob s.id)
+    samples
+
+(* -- one job ------------------------------------------------------------- *)
+
+let mismatch ~expected_flag ~diverged = function
+  | Error _ | Timeout -> true  (* the sample produced no verdict: never ok *)
+  | Flagged -> diverged || not expected_flag
+  | Clean -> diverged || expected_flag
+
+let run_job ~config ~tick_budget ~deadline (s : Faros_corpus.Registry.sample) =
+  (* Per-job isolation: this worker domain gets a fresh interner, so no
+     provenance state is shared with any concurrently running job (or any
+     previous job on this worker). *)
+  Faros_dift.Prov_intern.set_store (Faros_dift.Prov_intern.create_store ());
+  let metrics = Faros_obs.Metrics.create () in
+  let expected_flag = s.expected = Faros_corpus.Registry.Expect_flag in
+  let t0 = Unix.gettimeofday () in
+  let finish verdict ~diverged ~record_ticks ~replay_ticks ~syscalls
+      ~tainted_bytes ~interned =
+    {
+      jr_id = s.id;
+      jr_family = s.family;
+      jr_category = Fmt.str "%a" Faros_corpus.Registry.pp_category s.category;
+      jr_expected_flag = expected_flag;
+      jr_verdict = verdict;
+      jr_diverged = diverged;
+      jr_mismatch = mismatch ~expected_flag ~diverged verdict;
+      jr_record_ticks = record_ticks;
+      jr_replay_ticks = replay_ticks;
+      jr_syscalls = syscalls;
+      jr_tainted_bytes = tainted_bytes;
+      jr_interned_provs = interned;
+      jr_wall_s = Unix.gettimeofday () -. t0;
+      jr_metrics = metrics;
+    }
+  in
+  let failed verdict =
+    finish verdict ~diverged:false ~record_ticks:0 ~replay_ticks:0 ~syscalls:0
+      ~tainted_bytes:0 ~interned:0
+  in
+  match
+    Faros_corpus.Scenario.analyze ~config ~metrics ?max_ticks:tick_budget
+      ?deadline s.scenario
+  with
+  | outcome ->
+    let stats = Faros_dift.Engine.stats outcome.faros.engine in
+    finish
+      (if Core.Report.flagged outcome.report then Flagged else Clean)
+      ~diverged:outcome.replay.diverged ~record_ticks:outcome.record_ticks
+      ~replay_ticks:outcome.replay.replay_ticks
+      ~syscalls:outcome.replay.replay_syscalls
+      ~tainted_bytes:stats.tainted_bytes
+      ~interned:
+        (Faros_dift.Prov_intern.store_interned_count
+           outcome.faros.engine.interner)
+  | exception Core.Analysis.Deadline_exceeded -> failed Timeout
+  | exception e -> failed (Error (Printexc.to_string e))
+
+(* -- the campaign -------------------------------------------------------- *)
+
+let run ?(workers = 1) ?(config = Core.Config.default) ?tick_budget ?deadline
+    samples =
+  let t0 = Unix.gettimeofday () in
+  let pool = Pool.create ~workers () in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let promises =
+          List.map
+            (fun s ->
+              Pool.submit pool (fun () ->
+                  run_job ~config ~tick_budget ~deadline s))
+            samples
+        in
+        List.map2
+          (fun (s : Faros_corpus.Registry.sample) p ->
+            match Pool.await p with
+            | Ok r -> r
+            | Error e ->
+              (* run_job contains its own exception barrier, so this only
+                 fires on failures outside it; record, don't abort. *)
+              {
+                jr_id = s.id;
+                jr_family = s.family;
+                jr_category =
+                  Fmt.str "%a" Faros_corpus.Registry.pp_category s.category;
+                jr_expected_flag =
+                  s.expected = Faros_corpus.Registry.Expect_flag;
+                jr_verdict = Error (Printexc.to_string e);
+                jr_diverged = false;
+                jr_mismatch = true;
+                jr_record_ticks = 0;
+                jr_replay_ticks = 0;
+                jr_syscalls = 0;
+                jr_tainted_bytes = 0;
+                jr_interned_provs = 0;
+                jr_wall_s = 0.0;
+                jr_metrics = Faros_obs.Metrics.create ();
+              })
+          samples promises)
+  in
+  let metrics = Faros_obs.Metrics.create () in
+  List.iter (fun r -> Faros_obs.Metrics.merge ~into:metrics r.jr_metrics) results;
+  {
+    results;
+    mismatches = List.filter_map (fun r -> if r.jr_mismatch then Some r.jr_id else None) results;
+    workers;
+    wall_s = Unix.gettimeofday () -. t0;
+    metrics;
+  }
+
+let ok t = t.mismatches = []
+
+(* -- the verdict matrix (Tables II-IV) ----------------------------------- *)
+
+type matrix_row = {
+  mr_category : string;
+  mr_samples : int;
+  mr_flagged : int;
+  mr_clean : int;
+  mr_errors : int;
+  mr_timeouts : int;
+  mr_mismatches : int;
+}
+
+let matrix t =
+  let tbl : (string, matrix_row) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let row =
+        match Hashtbl.find_opt tbl r.jr_category with
+        | Some row -> row
+        | None ->
+          {
+            mr_category = r.jr_category;
+            mr_samples = 0;
+            mr_flagged = 0;
+            mr_clean = 0;
+            mr_errors = 0;
+            mr_timeouts = 0;
+            mr_mismatches = 0;
+          }
+      in
+      let bump b = if b then 1 else 0 in
+      Hashtbl.replace tbl r.jr_category
+        {
+          row with
+          mr_samples = row.mr_samples + 1;
+          mr_flagged = row.mr_flagged + bump (r.jr_verdict = Flagged);
+          mr_clean = row.mr_clean + bump (r.jr_verdict = Clean);
+          mr_errors =
+            (row.mr_errors
+            + bump (match r.jr_verdict with Error _ -> true | _ -> false));
+          mr_timeouts = row.mr_timeouts + bump (r.jr_verdict = Timeout);
+          mr_mismatches = row.mr_mismatches + bump r.jr_mismatch;
+        })
+    t.results;
+  Hashtbl.fold (fun _ row acc -> row :: acc) tbl []
+  |> List.sort (fun a b -> compare a.mr_category b.mr_category)
+
+(* -- export -------------------------------------------------------------- *)
+
+let json_float f = Printf.sprintf "%.6f" f
+
+let result_json r =
+  Printf.sprintf
+    {|{"id":"%s","family":"%s","category":"%s","expected":"%s","verdict":"%s","detail":"%s","diverged":%b,"mismatch":%b,"record_ticks":%d,"replay_ticks":%d,"syscalls":%d,"tainted_bytes":%d,"interned_provs":%d,"wall_s":%s}|}
+    (Faros_obs.Json.escape r.jr_id)
+    (Faros_obs.Json.escape r.jr_family)
+    (Faros_obs.Json.escape r.jr_category)
+    (if r.jr_expected_flag then "flag" else "clean")
+    (verdict_name r.jr_verdict)
+    (Faros_obs.Json.escape (verdict_detail r.jr_verdict))
+    r.jr_diverged r.jr_mismatch r.jr_record_ticks r.jr_replay_ticks
+    r.jr_syscalls r.jr_tainted_bytes r.jr_interned_provs
+    (json_float r.jr_wall_s)
+
+let matrix_row_json row =
+  Printf.sprintf
+    {|{"category":"%s","samples":%d,"flagged":%d,"clean":%d,"errors":%d,"timeouts":%d,"mismatches":%d}|}
+    (Faros_obs.Json.escape row.mr_category)
+    row.mr_samples row.mr_flagged row.mr_clean row.mr_errors row.mr_timeouts
+    row.mr_mismatches
+
+let to_json t =
+  Printf.sprintf
+    {|{"campaign":{"workers":%d,"samples":%d,"mismatch_count":%d,"wall_s":%s,"matrix":[%s],"results":[%s],"mismatches":[%s],"metrics":%s}}|}
+    t.workers (List.length t.results)
+    (List.length t.mismatches)
+    (json_float t.wall_s)
+    (String.concat "," (List.map matrix_row_json (matrix t)))
+    (String.concat "," (List.map result_json t.results))
+    (String.concat ","
+       (List.map
+          (fun id -> Printf.sprintf {|"%s"|} (Faros_obs.Json.escape id))
+          t.mismatches))
+    (Faros_obs.Metrics.to_json t.metrics)
+
+(* CSV field quoting: wrap and double inner quotes when the field carries
+   a delimiter (error details can contain anything). *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let header =
+    "id,family,category,expected,verdict,detail,diverged,mismatch,record_ticks,replay_ticks,syscalls,tainted_bytes,interned_provs,wall_s"
+  in
+  let row r =
+    String.concat ","
+      [
+        csv_field r.jr_id;
+        csv_field r.jr_family;
+        csv_field r.jr_category;
+        (if r.jr_expected_flag then "flag" else "clean");
+        verdict_name r.jr_verdict;
+        csv_field (verdict_detail r.jr_verdict);
+        string_of_bool r.jr_diverged;
+        string_of_bool r.jr_mismatch;
+        string_of_int r.jr_record_ticks;
+        string_of_int r.jr_replay_ticks;
+        string_of_int r.jr_syscalls;
+        string_of_int r.jr_tainted_bytes;
+        string_of_int r.jr_interned_provs;
+        json_float r.jr_wall_s;
+      ]
+  in
+  String.concat "\n" (header :: List.map row t.results) ^ "\n"
+
+(* -- rendering ----------------------------------------------------------- *)
+
+let pp_matrix ppf t =
+  Fmt.pf ppf "%-36s %8s %8s %8s %7s %8s %10s@." "category" "samples" "flagged"
+    "clean" "error" "timeout" "mismatches";
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "%-36s %8d %8d %8d %7d %8d %10d@." row.mr_category
+        row.mr_samples row.mr_flagged row.mr_clean row.mr_errors
+        row.mr_timeouts row.mr_mismatches)
+    (matrix t)
+
+let pp_summary ppf t =
+  Fmt.pf ppf "%d samples, %d mismatches@." (List.length t.results)
+    (List.length t.mismatches);
+  List.iter (Fmt.pf ppf "  mismatch: %s@.") t.mismatches

@@ -1,0 +1,102 @@
+(** The corpus-campaign driver: run any subset of the
+    {!Faros_corpus.Registry} in parallel on a {!Pool} and aggregate the
+    verdicts into the evaluation's Tables II-IV matrix.
+
+    Each sample is one isolated job: a fresh provenance interner is
+    installed on the worker domain before anything runs, the analysis is
+    bounded by a tick budget and a wall-clock deadline, and the outcome
+    is reduced to plain data.  A raising sample is recorded as an
+    {!verdict.Error} verdict, a deadline overrun as {!verdict.Timeout} —
+    neither aborts the campaign.
+
+    Determinism: results, the mismatch list and the merged metrics
+    registry are produced in submission (registry) order regardless of
+    job completion order, so a campaign's output is byte-identical
+    across worker counts. *)
+
+type verdict =
+  | Flagged  (** the detector flagged an in-memory injection *)
+  | Clean  (** the analysis completed without a flag *)
+  | Error of string  (** the sample raised; the exception, printed *)
+  | Timeout  (** the wall-clock deadline elapsed mid-analysis *)
+
+val verdict_name : verdict -> string
+(** ["flagged" | "clean" | "error" | "timeout"]. *)
+
+type job_result = {
+  jr_id : string;
+  jr_family : string;
+  jr_category : string;  (** rendered {!Faros_corpus.Registry.category} *)
+  jr_expected_flag : bool;
+  jr_verdict : verdict;
+  jr_diverged : bool;
+  jr_mismatch : bool;
+      (** verdict contradicts the expectation, the replay diverged, or
+          the sample errored / timed out *)
+  jr_record_ticks : int;
+  jr_replay_ticks : int;
+  jr_syscalls : int;
+  jr_tainted_bytes : int;
+  jr_interned_provs : int;  (** size of this job's private interner *)
+  jr_wall_s : float;
+  jr_metrics : Faros_obs.Metrics.t;  (** this job's private registry *)
+}
+
+type t = {
+  results : job_result list;  (** submission (registry) order *)
+  mismatches : string list;  (** mismatching sample ids, submission order *)
+  workers : int;
+  wall_s : float;
+  metrics : Faros_obs.Metrics.t;  (** all job registries merged *)
+}
+
+val run :
+  ?workers:int ->
+  ?config:Core.Config.t ->
+  ?tick_budget:int ->
+  ?deadline:float ->
+  Faros_corpus.Registry.sample list ->
+  t
+(** Run the samples on a transient pool of [workers] domains (default 1).
+    [config] applies to every job; [tick_budget] overrides each
+    scenario's own [max_ticks]; [deadline] is the per-job wall-clock
+    budget in seconds. *)
+
+val ok : t -> bool
+(** No mismatches — the [sweep] / [campaign] exit-code criterion. *)
+
+val glob_match : pat:string -> string -> bool
+(** Shell-style glob: [*] matches any run, [?] any one character. *)
+
+val filter :
+  glob:string ->
+  Faros_corpus.Registry.sample list ->
+  Faros_corpus.Registry.sample list
+(** Keep the samples whose id matches the glob, preserving order. *)
+
+(** One row of the verdict matrix: per-category counts. *)
+type matrix_row = {
+  mr_category : string;
+  mr_samples : int;
+  mr_flagged : int;
+  mr_clean : int;
+  mr_errors : int;
+  mr_timeouts : int;
+  mr_mismatches : int;
+}
+
+val matrix : t -> matrix_row list
+(** Per-category verdict counts, sorted by category name. *)
+
+val to_json : t -> string
+(** The whole campaign as one JSON document: matrix, per-sample results,
+    mismatch list, merged metrics. *)
+
+val to_csv : t -> string
+(** One CSV row per sample, registry order. *)
+
+val pp_matrix : Format.formatter -> t -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** The classic [sweep] summary: sample/mismatch counts plus one
+    [mismatch: id] line per mismatch, registry order. *)

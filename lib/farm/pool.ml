@@ -1,0 +1,121 @@
+(* A fixed-size domain worker pool.
+
+   N worker domains share one mutex-and-condition job queue.  Jobs are
+   closures; submitting one returns a promise fulfilled with the job's
+   value or, if the job raised, its exception — a raising job never takes
+   its worker down, which is the isolation property the campaign driver
+   builds on.
+
+   Shutdown is graceful by construction: workers keep popping until the
+   queue is empty even after [shutdown] flips the accepting flag, so every
+   promise submitted before shutdown is fulfilled before the domains are
+   joined.
+
+   No dependencies beyond the OCaml 5 stdlib ([Domain], [Mutex],
+   [Condition]). *)
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;  (* signalled on submit and on shutdown *)
+  jobs : (unit -> unit) Queue.t;
+  mutable accepting : bool;  (* false once shutdown has begun *)
+  mutable domains : unit Domain.t list;
+  workers : int;
+}
+
+type 'a state = Pending | Fulfilled of ('a, exn) result
+
+type 'a promise = {
+  p_mutex : Mutex.t;
+  p_done : Condition.t;
+  mutable p_state : 'a state;
+}
+
+let workers t = t.workers
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.jobs && t.accepting do
+      Condition.wait t.work_available t.mutex
+    done;
+    (* Non-empty: run one job.  Empty here implies shutdown with the
+       queue drained: exit. *)
+    match Queue.take_opt t.jobs with
+    | None ->
+      Mutex.unlock t.mutex
+    | Some job ->
+      Mutex.unlock t.mutex;
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create ?(workers = 1) () =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      jobs = Queue.create ();
+      accepting = true;
+      domains = [];
+      workers;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t f =
+  let p = { p_mutex = Mutex.create (); p_done = Condition.create (); p_state = Pending } in
+  let job () =
+    (* The whole job body runs under an exception barrier: a raising job
+       fulfills its promise with [Error] and the worker lives on. *)
+    let result = match f () with v -> Ok v | exception e -> Error e in
+    Mutex.lock p.p_mutex;
+    p.p_state <- Fulfilled result;
+    Condition.broadcast p.p_done;
+    Mutex.unlock p.p_mutex
+  in
+  Mutex.lock t.mutex;
+  if not t.accepting then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add job t.jobs;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex;
+  p
+
+let await p =
+  Mutex.lock p.p_mutex;
+  let rec wait () =
+    match p.p_state with
+    | Pending ->
+      Condition.wait p.p_done p.p_mutex;
+      wait ()
+    | Fulfilled r -> r
+  in
+  let r = wait () in
+  Mutex.unlock p.p_mutex;
+  r
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_accepting = t.accepting in
+  t.accepting <- false;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  if was_accepting then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+(* Run [f] over [items] on a transient pool, preserving input order. *)
+let map ?workers f items =
+  let pool = create ?workers () in
+  Fun.protect
+    ~finally:(fun () -> shutdown pool)
+    (fun () ->
+      let promises = List.map (fun x -> submit pool (fun () -> f x)) items in
+      List.map await promises)

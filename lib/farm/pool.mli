@@ -1,0 +1,35 @@
+(** A fixed-size domain worker pool.
+
+    [workers] domains share one mutex+condition job queue.  {!submit}
+    returns a promise; {!await} blocks until the job ran.  A job that
+    raises fulfills its promise with [Error] — it never takes its worker
+    down.  {!shutdown} is graceful: workers drain the queue first, so
+    every promise submitted before shutdown is fulfilled.
+
+    The pool itself shares nothing between jobs; isolation of what the
+    jobs touch (notably the domain-local {!Faros_dift.Prov_intern}
+    store) is the job body's responsibility — see {!Campaign}. *)
+
+type t
+
+type 'a promise
+
+val create : ?workers:int -> unit -> t
+(** Spawn a pool of [workers] domains (default 1).  Raises
+    [Invalid_argument] when [workers < 1]. *)
+
+val workers : t -> int
+
+val submit : t -> (unit -> 'a) -> 'a promise
+(** Enqueue a job.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a promise -> ('a, exn) result
+(** Block until the job has run; [Error e] if the job raised [e]. *)
+
+val shutdown : t -> unit
+(** Stop accepting jobs, let the workers drain the queue, then join
+    their domains.  Idempotent. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [map ~workers f items] runs [f] over [items] on a transient pool and
+    returns results in input order (completion order never shows). *)

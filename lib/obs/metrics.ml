@@ -101,11 +101,34 @@ let histogram_bucket_list h =
   done;
   !acc
 
+(* -- merging -- *)
+
+let sorted_entries_of tbl =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Fold [src] into [into], by name: counters and histograms add, gauges
+   add too (a merged gauge is a campaign-wide total).  Addition is
+   commutative and associative, so merging per-worker registries gives
+   the same campaign registry regardless of job completion order.  A
+   name registered with different kinds in the two registries raises. *)
+let merge ~into src =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> add (counter into name) c.c_val
+      | Gauge g ->
+        let dst = gauge into name in
+        set dst (gauge_value dst + g.g_val)
+      | Histogram h ->
+        let dst = histogram into name in
+        Array.iteri (fun k n -> dst.buckets.(k) <- dst.buckets.(k) + n) h.buckets;
+        dst.h_sum <- dst.h_sum + h.h_sum)
+    (sorted_entries_of src.tbl)
+
 (* -- rendering -- *)
 
-let sorted_entries t =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let sorted_entries t = sorted_entries_of t.tbl
 
 let fold t f init =
   List.fold_left (fun acc (name, m) -> f acc name m) init (sorted_entries t)

@@ -51,6 +51,14 @@ val histogram_bucket_list : histogram -> (int * int * int) list
 val fold : t -> ('a -> string -> metric -> 'a) -> 'a -> 'a
 (** Fold over all metrics in sorted name order. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into] by name: counters and
+    histogram buckets add; gauges add too (a merged gauge reads as a
+    total across the merged registries).  Merging is commutative, so a
+    set of per-worker registries merges to the same result in any order.
+    Raises [Invalid_argument] if a name has different kinds in the two
+    registries. *)
+
 val pp_table : Format.formatter -> t -> unit
 (** The `faros stats` table: one sorted line per metric. *)
 

@@ -171,3 +171,29 @@ A malformed document is rejected with a reason.
   $ faros check-json bad.json
   bad.json: malformed JSON: expected '"' at offset 7
   [1]
+
+A campaign runs a registry slice on a pool of worker domains and folds
+the verdicts into the evaluation's per-category matrix; the output is
+deterministic regardless of worker count.  `sweep` is the serial
+single-worker spelling of the same run.
+
+  $ faros campaign -j 2 --filter 'applet_*'
+  category                              samples  flagged    clean   error  timeout mismatches
+  jit-applet                                  8        0        8       0        0          0
+  jit-applet(native)                          2        2        0       0        0          0
+  10 samples, 0 mismatches
+
+CSV export to stdout replaces the human rendering; wall-clock columns
+are the only nondeterministic fields, so project them away.
+
+  $ faros campaign --filter 'skype_s?' --csv - | cut -d, -f1,5,8
+  id,verdict,mismatch
+  skype_s0,clean,false
+  skype_s1,clean,false
+  skype_s2,clean,false
+
+A filter that matches nothing is an error, not an empty success.
+
+  $ faros campaign --filter 'no_such_*'
+  no samples match the filter (try `faros list`)
+  [1]

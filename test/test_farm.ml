@@ -1,0 +1,213 @@
+(* Tests for the campaign farm: the domain worker pool, per-job
+   isolation, crash containment, and the serial/parallel equivalence
+   that makes `campaign -j N` trustworthy. *)
+
+open Faros_farm
+
+let check = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+(* -- the worker pool ----------------------------------------------------- *)
+
+exception Boom of int
+
+let pool_tests =
+  [
+    Alcotest.test_case "all jobs complete, in submission order" `Quick
+      (fun () ->
+        let items = List.init 40 Fun.id in
+        let results = Pool.map ~workers:4 (fun i -> i * i) items in
+        Alcotest.(check (list int))
+          "squares in order"
+          (List.map (fun i -> i * i) items)
+          (List.map
+             (function Ok v -> v | Error _ -> Alcotest.fail "job errored")
+             results));
+    Alcotest.test_case "a raising job is contained" `Quick (fun () ->
+        let results =
+          Pool.map ~workers:3
+            (fun i -> if i mod 3 = 0 then raise (Boom i) else i)
+            (List.init 10 Fun.id)
+        in
+        List.iteri
+          (fun i r ->
+            match r with
+            | Ok v ->
+              check_b "only non-multiples succeed" true (i mod 3 <> 0);
+              check "value" i v
+            | Error (Boom j) ->
+              check_b "only multiples fail" true (i mod 3 = 0);
+              check "carried payload" i j
+            | Error _ -> Alcotest.fail "wrong exception")
+          results);
+    Alcotest.test_case "workers survive raising jobs" `Quick (fun () ->
+        (* one worker: if the raise killed it, the second job would hang *)
+        let pool = Pool.create ~workers:1 () in
+        let bad = Pool.submit pool (fun () -> raise (Boom 1)) in
+        let good = Pool.submit pool (fun () -> 42) in
+        check_b "first errored" true (Pool.await bad = Result.Error (Boom 1));
+        check_b "second still ran" true (Pool.await good = Ok 42);
+        Pool.shutdown pool);
+    Alcotest.test_case "shutdown drains the queue" `Quick (fun () ->
+        let pool = Pool.create ~workers:2 () in
+        let promises =
+          List.init 50 (fun i -> Pool.submit pool (fun () -> i + 1))
+        in
+        (* shutdown must fulfill every already-submitted promise *)
+        Pool.shutdown pool;
+        List.iteri
+          (fun i p -> check_b "fulfilled" true (Pool.await p = Ok (i + 1)))
+          promises);
+    Alcotest.test_case "submit after shutdown raises" `Quick (fun () ->
+        let pool = Pool.create ~workers:1 () in
+        Pool.shutdown pool;
+        Pool.shutdown pool (* idempotent *);
+        Alcotest.check_raises "rejected"
+          (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+            ignore (Pool.submit pool (fun () -> ()))));
+    Alcotest.test_case "each worker domain gets its own prov store" `Quick
+      (fun () ->
+        (* Jobs that intern different tags concurrently: with a shared
+           store the id sequences would interleave; with per-job stores
+           each job sees a store of exactly its own nodes. *)
+        let counts =
+          Pool.map ~workers:4
+            (fun n ->
+              let st = Faros_dift.Prov_intern.create_store () in
+              Faros_dift.Prov_intern.set_store st;
+              for i = 1 to n do
+                ignore (Faros_dift.Prov_intern.singleton (Faros_dift.Tag.Netflow i))
+              done;
+              Faros_dift.Prov_intern.store_interned_count st)
+            [ 5; 10; 15; 20 ]
+        in
+        Alcotest.(check (list int))
+          "each store holds empty + its own singletons"
+          [ 6; 11; 16; 21 ]
+          (List.map
+             (function Ok v -> v | Error _ -> Alcotest.fail "job errored")
+             counts));
+  ]
+
+(* -- campaign isolation and verdicts ------------------------------------- *)
+
+let run_ids ?workers ?tick_budget ?deadline ids =
+  Campaign.run ?workers ?tick_budget ?deadline
+    (List.filter_map Faros_corpus.Registry.find ids)
+
+let verdict_of (c : Campaign.t) id =
+  match List.find_opt (fun r -> r.Campaign.jr_id = id) c.results with
+  | Some r -> r.Campaign.jr_verdict
+  | None -> Alcotest.fail ("no result for " ^ id)
+
+let campaign_tests =
+  [
+    Alcotest.test_case "a crashing sample becomes an Error verdict" `Quick
+      (fun () ->
+        (* the hidden crash sample raises out of its record phase; the
+           campaign must contain it and still run its neighbours *)
+        let crash = Faros_corpus.Registry.crash_test () in
+        let others =
+          List.filter_map Faros_corpus.Registry.find
+            [ "reflective_dll_inject"; "skype_s0" ]
+        in
+        let c = Campaign.run ~workers:2 ((crash :: others) @ [ crash ]) in
+        check "all four ran" 4 (List.length c.results);
+        (match verdict_of c crash.id with
+        | Campaign.Error msg -> check_b "carries a message" true (msg <> "")
+        | v -> Alcotest.fail ("expected Error, got " ^ Campaign.verdict_name v));
+        check_b "attack neighbour still flagged" true
+          (verdict_of c "reflective_dll_inject" = Campaign.Flagged);
+        check_b "benign neighbour still clean" true
+          (verdict_of c "skype_s0" = Campaign.Clean);
+        check_b "crash is a mismatch" true
+          (List.mem crash.id c.mismatches);
+        check_b "campaign not ok" false (Campaign.ok c));
+    Alcotest.test_case "deadline overrun becomes a Timeout verdict" `Quick
+      (fun () ->
+        let c = run_ids ~deadline:0.0 [ "reflective_dll_inject" ] in
+        check_b "timeout" true
+          (verdict_of c "reflective_dll_inject" = Campaign.Timeout);
+        check_b "timeout makes the campaign not ok" false (Campaign.ok c));
+    Alcotest.test_case "tick budget truncates the run" `Quick (fun () ->
+        let c = run_ids ~tick_budget:10 [ "skype_s0" ] in
+        match c.results with
+        | [ r ] -> check_b "at most 10 ticks" true (r.Campaign.jr_record_ticks <= 10)
+        | _ -> Alcotest.fail "one result expected");
+    Alcotest.test_case "mismatch list is in registry order" `Quick (fun () ->
+        let crash = Faros_corpus.Registry.crash_test () in
+        let mk id = { crash with Faros_corpus.Registry.id } in
+        let c = Campaign.run ~workers:2 [ mk "c1"; mk "c2"; mk "c3" ] in
+        Alcotest.(check (list string))
+          "submission order, not completion or reverse order"
+          [ "c1"; "c2"; "c3" ] c.mismatches);
+  ]
+
+(* -- serial/parallel equivalence ------------------------------------------ *)
+
+(* Everything deterministic about a campaign, as one string: verdicts and
+   counters per sample, the mismatch list, the rendered matrix, the
+   classic summary, and the merged metrics registry.  Wall-clock fields
+   are the only thing left out. *)
+let fingerprint (c : Campaign.t) =
+  String.concat "\n"
+    (List.map
+       (fun (r : Campaign.job_result) ->
+         Printf.sprintf "%s %s %s %b %b %d %d %d %d %d" r.jr_id r.jr_category
+           (Campaign.verdict_name r.jr_verdict)
+           r.jr_diverged r.jr_mismatch r.jr_record_ticks r.jr_replay_ticks
+           r.jr_syscalls r.jr_tainted_bytes r.jr_interned_provs)
+       c.results
+    @ c.mismatches
+    @ [
+        Fmt.str "%a" Campaign.pp_matrix c;
+        Fmt.str "%a" Campaign.pp_summary c;
+        Faros_obs.Metrics.to_json c.metrics;
+      ])
+
+let equivalence_tests =
+  [
+    Alcotest.test_case "campaign -j 4 is byte-identical to serial" `Slow
+      (fun () ->
+        let serial = Campaign.run ~workers:1 (Faros_corpus.Registry.all ()) in
+        let parallel = Campaign.run ~workers:4 (Faros_corpus.Registry.all ()) in
+        check "full corpus" 130 (List.length serial.results);
+        check_s "identical fingerprints" (fingerprint serial)
+          (fingerprint parallel);
+        check_b "both ok" true (Campaign.ok serial && Campaign.ok parallel));
+  ]
+
+(* -- filtering ------------------------------------------------------------ *)
+
+let glob_tests =
+  [
+    Alcotest.test_case "glob matching" `Quick (fun () ->
+        let m pat s = Campaign.glob_match ~pat s in
+        check_b "literal" true (m "skype_s0" "skype_s0");
+        check_b "star prefix" true (m "*_s0" "skype_s0");
+        check_b "star suffix" true (m "skype*" "skype_s2");
+        check_b "star middle" true (m "a*c" "abbbc");
+        check_b "star empty run" true (m "a*c" "ac");
+        check_b "question mark" true (m "skype_s?" "skype_s2");
+        check_b "question needs a char" false (m "skype_s?" "skype_s");
+        check_b "no partial match" false (m "skype" "skype_s0");
+        check_b "star alone" true (m "*" ""));
+    Alcotest.test_case "filter keeps registry order" `Quick (fun () ->
+        let ids =
+          List.map
+            (fun (s : Faros_corpus.Registry.sample) -> s.id)
+            (Campaign.filter ~glob:"applet_*" (Faros_corpus.Registry.all ()))
+        in
+        check "ten applets" 10 (List.length ids);
+        check_s "first" "applet_acceleration" (List.hd ids));
+  ]
+
+let () =
+  Alcotest.run "faros_farm"
+    [
+      ("pool", pool_tests);
+      ("campaign", campaign_tests);
+      ("equivalence", equivalence_tests);
+      ("glob", glob_tests);
+    ]

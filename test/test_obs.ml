@@ -51,6 +51,28 @@ let metrics_tests =
             (min_int, 1, 1); (1, 2, 1); (2, 4, 2); (4, 8, 1); (512, 1024, 1);
           ]
           buckets);
+    Alcotest.test_case "merge adds counters, gauges and histograms" `Quick
+      (fun () ->
+        let mk c g obs =
+          let m = Metrics.create () in
+          Metrics.add (Metrics.counter m "c") c;
+          Metrics.set (Metrics.gauge m "g") g;
+          List.iter (Metrics.observe (Metrics.histogram m "h")) obs;
+          m
+        in
+        let into = mk 10 1 [ 1; 2 ] in
+        Metrics.merge ~into (mk 32 2 [ 2; 1000 ]);
+        check "counters add" 42 (Metrics.counter_value (Metrics.counter into "c"));
+        check "gauges add" 3 (Metrics.gauge_value (Metrics.gauge into "g"));
+        let h = Metrics.histogram into "h" in
+        check "histogram count" 4 (Metrics.histogram_count h);
+        check "histogram sum" 1005 (Metrics.histogram_sum h);
+        (* merging a registry with disjoint names creates the cells *)
+        let other = Metrics.create () in
+        Metrics.incr (Metrics.counter other "only.there");
+        Metrics.merge ~into other;
+        check "new name lands" 1
+          (Metrics.counter_value (Metrics.counter into "only.there")));
     Alcotest.test_case "rendering is sorted and deterministic" `Quick (fun () ->
         let m = Metrics.create () in
         Metrics.set (Metrics.gauge m "z.last") 1;
