@@ -18,6 +18,7 @@
      tomography tag-type confluence view (Sec. IV's inspiration)
      memory   shadow / tag-store growth per analysis
      campaign worker-pool scaling over a fixed corpus slice
+     graph    attack-graph builder overhead (plugin off vs on)
      micro    Bechamel micro-benchmarks of the engine primitives *)
 
 let pp = Format.std_formatter
@@ -768,6 +769,74 @@ let campaign () =
   close_out oc;
   Fmt.pf pp "wrote BENCH_campaign.json@."
 
+(* -- attack-graph overhead ------------------------------------------------ *)
+
+(* Replay cost of the online attack-graph builder: the FAROS plugin alone
+   vs FAROS + graph plugin + offline enrichment, over the Table V perf
+   workloads.  Emits BENCH_graph.json so the overhead is tracked across
+   PRs. *)
+let graph_bench () =
+  section "graph: attack-graph builder overhead (plugin off vs on)";
+  Fmt.pf pp "%-16s %-14s %-14s %-10s %-8s %s@." "application" "faros (s)"
+    "faros+graph" "overhead" "nodes" "edges";
+  let rows =
+    List.map
+      (fun (label, scn) ->
+        let _k, trace = Faros_corpus.Scenario.record scn in
+        let without () =
+          ignore
+            (Faros_corpus.Scenario.replay_with scn
+               ~plugins:(fun kernel ->
+                 let faros = Core.Faros_plugin.create kernel in
+                 [ Core.Faros_plugin.plugin faros ])
+               trace)
+        in
+        let nodes = ref 0 and edges = ref 0 in
+        let with_graph () =
+          let state = ref None in
+          ignore
+            (Faros_corpus.Scenario.replay_with scn
+               ~plugins:(fun kernel ->
+                 let faros = Core.Faros_plugin.create kernel in
+                 let b = Faros_graph.Build.create ~sample:label () in
+                 state := Some (faros, b);
+                 [
+                   Core.Faros_plugin.plugin faros;
+                   Faros_graph.Build.plugin b ~kernel ~faros;
+                 ])
+               trace);
+          match !state with
+          | None -> ()
+          | Some (faros, b) ->
+            Core.Faros_plugin.finalize faros;
+            Faros_graph.Build.enrich b faros;
+            let g = Faros_graph.Build.graph b in
+            nodes := Faros_graph.Graph.node_count g;
+            edges := Faros_graph.Graph.edge_count g
+        in
+        let t_off = time_runs ~reps:3 without in
+        let t_on = time_runs ~reps:3 with_graph in
+        Fmt.pf pp "%-16s %-14.4f %-14.4f %-10s %-8d %d@." label t_off t_on
+          (Printf.sprintf "%.2fx" (t_on /. t_off))
+          !nodes !edges;
+        (label, t_off, t_on, !nodes, !edges))
+      (Faros_corpus.Perf.workloads ())
+  in
+  let json =
+    Printf.sprintf {|{"bench":"graph-overhead","runs":[%s]}|}
+      (String.concat ","
+         (List.map
+            (fun (label, t_off, t_on, nodes, edges) ->
+              Printf.sprintf
+                {|{"workload":"%s","faros_s":%.6f,"faros_graph_s":%.6f,"overhead":%.4f,"nodes":%d,"edges":%d}|}
+                label t_off t_on (t_on /. t_off) nodes edges)
+            rows))
+  in
+  let oc = open_out "BENCH_graph.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf pp "wrote BENCH_graph.json@."
+
 (* -- driver --------------------------------------------------------------- *)
 
 let sections =
@@ -790,6 +859,7 @@ let sections =
     ("tomography", tomography);
     ("memory", memory);
     ("campaign", campaign);
+    ("graph", graph_bench);
     ("micro", micro);
   ]
 

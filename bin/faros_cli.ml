@@ -448,6 +448,97 @@ let ps_cmd id =
       (Faros_sandbox.Volatility.pslist dump);
     0
 
+(* Build the attack graph for one sample: analyze with the online builder
+   riding along as an extra plugin, enrich offline from shadow memory,
+   then render a summary with the whodunit slices and/or export DOT/JSON. *)
+let graph_cmd id policy dot_out json_out slice_only =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample -> (
+    match build_config ~policy ~whitelist_jit:false () with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok config ->
+      let builder = ref None in
+      let outcome =
+        Faros_corpus.Scenario.analyze ~config
+          ~extra_plugins:(fun kernel faros ->
+            let b = Faros_graph.Build.create ~sample:sample.id () in
+            builder := Some b;
+            [ Faros_graph.Build.plugin b ~kernel ~faros ])
+          sample.scenario
+      in
+      let b = Option.get !builder in
+      Faros_graph.Build.enrich b outcome.faros;
+      let full = Faros_graph.Build.graph b in
+      let slices = Faros_graph.Slice.slices full in
+      let g, slices =
+        if not slice_only then (full, slices)
+        else begin
+          (* restrict to the union of the whodunit slices; slices are
+             recomputed so their ids match the renumbered view *)
+          let keep_ids =
+            List.concat_map
+              (fun (s : Faros_graph.Slice.t) -> s.sl_nodes)
+              slices
+          in
+          let g =
+            Faros_graph.Graph.restrict full ~keep:(fun n ->
+                List.mem n.Faros_graph.Graph.n_id keep_ids)
+          in
+          (g, Faros_graph.Slice.slices g)
+        end
+      in
+      let emit data = function
+        | "-" -> print_string data
+        | path ->
+          write_file path data;
+          Fmt.pf pp "wrote %s@." path
+      in
+      Option.iter (emit (Faros_graph.Export.to_dot g)) dot_out;
+      Option.iter (emit (Faros_graph.Export.to_json ~slices g)) json_out;
+      if dot_out <> Some "-" && json_out <> Some "-" then begin
+        Fmt.pf pp "sample:  %s@." sample.id;
+        Fmt.pf pp "graph:   %d nodes, %d edges%s@."
+          (Faros_graph.Graph.node_count g)
+          (Faros_graph.Graph.edge_count g)
+          (if slice_only then " (whodunit slice)" else "");
+        let nodes = Faros_graph.Graph.nodes g in
+        let census =
+          List.filter_map
+            (fun kind ->
+              let c =
+                List.length
+                  (List.filter
+                     (fun n -> Faros_graph.Graph.kind_name n = kind)
+                     nodes)
+              in
+              if c = 0 then None else Some (Printf.sprintf "%s %d" kind c))
+            [ "flow"; "process"; "file"; "module"; "region"; "flag" ]
+        in
+        Fmt.pf pp "nodes:   %s@."
+          (if census = [] then "(empty)" else String.concat ", " census);
+        (match slices with
+        | [] -> Fmt.pf pp "slices:  (none - no flag sites)@."
+        | slices ->
+          Fmt.pf pp "slices:@.";
+          List.iter
+            (fun (s : Faros_graph.Slice.t) ->
+              Fmt.pf pp "  %s <- %d node(s), %d origin(s)@."
+                (Faros_graph.Graph.node_label s.sl_flag)
+                (List.length s.sl_nodes)
+                (List.length s.sl_origins);
+              List.iter
+                (fun chain ->
+                  Fmt.pf pp "    %s@." (Faros_graph.Slice.render_chain chain))
+                s.sl_chains)
+            slices)
+      end;
+      0)
+
 open Cmdliner
 
 let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SAMPLE")
@@ -568,6 +659,34 @@ let disasm_t =
     (Cmd.info "disasm" ~doc:"Disassemble a sample's images")
     Term.(const disasm_cmd $ id_arg)
 
+let graph_t =
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write a Graphviz DOT export ($(b,-) for stdout)")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a JSON export ($(b,-) for stdout)")
+  in
+  let slice =
+    Arg.(
+      value & flag
+      & info [ "slice" ]
+          ~doc:"Restrict the graph to the union of the whodunit slices")
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Build the whole-system attack graph of one sample, with whodunit \
+          slices from every flag site")
+    Term.(const graph_cmd $ id_arg $ policy_arg $ dot_out $ json_out $ slice)
+
 let strings_t =
   Cmd.v
     (Cmd.info "strings"
@@ -652,6 +771,7 @@ let () =
             check_json_t;
             taint_t;
             strings_t;
+            graph_t;
             disasm_t;
             campaign_t;
             sweep_t;

@@ -25,9 +25,14 @@ exception Deadline_exceeded
    replay phases, and then every [config.sample_interval] replay ticks
    from the replayer's sampling hook — the record phase itself is bounded
    by [max_ticks], the deterministic tick budget. *)
+(* [extra_plugins] lets callers attach more replay plugins next to the
+   FAROS plugin (the attack-graph builder rides along this way); it runs
+   inside the replayer's plugin callback, after the FAROS plugin is
+   constructed but before boot. *)
 let analyze ?(config = Config.default) ?max_ticks ?timeslice ?metrics
-    ?(trace_sink = Faros_obs.Trace.null) ?telemetry ?deadline ~setup_record
-    ~setup_replay ~boot () =
+    ?(trace_sink = Faros_obs.Trace.null) ?telemetry ?deadline
+    ?(extra_plugins = fun _kernel _faros -> []) ~setup_record ~setup_replay
+    ~boot () =
   let check_deadline =
     match deadline with
     | None -> Fun.id
@@ -57,7 +62,7 @@ let analyze ?(config = Config.default) ?max_ticks ?timeslice ?metrics
       ~plugins:(fun kernel ->
         let faros = Faros_plugin.create ~config ?metrics ~trace:trace_sink kernel in
         faros_ref := Some faros;
-        [ Faros_plugin.plugin faros ])
+        Faros_plugin.plugin faros :: extra_plugins kernel faros)
       ~setup:setup_replay ~boot trace
   in
   match !faros_ref with

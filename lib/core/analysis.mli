@@ -24,6 +24,8 @@ val analyze :
   ?trace_sink:Faros_obs.Trace.t ->
   ?telemetry:Telemetry.t ->
   ?deadline:float ->
+  ?extra_plugins:
+    (Faros_os.Kernel.t -> Faros_plugin.t -> Faros_replay.Plugin.t list) ->
   setup_record:(Faros_os.Kernel.t -> unit) ->
   setup_replay:(Faros_os.Kernel.t -> unit) ->
   boot:(Faros_os.Kernel.t -> unit) ->
@@ -38,6 +40,10 @@ val analyze :
     from there into the engine, detector and kernel); [telemetry] records
     one row every [config.sample_interval] replay ticks plus a final row
     at the end of the replay.
+
+    [extra_plugins] attaches more replay plugins next to the FAROS plugin
+    (e.g. the attack-graph builder); it runs inside the replayer's plugin
+    callback, after the FAROS plugin is constructed but before boot.
 
     [deadline] is a wall-clock budget in seconds for the whole analysis,
     enforced cooperatively (between phases and every

@@ -16,6 +16,9 @@ type t = {
   config : Config.t;
   report : Report.t;
   name_of_asid : int -> string;
+  flag_observers : (Report.flag -> unit) Queue.t;
+      (* run on every recorded flag, registration order (the attack-graph
+         builder hangs off this) *)
   trace : Faros_obs.Trace.t;
   c_loads_checked : Faros_obs.Metrics.counter;
   c_flags : Faros_obs.Metrics.counter;
@@ -29,6 +32,7 @@ let create ?(metrics = Faros_obs.Metrics.create ())
     config;
     report = Report.create ();
     name_of_asid;
+    flag_observers = Queue.create ();
     trace;
     c_loads_checked = Faros_obs.Metrics.counter metrics "detector.loads_checked";
     c_flags = Faros_obs.Metrics.counter metrics "detector.flags";
@@ -37,6 +41,8 @@ let create ?(metrics = Faros_obs.Metrics.create ())
   }
 
 let loads_checked t = Faros_obs.Metrics.counter_value t.c_loads_checked
+
+let add_flag_observer t f = Queue.add f t.flag_observers
 
 (* With interned provenance every clause is an integer compare: the type
    queries read the bitmask cached on the node, and the distinct process
@@ -93,10 +99,11 @@ let on_load t ~tick (info : Faros_dift.Engine.load_info) =
           ("instr", Str (Faros_vm.Disasm.to_string info.li_instr));
           ("tick", Int tick);
         ];
-    Report.add t.report
+    let flag =
       {
-        f_tick = tick;
+        Report.f_tick = tick;
         f_pc = info.li_pc;
+        f_asid = info.li_asid;
         f_process = process;
         f_instr = info.li_instr;
         f_instr_prov = info.li_instr_prov;
@@ -104,4 +111,7 @@ let on_load t ~tick (info : Faros_dift.Engine.load_info) =
         f_read_prov = info.li_read_prov;
         f_whitelisted = whitelisted;
       }
+    in
+    Report.add t.report flag;
+    Queue.iter (fun observe -> observe flag) t.flag_observers
   end

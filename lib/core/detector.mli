@@ -23,6 +23,9 @@ type t = {
   config : Config.t;
   report : Report.t;
   name_of_asid : int -> string;
+  flag_observers : (Report.flag -> unit) Queue.t;
+      (** run on every recorded flag (whitelisted ones included),
+          registration order *)
   trace : Faros_obs.Trace.t;
   c_loads_checked : Faros_obs.Metrics.counter;
   c_flags : Faros_obs.Metrics.counter;
@@ -41,6 +44,11 @@ val create :
 
 val loads_checked : t -> int
 (** Executed loads inspected so far (reads the registry counter). *)
+
+val add_flag_observer : t -> (Report.flag -> unit) -> unit
+(** Run [f] on every flag the detector records from now on, whitelisted
+    ones included (observers check [f_whitelisted] themselves).  The
+    attack-graph builder registers itself here. *)
 
 val matches : t -> Faros_dift.Engine.load_info -> bool
 (** Pure policy decision for one load observation. *)

@@ -7,6 +7,7 @@
 type flag = {
   f_tick : int;  (** global instruction count at flag time *)
   f_pc : int;  (** address of the flagged load (Table II's memory address) *)
+  f_asid : int;  (** CR3 of the flagged process, for pid resolution *)
   f_process : string;  (** process executing the injected code *)
   f_instr : Faros_vm.Isa.t;
   f_instr_prov : Faros_dift.Provenance.t;

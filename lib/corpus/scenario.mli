@@ -50,9 +50,11 @@ val analyze :
   ?telemetry:Core.Telemetry.t ->
   ?max_ticks:int ->
   ?deadline:float ->
+  ?extra_plugins:
+    (Faros_os.Kernel.t -> Core.Faros_plugin.t -> Faros_replay.Plugin.t list) ->
   t ->
   Core.Analysis.outcome
 (** Full FAROS workflow: record, then replay under the FAROS plugin.
-    [metrics], [trace_sink], [telemetry] and [deadline] thread through to
-    {!Core.Analysis.analyze}; [max_ticks] overrides the scenario's own
-    tick budget (a campaign job's tick cap). *)
+    [metrics], [trace_sink], [telemetry], [deadline] and [extra_plugins]
+    thread through to {!Core.Analysis.analyze}; [max_ticks] overrides the
+    scenario's own tick budget (a campaign job's tick cap). *)

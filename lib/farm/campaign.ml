@@ -39,6 +39,14 @@ type job_result = {
   jr_syscalls : int;
   jr_tainted_bytes : int;
   jr_interned_provs : int;
+  (* attack-graph summary (zeros when the graph is disabled or the job
+     produced no verdict) *)
+  jr_graph_nodes : int;
+  jr_graph_edges : int;
+  jr_flag_sites : int;
+  jr_slice_nodes : int;  (* union over all whodunit slices *)
+  jr_slice_origins : int;
+  jr_netflow_origin : bool;  (* some slice reached a NetFlow origin *)
   jr_wall_s : float;
   jr_metrics : Faros_obs.Metrics.t;  (* this job's private registry *)
 }
@@ -78,7 +86,55 @@ let mismatch ~expected_flag ~diverged = function
   | Flagged -> diverged || not expected_flag
   | Clean -> diverged || expected_flag
 
-let run_job ~config ~tick_budget ~deadline (s : Faros_corpus.Registry.sample) =
+(* The per-sample attack-graph summary carried into JSON/CSV exports.
+   Plain ints/bools only — nothing referring back to the job's graph. *)
+type graph_summary = {
+  gs_nodes : int;
+  gs_edges : int;
+  gs_flag_sites : int;
+  gs_slice_nodes : int;
+  gs_slice_origins : int;
+  gs_netflow_origin : bool;
+}
+
+let no_graph =
+  {
+    gs_nodes = 0;
+    gs_edges = 0;
+    gs_flag_sites = 0;
+    gs_slice_nodes = 0;
+    gs_slice_origins = 0;
+    gs_netflow_origin = false;
+  }
+
+let summarize_graph g =
+  let slices = Faros_graph.Slice.slices g in
+  let union =
+    List.fold_left
+      (fun acc (s : Faros_graph.Slice.t) ->
+        List.fold_left (fun acc id -> if List.mem id acc then acc else id :: acc) acc s.sl_nodes)
+      [] slices
+  in
+  let origins =
+    List.fold_left
+      (fun acc (s : Faros_graph.Slice.t) ->
+        List.fold_left
+          (fun acc (o : Faros_graph.Graph.node) ->
+            if List.mem o.n_id acc then acc else o.n_id :: acc)
+          acc s.sl_origins)
+      [] slices
+  in
+  {
+    gs_nodes = Faros_graph.Graph.node_count g;
+    gs_edges = Faros_graph.Graph.edge_count g;
+    gs_flag_sites = List.length (Faros_graph.Graph.flag_nodes g);
+    gs_slice_nodes = List.length union;
+    gs_slice_origins = List.length origins;
+    gs_netflow_origin = List.exists Faros_graph.Slice.has_netflow_origin slices;
+  }
+
+let run_job ~config ~graph ~tick_budget ~deadline
+    (s : Faros_corpus.Registry.sample) =
   (* Per-job isolation: this worker domain gets a fresh interner, so no
      provenance state is shared with any concurrently running job (or any
      previous job on this worker). *)
@@ -87,7 +143,7 @@ let run_job ~config ~tick_budget ~deadline (s : Faros_corpus.Registry.sample) =
   let expected_flag = s.expected = Faros_corpus.Registry.Expect_flag in
   let t0 = Unix.gettimeofday () in
   let finish verdict ~diverged ~record_ticks ~replay_ticks ~syscalls
-      ~tainted_bytes ~interned =
+      ~tainted_bytes ~interned ~gs =
     {
       jr_id = s.id;
       jr_family = s.family;
@@ -101,20 +157,42 @@ let run_job ~config ~tick_budget ~deadline (s : Faros_corpus.Registry.sample) =
       jr_syscalls = syscalls;
       jr_tainted_bytes = tainted_bytes;
       jr_interned_provs = interned;
+      jr_graph_nodes = gs.gs_nodes;
+      jr_graph_edges = gs.gs_edges;
+      jr_flag_sites = gs.gs_flag_sites;
+      jr_slice_nodes = gs.gs_slice_nodes;
+      jr_slice_origins = gs.gs_slice_origins;
+      jr_netflow_origin = gs.gs_netflow_origin;
       jr_wall_s = Unix.gettimeofday () -. t0;
       jr_metrics = metrics;
     }
   in
   let failed verdict =
     finish verdict ~diverged:false ~record_ticks:0 ~replay_ticks:0 ~syscalls:0
-      ~tainted_bytes:0 ~interned:0
+      ~tainted_bytes:0 ~interned:0 ~gs:no_graph
+  in
+  let builder = ref None in
+  let extra_plugins kernel faros =
+    if not graph then []
+    else begin
+      let b = Faros_graph.Build.create ~metrics ~sample:s.id () in
+      builder := Some b;
+      [ Faros_graph.Build.plugin b ~kernel ~faros ]
+    end
   in
   match
     Faros_corpus.Scenario.analyze ~config ~metrics ?max_ticks:tick_budget
-      ?deadline s.scenario
+      ?deadline ~extra_plugins s.scenario
   with
   | outcome ->
     let stats = Faros_dift.Engine.stats outcome.faros.engine in
+    let gs =
+      match !builder with
+      | None -> no_graph
+      | Some b ->
+        Faros_graph.Build.enrich b outcome.faros;
+        summarize_graph (Faros_graph.Build.graph b)
+    in
     finish
       (if Core.Report.flagged outcome.report then Flagged else Clean)
       ~diverged:outcome.replay.diverged ~record_ticks:outcome.record_ticks
@@ -124,13 +202,14 @@ let run_job ~config ~tick_budget ~deadline (s : Faros_corpus.Registry.sample) =
       ~interned:
         (Faros_dift.Prov_intern.store_interned_count
            outcome.faros.engine.interner)
+      ~gs
   | exception Core.Analysis.Deadline_exceeded -> failed Timeout
   | exception e -> failed (Error (Printexc.to_string e))
 
 (* -- the campaign -------------------------------------------------------- *)
 
-let run ?(workers = 1) ?(config = Core.Config.default) ?tick_budget ?deadline
-    samples =
+let run ?(workers = 1) ?(config = Core.Config.default) ?(graph = true)
+    ?tick_budget ?deadline samples =
   let t0 = Unix.gettimeofday () in
   let pool = Pool.create ~workers () in
   let results =
@@ -141,7 +220,7 @@ let run ?(workers = 1) ?(config = Core.Config.default) ?tick_budget ?deadline
           List.map
             (fun s ->
               Pool.submit pool (fun () ->
-                  run_job ~config ~tick_budget ~deadline s))
+                  run_job ~config ~graph ~tick_budget ~deadline s))
             samples
         in
         List.map2
@@ -166,6 +245,12 @@ let run ?(workers = 1) ?(config = Core.Config.default) ?tick_budget ?deadline
                 jr_syscalls = 0;
                 jr_tainted_bytes = 0;
                 jr_interned_provs = 0;
+                jr_graph_nodes = 0;
+                jr_graph_edges = 0;
+                jr_flag_sites = 0;
+                jr_slice_nodes = 0;
+                jr_slice_origins = 0;
+                jr_netflow_origin = false;
                 jr_wall_s = 0.0;
                 jr_metrics = Faros_obs.Metrics.create ();
               })
@@ -236,7 +321,7 @@ let json_float f = Printf.sprintf "%.6f" f
 
 let result_json r =
   Printf.sprintf
-    {|{"id":"%s","family":"%s","category":"%s","expected":"%s","verdict":"%s","detail":"%s","diverged":%b,"mismatch":%b,"record_ticks":%d,"replay_ticks":%d,"syscalls":%d,"tainted_bytes":%d,"interned_provs":%d,"wall_s":%s}|}
+    {|{"id":"%s","family":"%s","category":"%s","expected":"%s","verdict":"%s","detail":"%s","diverged":%b,"mismatch":%b,"record_ticks":%d,"replay_ticks":%d,"syscalls":%d,"tainted_bytes":%d,"interned_provs":%d,"graph_nodes":%d,"graph_edges":%d,"flag_sites":%d,"slice_nodes":%d,"slice_origins":%d,"netflow_origin":%b,"wall_s":%s}|}
     (Faros_obs.Json.escape r.jr_id)
     (Faros_obs.Json.escape r.jr_family)
     (Faros_obs.Json.escape r.jr_category)
@@ -244,7 +329,9 @@ let result_json r =
     (verdict_name r.jr_verdict)
     (Faros_obs.Json.escape (verdict_detail r.jr_verdict))
     r.jr_diverged r.jr_mismatch r.jr_record_ticks r.jr_replay_ticks
-    r.jr_syscalls r.jr_tainted_bytes r.jr_interned_provs
+    r.jr_syscalls r.jr_tainted_bytes r.jr_interned_provs r.jr_graph_nodes
+    r.jr_graph_edges r.jr_flag_sites r.jr_slice_nodes r.jr_slice_origins
+    r.jr_netflow_origin
     (json_float r.jr_wall_s)
 
 let matrix_row_json row =
@@ -277,7 +364,7 @@ let csv_field s =
 
 let to_csv t =
   let header =
-    "id,family,category,expected,verdict,detail,diverged,mismatch,record_ticks,replay_ticks,syscalls,tainted_bytes,interned_provs,wall_s"
+    "id,family,category,expected,verdict,detail,diverged,mismatch,record_ticks,replay_ticks,syscalls,tainted_bytes,interned_provs,graph_nodes,graph_edges,flag_sites,slice_nodes,slice_origins,netflow_origin,wall_s"
   in
   let row r =
     String.concat ","
@@ -295,6 +382,12 @@ let to_csv t =
         string_of_int r.jr_syscalls;
         string_of_int r.jr_tainted_bytes;
         string_of_int r.jr_interned_provs;
+        string_of_int r.jr_graph_nodes;
+        string_of_int r.jr_graph_edges;
+        string_of_int r.jr_flag_sites;
+        string_of_int r.jr_slice_nodes;
+        string_of_int r.jr_slice_origins;
+        string_of_bool r.jr_netflow_origin;
         json_float r.jr_wall_s;
       ]
   in

@@ -38,6 +38,14 @@ type job_result = {
   jr_syscalls : int;
   jr_tainted_bytes : int;
   jr_interned_provs : int;  (** size of this job's private interner *)
+  jr_graph_nodes : int;
+      (** attack-graph summary; zeros when the graph is disabled or the
+          job produced no verdict *)
+  jr_graph_edges : int;
+  jr_flag_sites : int;
+  jr_slice_nodes : int;  (** union over all whodunit slices *)
+  jr_slice_origins : int;
+  jr_netflow_origin : bool;  (** some slice reached a NetFlow origin *)
   jr_wall_s : float;
   jr_metrics : Faros_obs.Metrics.t;  (** this job's private registry *)
 }
@@ -53,14 +61,16 @@ type t = {
 val run :
   ?workers:int ->
   ?config:Core.Config.t ->
+  ?graph:bool ->
   ?tick_budget:int ->
   ?deadline:float ->
   Faros_corpus.Registry.sample list ->
   t
 (** Run the samples on a transient pool of [workers] domains (default 1).
-    [config] applies to every job; [tick_budget] overrides each
-    scenario's own [max_ticks]; [deadline] is the per-job wall-clock
-    budget in seconds. *)
+    [config] applies to every job; [graph] (default [true]) builds the
+    per-sample attack graph and folds its slice summary into each result;
+    [tick_budget] overrides each scenario's own [max_ticks]; [deadline]
+    is the per-job wall-clock budget in seconds. *)
 
 val ok : t -> bool
 (** No mismatches — the [sweep] / [campaign] exit-code criterion. *)

@@ -1,0 +1,203 @@
+(* Graph construction, both ways the issue of forensics poses it:
+
+   - online: a replay plugin subscribed to the kernel's Os_event stream
+     (interactions become edges as they happen) plus a detector flag
+     observer (each effective flag becomes a flag-site node, wired to the
+     flagging process and to every tag in the flagged instruction's
+     provenance — the backbone that guarantees slices reach origins);
+   - offline: once the replay is over, [enrich] walks the shadow-memory
+     state through {!Core.Prov_query} and adds the tainted-region nodes
+     with tainted-by edges from their resolved sources, plus per-process
+     taint totals.
+
+   Both passes resolve tag indices against the analysis's own tag store,
+   so graph nodes and Table II lines name the same objects. *)
+
+type t = {
+  b_graph : Graph.t;
+  c_events : Faros_obs.Metrics.counter option;
+  c_flags : Faros_obs.Metrics.counter option;
+  mutable b_kernel : Faros_os.Kernel.t option;
+  mutable b_store : Faros_dift.Tag_store.t option;
+}
+
+let create ?metrics ~sample () =
+  let reg name =
+    Option.map (fun m -> Faros_obs.Metrics.counter m name) metrics
+  in
+  {
+    b_graph = Graph.create ?metrics ~sample ();
+    c_events = reg "graph.os_events";
+    c_flags = reg "graph.flag_sites";
+    b_kernel = None;
+    b_store = None;
+  }
+
+let graph t = t.b_graph
+
+let kernel_exn t =
+  match t.b_kernel with
+  | Some k -> k
+  | None -> invalid_arg "Build: plugin not attached yet"
+
+let proc_node t pid =
+  let k = kernel_exn t in
+  Graph.process_node t.b_graph ~pid ~name:(Faros_os.Kstate.proc_name k pid)
+
+(* The kernel export directory as a pseudo-module node: where
+   export-table tags point. *)
+let export_dir_node t =
+  Graph.module_node t.b_graph ~pid:0 ~image:"kernel export directory"
+    ~base:Faros_os.Export_table.export_dir_vaddr
+
+(* Resolve one provenance tag to the graph node standing for its payload. *)
+let tag_source t (tag : Faros_dift.Tag.t) =
+  match t.b_store with
+  | None -> None
+  | Some store -> (
+    match tag with
+    | Netflow i ->
+      Option.map (Graph.flow_node t.b_graph)
+        (Faros_dift.Tag_store.netflow_of store i)
+    | Process i -> (
+      match Faros_dift.Tag_store.cr3_of store i with
+      | Some asid -> (
+        match Faros_os.Kstate.proc_by_asid (kernel_exn t) asid with
+        | Some p -> Some (proc_node t p.Faros_os.Process.pid)
+        | None -> None)
+      | None -> None)
+    | File i ->
+      Option.map
+        (fun (f : Faros_dift.Tag_store.file_id) ->
+          Graph.file_node t.b_graph ~name:f.file_name ~version:f.file_version)
+        (Faros_dift.Tag_store.file_of store i)
+    | Export_table _ -> Some (export_dir_node t))
+
+let on_os_event t (ev : Faros_os.Os_event.t) =
+  Option.iter Faros_obs.Metrics.incr t.c_events;
+  let g = t.b_graph in
+  let tick = Faros_os.Kernel.tick (kernel_exn t) in
+  let edge ?bytes src dst kind = Graph.add_edge g ?bytes ~src ~dst ~kind ~tick () in
+  match ev with
+  | Proc_created { pid; name; parent; suspended; _ } ->
+    let child = Graph.process_node g ~pid ~name in
+    Option.iter
+      (fun pp ->
+        let parent = proc_node t pp in
+        edge parent child Graph.Spawned;
+        if suspended then edge parent child Graph.Suspended)
+      parent
+  | Proc_exited { pid; code } -> Graph.set_exit_code (proc_node t pid) code
+  | Proc_suspended { pid; by } -> edge (proc_node t by) (proc_node t pid) Graph.Suspended
+  | Proc_resumed { pid; by } -> edge (proc_node t by) (proc_node t pid) Graph.Resumed
+  | Proc_unmapped { pid; by; _ } ->
+    (* unmapping someone else's image is the hollowing prelude *)
+    if by <> pid then edge (proc_node t by) (proc_node t pid) Graph.Injected_into
+  | Net_connect { pid; flow } ->
+    edge (proc_node t pid) (Graph.flow_node g flow) Graph.Connected
+  | Net_recv { pid; flow; dst_paddrs } ->
+    edge
+      ~bytes:(List.length dst_paddrs)
+      (Graph.flow_node g flow) (proc_node t pid) Graph.Received
+  | Net_send { pid; flow; src_paddrs } ->
+    edge
+      ~bytes:(List.length src_paddrs)
+      (proc_node t pid) (Graph.flow_node g flow) Graph.Sent
+  | File_read { pid; path; version; dst_paddrs; _ } ->
+    edge
+      ~bytes:(List.length dst_paddrs)
+      (Graph.file_node g ~name:path ~version)
+      (proc_node t pid) Graph.Read
+  | File_write { pid; path; version; src_paddrs; _ } ->
+    edge
+      ~bytes:(List.length src_paddrs)
+      (proc_node t pid)
+      (Graph.file_node g ~name:path ~version)
+      Graph.Wrote
+  | Mem_copy { by; src_pid; dst_pid; dst_paddrs; _ } ->
+    (* only cross-process copies are graph-worthy; the writer is the
+       injector, unless the writer is the destination reading someone
+       else's memory, in which case data still flowed src -> dst *)
+    let writer = if by <> dst_pid then by else src_pid in
+    if writer <> dst_pid then
+      edge
+        ~bytes:(List.length dst_paddrs)
+        (proc_node t writer) (proc_node t dst_pid) Graph.Injected_into
+  | Mem_alloc { by; in_pid; _ } ->
+    if by <> in_pid then edge (proc_node t by) (proc_node t in_pid) Graph.Injected_into
+  | Module_loaded { pid; image; base } ->
+    edge (proc_node t pid) (Graph.module_node g ~pid ~image ~base) Graph.Mapped
+  | Context_set { pid; by; _ } ->
+    if by <> pid then edge (proc_node t by) (proc_node t pid) Graph.Injected_into
+  | Sys_enter _ | Sys_exit _ | File_opened _ | File_deleted _ | Popup _
+  | Debug_print _ | Key_read _ | Audio_read _ | Screenshot _ ->
+    ()
+
+let on_flag t (flag : Core.Report.flag) =
+  if not flag.f_whitelisted then begin
+    let g = t.b_graph in
+    let fnode =
+      Graph.flag_site_node g ~process:flag.f_process ~pc:flag.f_pc
+        ~tick:flag.f_tick
+    in
+    Option.iter Faros_obs.Metrics.incr t.c_flags;
+    (match Faros_os.Kstate.proc_by_asid (kernel_exn t) flag.f_asid with
+    | Some p ->
+      Graph.add_edge g
+        ~src:(proc_node t p.Faros_os.Process.pid)
+        ~dst:fnode ~kind:Graph.Flagged ~tick:flag.f_tick ()
+    | None -> ());
+    (* oldest tag first, so origin nodes intern before intermediaries *)
+    List.iter
+      (fun tag ->
+        match tag_source t tag with
+        | Some src when src.Graph.n_id <> fnode.Graph.n_id ->
+          Graph.add_edge g ~src ~dst:fnode ~kind:Graph.Tainted_by
+            ~tick:flag.f_tick ()
+        | _ -> ())
+      (List.rev (Faros_dift.Provenance.to_list flag.f_instr_prov))
+  end
+
+let plugin t ~kernel ~(faros : Core.Faros_plugin.t) =
+  t.b_kernel <- Some kernel;
+  t.b_store <- Some faros.engine.store;
+  Core.Detector.add_flag_observer faros.detector (on_flag t);
+  Faros_replay.Plugin.make ~on_os_event:(on_os_event t) "attack-graph"
+
+let enrich t (faros : Core.Faros_plugin.t) =
+  if t.b_kernel = None then t.b_kernel <- Some faros.kernel;
+  if t.b_store = None then t.b_store <- Some faros.engine.store;
+  let kernel = kernel_exn t in
+  let g = t.b_graph in
+  let tick = Faros_os.Kernel.tick kernel in
+  List.iter
+    (fun (p : Faros_os.Process.t) ->
+      let regions = Core.Prov_query.regions_of_process faros p in
+      let pn = proc_node t p.pid in
+      let tainted =
+        List.fold_left (fun acc (r : Core.Prov_query.region_taint) -> acc + r.rt_len) 0 regions
+      in
+      let netflow =
+        List.fold_left
+          (fun acc (r : Core.Prov_query.region_taint) ->
+            if List.mem Faros_dift.Tag.Ty_netflow r.rt_types then acc + r.rt_len
+            else acc)
+          0 regions
+      in
+      Graph.set_process_taint pn ~tainted_bytes:tainted ~netflow_bytes:netflow;
+      List.iter
+        (fun (r : Core.Prov_query.region_taint) ->
+          let rn =
+            Graph.region_node g ~pid:r.rt_pid ~process:r.rt_process
+              ~vaddr:r.rt_vaddr ~len:r.rt_len
+              ~types:(List.map Core.Prov_query.ty_name r.rt_types)
+          in
+          List.iter
+            (fun tag ->
+              match tag_source t tag with
+              | Some src when src.Graph.n_id <> rn.Graph.n_id ->
+                Graph.add_edge g ~src ~dst:rn ~kind:Graph.Tainted_by ~tick ()
+              | _ -> ())
+            (List.rev (Faros_dift.Provenance.to_list r.rt_sample)))
+        regions)
+    (Faros_os.Kstate.processes kernel)

@@ -1,0 +1,130 @@
+(* Deterministic exporters: Graphviz DOT for eyeballs, JSON for tools.
+
+   Both walk nodes in id order and edges in insertion order, so a given
+   replay always produces byte-identical output (pinned by the cram
+   transcript and the campaign -j1 / -j4 fingerprint test). *)
+
+let dot_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node_attrs (n : Graph.node) =
+  match n.n_kind with
+  | Graph.Flow _ -> "shape=ellipse, style=filled, fillcolor=lightblue"
+  | Graph.Process _ -> "shape=box"
+  | Graph.File _ -> "shape=note, style=filled, fillcolor=lightyellow"
+  | Graph.Module _ -> "shape=component, style=filled, fillcolor=lightgrey"
+  | Graph.Region _ -> "shape=box3d, style=dashed"
+  | Graph.Flag_site _ -> "shape=octagon, style=filled, fillcolor=salmon"
+
+let edge_attrs (e : Graph.edge) =
+  match e.e_kind with
+  | Graph.Injected_into -> ", color=red, penwidth=2"
+  | Graph.Flagged -> ", color=red"
+  | Graph.Tainted_by -> ", style=dotted"
+  | _ -> ""
+
+let edge_label (e : Graph.edge) =
+  let b = Buffer.create 24 in
+  Buffer.add_string b (Graph.edge_kind_name e.e_kind);
+  if e.e_count > 1 then Buffer.add_string b (Printf.sprintf " x%d" e.e_count);
+  if e.e_bytes > 0 then Buffer.add_string b (Printf.sprintf " %dB" e.e_bytes);
+  Buffer.add_string b (Printf.sprintf " @%d" e.e_tick);
+  Buffer.contents b
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "digraph \"%s\" {\n" (dot_escape (Graph.sample g));
+  Buffer.add_string buf "  rankdir=LR;\n";
+  Buffer.add_string buf "  node [fontname=\"sans\", fontsize=10];\n";
+  Buffer.add_string buf "  edge [fontname=\"sans\", fontsize=9];\n";
+  List.iter
+    (fun (n : Graph.node) ->
+      Printf.bprintf buf "  n%d [label=\"%s\", %s];\n" n.n_id
+        (dot_escape (Graph.node_label n))
+        (node_attrs n))
+    (Graph.nodes g);
+  List.iter
+    (fun (e : Graph.edge) ->
+      Printf.bprintf buf "  n%d -> n%d [label=\"%s\"%s];\n" e.e_src e.e_dst
+        (dot_escape (edge_label e))
+        (edge_attrs e))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* -- JSON ----------------------------------------------------------------- *)
+
+let esc = Faros_obs.Json.escape
+
+let node_json (n : Graph.node) =
+  let base =
+    Printf.sprintf {|"id":%d,"kind":"%s","label":"%s"|} n.n_id (Graph.kind_name n)
+      (esc (Graph.node_label n))
+  in
+  let extra =
+    match n.n_kind with
+    | Graph.Flow f ->
+      Printf.sprintf {|,"src":"%s","src_port":%d,"dst":"%s","dst_port":%d|}
+        (esc (Faros_os.Types.Ip.to_string f.src_ip))
+        f.src_port
+        (esc (Faros_os.Types.Ip.to_string f.dst_ip))
+        f.dst_port
+    | Graph.Process p ->
+      Printf.sprintf {|,"pid":%d,"tainted_bytes":%d,"netflow_bytes":%d%s|}
+        p.p_pid p.p_tainted_bytes p.p_netflow_bytes
+        (match p.p_exit_code with
+        | Some c -> Printf.sprintf {|,"exit_code":%d|} c
+        | None -> "")
+    | Graph.File fi ->
+      Printf.sprintf {|,"version_lo":%d,"version_hi":%d|} fi.fi_version_lo
+        fi.fi_version_hi
+    | Graph.Module m -> Printf.sprintf {|,"pid":%d,"base":%d|} m.m_pid m.m_base
+    | Graph.Region r ->
+      Printf.sprintf {|,"pid":%d,"vaddr":%d,"len":%d,"types":[%s]|} r.r_pid
+        r.r_vaddr r.r_len
+        (String.concat ","
+           (List.map (fun ty -> Printf.sprintf {|"%s"|} (esc ty)) r.r_types))
+    | Graph.Flag_site fl ->
+      Printf.sprintf {|,"pc":%d,"tick":%d,"process":"%s"|} fl.fl_pc fl.fl_tick
+        (esc fl.fl_process)
+  in
+  "{" ^ base ^ extra ^ "}"
+
+let edge_json (e : Graph.edge) =
+  Printf.sprintf
+    {|{"src":%d,"dst":%d,"kind":"%s","tick":%d,"last_tick":%d,"count":%d,"bytes":%d}|}
+    e.e_src e.e_dst
+    (Graph.edge_kind_name e.e_kind)
+    e.e_tick e.e_last_tick e.e_count e.e_bytes
+
+let slice_json (s : Slice.t) =
+  Printf.sprintf
+    {|{"flag":%d,"flag_label":"%s","netflow_origin":%b,"origins":[%s],"nodes":[%s],"chains":[%s]}|}
+    s.sl_flag.n_id
+    (esc (Graph.node_label s.sl_flag))
+    (Slice.has_netflow_origin s)
+    (String.concat ","
+       (List.map (fun (n : Graph.node) -> string_of_int n.n_id) s.sl_origins))
+    (String.concat "," (List.map string_of_int s.sl_nodes))
+    (String.concat ","
+       (List.map
+          (fun chain -> Printf.sprintf {|"%s"|} (esc (Slice.render_chain chain)))
+          s.sl_chains))
+
+let to_json ?(slices = []) g =
+  Printf.sprintf
+    {|{"graph":{"sample":"%s","node_count":%d,"edge_count":%d,"nodes":[%s],"edges":[%s],"slices":[%s]}}|}
+    (esc (Graph.sample g))
+    (Graph.node_count g) (Graph.edge_count g)
+    (String.concat "," (List.map node_json (Graph.nodes g)))
+    (String.concat "," (List.map edge_json (Graph.edges g)))
+    (String.concat "," (List.map slice_json slices))

@@ -101,6 +101,7 @@ let mk_flag ?(pc = 0x1000) ?(process = "a.exe") () : Core.Report.flag =
   {
     f_tick = 0;
     f_pc = pc;
+    f_asid = 0;
     f_process = process;
     f_instr = Faros_vm.Isa.Nop;
     f_instr_prov = Provenance.of_list [ Tag.Process 0; Tag.Netflow 0 ];

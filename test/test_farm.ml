@@ -154,10 +154,13 @@ let fingerprint (c : Campaign.t) =
   String.concat "\n"
     (List.map
        (fun (r : Campaign.job_result) ->
-         Printf.sprintf "%s %s %s %b %b %d %d %d %d %d" r.jr_id r.jr_category
+         Printf.sprintf "%s %s %s %b %b %d %d %d %d %d %d %d %d %d %d %b"
+           r.jr_id r.jr_category
            (Campaign.verdict_name r.jr_verdict)
            r.jr_diverged r.jr_mismatch r.jr_record_ticks r.jr_replay_ticks
-           r.jr_syscalls r.jr_tainted_bytes r.jr_interned_provs)
+           r.jr_syscalls r.jr_tainted_bytes r.jr_interned_provs
+           r.jr_graph_nodes r.jr_graph_edges r.jr_flag_sites r.jr_slice_nodes
+           r.jr_slice_origins r.jr_netflow_origin)
        c.results
     @ c.mismatches
     @ [

@@ -9,6 +9,11 @@ let flow a b =
 
 (* -- trace ------------------------------------------------------------------ *)
 
+(* A small pool of flows so generated traces interleave chunks of several
+   concurrent connections, and payload sizes biased toward the edges:
+   zero-length chunks and max-length (64 KiB) payloads both round-trip. *)
+let max_payload = 65_536
+
 let arb_event =
   QCheck.Gen.(
     let* tag = bool in
@@ -16,9 +21,17 @@ let arb_event =
       let* k = int_range 0 255 in
       return (Faros_replay.Trace.Key k)
     else
-      let* a = int_range 0 0xFFFF in
-      let* b = int_range 0 0xFFFF in
-      let* data = string_size (int_range 0 64) in
+      let* a = int_range 1 4 in
+      let* b = int_range 1 4 in
+      let* size =
+        frequency
+          [
+            (3, int_range 0 64);
+            (1, return 0);
+            (1, return max_payload);
+          ]
+      in
+      let* data = string_size (return size) in
       return (Faros_replay.Trace.Packet (flow a b, data)))
 
 let arb_trace =
@@ -73,6 +86,35 @@ let trace_tests =
         in
         let t' = Faros_replay.Trace.parse (Faros_replay.Trace.serialize t) in
         check_b "equal" true (t = t'));
+    Alcotest.test_case "edge cases round-trip" `Quick (fun () ->
+        let roundtrip t =
+          Faros_replay.Trace.parse (Faros_replay.Trace.serialize t)
+        in
+        (* the empty trace *)
+        check_b "empty" true
+          (roundtrip Faros_replay.Trace.empty = Faros_replay.Trace.empty);
+        (* interleaved flows with zero-length and max-length chunks *)
+        let t =
+          {
+            Faros_replay.Trace.events =
+              [
+                Packet (flow 1 2, "");
+                Packet (flow 3 4, String.make max_payload 'x');
+                Packet (flow 1 2, "tail");
+                Key 13;
+                Packet (flow 3 4, "");
+              ];
+            final_tick = 42;
+            syscall_count = 7;
+          }
+        in
+        let t' = roundtrip t in
+        check_b "interleaved equal" true (t = t');
+        Alcotest.(check (list string))
+          "flow 1-2 chunks, order kept" [ ""; "tail" ]
+          (Faros_replay.Trace.rx_chunks t' (flow 1 2));
+        check "max payload survives" max_payload
+          (Faros_replay.Trace.total_rx_bytes t' - 4));
     QCheck_alcotest.to_alcotest trace_roundtrip;
   ]
 
