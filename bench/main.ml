@@ -742,14 +742,29 @@ let campaign () =
     if not (Faros_farm.Campaign.ok c) then
       Fmt.pf pp "UNEXPECTED MISMATCHES at %d workers@." workers
   in
+  (* Interleave the reps across worker counts so slow drift (thermal,
+     allocator state) spreads evenly instead of penalizing whichever
+     configuration is measured last. *)
+  let configs = [ 1; 2; 4 ] in
+  let reps = 5 in
+  let samples = Hashtbl.create 4 in
+  List.iter (fun w -> run w ()) configs;
+  for _ = 1 to reps do
+    List.iter
+      (fun workers ->
+        let t0 = Unix.gettimeofday () in
+        run workers ();
+        let dt = Unix.gettimeofday () -. t0 in
+        Hashtbl.replace samples workers
+          (dt :: Option.value ~default:[] (Hashtbl.find_opt samples workers)))
+      configs
+  done;
   let measured =
-    List.map
-      (fun workers -> (workers, time_runs ~reps:3 (run workers)))
-      [ 1; 2; 4 ]
+    List.map (fun w -> (w, median (Hashtbl.find samples w))) configs
   in
   let t1 = List.assoc 1 measured in
-  Fmt.pf pp "%-8s %-10s %-8s (%d samples, median of 3)@." "workers" "wall-s"
-    "speedup" (List.length slice);
+  Fmt.pf pp "%-8s %-10s %-8s (%d samples, interleaved median of %d)@." "workers" "wall-s"
+    "speedup" (List.length slice) reps;
   List.iter
     (fun (workers, t) ->
       Fmt.pf pp "%-8d %-10.4f %-8.2f@." workers t (t1 /. t))
@@ -768,6 +783,80 @@ let campaign () =
   output_string oc json;
   close_out oc;
   Fmt.pf pp "wrote BENCH_campaign.json@."
+
+(* -- translation-block cache ---------------------------------------------- *)
+
+(* Cached vs uncached wall time per Table-V workload, for the bare replay
+   (the interpreter critical path the cache targets) and for the full
+   FAROS replay (where the DIFT engine's own cost dilutes the win), plus
+   the cache hit rate of an instrumented cached run.  Emits
+   BENCH_tbcache.json so the speedup and hit rate are tracked across
+   PRs. *)
+let tbcache () =
+  section "tbcache: translation-block cache (uncached vs cached replay)";
+  Fmt.pf pp "%-16s %-22s %-22s %s@." "application" "replay off/on (s)"
+    "faros off/on (s)" "hit-rate";
+  let rows =
+    List.map
+      (fun (label, scn) ->
+        let _k, trace = Faros_corpus.Scenario.record scn in
+        let replay_plain tb_cache () =
+          ignore (Faros_corpus.Scenario.replay_plain ~tb_cache scn trace)
+        in
+        let replay_faros tb_cache () =
+          ignore
+            (Faros_corpus.Scenario.replay_with scn ~tb_cache
+               ~plugins:(fun kernel ->
+                 let faros = Core.Faros_plugin.create kernel in
+                 [ Core.Faros_plugin.plugin faros ])
+               trace)
+        in
+        let p_off = time_runs ~reps:5 (replay_plain false) in
+        let t_off = time_runs ~reps:5 (replay_faros false) in
+        let p_on = time_runs ~reps:5 (replay_plain true) in
+        let t_on = time_runs ~reps:5 (replay_faros true) in
+        (* One instrumented cached run to read the hit rate. *)
+        let metrics = Faros_obs.Metrics.create () in
+        let faros_ref = ref None in
+        ignore
+          (Faros_corpus.Scenario.replay_with scn
+             ~plugins:(fun kernel ->
+               let faros = Core.Faros_plugin.create ~metrics kernel in
+               faros_ref := Some faros;
+               [ Core.Faros_plugin.plugin faros ])
+             trace);
+        (match !faros_ref with
+        | Some faros -> Core.Faros_plugin.finalize faros
+        | None -> ());
+        let gauge name =
+          Faros_obs.Metrics.gauge_value (Faros_obs.Metrics.gauge metrics name)
+        in
+        let hits = gauge "vm.tbcache.hits" and misses = gauge "vm.tbcache.misses" in
+        let hit_rate =
+          if hits + misses = 0 then 0. else float hits /. float (hits + misses)
+        in
+        Fmt.pf pp "%-16s %-22s %-22s %.1f%%@." label
+          (Printf.sprintf "%.4f/%.4f %.2fx" p_off p_on (p_off /. p_on))
+          (Printf.sprintf "%.4f/%.4f %.2fx" t_off t_on (t_off /. t_on))
+          (100. *. hit_rate);
+        (label, p_off, p_on, t_off, t_on, hit_rate))
+      (Faros_corpus.Perf.workloads ())
+  in
+  let json =
+    Printf.sprintf {|{"bench":"tbcache","runs":[%s]}|}
+      (String.concat ","
+         (List.map
+            (fun (label, p_off, p_on, t_off, t_on, hit_rate) ->
+              Printf.sprintf
+                {|{"workload":"%s","replay_uncached_s":%.6f,"replay_cached_s":%.6f,"replay_speedup":%.4f,"faros_uncached_s":%.6f,"faros_cached_s":%.6f,"faros_speedup":%.4f,"hit_rate":%.4f}|}
+                label p_off p_on (p_off /. p_on) t_off t_on (t_off /. t_on)
+                hit_rate)
+            rows))
+  in
+  let oc = open_out "BENCH_tbcache.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf pp "wrote BENCH_tbcache.json@."
 
 (* -- attack-graph overhead ------------------------------------------------ *)
 
@@ -859,6 +948,7 @@ let sections =
     ("tomography", tomography);
     ("memory", memory);
     ("campaign", campaign);
+    ("tbcache", tbcache);
     ("graph", graph_bench);
     ("micro", micro);
   ]

@@ -61,7 +61,19 @@ let plugin t =
 (* Process any trailing partial block; call when the replay is over. *)
 let finalize t =
   (match t.batcher with Some b -> Faros_dift.Block_engine.finish b | None -> ());
-  Faros_dift.Engine.refresh_metrics t.engine
+  Faros_dift.Engine.refresh_metrics t.engine;
+  (* Execution-cache telemetry: deterministic for a given scenario and
+     cache setting, so `faros stats` goldens can pin it. *)
+  let machine = t.kernel.Faros_os.Kstate.machine in
+  let tb = Faros_vm.Machine.tb_stats machine in
+  let tlb_hits, tlb_misses = Faros_vm.Machine.tlb_stats machine in
+  let set name v = Faros_obs.Metrics.set (Faros_obs.Metrics.gauge t.metrics name) v in
+  set "vm.tbcache.hits" tb.Faros_vm.Tb_cache.st_hits;
+  set "vm.tbcache.misses" tb.Faros_vm.Tb_cache.st_misses;
+  set "vm.tbcache.invalidations" tb.Faros_vm.Tb_cache.st_invalidations;
+  set "vm.tbcache.blocks" tb.Faros_vm.Tb_cache.st_blocks;
+  set "vm.tlb.hits" tlb_hits;
+  set "vm.tlb.misses" tlb_misses
 
 let report t = t.detector.report
 

@@ -33,11 +33,14 @@ val boot : t -> Faros_os.Kernel.t -> unit
 val record : t -> Faros_os.Kernel.t * Faros_replay.Trace.t
 (** Record the scenario live. *)
 
-val replay_plain : t -> Faros_replay.Trace.t -> Faros_replay.Replayer.result
-(** Replay without any analysis plugin (the Table V baseline). *)
+val replay_plain :
+  ?tb_cache:bool -> t -> Faros_replay.Trace.t -> Faros_replay.Replayer.result
+(** Replay without any analysis plugin (the Table V baseline).
+    [tb_cache] forces the translation-block cache on/off for this replay. *)
 
 val replay_with :
   t ->
+  ?tb_cache:bool ->
   ?sample:(int * (tick:int -> syscalls:int -> unit)) ->
   plugins:(Faros_os.Kernel.t -> Faros_replay.Plugin.t list) ->
   Faros_replay.Trace.t ->

@@ -128,7 +128,7 @@ let on_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
   let adjust prov = Provenance.union prov cdep in
   (* Instruction fetch is a memory access by this process. *)
   let instr_prov =
-    List.fold_left
+    Array.fold_left
       (fun acc paddr -> Provenance.union acc (touch_byte t ~ptag paddr))
       Provenance.empty eff.e_code_paddrs
   in

@@ -33,7 +33,27 @@ type 'a promise = {
 
 let workers t = t.workers
 
+(* Spawning more domains than the host has cores is actively harmful in
+   OCaml 5: every minor collection is a stop-the-world handshake across
+   all domains, so oversubscribed domains spend their time signalling each
+   other instead of running jobs (measured: a 4-worker campaign ran ~2x
+   slower than serial on a 1-core host).  Cap the domains actually spawned
+   at the host's recommendation; the pool still *reports* the requested
+   [workers] so campaign output stays identical either way.
+   FAROS_FARM_DOMAINS overrides the cap for experiments. *)
+let domain_cap () =
+  match Sys.getenv_opt "FAROS_FARM_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> max 1 (Domain.recommended_domain_count ())
+
 let worker_loop t =
+  (* Replay allocates heavily in short-lived spurts; a roomier minor heap
+     per domain cuts the collection (and thus cross-domain handshake)
+     frequency for every worker. *)
+  let g = Gc.get () in
+  if g.minor_heap_size < 8 * 262144 then
+    Gc.set { g with minor_heap_size = 8 * 262144 };
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.jobs && t.accepting do
@@ -63,7 +83,8 @@ let create ?(workers = 1) () =
       workers;
     }
   in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  let spawned = min workers (domain_cap ()) in
+  t.domains <- List.init spawned (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let submit t f =

@@ -86,9 +86,9 @@ let build (machine : Faros_vm.Machine.t) =
   }
 
 (* Share the kernel region into a process address space. *)
-let map_into t space =
-  Faros_vm.Mmu.map_frames space ~vaddr:kernel_base t.stub_frames;
-  Faros_vm.Mmu.map_frames space ~vaddr:export_dir_vaddr t.dir_frames
+let map_into t mmu space =
+  Faros_vm.Mmu.map_frames mmu space ~vaddr:kernel_base t.stub_frames;
+  Faros_vm.Mmu.map_frames mmu space ~vaddr:export_dir_vaddr t.dir_frames
 
 let stub_addr t api =
   match List.assoc_opt api t.exports with

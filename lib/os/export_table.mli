@@ -38,7 +38,7 @@ val build : Faros_vm.Machine.t -> t
     layout.  Directory format: a 4-byte entry count, then 8-byte entries of
     (name hash, function pointer). *)
 
-val map_into : t -> Faros_vm.Mmu.space -> unit
+val map_into : t -> Faros_vm.Mmu.t -> Faros_vm.Mmu.space -> unit
 (** Share the kernel region into a process address space. *)
 
 val stub_addr : t -> string -> int

@@ -88,6 +88,7 @@ let terminate_on_fault (k : t) (p : Process.t) fault =
   p.fault <- Some fault;
   p.state <- Terminated;
   p.exit_code <- -1;
+  Faros_vm.Machine.retire_asid k.machine p.space.asid;
   Kstate.emit k (Os_event.Proc_exited { pid = p.pid; code = -1 })
 
 (* Run [p] for at most [budget] instructions. *)
@@ -103,6 +104,7 @@ let run_slice (k : t) (p : Process.t) ~budget =
         (* HALT terminates the process; r1 carries the exit code. *)
         p.state <- Terminated;
         p.exit_code <- p.cpu.regs.(1);
+        Faros_vm.Machine.retire_asid k.machine p.space.asid;
         Kstate.emit k (Os_event.Proc_exited { pid = p.pid; code = p.exit_code })
       end
     | Error fault -> terminate_on_fault k p fault

@@ -17,7 +17,7 @@ let spawn (k : Kstate.t) ~path ~suspended ~parent : Types.pid =
   in
   let mmu = k.machine.mmu in
   let space = Faros_vm.Mmu.create_space mmu ~name:image.img_name in
-  Export_table.map_into k.exports space;
+  Export_table.map_into k.exports mmu space;
   Faros_vm.Mmu.map mmu space ~vaddr:Process.stack_base ~pages:Process.stack_pages;
   let loaded = Loader.load mmu space k.exports image in
   let pid = k.next_pid in

@@ -77,7 +77,7 @@ let unmap_view (k : Kstate.t) (p : Process.t) args =
       let pages = (args.(2) + page_size - 1) / page_size in
       if pages <= 0 then err
       else begin
-        Faros_vm.Mmu.unmap t.space ~vaddr ~pages;
+        Faros_vm.Mmu.unmap k.machine.mmu t.space ~vaddr ~pages;
         Kstate.emit k (Os_event.Proc_unmapped { pid = t.pid; by = p.pid; vaddr; pages });
         0
       end)

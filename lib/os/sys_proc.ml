@@ -10,6 +10,7 @@ let err = -1 land Faros_vm.Word.mask
 let terminate (k : Kstate.t) (p : Process.t) args =
   p.state <- Terminated;
   p.exit_code <- args.(0);
+  Faros_vm.Machine.retire_asid k.machine p.space.asid;
   Kstate.emit k (Os_event.Proc_exited { pid = p.pid; code = args.(0) });
   0
 

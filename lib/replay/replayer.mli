@@ -16,6 +16,7 @@ type result = {
 val replay :
   ?max_ticks:int ->
   ?timeslice:int ->
+  ?tb_cache:bool ->
   ?plugins:(Faros_os.Kernel.t -> Plugin.t list) ->
   ?sample:(int * (tick:int -> syscalls:int -> unit)) ->
   setup:(Faros_os.Kernel.t -> unit) ->
@@ -25,6 +26,10 @@ val replay :
 (** [plugins] builds the plugin list against the freshly constructed
     kernel, after images are provisioned but before any process runs — the
     window in which FAROS scans and taints the export tables.
+
+    [tb_cache] forces the machine's translation-block cache on or off for
+    this replay only (default: {!Faros_vm.Machine.tb_default_enabled});
+    replays of the same trace are byte-identical either way.
 
     [sample] is [(interval, fire)]: [fire] runs every [interval] kernel
     ticks (installed after the plugins, so it observes post-propagation

@@ -5,7 +5,12 @@
    every data load/store it performed with both virtual and physical
    addresses resolved.  The DIFT engine consumes effects to propagate
    provenance without re-implementing address translation, and the kernel
-   consumes them to dispatch syscalls. *)
+   consumes them to dispatch syscalls.
+
+   Decode and execute are split: [exec] runs an already-decoded
+   instruction, which is what lets the translation-block cache skip the
+   fetch bytes and the decoder entirely on a cache hit while producing
+   byte-identical effects. *)
 
 type t = {
   regs : int array;
@@ -29,7 +34,7 @@ type mem_access = { vaddr : int; paddr : int; width : int }
 
 type effect = {
   e_pc : int;
-  e_code_paddrs : int list;  (* physical address of each code byte *)
+  e_code_paddrs : int array;  (* physical address of each code byte *)
   e_len : int;
   e_instr : Isa.t;
   e_loads : mem_access list;
@@ -56,8 +61,148 @@ let set_flags_sub t a b =
   t.zf <- d = 0;
   t.sf <- Word.to_signed a < Word.to_signed b
 
-(* Execute one instruction.  On fault the CPU state is left at the faulting
-   instruction (pc unchanged) so the kernel can report or kill. *)
+(* Execute one already-decoded instruction.  [code_paddrs], when given, is
+   the pre-resolved physical address of each code byte (the TB cache
+   resolves them once at translation time); when absent they are resolved
+   after execution, exactly as the uncached interpreter always did.  On
+   fault the CPU state is left at the faulting instruction (pc unchanged)
+   so the kernel can report or kill. *)
+let exec ?code_paddrs t (mmu : Mmu.t) ~instr ~len : step_result =
+  if t.halted then Error Fault_halted
+  else begin
+    let asid = t.cr3 in
+    let pc = t.pc in
+    let loads = ref [] and stores = ref [] in
+    let read ~width vaddr =
+      let paddr = Mmu.translate mmu ~asid vaddr in
+      loads := { vaddr; paddr; width } :: !loads;
+      Mmu.read ~width mmu ~asid vaddr
+    in
+    let write ~width vaddr v =
+      let paddr = Mmu.translate mmu ~asid vaddr in
+      stores := { vaddr; paddr; width } :: !stores;
+      Mmu.write ~width mmu ~asid vaddr v
+    in
+    let push v =
+      set t Isa.sp (get t Isa.sp - 4);
+      write ~width:4 (get t Isa.sp) v
+    in
+    let pop () =
+      let v = read ~width:4 (get t Isa.sp) in
+      set t Isa.sp (get t Isa.sp + 4);
+      v
+    in
+    let next = Word.of_int (pc + len) in
+    let taken = ref None in
+    let goto target = t.pc <- target in
+    let branch cond target =
+      taken := Some cond;
+      if cond then goto target else goto next
+    in
+    let alu dst f a b =
+      set t dst (f a b);
+      goto next
+    in
+    match
+      (match (instr : Isa.t) with
+      | Nop -> goto next
+      | Halt ->
+        t.halted <- true;
+        goto next
+      | Mov_ri (r, v) ->
+        set t r v;
+        goto next
+      | Mov_rr (a, b) ->
+        set t a (get t b);
+        goto next
+      | Load (w, r, a) ->
+        set t r (read ~width:w (effective_address t a));
+        goto next
+      | Store (w, a, r) ->
+        write ~width:w (effective_address t a) (Word.truncate ~width:w (get t r));
+        goto next
+      | Lea (r, a) ->
+        set t r (effective_address t a);
+        goto next
+      | Push r ->
+        push (get t r);
+        goto next
+      | Pop r ->
+        set t r (pop ());
+        goto next
+      | Add_rr (a, b) -> alu a Word.add (get t a) (get t b)
+      | Add_ri (a, v) -> alu a Word.add (get t a) v
+      | Sub_rr (a, b) -> alu a Word.sub (get t a) (get t b)
+      | Sub_ri (a, v) -> alu a Word.sub (get t a) v
+      | Mul_rr (a, b) -> alu a Word.mul (get t a) (get t b)
+      | And_rr (a, b) -> alu a Word.logand (get t a) (get t b)
+      | And_ri (a, v) -> alu a Word.logand (get t a) v
+      | Or_rr (a, b) -> alu a Word.logor (get t a) (get t b)
+      | Or_ri (a, v) -> alu a Word.logor (get t a) v
+      | Xor_rr (a, b) -> alu a Word.logxor (get t a) (get t b)
+      | Xor_ri (a, v) -> alu a Word.logxor (get t a) v
+      | Shl_ri (a, v) -> alu a Word.shift_left (get t a) v
+      | Shr_ri (a, v) -> alu a Word.shift_right (get t a) v
+      | Shl_rr (a, b) -> alu a Word.shift_left (get t a) (get t b land 31)
+      | Shr_rr (a, b) -> alu a Word.shift_right (get t a) (get t b land 31)
+      | Not_r a ->
+        set t a (Word.lognot (get t a));
+        goto next
+      | Cmp_rr (a, b) ->
+        set_flags_sub t (get t a) (get t b);
+        goto next
+      | Cmp_ri (a, v) ->
+        set_flags_sub t (get t a) (Word.of_int v);
+        goto next
+      | Test_rr (a, b) ->
+        let v = Word.logand (get t a) (get t b) in
+        t.zf <- v = 0;
+        t.sf <- v land 0x80000000 <> 0;
+        goto next
+      | Jmp target -> goto target
+      | Jz target -> branch t.zf target
+      | Jnz target -> branch (not t.zf) target
+      | Jl target -> branch t.sf target
+      | Jge target -> branch (not t.sf) target
+      | Jg target -> branch ((not t.sf) && not t.zf) target
+      | Jle target -> branch (t.sf || t.zf) target
+      | Call target ->
+        push next;
+        goto target
+      | Call_r r ->
+        let target = get t r in
+        push next;
+        goto target
+      | Jmp_r r -> goto (get t r)
+      | Ret -> goto (pop ())
+      | Syscall -> goto next  (* dispatched by the kernel from the effect *)
+      | Int3 -> raise Exit)
+    with
+    | exception Mmu.Page_fault { vaddr; _ } ->
+      t.pc <- pc;
+      Error (Fault_page vaddr)
+    | exception Exit -> Error Fault_breakpoint
+    | () ->
+      t.instr_count <- t.instr_count + 1;
+      let code_paddrs =
+        match code_paddrs with
+        | Some a -> a
+        | None -> Mmu.phys_range_array mmu ~asid pc len
+      in
+      Ok
+        {
+          e_pc = pc;
+          e_code_paddrs = code_paddrs;
+          e_len = len;
+          e_instr = instr;
+          e_loads = List.rev !loads;
+          e_stores = List.rev !stores;
+          e_asid = asid;
+          e_taken = !taken;
+        }
+  end
+
+(* Fetch, decode and execute one instruction — the uncached path. *)
 let step t (mmu : Mmu.t) : step_result =
   if t.halted then Error Fault_halted
   else
@@ -69,131 +214,7 @@ let step t (mmu : Mmu.t) : step_result =
     with
     | exception Mmu.Page_fault { vaddr; _ } -> Error (Fault_page vaddr)
     | exception Decode.Invalid_opcode _ -> Error (Fault_decode pc)
-    | instr, len -> (
-      let loads = ref [] and stores = ref [] in
-      let read ~width vaddr =
-        let paddr = Mmu.translate mmu ~asid vaddr in
-        loads := { vaddr; paddr; width } :: !loads;
-        Mmu.read ~width mmu ~asid vaddr
-      in
-      let write ~width vaddr v =
-        let paddr = Mmu.translate mmu ~asid vaddr in
-        stores := { vaddr; paddr; width } :: !stores;
-        Mmu.write ~width mmu ~asid vaddr v
-      in
-      let push v =
-        set t Isa.sp (get t Isa.sp - 4);
-        write ~width:4 (get t Isa.sp) v
-      in
-      let pop () =
-        let v = read ~width:4 (get t Isa.sp) in
-        set t Isa.sp (get t Isa.sp + 4);
-        v
-      in
-      let next = Word.of_int (pc + len) in
-      let taken = ref None in
-      let goto target = t.pc <- target in
-      let branch cond target =
-        taken := Some cond;
-        if cond then goto target else goto next
-      in
-      let alu dst f a b =
-        set t dst (f a b);
-        goto next
-      in
-      match
-        (match instr with
-        | Nop -> goto next
-        | Halt ->
-          t.halted <- true;
-          goto next
-        | Mov_ri (r, v) ->
-          set t r v;
-          goto next
-        | Mov_rr (a, b) ->
-          set t a (get t b);
-          goto next
-        | Load (w, r, a) ->
-          set t r (read ~width:w (effective_address t a));
-          goto next
-        | Store (w, a, r) ->
-          write ~width:w (effective_address t a) (Word.truncate ~width:w (get t r));
-          goto next
-        | Lea (r, a) ->
-          set t r (effective_address t a);
-          goto next
-        | Push r ->
-          push (get t r);
-          goto next
-        | Pop r ->
-          set t r (pop ());
-          goto next
-        | Add_rr (a, b) -> alu a Word.add (get t a) (get t b)
-        | Add_ri (a, v) -> alu a Word.add (get t a) v
-        | Sub_rr (a, b) -> alu a Word.sub (get t a) (get t b)
-        | Sub_ri (a, v) -> alu a Word.sub (get t a) v
-        | Mul_rr (a, b) -> alu a Word.mul (get t a) (get t b)
-        | And_rr (a, b) -> alu a Word.logand (get t a) (get t b)
-        | And_ri (a, v) -> alu a Word.logand (get t a) v
-        | Or_rr (a, b) -> alu a Word.logor (get t a) (get t b)
-        | Or_ri (a, v) -> alu a Word.logor (get t a) v
-        | Xor_rr (a, b) -> alu a Word.logxor (get t a) (get t b)
-        | Xor_ri (a, v) -> alu a Word.logxor (get t a) v
-        | Shl_ri (a, v) -> alu a Word.shift_left (get t a) v
-        | Shr_ri (a, v) -> alu a Word.shift_right (get t a) v
-        | Shl_rr (a, b) -> alu a Word.shift_left (get t a) (get t b land 31)
-        | Shr_rr (a, b) -> alu a Word.shift_right (get t a) (get t b land 31)
-        | Not_r a ->
-          set t a (Word.lognot (get t a));
-          goto next
-        | Cmp_rr (a, b) ->
-          set_flags_sub t (get t a) (get t b);
-          goto next
-        | Cmp_ri (a, v) ->
-          set_flags_sub t (get t a) (Word.of_int v);
-          goto next
-        | Test_rr (a, b) ->
-          let v = Word.logand (get t a) (get t b) in
-          t.zf <- v = 0;
-          t.sf <- v land 0x80000000 <> 0;
-          goto next
-        | Jmp target -> goto target
-        | Jz target -> branch t.zf target
-        | Jnz target -> branch (not t.zf) target
-        | Jl target -> branch t.sf target
-        | Jge target -> branch (not t.sf) target
-        | Jg target -> branch ((not t.sf) && not t.zf) target
-        | Jle target -> branch (t.sf || t.zf) target
-        | Call target ->
-          push next;
-          goto target
-        | Call_r r ->
-          let target = get t r in
-          push next;
-          goto target
-        | Jmp_r r -> goto (get t r)
-        | Ret -> goto (pop ())
-        | Syscall -> goto next  (* dispatched by the kernel from the effect *)
-        | Int3 -> raise Exit)
-      with
-      | exception Mmu.Page_fault { vaddr; _ } ->
-        t.pc <- pc;
-        Error (Fault_page vaddr)
-      | exception Exit -> Error Fault_breakpoint
-      | () ->
-        t.instr_count <- t.instr_count + 1;
-        let code_paddrs = Mmu.phys_range mmu ~asid pc len in
-        Ok
-          {
-            e_pc = pc;
-            e_code_paddrs = code_paddrs;
-            e_len = len;
-            e_instr = instr;
-            e_loads = List.rev !loads;
-            e_stores = List.rev !stores;
-            e_asid = asid;
-            e_taken = !taken;
-          })
+    | instr, len -> exec t mmu ~instr ~len
 
 let pp_fault ppf = function
   | Fault_page v -> Fmt.pf ppf "page fault at %a" Word.pp v

@@ -26,7 +26,7 @@ type mem_access = { vaddr : int; paddr : int; width : int }
 
 type effect = {
   e_pc : int;
-  e_code_paddrs : int list;  (** physical address of each code byte *)
+  e_code_paddrs : int array;  (** physical address of each code byte *)
   e_len : int;
   e_instr : Isa.t;
   e_loads : mem_access list;
@@ -44,7 +44,14 @@ type fault =
 type step_result = (effect, fault) result
 
 val step : t -> Mmu.t -> step_result
-(** Execute one instruction.  On fault the CPU is left at the faulting
-    instruction (pc unchanged) so the kernel can report or kill. *)
+(** Fetch, decode and execute one instruction.  On fault the CPU is left at
+    the faulting instruction (pc unchanged) so the kernel can report or
+    kill. *)
+
+val exec : ?code_paddrs:int array -> t -> Mmu.t -> instr:Isa.t -> len:int -> step_result
+(** Execute an already-decoded instruction — the translation-block cache's
+    fast path.  [code_paddrs] is the pre-resolved physical address of each
+    code byte; when absent it is resolved after execution, exactly as
+    {!step} does. *)
 
 val pp_fault : fault Fmt.t

@@ -1,17 +1,38 @@
-(** The machine: physical memory plus its MMU.
+(** The machine: physical memory, its MMU, and the translation-block cache.
 
     CPUs (one per guest process, managed by the kernel's scheduler) execute
     against the shared machine.  Execution hooks let whole-system analyses
     — the FAROS plugin in particular — observe every instruction, in the
-    same position PANDA's instrumentation occupies over QEMU. *)
+    same position PANDA's instrumentation occupies over QEMU.
+
+    {!step} executes through the TB cache when enabled; the cached path
+    produces byte-identical effects, faults and telemetry versus the
+    uncached interpreter (differentially tested), it is just faster. *)
 
 type t = {
   mem : Phys_mem.t;
   mmu : Mmu.t;
-  mutable hooks : (Cpu.t -> Cpu.effect -> unit) list;
+  mutable hooks : (Cpu.t -> Cpu.effect -> unit) array;
+  tb : Tb_cache.t;
+  mutable tb_enabled : bool;
+  mutable cur_block : Tb_cache.block option;
+  mutable cur_idx : int;
 }
 
+val tb_default_enabled : bool ref
+(** Initial [tb_enabled] for new machines.  Starts [false] when the
+    [FAROS_NO_TBCACHE] environment variable is set. *)
+
 val create : unit -> t
+
+val set_tb_enabled : t -> bool -> unit
+(** Disabling also flushes the cache and drops the cursor. *)
+
+val tb_stats : t -> Tb_cache.stats
+val tlb_stats : t -> int * int
+
+val retire_asid : t -> int -> unit
+(** Drop all cached blocks of an address space — called on process exit. *)
 
 val add_exec_hook : t -> (Cpu.t -> Cpu.effect -> unit) -> unit
 (** Hooks run after each successfully executed instruction, in registration
@@ -20,4 +41,4 @@ val add_exec_hook : t -> (Cpu.t -> Cpu.effect -> unit) -> unit
 val clear_exec_hooks : t -> unit
 
 val step : t -> Cpu.t -> Cpu.step_result
-(** {!Cpu.step} plus hook dispatch. *)
+(** Execute one instruction (cached when possible) plus hook dispatch. *)

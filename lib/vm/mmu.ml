@@ -5,7 +5,19 @@
    process, and the value FAROS uses for process tags.  The kernel region is
    a set of frames mapped (shared) into every address space, which is what
    lets export-table tags, attached to physical bytes, be visible from any
-   process. *)
+   process.
+
+   Two concerns beyond plain translation live here because every guest
+   memory access funnels through this module:
+
+   - a direct-mapped software TLB in front of the space/page hashtable
+     pair, so the per-instruction fetch/load/store path costs one array
+     probe instead of two hashtable lookups;
+   - self-modifying-code tracking for the translation-block cache: frames
+     holding cached code are marked, [write_u8] reports stores into them,
+     and every mapping change (map / map_frames / unmap / destroy_space)
+     reports the affected address space.  The TB cache subscribes to both
+     via {!set_smc_hooks}. *)
 
 type space = {
   asid : int;  (* the "CR3" value *)
@@ -13,10 +25,23 @@ type space = {
   table : (int, int) Hashtbl.t;  (* vpn -> pfn *)
 }
 
+(* Direct-mapped TLB.  Tags pack (asid, vpn); vaddrs are 32-bit so vpn
+   fits in 20 bits.  An empty slot holds tag -1, which no real (asid, vpn)
+   produces. *)
+let tlb_bits = 10
+let tlb_size = 1 lsl tlb_bits
+
 type t = {
   mem : Phys_mem.t;
   spaces : (int, space) Hashtbl.t;
   mutable next_asid : int;
+  tlb_tags : int array;  (* (asid lsl 20) lor vpn, or -1 *)
+  tlb_pfns : int array;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable code_pages : Bytes.t;  (* pfn -> '\001' when cached code lives there *)
+  mutable on_code_write : int -> unit;  (* paddr of a store into a code page *)
+  mutable on_mapping_change : int -> unit;  (* asid whose mappings changed *)
 }
 
 exception Page_fault of { asid : int; vaddr : int }
@@ -24,7 +49,51 @@ exception Page_fault of { asid : int; vaddr : int }
 let page_size = Phys_mem.page_size
 let page_shift = Phys_mem.page_shift
 
-let create mem = { mem; spaces = Hashtbl.create 16; next_asid = 1 }
+let create mem =
+  {
+    mem;
+    spaces = Hashtbl.create 16;
+    next_asid = 1;
+    tlb_tags = Array.make tlb_size (-1);
+    tlb_pfns = Array.make tlb_size 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    code_pages = Bytes.make 256 '\000';
+    on_code_write = ignore;
+    on_mapping_change = ignore;
+  }
+
+let set_smc_hooks t ~on_code_write ~on_mapping_change =
+  t.on_code_write <- on_code_write;
+  t.on_mapping_change <- on_mapping_change
+
+(* -- TLB ----------------------------------------------------------------- *)
+
+let flush_tlb t = Array.fill t.tlb_tags 0 tlb_size (-1)
+
+let tlb_stats t = (t.tlb_hits, t.tlb_misses)
+
+(* Any mapping mutation flushes the whole TLB (they are orders of magnitude
+   rarer than translations) and reports the space to the TB cache. *)
+let mapping_changed t asid =
+  flush_tlb t;
+  t.on_mapping_change asid
+
+(* -- code-page marks ----------------------------------------------------- *)
+
+let mark_code_page t pfn =
+  let len = Bytes.length t.code_pages in
+  if pfn >= len then begin
+    let grown = Bytes.make (max (2 * len) (pfn + 1)) '\000' in
+    Bytes.blit t.code_pages 0 grown 0 len;
+    t.code_pages <- grown
+  end;
+  Bytes.unsafe_set t.code_pages pfn '\001'
+
+let clear_code_page t pfn =
+  if pfn < Bytes.length t.code_pages then Bytes.unsafe_set t.code_pages pfn '\000'
+
+(* -- spaces -------------------------------------------------------------- *)
 
 let create_space t ~name =
   let asid = t.next_asid in
@@ -33,7 +102,9 @@ let create_space t ~name =
   Hashtbl.replace t.spaces asid s;
   s
 
-let destroy_space t space = Hashtbl.remove t.spaces space.asid
+let destroy_space t space =
+  Hashtbl.remove t.spaces space.asid;
+  mapping_changed t space.asid
 
 let find_space t asid =
   match Hashtbl.find_opt t.spaces asid with
@@ -50,18 +121,21 @@ let map t space ~vaddr ~pages =
   let vpn0 = vaddr lsr page_shift in
   for i = 0 to pages - 1 do
     Hashtbl.replace space.table (vpn0 + i) (Phys_mem.alloc_frame t.mem)
-  done
+  done;
+  mapping_changed t space.asid
 
 (* Map existing frames (sharing) at [vaddr]. *)
-let map_frames space ~vaddr pfns =
+let map_frames t space ~vaddr pfns =
   let vpn0 = vaddr lsr page_shift in
-  List.iteri (fun i pfn -> Hashtbl.replace space.table (vpn0 + i) pfn) pfns
+  List.iteri (fun i pfn -> Hashtbl.replace space.table (vpn0 + i) pfn) pfns;
+  mapping_changed t space.asid
 
-let unmap space ~vaddr ~pages =
+let unmap t space ~vaddr ~pages =
   let vpn0 = vaddr lsr page_shift in
   for i = 0 to pages - 1 do
     Hashtbl.remove space.table (vpn0 + i)
-  done
+  done;
+  mapping_changed t space.asid
 
 let frames_of space ~vaddr ~pages =
   let vpn0 = vaddr lsr page_shift in
@@ -86,14 +160,37 @@ let mapped_ranges space =
   group [] None vpns
   |> List.map (fun (lo, hi) -> (lo lsl page_shift, (hi - lo + 1) * page_size))
 
+(* Hot path: one tag compare on a TLB hit; the hashtable pair only on a
+   miss, which then fills the slot. *)
 let translate t ~asid vaddr =
-  let space = find_space t asid in
-  match Hashtbl.find_opt space.table (vaddr lsr page_shift) with
-  | Some pfn -> (pfn lsl page_shift) lor (vaddr land (page_size - 1))
-  | None -> raise (Page_fault { asid; vaddr })
+  let vpn = vaddr lsr page_shift in
+  let idx = (vpn lxor (asid * 0x9E37)) land (tlb_size - 1) in
+  let tag = (asid lsl 20) lor vpn in
+  if Array.unsafe_get t.tlb_tags idx = tag then begin
+    t.tlb_hits <- t.tlb_hits + 1;
+    (Array.unsafe_get t.tlb_pfns idx lsl page_shift) lor (vaddr land (page_size - 1))
+  end
+  else begin
+    t.tlb_misses <- t.tlb_misses + 1;
+    let space = find_space t asid in
+    match Hashtbl.find_opt space.table vpn with
+    | Some pfn ->
+      Array.unsafe_set t.tlb_tags idx tag;
+      Array.unsafe_set t.tlb_pfns idx pfn;
+      (pfn lsl page_shift) lor (vaddr land (page_size - 1))
+    | None -> raise (Page_fault { asid; vaddr })
+  end
 
 let read_u8 t ~asid vaddr = Phys_mem.read_u8 t.mem (translate t ~asid vaddr)
-let write_u8 t ~asid vaddr v = Phys_mem.write_u8 t.mem (translate t ~asid vaddr) v
+
+let write_u8 t ~asid vaddr v =
+  let paddr = translate t ~asid vaddr in
+  Phys_mem.write_u8 t.mem paddr v;
+  (* SMC check: a store into a frame holding cached code must reach the TB
+     cache.  One bounds check plus one byte load when the frame is clean. *)
+  let pfn = paddr lsr page_shift in
+  if pfn < Bytes.length t.code_pages && Bytes.unsafe_get t.code_pages pfn <> '\000'
+  then t.on_code_write paddr
 
 (* Multi-byte accesses translate per byte so they may legally span pages. *)
 let read ~width t ~asid vaddr =
@@ -123,3 +220,6 @@ let write_bytes t ~asid vaddr b =
 (* Physical addresses of the [len] bytes starting at [vaddr]. *)
 let phys_range t ~asid vaddr len =
   List.init len (fun i -> translate t ~asid (vaddr + i))
+
+let phys_range_array t ~asid vaddr len =
+  Array.init len (fun i -> translate t ~asid (vaddr + i))

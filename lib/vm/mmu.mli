@@ -5,7 +5,13 @@
     a process, and the value FAROS uses for process tags.  The kernel
     region is a set of frames mapped (shared) into every address space,
     which is what lets export-table tags, attached to physical bytes, be
-    visible from any process. *)
+    visible from any process.
+
+    Translation runs behind a direct-mapped software TLB; mapping
+    mutations flush it.  The module also carries the self-modifying-code
+    plumbing the translation-block cache relies on: frames holding cached
+    code are marked, stores into them are reported through
+    [on_code_write], and mapping changes through [on_mapping_change]. *)
 
 type space = {
   asid : int;  (** the "CR3" value *)
@@ -17,6 +23,13 @@ type t = {
   mem : Phys_mem.t;
   spaces : (int, space) Hashtbl.t;
   mutable next_asid : int;
+  tlb_tags : int array;
+  tlb_pfns : int array;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable code_pages : Bytes.t;
+  mutable on_code_write : int -> unit;
+  mutable on_mapping_change : int -> unit;
 }
 
 exception Page_fault of { asid : int; vaddr : int }
@@ -32,13 +45,29 @@ val find_space : t -> int -> space
 val space_name : t -> int -> string
 (** Display name for an address space (process image name). *)
 
+val set_smc_hooks :
+  t -> on_code_write:(int -> unit) -> on_mapping_change:(int -> unit) -> unit
+(** Subscribe the TB cache: [on_code_write paddr] fires on every store into
+    a frame marked by {!mark_code_page}; [on_mapping_change asid] fires on
+    every map / map_frames / unmap / destroy_space of that space. *)
+
+val mark_code_page : t -> int -> unit
+(** Mark a frame as holding cached code so stores into it are reported. *)
+
+val clear_code_page : t -> int -> unit
+
+val flush_tlb : t -> unit
+
+val tlb_stats : t -> int * int
+(** [(hits, misses)] of the software TLB since creation. *)
+
 val map : t -> space -> vaddr:int -> pages:int -> unit
 (** Map fresh zero frames at a page-aligned virtual address. *)
 
-val map_frames : space -> vaddr:int -> int list -> unit
+val map_frames : t -> space -> vaddr:int -> int list -> unit
 (** Map existing frames (sharing). *)
 
-val unmap : space -> vaddr:int -> pages:int -> unit
+val unmap : t -> space -> vaddr:int -> pages:int -> unit
 
 val frames_of : space -> vaddr:int -> pages:int -> int list
 (** Frame numbers backing a mapped range.  Raises {!Page_fault} on holes. *)
@@ -65,3 +94,7 @@ val write_bytes : t -> asid:int -> int -> Bytes.t -> unit
 val phys_range : t -> asid:int -> int -> int -> int list
 (** Physical addresses of the [len] bytes starting at a virtual address —
     what kernel events report so taint can follow host-side copies. *)
+
+val phys_range_array : t -> asid:int -> int -> int -> int array
+(** {!phys_range} as a flat array — the representation execution effects
+    carry so the per-instruction path allocates one block, not a list. *)

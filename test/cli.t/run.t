@@ -114,6 +114,12 @@ The full metrics registry after one analysis: a flagged sample...
   store.file_tags                      gauge      2
   store.netflow_tags                   gauge      1
   store.process_tags                   gauge      2
+  vm.tbcache.blocks                    gauge      0
+  vm.tbcache.hits                      gauge      339
+  vm.tbcache.invalidations             gauge      37
+  vm.tbcache.misses                    gauge      37
+  vm.tlb.hits                          gauge      12456
+  vm.tlb.misses                        gauge      15
 
 ...and a clean one.
 
@@ -138,6 +144,12 @@ The full metrics registry after one analysis: a flagged sample...
   store.file_tags                      gauge      2
   store.netflow_tags                   gauge      0
   store.process_tags                   gauge      1
+  vm.tbcache.blocks                    gauge      0
+  vm.tbcache.hits                      gauge      19
+  vm.tbcache.invalidations             gauge      7
+  vm.tbcache.misses                    gauge      7
+  vm.tlb.hits                          gauge      1953
+  vm.tlb.misses                        gauge      10
 
 Structured trace events and the tick-sampled series, exported to disk.
 The trace is Chrome trace_event JSON and passes the JSON checker; the

@@ -1,0 +1,184 @@
+(* Tests for the translation-block cache: self-modifying-code
+   invalidation, cached-vs-uncached differential equivalence over corpus
+   scenarios, and the hit/miss telemetry. *)
+
+open Faros_vm
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let i x = Asm.I x
+
+(* Assemble [items] at 0x1000 on a fresh machine and run to halt. *)
+let run_program ?(tb = true) ?(max_steps = 10_000) items =
+  let machine = Machine.create () in
+  Machine.set_tb_enabled machine tb;
+  let space = Mmu.create_space machine.mmu ~name:"t" in
+  Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:4;
+  Mmu.map machine.mmu space ~vaddr:0x7F000 ~pages:4;
+  let prog = Asm.assemble ~origin:0x1000 items in
+  Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+  let cpu = Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:(0x7F000 + 0x3FF0) in
+  let rec go n =
+    if n >= max_steps then Alcotest.fail "program did not halt"
+    else
+      match Machine.step machine cpu with
+      | Ok _ when cpu.halted -> ()
+      | Ok _ -> go (n + 1)
+      | Error f -> Alcotest.failf "fault: %a" Cpu.pp_fault f
+  in
+  go 0;
+  (cpu, machine)
+
+(* A guest that patches its own code and re-executes it: the target
+   instruction [Mov_ri r0, 1] sits at 0x1006 (origin 0x1000 + the 6-byte
+   Mov_ri before it), so its 4-byte immediate starts at 0x1008.  The first
+   pass executes it as written (r0 = 1) and caches the block; the guest
+   then stores 42 over the immediate and loops.  Only if the store
+   invalidated the cached block does the second pass re-decode and leave
+   r0 = 42. *)
+let smc_program =
+  let target_imm_addr = 0x1000 + 6 + 2 in
+  [
+    i (Isa.Mov_ri (Isa.r2, 0));  (* pass counter *)
+    Asm.Label "loop";
+    i (Isa.Mov_ri (Isa.r0, 1));  (* the patched instruction *)
+    i (Isa.Cmp_ri (Isa.r2, 1));
+    Asm.Jz_l "done";
+    i (Isa.Mov_ri (Isa.r2, 1));
+    i (Isa.Mov_ri (Isa.r3, 42));
+    i (Isa.Store (1, Isa.abs target_imm_addr, Isa.r3));
+    Asm.Jmp_l "loop";
+    Asm.Label "done";
+    i Isa.Halt;
+  ]
+
+let smc_tests =
+  [
+    Alcotest.test_case "store into a cached block forces re-decode" `Quick
+      (fun () ->
+        let cpu, machine = run_program smc_program in
+        check "patched instruction re-executed" 42 (Cpu.get cpu Isa.r0);
+        let st = Machine.tb_stats machine in
+        check_bool "invalidation counted" true (st.Tb_cache.st_invalidations >= 1));
+    Alcotest.test_case "uncached interpreter agrees on the SMC program" `Quick
+      (fun () ->
+        let cached, _ = run_program ~tb:true smc_program in
+        let uncached, _ = run_program ~tb:false smc_program in
+        check "same r0" (Cpu.get uncached Isa.r0) (Cpu.get cached Isa.r0);
+        check "same instr count" uncached.instr_count cached.instr_count;
+        check "same pc" uncached.pc cached.pc);
+    Alcotest.test_case "unmap invalidates the space's blocks" `Quick (fun () ->
+        let machine = Machine.create () in
+        let space = Mmu.create_space machine.mmu ~name:"t" in
+        Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:1;
+        let prog = Asm.assemble ~origin:0x1000 [ i Isa.Nop; i Isa.Halt ] in
+        Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+        let cpu = Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0 in
+        (match Machine.step machine cpu with
+        | Ok _ -> ()
+        | Error f -> Alcotest.failf "fault: %a" Cpu.pp_fault f);
+        let before = (Machine.tb_stats machine).Tb_cache.st_blocks in
+        check_bool "block cached" true (before >= 1);
+        Mmu.unmap machine.mmu space ~vaddr:0x1000 ~pages:1;
+        check "blocks dropped" 0 (Machine.tb_stats machine).Tb_cache.st_blocks);
+  ]
+
+(* -- cached vs uncached differential over corpus scenarios ---------------- *)
+
+let differential_ids =
+  [ "reflective_dll_inject"; "process_hollowing"; "snipping_tool_s0"; "applet_ncradle" ]
+
+(* One full analysis with the cache forced [on] or off; a fresh interner
+   per run so rendered provenance is independent of run order. *)
+let analyze_with ~tb id =
+  let sample =
+    match Faros_corpus.Registry.find id with
+    | Some s -> s
+    | None -> Alcotest.failf "unknown sample %s" id
+  in
+  let saved = !Machine.tb_default_enabled in
+  Machine.tb_default_enabled := tb;
+  Fun.protect
+    ~finally:(fun () -> Machine.tb_default_enabled := saved)
+    (fun () ->
+      let store = Faros_dift.Prov_intern.create_store () in
+      Faros_dift.Prov_intern.set_store store;
+      let outcome = Faros_corpus.Scenario.analyze sample.scenario in
+      let flags = Core.Report.flagged_sites outcome.report in
+      let rendered = Fmt.str "%a" Core.Faros_plugin.pp_report outcome.faros in
+      ( outcome.record_ticks,
+        outcome.replay.replay_ticks,
+        outcome.replay.diverged,
+        List.length flags,
+        rendered ))
+
+let differential_tests =
+  [
+    Alcotest.test_case "off vs on: identical verdicts, ticks and reports"
+      `Slow
+      (fun () ->
+        List.iter
+          (fun id ->
+            let rt_on, pt_on, div_on, nflags_on, rep_on = analyze_with ~tb:true id in
+            let rt_off, pt_off, div_off, nflags_off, rep_off =
+              analyze_with ~tb:false id
+            in
+            check (id ^ ": record ticks") rt_off rt_on;
+            check (id ^ ": replay ticks") pt_off pt_on;
+            check_bool (id ^ ": diverged") div_off div_on;
+            check (id ^ ": flag count") nflags_off nflags_on;
+            Alcotest.(check string) (id ^ ": report") rep_off rep_on)
+          differential_ids);
+  ]
+
+(* -- telemetry ------------------------------------------------------------ *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "steady-state loop hits the cache" `Quick (fun () ->
+        (* 100 iterations of a 3-instruction loop: after the first pass
+           every instruction is a cache hit. *)
+        let cpu, machine =
+          run_program
+            [
+              i (Isa.Mov_ri (Isa.r0, 100));
+              Asm.Label "loop";
+              i (Isa.Sub_ri (Isa.r0, 1));
+              i (Isa.Cmp_ri (Isa.r0, 0));
+              Asm.Jnz_l "loop";
+              i Isa.Halt;
+            ]
+        in
+        check "loop ran" 0 (Cpu.get cpu Isa.r0);
+        let st = Machine.tb_stats machine in
+        let total = st.Tb_cache.st_hits + st.Tb_cache.st_misses in
+        check "accounted every instruction" cpu.instr_count total;
+        check_bool "hit rate >= 90%" true
+          (float_of_int st.Tb_cache.st_hits /. float_of_int total >= 0.9));
+    Alcotest.test_case "tlb serves repeated translations" `Quick (fun () ->
+        let machine = Machine.create () in
+        let space = Mmu.create_space machine.mmu ~name:"t" in
+        Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:1;
+        for _ = 1 to 10 do
+          ignore (Mmu.translate machine.mmu ~asid:space.asid 0x1234)
+        done;
+        let hits, misses = Machine.tlb_stats machine in
+        check "one miss fills the slot" 1 misses;
+        check "the rest hit" 9 hits);
+    Alcotest.test_case "disabling the cache flushes it" `Quick (fun () ->
+        let _, machine =
+          run_program [ i (Isa.Mov_ri (Isa.r0, 7)); i Isa.Halt ]
+        in
+        check_bool "blocks cached" true
+          ((Machine.tb_stats machine).Tb_cache.st_blocks >= 1);
+        Machine.set_tb_enabled machine false;
+        check "flushed" 0 (Machine.tb_stats machine).Tb_cache.st_blocks);
+  ]
+
+let () =
+  Alcotest.run "tbcache"
+    [
+      ("smc", smc_tests);
+      ("differential", differential_tests);
+      ("stats", stats_tests);
+    ]

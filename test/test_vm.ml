@@ -233,7 +233,7 @@ let mem_tests =
         let a = Mmu.create_space mmu ~name:"a" in
         let b = Mmu.create_space mmu ~name:"b" in
         Mmu.map mmu a ~vaddr:0x1000 ~pages:1;
-        Mmu.map_frames b ~vaddr:0x8000 (Mmu.frames_of a ~vaddr:0x1000 ~pages:1);
+        Mmu.map_frames mmu b ~vaddr:0x8000 (Mmu.frames_of a ~vaddr:0x1000 ~pages:1);
         Mmu.write_u8 mmu ~asid:a.asid 0x1004 0x42;
         check "alias" 0x42 (Mmu.read_u8 mmu ~asid:b.asid 0x8004);
         check "same phys" (Mmu.translate mmu ~asid:a.asid 0x1004)
@@ -243,7 +243,7 @@ let mem_tests =
         let mmu = Mmu.create m in
         let s = Mmu.create_space mmu ~name:"p" in
         Mmu.map mmu s ~vaddr:0x1000 ~pages:1;
-        Mmu.unmap s ~vaddr:0x1000 ~pages:1;
+        Mmu.unmap mmu s ~vaddr:0x1000 ~pages:1;
         check_bool "unmapped" false (Mmu.is_mapped s ~vaddr:0x1000));
     Alcotest.test_case "mapped_ranges coalesces" `Quick (fun () ->
         let m = Phys_mem.create () in
@@ -487,7 +487,7 @@ let cpu_tests =
           | [ acc ] -> check "load width" 2 acc.width
           | _ -> Alcotest.fail "load effects");
           check "code bytes reported" (Encode.length (Isa.Mov_ri (Isa.r1, 0)))
-            (List.length mov.e_code_paddrs)
+            (Array.length mov.e_code_paddrs)
         | _ -> Alcotest.fail "expected three effects");
     Alcotest.test_case "halted cpu refuses to step" `Quick (fun () ->
         let cpu, machine, _ = exec [ i Isa.Halt ] in
