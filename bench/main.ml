@@ -858,6 +858,79 @@ let tbcache () =
   close_out oc;
   Fmt.pf pp "wrote BENCH_tbcache.json@."
 
+(* -- demand-driven DIFT fast path ------------------------------------------ *)
+
+(* FAROS replay cost per Table-V workload with the untainted fast path off
+   vs on (TB cache on throughout), against the uncached FAROS replay the
+   tbcache section uses as its "before".  The headline number is
+   faros_speedup_fast = uncached / (cached + fast path) — the Table-V
+   FAROS-on speedup once both PR 5's cache and this PR's demand-driven
+   skipping are in place.  Emits BENCH_diftfast.json so the trajectory is
+   tracked across PRs. *)
+let diftfast () =
+  section "diftfast: demand-driven DIFT (untainted fast path off vs on)";
+  Fmt.pf pp "%-16s %-12s %-22s %-10s %s@." "application" "uncached(s)"
+    "cached off/on (s)" "speedup" "skip-rate";
+  let rows =
+    List.map
+      (fun (label, scn) ->
+        let _k, trace = Faros_corpus.Scenario.record scn in
+        let replay_faros ~tb_cache ~dift_fast () =
+          ignore
+            (Faros_corpus.Scenario.replay_with scn ~tb_cache ~dift_fast
+               ~plugins:(fun kernel ->
+                 let faros = Core.Faros_plugin.create kernel in
+                 [ Core.Faros_plugin.plugin faros ])
+               trace)
+        in
+        let t_unc = time_runs ~reps:3 (replay_faros ~tb_cache:false ~dift_fast:false) in
+        let t_off = time_runs ~reps:5 (replay_faros ~tb_cache:true ~dift_fast:false) in
+        let t_on = time_runs ~reps:5 (replay_faros ~tb_cache:true ~dift_fast:true) in
+        (* One instrumented fast run to read the skip rate. *)
+        let metrics = Faros_obs.Metrics.create () in
+        let faros_ref = ref None in
+        ignore
+          (Faros_corpus.Scenario.replay_with scn ~tb_cache:true ~dift_fast:true
+             ~plugins:(fun kernel ->
+               let faros = Core.Faros_plugin.create ~metrics kernel in
+               faros_ref := Some faros;
+               [ Core.Faros_plugin.plugin faros ])
+             trace);
+        (match !faros_ref with
+        | Some faros -> Core.Faros_plugin.finalize faros
+        | None -> ());
+        let gauge name =
+          Faros_obs.Metrics.gauge_value (Faros_obs.Metrics.gauge metrics name)
+        in
+        let hits = gauge "dift.fastpath.hits"
+        and misses = gauge "dift.fastpath.misses" in
+        let skip_rate =
+          if hits + misses = 0 then 0.
+          else float hits /. float (hits + misses)
+        in
+        Fmt.pf pp "%-16s %-12.4f %-22s %-10s %.1f%%@." label t_unc
+          (Printf.sprintf "%.4f/%.4f" t_off t_on)
+          (Printf.sprintf "%.2fx->%.2fx" (t_unc /. t_off) (t_unc /. t_on))
+          (100. *. skip_rate);
+        (label, t_unc, t_off, t_on, skip_rate))
+      (Faros_corpus.Perf.workloads ())
+  in
+  let json =
+    Printf.sprintf {|{"bench":"diftfast","runs":[%s]}|}
+      (String.concat ","
+         (List.map
+            (fun (label, t_unc, t_off, t_on, skip_rate) ->
+              Printf.sprintf
+                {|{"workload":"%s","faros_uncached_s":%.6f,"faros_cached_s":%.6f,"faros_fast_s":%.6f,"faros_speedup_cached":%.4f,"faros_speedup_fast":%.4f,"fast_gain":%.4f,"skip_rate":%.4f}|}
+                label t_unc t_off t_on (t_unc /. t_off) (t_unc /. t_on)
+                (t_off /. t_on) skip_rate)
+            rows))
+  in
+  let oc = open_out "BENCH_diftfast.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf pp "wrote BENCH_diftfast.json@."
+
 (* -- attack-graph overhead ------------------------------------------------ *)
 
 (* Replay cost of the online attack-graph builder: the FAROS plugin alone
@@ -949,6 +1022,7 @@ let sections =
     ("memory", memory);
     ("campaign", campaign);
     ("tbcache", tbcache);
+    ("diftfast", diftfast);
     ("graph", graph_bench);
     ("micro", micro);
   ]

@@ -6,6 +6,7 @@
 type t = {
   engine : Faros_dift.Engine.t;
   batcher : Faros_dift.Block_engine.t option;  (* Some when block_processing *)
+  fastpath : Faros_dift.Fastpath.t option;  (* Some when the machine allows it *)
   detector : Detector.t;
   kernel : Faros_os.Kernel.t;
   config : Config.t;
@@ -34,6 +35,14 @@ let create ?(config = Config.default) ?(metrics = Faros_obs.Metrics.create ())
     if config.block_processing then Some (Faros_dift.Block_engine.of_engine engine)
     else None
   in
+  (* The untainted fast path only exists over cached blocks; the machine
+     knob ({!Faros_vm.Machine.dift_fast_enabled}) is read once here, so a
+     per-replay override must land before the plugins attach. *)
+  let fastpath =
+    if Faros_vm.Machine.dift_fast_enabled kernel.machine then
+      Some (Faros_dift.Fastpath.create ?batcher ~machine:kernel.machine engine)
+    else None
+  in
   let detector =
     Detector.create ~metrics ~trace ~config ~name_of_asid:(name_of_asid kernel) ()
   in
@@ -41,19 +50,26 @@ let create ?(config = Config.default) ?(metrics = Faros_obs.Metrics.create ())
     kernel.exports.Faros_os.Export_table.pointers_by_name;
   Faros_dift.Engine.add_load_observer engine (fun info ->
       Detector.on_load detector ~tick:(Faros_os.Kernel.tick kernel) info);
-  { engine; batcher; detector; kernel; config; metrics; trace }
+  { engine; batcher; fastpath; detector; kernel; config; metrics; trace }
 
+(* The fast path wraps whichever exec consumer the config selected; OS
+   events keep their direct route (they insert taint and must flush the
+   batcher regardless of what execution skipped). *)
 let plugin t =
+  let on_exec =
+    match (t.fastpath, t.batcher) with
+    | Some fp, _ -> fun cpu eff -> Faros_dift.Fastpath.on_exec fp cpu eff
+    | None, Some b -> fun cpu eff -> Faros_dift.Block_engine.on_exec b cpu eff
+    | None, None -> fun cpu eff -> Faros_dift.Engine.on_exec t.engine cpu eff
+  in
   match t.batcher with
   | None ->
-    Faros_replay.Plugin.make "faros"
-      ~on_exec:(fun cpu eff -> Faros_dift.Engine.on_exec t.engine cpu eff)
+    Faros_replay.Plugin.make "faros" ~on_exec
       ~on_os_event:(fun ev ->
         Faros_dift.Engine.on_os_event t.engine ~resolve_asid:(resolve_asid t.kernel)
           ev)
   | Some b ->
-    Faros_replay.Plugin.make "faros-block"
-      ~on_exec:(fun cpu eff -> Faros_dift.Block_engine.on_exec b cpu eff)
+    Faros_replay.Plugin.make "faros-block" ~on_exec
       ~on_os_event:(fun ev ->
         Faros_dift.Block_engine.on_os_event b ~resolve_asid:(resolve_asid t.kernel)
           ev)
@@ -73,7 +89,17 @@ let finalize t =
   set "vm.tbcache.invalidations" tb.Faros_vm.Tb_cache.st_invalidations;
   set "vm.tbcache.blocks" tb.Faros_vm.Tb_cache.st_blocks;
   set "vm.tlb.hits" tlb_hits;
-  set "vm.tlb.misses" tlb_misses
+  set "vm.tlb.misses" tlb_misses;
+  (* Fast-path telemetry is published even when the path is off (zeros),
+     so dashboards and goldens see a stable gauge set. *)
+  let fp_hits, fp_misses =
+    match t.fastpath with
+    | Some fp -> Faros_dift.Fastpath.stats fp
+    | None -> (0, 0)
+  in
+  set "dift.fastpath.hits" fp_hits;
+  set "dift.fastpath.misses" fp_misses;
+  set "dift.fastpath.blocks_summarized" tb.Faros_vm.Tb_cache.st_summarized
 
 let report t = t.detector.report
 

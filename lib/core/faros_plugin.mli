@@ -7,6 +7,9 @@ type t = {
   engine : Faros_dift.Engine.t;
   batcher : Faros_dift.Block_engine.t option;
       (** present when the configuration asks for basic-block processing *)
+  fastpath : Faros_dift.Fastpath.t option;
+      (** present when the machine allows the DIFT untainted fast path
+          ({!Faros_vm.Machine.dift_fast_enabled} at create time) *)
   detector : Detector.t;
   kernel : Faros_os.Kernel.t;
   config : Config.t;

@@ -114,8 +114,15 @@ let tick_control t ~asid =
     | None -> ()
 
 let open_control_window t ~asid prov =
-  if t.policy.control_deps && not (Provenance.is_empty prov) then
+  if t.policy.control_deps && not (Provenance.is_empty prov) then begin
+    (* Taint-creation event the shadow tables cannot see: while the window
+       is open every write in this asid picks up [prov], so cached
+       "nothing tainted in reach" fast-path verdicts are now stale. *)
+    Shadow.bump_generation t.shadow;
     Hashtbl.replace t.control asid (t.policy.control_dep_window, prov)
+  end
+
+let control_active t ~asid = t.policy.control_deps && Hashtbl.mem t.control asid
 
 (* -- per-instruction propagation -- *)
 
@@ -217,6 +224,41 @@ let on_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
     | acc :: _ -> Shadow.set_mem_range t.shadow acc.paddr acc.width Provenance.empty
     | [] -> ())
   | Ret -> ()
+
+(* -- fast-path support -- *)
+
+(* An instruction the fast path proved propagation-free still counts as
+   processed: downstream accounting (and the pinned `faros stats`
+   goldens) see the same engine.instrs either way. *)
+let note_skipped t = Faros_obs.Metrics.incr t.c_instrs
+
+(* A skipped load still reaches the observers — the detector counts every
+   executed load.  The skip preconditions guarantee the data read was
+   untainted (so [li_read_prov] is the empty the slow path would have
+   computed) and that [instr_prov] — empty for a code-clean block, the
+   cached converged fetch provenance otherwise — is exactly the slow
+   path's [li_instr_prov], so observation stays byte-identical. *)
+let notify_skipped_load t ~instr_prov (eff : Faros_vm.Cpu.effect) =
+  match eff.e_instr with
+  | Load _ | Pop _ -> (
+    match eff.e_loads with
+    | acc :: _ ->
+      if not (Queue.is_empty t.load_observers) then begin
+        let info =
+          {
+            li_asid = eff.e_asid;
+            li_pc = eff.e_pc;
+            li_instr = eff.e_instr;
+            li_instr_prov = instr_prov;
+            li_read_vaddr = acc.vaddr;
+            li_read_paddr = acc.paddr;
+            li_read_prov = Provenance.empty;
+          }
+        in
+        Queue.iter (fun f -> f info) t.load_observers
+      end
+    | [] -> ())
+  | _ -> ()
 
 (* -- kernel-event handling: tag insertion and host-side copies -- *)
 

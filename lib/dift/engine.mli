@@ -64,6 +64,25 @@ val add_load_observer : t -> (load_info -> unit) -> unit
 val on_exec : t -> Faros_vm.Cpu.t -> Faros_vm.Cpu.effect -> unit
 (** Per-instruction propagation: attach as a machine execution hook. *)
 
+val control_active : t -> asid:int -> bool
+(** Is a control-dependency window open for this asid?  While one is,
+    every write picks up the window's provenance, so the fast path must
+    not skip (see {!Fastpath}). *)
+
+val note_skipped : t -> unit
+(** Account one instruction the fast path proved propagation-free: it
+    still counts toward [engine.instrs], keeping instruction accounting
+    identical to the slow path. *)
+
+val notify_skipped_load :
+  t -> instr_prov:Provenance.t -> Faros_vm.Cpu.effect -> unit
+(** Deliver a skipped load to the observers: empty data provenance (the
+    skip preconditions proved the read untainted) and [instr_prov] as the
+    code-byte provenance — empty for a code-clean block, the cached
+    converged fetch provenance for a code-tainted one.  In both cases
+    exactly what the slow path would have computed, so detector counts
+    and verdicts stay byte-identical. *)
+
 val on_os_event :
   t -> resolve_asid:(int -> int option) -> Faros_os.Os_event.t -> unit
 (** Tag insertion and host-side copy propagation for kernel events.

@@ -145,6 +145,8 @@ let cons tag next = cons_in (current_store ()) tag next
 
 let rec to_list p = if p.len = 0 then [] else p.tag :: to_list p.next
 
+let head p = if p.len = 0 then None else Some p.tag
+
 (* Keep the newest [max_length] tags (the cap drops oldest entries). *)
 let cap_list tags =
   let rec take n = function

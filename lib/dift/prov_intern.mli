@@ -84,6 +84,10 @@ val of_list : Tag.t list -> t
 val to_list : t -> Tag.t list
 (** The tags, newest first. *)
 
+val head : t -> Tag.t option
+(** The newest tag, without materializing the list.  [head p = Some tag]
+    iff [prepend tag p == p] — the fast path's fetch-convergence probe. *)
+
 val singleton : Tag.t -> t
 
 val prepend : Tag.t -> t -> t

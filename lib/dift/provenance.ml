@@ -19,6 +19,7 @@ let equal = Prov_intern.equal
 let length = Prov_intern.length
 let of_list = Prov_intern.of_list
 let to_list = Prov_intern.to_list
+let head = Prov_intern.head
 let singleton = Prov_intern.singleton
 
 (* Prepend a tag; a no-op if it is already the head (so hot loops do not

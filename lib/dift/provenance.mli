@@ -28,6 +28,12 @@ val of_list : Tag.t list -> t
 val to_list : t -> Tag.t list
 (** The tags, newest first. *)
 
+val head : t -> Tag.t option
+(** The newest tag (O(1), no allocation beyond the option).  By the
+    {!prepend} semantics, [head p = Some tag] implies [prepend tag p]
+    returns [p] itself — how the DIFT fast path proves a process's fetch
+    touch has converged without minting any tags. *)
+
 val singleton : Tag.t -> t
 
 val prepend : Tag.t -> t -> t

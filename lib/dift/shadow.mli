@@ -14,6 +14,9 @@ type t
 val page_size : int
 (** Bytes per shadow page (4096). *)
 
+val page_shift : int
+(** [log2 page_size] (12): [paddr lsr page_shift] is a shadow page number. *)
+
 val create :
   ?trace:Faros_obs.Trace.t -> ?interner:Prov_intern.store -> unit -> t
 (** [trace] receives a ["page_alloc"] event (category ["shadow"]) each
@@ -49,6 +52,40 @@ val tainted_regs : t -> int
 
 val pages : t -> int
 (** Number of shadow pages materialized so far. *)
+
+val page_tainted_bytes : t -> int -> int
+(** [page_tainted_bytes t paddr] is the number of non-empty bytes on the
+    4 KiB shadow page containing [paddr] — one hashtable probe (0 for a
+    never-materialized page).  Kept exact on every mutation path; the
+    property suite cross-checks it against a brute-force page scan. *)
+
+val page_tainted : t -> int -> bool
+(** [page_tainted t paddr]: does the shadow page containing [paddr] carry
+    any taint at all?  The fast-path pre-check's O(1) page probe. *)
+
+val byte_tainted : t -> int -> bool
+(** Is this byte's provenance non-empty?  One probe plus an array read —
+    the byte-exact refinement used when a page probe says "live" but the
+    taint may not be under the bytes that matter (guest images pack data
+    buffers onto the same pages as code). *)
+
+val range_tainted : t -> int -> int -> bool
+(** [range_tainted t paddr width]: any taint under these bytes?  A page
+    probe per page touched, scanning only live pages. *)
+
+val generation : t -> int
+(** Monotonic counter of {e shadow mutations}: any byte's interned id
+    changing (taint created, cleared or re-tagged), a register or the
+    flags crossing empty/non-empty, {!clear}, or an explicit
+    {!bump_generation}.  Consumers caching shadow-derived per-block facts
+    (the DIFT fast path's verdicts and converged fetch provenance)
+    revalidate when this moves.  Writing a byte the id it already has is
+    not a mutation, so converged hot loops leave the counter still. *)
+
+val bump_generation : t -> unit
+(** Force-invalidate cached untainted verdicts (the engine calls this when
+    a control-dependency window opens — taint state the shadow tables do
+    not see). *)
 
 val iter_mem : t -> (int -> Provenance.t -> unit) -> unit
 

@@ -17,16 +17,21 @@ type result = {
 (* [plugins] builds the plugin list against the freshly constructed kernel,
    after images are provisioned but before any process runs — the window in
    which FAROS scans and taints the export tables. *)
-let replay ?max_ticks ?timeslice ?tb_cache
+let replay ?max_ticks ?timeslice ?tb_cache ?dift_fast
     ?(plugins : (Faros_os.Kernel.t -> Plugin.t list) option)
     ?(sample : (int * (tick:int -> syscalls:int -> unit)) option) ~setup ~boot
     (trace : Trace.t) =
   let kernel = Faros_os.Kernel.create () in
-  (* Per-replay override of the machine's translation-block cache: the
-     differential harness and the bench compare cached vs uncached replays
-     of the same trace without touching the process-wide default. *)
+  (* Per-replay overrides of the machine's translation-block cache and the
+     DIFT fast path: the differential harness and the bench compare
+     configurations over the same trace without touching the process-wide
+     defaults.  Both must land before the plugins attach — the FAROS
+     plugin reads them at create time. *)
   (match tb_cache with
   | Some b -> Faros_vm.Machine.set_tb_enabled kernel.machine b
+  | None -> ());
+  (match dift_fast with
+  | Some b -> Faros_vm.Machine.set_dift_fast kernel.machine b
   | None -> ());
   setup kernel;
   Faros_os.Netstack.set_replay_source kernel.net (fun flow ->

@@ -17,6 +17,7 @@ val replay :
   ?max_ticks:int ->
   ?timeslice:int ->
   ?tb_cache:bool ->
+  ?dift_fast:bool ->
   ?plugins:(Faros_os.Kernel.t -> Plugin.t list) ->
   ?sample:(int * (tick:int -> syscalls:int -> unit)) ->
   setup:(Faros_os.Kernel.t -> unit) ->
@@ -30,6 +31,11 @@ val replay :
     [tb_cache] forces the machine's translation-block cache on or off for
     this replay only (default: {!Faros_vm.Machine.tb_default_enabled});
     replays of the same trace are byte-identical either way.
+
+    [dift_fast] forces the DIFT untainted fast path on or off for this
+    replay only (default: {!Faros_vm.Machine.dift_fast_default_enabled});
+    it only takes effect when the TB cache is on, and never changes
+    analysis results — only how much propagation work is skipped.
 
     [sample] is [(interval, fire)]: [fire] runs every [interval] kernel
     ticks (installed after the plugins, so it observes post-propagation

@@ -19,13 +19,16 @@ type t = {
   mutable hooks : (Cpu.t -> Cpu.effect -> unit) array;
   tb : Tb_cache.t;
   mutable tb_enabled : bool;
+  mutable dift_fast : bool;
   mutable cur_block : Tb_cache.block option;
   mutable cur_idx : int;
 }
 
-(* Process-wide default, so the differential harness and CI can force the
-   uncached interpreter without plumbing a flag through every layer. *)
+(* Process-wide defaults, so the differential harness and CI can force the
+   uncached interpreter / always-on propagation without plumbing a flag
+   through every layer. *)
 let tb_default_enabled = ref (Sys.getenv_opt "FAROS_NO_TBCACHE" = None)
+let dift_fast_default_enabled = ref (Sys.getenv_opt "FAROS_NO_DIFTFAST" = None)
 
 let create () =
   let mem = Phys_mem.create () in
@@ -40,6 +43,7 @@ let create () =
     hooks = [||];
     tb;
     tb_enabled = !tb_default_enabled;
+    dift_fast = !dift_fast_default_enabled;
     cur_block = None;
     cur_idx = 0;
   }
@@ -50,6 +54,12 @@ let set_tb_enabled t b =
     t.cur_block <- None;
     Tb_cache.flush t.tb
   end
+
+(* The fast path only exists on top of cached blocks, so it is effectively
+   [dift_fast && tb_enabled]; consumers (the FAROS plugin) read this at
+   attach time. *)
+let set_dift_fast t b = t.dift_fast <- b
+let dift_fast_enabled t = t.dift_fast && t.tb_enabled
 
 let tb_stats t = Tb_cache.stats t.tb
 let tlb_stats t = Mmu.tlb_stats t.mmu

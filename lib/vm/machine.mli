@@ -15,6 +15,7 @@ type t = {
   mutable hooks : (Cpu.t -> Cpu.effect -> unit) array;
   tb : Tb_cache.t;
   mutable tb_enabled : bool;
+  mutable dift_fast : bool;
   mutable cur_block : Tb_cache.block option;
   mutable cur_idx : int;
 }
@@ -23,10 +24,22 @@ val tb_default_enabled : bool ref
 (** Initial [tb_enabled] for new machines.  Starts [false] when the
     [FAROS_NO_TBCACHE] environment variable is set. *)
 
+val dift_fast_default_enabled : bool ref
+(** Initial [dift_fast] for new machines.  Starts [false] when the
+    [FAROS_NO_DIFTFAST] environment variable is set. *)
+
 val create : unit -> t
 
 val set_tb_enabled : t -> bool -> unit
 (** Disabling also flushes the cache and drops the cursor. *)
+
+val set_dift_fast : t -> bool -> unit
+(** Allow the DIFT plugin to skip propagation over blocks whose summary
+    proves no tainted state is in reach (see docs/dift-engine.md). *)
+
+val dift_fast_enabled : t -> bool
+(** Whether the fast path may be used: the knob is on {e and} the TB cache
+    is enabled (summaries only exist on cached blocks). *)
 
 val tb_stats : t -> Tb_cache.stats
 val tlb_stats : t -> int * int

@@ -27,11 +27,27 @@ type entry = {
   en_code_paddrs : int array;
 }
 
+(* Per-block taint summary, compiled once at decode time.  It
+   over-approximates what the DIFT engine could read or write while
+   propagating over the block: every register an instruction names
+   (operands and effective-address components, reads and writes alike —
+   a write matters too, because propagation may *clear* a tainted
+   destination), whether any instruction touches guest memory, and
+   whether any instruction reads or writes the flags.  The fast path
+   checks these against the shadow to decide whether propagation over
+   the block can be a no-op; see docs/dift-engine.md for the contract. *)
+type summary = {
+  su_regs : int;  (* bitmask over Isa.num_regs of registers named *)
+  su_mem : bool;  (* loads, stores, push/pop or call frames *)
+  su_flags : bool;  (* compares (flag writes) or conditional jumps (reads) *)
+}
+
 type block = {
   b_key : int;
   b_asid : int;
   b_entries : entry array;
   b_pfns : int array;  (* distinct frames holding this block's code bytes *)
+  b_summary : summary;
   mutable b_valid : bool;
 }
 
@@ -43,9 +59,16 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable summarized : int;  (* blocks whose summary was ever compiled *)
 }
 
-type stats = { st_hits : int; st_misses : int; st_invalidations : int; st_blocks : int }
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_invalidations : int;
+  st_blocks : int;
+  st_summarized : int;
+}
 
 (* Blocks are bounded so an invalidation never throws away more than a
    basic block's worth of decode work. *)
@@ -62,6 +85,7 @@ let create mmu =
     hits = 0;
     misses = 0;
     invalidations = 0;
+    summarized = 0;
   }
 
 let stats t =
@@ -70,6 +94,7 @@ let stats t =
     st_misses = t.misses;
     st_invalidations = t.invalidations;
     st_blocks = Hashtbl.length t.blocks;
+    st_summarized = t.summarized;
   }
 
 (* -- registration / retirement ------------------------------------------- *)
@@ -136,6 +161,52 @@ let flush t =
   let victims = Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks [] in
   List.iter (retire_block t) victims
 
+(* -- taint summaries ------------------------------------------------------ *)
+
+let reg_bit r = 1 lsl r
+
+let addr_regs (a : Isa.addr) =
+  (match a.base with Some r -> reg_bit r | None -> 0)
+  lor match a.index with Some r -> reg_bit r | None -> 0
+
+(* What one instruction exposes to the propagation engine.  Registers are
+   collected for every operand position — the engine may read them
+   (sources, address dependencies) or overwrite their shadow (destinations,
+   including clears) — so the summary deliberately over-approximates: a
+   register the engine happens to ignore (e.g. [Not_r]'s operand) only
+   costs a spurious slow-path run, never a missed propagation. *)
+let summarize_instr (i : Isa.t) =
+  match i with
+  | Isa.Nop | Halt | Syscall | Int3 | Jmp _ | Ret -> (0, false, false)
+  | Mov_ri (r, _) | Add_ri (r, _) | Sub_ri (r, _) | And_ri (r, _)
+  | Or_ri (r, _) | Xor_ri (r, _) | Shl_ri (r, _) | Shr_ri (r, _) | Not_r r ->
+    (reg_bit r, false, false)
+  | Mov_rr (a, b) | Add_rr (a, b) | Sub_rr (a, b) | Mul_rr (a, b)
+  | And_rr (a, b) | Or_rr (a, b) | Xor_rr (a, b) | Shl_rr (a, b)
+  | Shr_rr (a, b) ->
+    (reg_bit a lor reg_bit b, false, false)
+  | Load (_, r, a) | Store (_, a, r) -> (reg_bit r lor addr_regs a, true, false)
+  | Lea (r, a) -> (reg_bit r lor addr_regs a, false, false)
+  | Push r | Pop r -> (reg_bit r, true, false)
+  | Call _ -> (0, true, false)  (* the pushed return slot is cleared *)
+  | Call_r r -> (reg_bit r, true, false)
+  | Jmp_r r -> (reg_bit r, false, false)
+  | Cmp_rr (a, b) | Test_rr (a, b) -> (reg_bit a lor reg_bit b, false, true)
+  | Cmp_ri (a, _) -> (reg_bit a, false, true)
+  | Jz _ | Jnz _ | Jl _ | Jge _ | Jg _ | Jle _ -> (0, false, true)
+
+let summarize entries =
+  Array.fold_left
+    (fun s e ->
+      let regs, mem, flags = summarize_instr e.en_instr in
+      {
+        su_regs = s.su_regs lor regs;
+        su_mem = s.su_mem || mem;
+        su_flags = s.su_flags || flags;
+      })
+    { su_regs = 0; su_mem = false; su_flags = false }
+    entries
+
 (* -- translation --------------------------------------------------------- *)
 
 let distinct_pfns entries =
@@ -191,9 +262,11 @@ let translate t ~asid ~pc =
         b_asid = asid;
         b_entries;
         b_pfns = distinct_pfns b_entries;
+        b_summary = summarize b_entries;
         b_valid = true;
       }
     in
+    t.summarized <- t.summarized + 1;
     register t b;
     Some b
 

@@ -19,11 +19,28 @@ type entry = {
   en_code_paddrs : int array;
 }
 
+type summary = {
+  su_regs : int;  (** bitmask over [Isa.num_regs] of registers the block
+                      names anywhere — operand or effective-address
+                      position, read or write.  A write matters because
+                      propagation may {e clear} a tainted destination, so
+                      the fast path must run whenever a named register is
+                      tainted. *)
+  su_mem : bool;  (** any load, store, push/pop or call-frame access *)
+  su_flags : bool;  (** any flag write (compares) or flag read
+                        (conditional jumps) *)
+}
+(** Per-block taint summary, compiled once at decode time.  Deliberately
+    over-approximates the propagation engine's reads and writes: a
+    register the engine happens to ignore only costs a spurious slow-path
+    run, never a missed propagation.  See docs/dift-engine.md. *)
+
 type block = {
   b_key : int;
   b_asid : int;
   b_entries : entry array;
   b_pfns : int array;  (** distinct frames holding this block's code bytes *)
+  b_summary : summary;
   mutable b_valid : bool;
 }
 
@@ -34,6 +51,7 @@ type stats = {
   st_misses : int;
   st_invalidations : int;
   st_blocks : int;  (** live blocks right now *)
+  st_summarized : int;  (** blocks whose summary was ever compiled *)
 }
 
 val max_entries : int

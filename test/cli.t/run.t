@@ -101,6 +101,9 @@ The full metrics registry after one analysis: a flagged sample...
   detector.instr_prov_len              histogram  n=4 sum=12 [2,4):4
   detector.loads_checked               counter    18
   detector.suppressed                  counter    0
+  dift.fastpath.blocks_summarized      gauge      37
+  dift.fastpath.hits                   gauge      254
+  dift.fastpath.misses                 gauge      122
   engine.instrs                        counter    376
   engine.os_events                     counter    119
   engine.tag_inserts.export            counter    40
@@ -131,6 +134,9 @@ The full metrics registry after one analysis: a flagged sample...
   detector.instr_prov_len              histogram  n=0 sum=0
   detector.loads_checked               counter    3
   detector.suppressed                  counter    0
+  dift.fastpath.blocks_summarized      gauge      7
+  dift.fastpath.hits                   gauge      9
+  dift.fastpath.misses                 gauge      17
   engine.instrs                        counter    26
   engine.os_events                     counter    13
   engine.tag_inserts.export            counter    40

@@ -328,6 +328,27 @@ let shadow_tests =
           [ 0; Shadow.page_size - 1; Shadow.page_size; 3 * Shadow.page_size + 7 ]
           (List.sort compare !seen);
         check "count matches" 4 (Shadow.tainted_bytes s));
+    Alcotest.test_case "clear drops materialized pages, not just contents"
+      `Quick
+      (fun () ->
+        (* Campaign jobs reuse shadows across samples: after clear, the
+           page directory must give its capacity back, not keep zeroed
+           pages resident. *)
+        let s = Shadow.create () in
+        Shadow.set_mem_range s 0 64 (pl [ Tag.Netflow 0 ]);
+        Shadow.set_mem s (5 * Shadow.page_size) (pl [ Tag.File 1 ]);
+        Shadow.set_reg s ~asid:1 0 (pl [ Tag.Netflow 0 ]);
+        Shadow.set_flags s ~asid:1 (pl [ Tag.Netflow 0 ]);
+        check_b "pages materialized" true (Shadow.pages s > 0);
+        let gen_before = Shadow.generation s in
+        Shadow.clear s;
+        check "no pages resident" 0 (Shadow.pages s);
+        check "tainted bytes back to baseline" 0 (Shadow.tainted_bytes s);
+        check "tainted regs back to baseline" 0 (Shadow.tainted_regs s);
+        check_b "flags back to baseline" true
+          (Provenance.is_empty (Shadow.get_flags s ~asid:1));
+        check_b "clear bumps the generation" true
+          (Shadow.generation s > gen_before));
   ]
 
 (* Random round-trips: writes through set_mem_range at arbitrary offsets
@@ -354,8 +375,47 @@ let shadow_range_roundtrip =
       (Shadow.set_mem_range s base width Provenance.empty;
        Shadow.tainted_bytes s = 0))
 
+(* The per-page live counters feed the fast path's O(1) page probes, so
+   they must stay exact on every mutation path — single-byte sets, range
+   sets (including the bulk fill of a just-materialized page), overwrites
+   and clears.  Cross-checked against a brute-force page scan. *)
+let page_counter_exact =
+  QCheck.Test.make ~count:100 ~name:"page_tainted_bytes matches a brute-force scan"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 20)
+           (triple
+              (int_range 0 ((3 * 4096) - 65))
+              (int_range 1 64)
+              (option (list_size (int_range 1 3) arb_tag)))))
+    (fun writes ->
+      let s = Shadow.create () in
+      List.iter
+        (fun (base, width, tags) ->
+          let prov =
+            match tags with None -> Provenance.empty | Some ts -> pl ts
+          in
+          if width = 1 then Shadow.set_mem s base prov
+          else Shadow.set_mem_range s base width prov)
+        writes;
+      let ok = ref true in
+      for pno = 0 to 3 do
+        let base = pno * Shadow.page_size in
+        let brute = ref 0 in
+        for off = 0 to Shadow.page_size - 1 do
+          if not (Provenance.is_empty (Shadow.get_mem s (base + off))) then
+            incr brute
+        done;
+        if Shadow.page_tainted_bytes s base <> !brute then ok := false;
+        if Shadow.page_tainted s base <> (!brute > 0) then ok := false
+      done;
+      !ok)
+
 let shadow_prop_tests =
-  [ QCheck_alcotest.to_alcotest shadow_range_roundtrip ]
+  [
+    QCheck_alcotest.to_alcotest shadow_range_roundtrip;
+    QCheck_alcotest.to_alcotest page_counter_exact;
+  ]
 
 (* -- engine ------------------------------------------------------------------ *)
 
@@ -1062,6 +1122,89 @@ let soundness_tests =
     QCheck_alcotest.to_alcotest policy_monotone;
   ]
 
+(* -- demand-driven fast path ----------------------------------------------- *)
+
+(* Like [harness], but executing through the TB cache with the fast path
+   interposed between the machine and the engine. *)
+let fast_harness ?(policy = Policy.faros_default) items =
+  let machine = Faros_vm.Machine.create () in
+  Faros_vm.Machine.set_tb_enabled machine true;
+  let space = Faros_vm.Mmu.create_space machine.mmu ~name:"guest" in
+  Faros_vm.Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:4;
+  Faros_vm.Mmu.map machine.mmu space ~vaddr:0x7F000 ~pages:2;
+  let prog = Faros_vm.Asm.assemble ~origin:0x1000 items in
+  Faros_vm.Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+  let cpu = Faros_vm.Cpu.create ~cr3:space.asid ~pc:0x1000 ~sp:0x80000 in
+  let engine = Engine.create ~policy () in
+  let fp = Fastpath.create ~machine engine in
+  Faros_vm.Machine.add_exec_hook machine (fun c e -> Fastpath.on_exec fp c e);
+  ({ machine; space; cpu; engine }, prog, fp)
+
+let counted_loop n body =
+  [ i (Faros_vm.Isa.Mov_ri (r3, n)); Faros_vm.Asm.Label "loop" ]
+  @ body
+  @ [
+      i (Faros_vm.Isa.Sub_ri (r3, 1));
+      i (Faros_vm.Isa.Cmp_ri (r3, 0));
+      Faros_vm.Asm.Jnz_l "loop";
+      i Faros_vm.Isa.Halt;
+    ]
+
+let fastpath_tests =
+  [
+    Alcotest.test_case "clean loop executes on the fast path" `Quick (fun () ->
+        let h, _, fp =
+          fast_harness (counted_loop 100 [ i (Faros_vm.Isa.Add_rr (r0, r1)) ])
+        in
+        run h;
+        let hits, misses = Fastpath.stats fp in
+        check "every instruction accounted" h.cpu.instr_count (hits + misses);
+        check_b "mostly skipped" true
+          (float_of_int hits /. float_of_int (hits + misses) >= 0.9));
+    Alcotest.test_case
+      "tainted fetch is never skipped before the process tag lands" `Quick
+      (fun () ->
+        (* The first execution of tainted code must run the engine so the
+           fetch touch prepends the process tag — FAROS's injection
+           signal ("including instruction fetch"). *)
+        let h, _, _ = fast_harness [ i Faros_vm.Isa.Nop; i Faros_vm.Isa.Halt ] in
+        taint_mem h 0x1000 [ nf ];
+        run h;
+        match Provenance.to_list (mem_prov h 0x1000) with
+        | Tag.Process _ :: _ -> ()
+        | _ ->
+          Alcotest.failf "expected process tag head, got %a" Provenance.pp
+            (mem_prov h 0x1000));
+    Alcotest.test_case
+      "converged tainted code skips, observers still see fetch provenance"
+      `Quick
+      (fun () ->
+        (* Whole-image file tagging means steady-state code is tainted;
+           once each byte heads with the process tag the fetch touch is a
+           no-op and the block may skip — but the detector's observers
+           must keep receiving the real (non-empty) code-byte provenance,
+           identical to what the slow path would compute. *)
+        let h, prog, fp =
+          fast_harness
+            (counted_loop 50 [ i (Faros_vm.Isa.Load (1, r0, Faros_vm.Isa.abs 0x2800)) ])
+        in
+        Shadow.set_mem_range h.engine.Engine.shadow
+          (paddr h 0x1000)
+          (Bytes.length prog.Faros_vm.Asm.code)
+          (pl [ nf ]);
+        let loads = ref 0 and tainted_instr = ref 0 and tainted_read = ref 0 in
+        Engine.add_load_observer h.engine (fun info ->
+            incr loads;
+            if Provenance.has_netflow info.li_instr_prov then incr tainted_instr;
+            if not (Provenance.is_empty info.li_read_prov) then incr tainted_read);
+        run h;
+        let hits, _ = Fastpath.stats fp in
+        check_b "loop converged onto the fast path" true (hits > 0);
+        check "one observation per executed load" 50 !loads;
+        check "every observation carries the fetch provenance" 50 !tainted_instr;
+        check "clean data reads stay clean" 0 !tainted_read);
+  ]
+
 let () =
   Alcotest.run "faros_dift"
     [
@@ -1075,4 +1218,5 @@ let () =
       ("engine-events", event_tests);
       ("block-engine", block_tests);
       ("soundness", soundness_tests);
+      ("fastpath", fastpath_tests);
     ]

@@ -83,23 +83,28 @@ let smc_tests =
         check "blocks dropped" 0 (Machine.tb_stats machine).Tb_cache.st_blocks);
   ]
 
-(* -- cached vs uncached differential over corpus scenarios ---------------- *)
+(* -- four-way differential over corpus scenarios -------------------------- *)
 
 let differential_ids =
   [ "reflective_dll_inject"; "process_hollowing"; "snipping_tool_s0"; "applet_ncradle" ]
 
-(* One full analysis with the cache forced [on] or off; a fresh interner
-   per run so rendered provenance is independent of run order. *)
-let analyze_with ~tb id =
+(* One full analysis with the TB cache and the DIFT fast path each forced
+   on or off; a fresh interner per run so rendered provenance is
+   independent of run order. *)
+let analyze_with ~tb ~fast id =
   let sample =
     match Faros_corpus.Registry.find id with
     | Some s -> s
     | None -> Alcotest.failf "unknown sample %s" id
   in
-  let saved = !Machine.tb_default_enabled in
+  let saved_tb = !Machine.tb_default_enabled in
+  let saved_fast = !Machine.dift_fast_default_enabled in
   Machine.tb_default_enabled := tb;
+  Machine.dift_fast_default_enabled := fast;
   Fun.protect
-    ~finally:(fun () -> Machine.tb_default_enabled := saved)
+    ~finally:(fun () ->
+      Machine.tb_default_enabled := saved_tb;
+      Machine.dift_fast_default_enabled := saved_fast)
     (fun () ->
       let store = Faros_dift.Prov_intern.create_store () in
       Faros_dift.Prov_intern.set_store store;
@@ -117,18 +122,118 @@ let differential_tests =
     Alcotest.test_case "off vs on: identical verdicts, ticks and reports"
       `Slow
       (fun () ->
+        (* The full matrix: TB cache x DIFT fast path.  Every configuration
+           must produce byte-identical analysis results; (tb:false,
+           fast:true) additionally pins that the fast-path knob is inert
+           without the cache (no summaries to consult). *)
         List.iter
           (fun id ->
-            let rt_on, pt_on, div_on, nflags_on, rep_on = analyze_with ~tb:true id in
-            let rt_off, pt_off, div_off, nflags_off, rep_off =
-              analyze_with ~tb:false id
-            in
-            check (id ^ ": record ticks") rt_off rt_on;
-            check (id ^ ": replay ticks") pt_off pt_on;
-            check_bool (id ^ ": diverged") div_off div_on;
-            check (id ^ ": flag count") nflags_off nflags_on;
-            Alcotest.(check string) (id ^ ": report") rep_off rep_on)
+            let rt, pt, div, nflags, rep = analyze_with ~tb:false ~fast:false id in
+            List.iter
+              (fun (tb, fast) ->
+                let label =
+                  Printf.sprintf "%s (tb:%b fast:%b)" id tb fast
+                in
+                let rt', pt', div', nflags', rep' = analyze_with ~tb ~fast id in
+                check (label ^ ": record ticks") rt rt';
+                check (label ^ ": replay ticks") pt pt';
+                check_bool (label ^ ": diverged") div div';
+                check (label ^ ": flag count") nflags nflags';
+                Alcotest.(check string) (label ^ ": report") rep rep')
+              [ (true, false); (false, true); (true, true) ])
           differential_ids);
+    Alcotest.test_case "fetch-tainted code still flags with the fast path on"
+      `Quick
+      (fun () ->
+        (* Injected code executes from netflow-tainted pages; the fast path
+           must never swallow that signal (its first execution is
+           unconverged, so the fetch touch and the detector both run). *)
+        let _, _, _, nflags, _ =
+          analyze_with ~tb:true ~fast:true "reflective_dll_inject"
+        in
+        check_bool "flagged" true (nflags >= 1));
+  ]
+
+(* -- decode-time taint summaries ------------------------------------------ *)
+
+(* Translate one block and return its summary. *)
+let summary_of items =
+  let machine = Machine.create () in
+  let space = Mmu.create_space machine.mmu ~name:"t" in
+  Mmu.map machine.mmu space ~vaddr:0x1000 ~pages:4;
+  let prog = Asm.assemble ~origin:0x1000 items in
+  Mmu.write_bytes machine.mmu ~asid:space.asid 0x1000 prog.code;
+  match Tb_cache.translate machine.tb ~asid:space.asid ~pc:0x1000 with
+  | Some b -> (b.Tb_cache.b_summary, Machine.tb_stats machine)
+  | None -> Alcotest.fail "translation failed"
+
+let reg_bit r = 1 lsl r
+
+let summary_tests =
+  [
+    Alcotest.test_case "inert block: no registers, memory or flags" `Quick
+      (fun () ->
+        let su, st = summary_of [ i Isa.Nop; i Isa.Halt ] in
+        check "regs" 0 su.Tb_cache.su_regs;
+        check_bool "mem" false su.su_mem;
+        check_bool "flags" false su.su_flags;
+        check_bool "summary counted" true (st.Tb_cache.st_summarized >= 1));
+    Alcotest.test_case "load names value and address registers, and memory"
+      `Quick
+      (fun () ->
+        let su, _ =
+          summary_of [ i (Isa.Load (4, Isa.r0, Isa.based Isa.r2)); i Isa.Halt ]
+        in
+        check "regs" (reg_bit Isa.r0 lor reg_bit Isa.r2) su.Tb_cache.su_regs;
+        check_bool "mem" true su.su_mem;
+        check_bool "flags" false su.su_flags);
+    Alcotest.test_case "compare and branch touch flags, not memory" `Quick
+      (fun () ->
+        let su, _ =
+          summary_of
+            [ i (Isa.Cmp_ri (Isa.r1, 7)); Asm.Jz_l "out"; Asm.Label "out"; i Isa.Halt ]
+        in
+        check "regs" (reg_bit Isa.r1) su.Tb_cache.su_regs;
+        check_bool "mem" false su.su_mem;
+        check_bool "flags" true su.su_flags);
+  ]
+
+(* -- DIFT fast path over a Table-V workload ------------------------------- *)
+
+let fastpath_tests =
+  [
+    Alcotest.test_case "steady-state workload mostly skips propagation" `Slow
+      (fun () ->
+        (* A long-running benign workload converges: images are wholesale
+           file-tainted at load, so after each block's first execution the
+           fetch touch is a no-op and the fast path takes over.  Also pins
+           the accounting invariant hits + misses = engine.instrs. *)
+        let store = Faros_dift.Prov_intern.create_store () in
+        Faros_dift.Prov_intern.set_store store;
+        let _, scn = List.hd (Faros_corpus.Perf.workloads ()) in
+        let _k, trace = Faros_corpus.Scenario.record scn in
+        let metrics = Faros_obs.Metrics.create () in
+        let faros = ref None in
+        ignore
+          (Faros_corpus.Scenario.replay_with scn ~tb_cache:true ~dift_fast:true
+             ~plugins:(fun kernel ->
+               let f = Core.Faros_plugin.create ~metrics kernel in
+               faros := Some f;
+               [ Core.Faros_plugin.plugin f ])
+             trace);
+        (match !faros with Some f -> Core.Faros_plugin.finalize f | None -> ());
+        let g name =
+          Faros_obs.Metrics.gauge_value (Faros_obs.Metrics.gauge metrics name)
+        in
+        let hits = g "dift.fastpath.hits" and misses = g "dift.fastpath.misses" in
+        let instrs =
+          Faros_obs.Metrics.counter_value
+            (Faros_obs.Metrics.counter metrics "engine.instrs")
+        in
+        check "every instruction accounted" instrs (hits + misses);
+        check_bool "summaries compiled" true (g "dift.fastpath.blocks_summarized" >= 1);
+        check_bool "skip rate >= 70%" true
+          (float_of_int hits /. float_of_int (max 1 (hits + misses)) >= 0.7));
   ]
 
 (* -- telemetry ------------------------------------------------------------ *)
@@ -179,6 +284,8 @@ let () =
   Alcotest.run "tbcache"
     [
       ("smc", smc_tests);
+      ("summary", summary_tests);
       ("differential", differential_tests);
+      ("fastpath", fastpath_tests);
       ("stats", stats_tests);
     ]
