@@ -18,6 +18,7 @@
      tomography tag-type confluence view (Sec. IV's inspiration)
      memory   shadow / tag-store growth per analysis
      campaign worker-pool scaling over a fixed corpus slice
+     obs      whole-pipeline profiler / telemetry overhead
      graph    attack-graph builder overhead (plugin off vs on)
      micro    Bechamel micro-benchmarks of the engine primitives *)
 
@@ -931,6 +932,81 @@ let diftfast () =
   close_out oc;
   Fmt.pf pp "wrote BENCH_diftfast.json@."
 
+(* -- observability overhead ----------------------------------------------- *)
+
+(* End-to-end cost of the whole-pipeline observability layer per Table-V
+   workload: the full analyze pipeline (record + replay + FAROS) with
+   obs disabled (null profile/sink — every instrumentation point is one
+   branch), with only the JSONL sink enabled (the <=5% target), with the
+   span profiler enabled, and with the works (profiler + sink + trace
+   collector).  The profiler times every instruction step, so its cost
+   scales with span density, like any tracing profiler; the sink's cost
+   is per emitted line and must stay in the noise.  Emits BENCH_obs.json
+   so the trajectory is tracked across PRs. *)
+let obs_bench () =
+  section "obs: whole-pipeline profiler and telemetry overhead";
+  Fmt.pf pp "%-16s %-12s %-20s %-20s %-20s %s@." "application" "base (s)"
+    "sink (s)" "profiled (s)" "full obs (s)" "spans";
+  let rows =
+    List.map
+      (fun (label, scn) ->
+        let base () = ignore (Faros_corpus.Scenario.analyze scn) in
+        let sink_only () =
+          ignore
+            (Faros_corpus.Scenario.analyze ~sink:(Faros_obs.Sink.create ())
+               scn)
+        in
+        let profiled () =
+          ignore
+            (Faros_corpus.Scenario.analyze
+               ~profile:(Faros_obs.Profile.create ())
+               scn)
+        in
+        let full () =
+          ignore
+            (Faros_corpus.Scenario.analyze
+               ~profile:(Faros_obs.Profile.create ())
+               ~sink:(Faros_obs.Sink.create ())
+               ~trace_sink:(Faros_obs.Trace.collector ())
+               scn)
+        in
+        let t_base = time_runs ~reps:5 base in
+        let t_sink = time_runs ~reps:5 sink_only in
+        let t_prof = time_runs ~reps:5 profiled in
+        let t_full = time_runs ~reps:5 full in
+        (* one instrumented run to count the spans actually attributed *)
+        let profile = Faros_obs.Profile.create () in
+        ignore (Faros_corpus.Scenario.analyze ~profile scn);
+        let spans = List.length (Faros_obs.Profile.spans profile) in
+        let pct t = (t /. t_base -. 1.0) *. 100. in
+        Fmt.pf pp "%-16s %-12.4f %-20s %-20s %-20s %d@." label t_base
+          (Printf.sprintf "%.4f %+.1f%%" t_sink (pct t_sink))
+          (Printf.sprintf "%.4f %+.1f%%" t_prof (pct t_prof))
+          (Printf.sprintf "%.4f %+.1f%%" t_full (pct t_full))
+          spans;
+        (label, t_base, t_sink, t_prof, t_full, spans))
+      (Faros_corpus.Perf.workloads ())
+  in
+  let json =
+    Printf.sprintf {|{"bench":"obs","runs":[%s]}|}
+      (String.concat ","
+         (List.map
+            (fun (label, t_base, t_sink, t_prof, t_full, spans) ->
+              Printf.sprintf
+                {|{"workload":"%s","base_s":%.6f,"sink_s":%.6f,"profiled_s":%.6f,"full_s":%.6f,"sink_overhead":%.4f,"profiled_overhead":%.4f,"full_overhead":%.4f,"spans":%d}|}
+                label t_base t_sink t_prof t_full (t_sink /. t_base)
+                (t_prof /. t_base) (t_full /. t_base) spans)
+            rows))
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf pp "wrote BENCH_obs.json@.";
+  Fmt.pf pp
+    "(target: sink-enabled overhead <=5%% of the base analyze; the disabled@.";
+  Fmt.pf pp
+    " path is pinned byte-identical by the test suite's overhead test)@."
+
 (* -- attack-graph overhead ------------------------------------------------ *)
 
 (* Replay cost of the online attack-graph builder: the FAROS plugin alone
@@ -1023,6 +1099,7 @@ let sections =
     ("campaign", campaign);
     ("tbcache", tbcache);
     ("diftfast", diftfast);
+    ("obs", obs_bench);
     ("graph", graph_bench);
     ("micro", micro);
   ]

@@ -11,11 +11,15 @@
      faros compare <id>             FAROS vs Cuckoo/malfind on one sample
      faros ps <id>                  end-of-run pslist of a sample
      faros stats <id>               full metrics registry after analysis
-     faros check-json <file>        JSON well-formedness check
+     faros check-json <file> [--jsonl]
+                                    JSON / JSON-Lines well-formedness check
+     faros profile run <id>         span-profile one sample, print hotspots
      faros taint <id>               post-analysis taint map
      faros strings <id>             provenance-aware strings
      faros disasm <id>              disassemble a sample's images
      faros campaign [-j N] [--filter GLOB] [--json OUT] [--csv OUT]
+                    [--profile] [--stats] [--progress]
+                    [--jsonl-out OUT] [--trace-out OUT]
                                     run the corpus on a parallel worker pool
      faros sweep                    run the whole corpus against expectations
                                     (alias for `campaign -j 1`)
@@ -171,8 +175,10 @@ let stats_cmd id policy block =
       Faros_obs.Metrics.pp_table pp outcome.faros.metrics;
       0)
 
-(* JSON well-formedness check (the repo carries no external JSON parser). *)
-let check_json_cmd path =
+(* JSON well-formedness check (the repo carries no external JSON parser).
+   With --jsonl every non-blank line must be its own well-formed
+   document — the unified streaming sink's format. *)
+let check_json_cmd jsonl path =
   let data =
     let ic = open_in_bin path in
     let n = in_channel_length ic in
@@ -180,13 +186,23 @@ let check_json_cmd path =
     close_in ic;
     b
   in
-  match Faros_obs.Json.well_formed data with
-  | Ok () ->
-    Fmt.pf pp "%s: well-formed JSON (%d bytes)@." path (String.length data);
-    0
-  | Error msg ->
-    Fmt.epr "%s: malformed JSON: %s@." path msg;
-    1
+  if jsonl then
+    match Faros_obs.Json.well_formed_lines data with
+    | Ok lines ->
+      Fmt.pf pp "%s: well-formed JSONL (%d lines, %d bytes)@." path lines
+        (String.length data);
+      0
+    | Error (line, msg) ->
+      Fmt.epr "%s: malformed JSONL at line %d: %s@." path line msg;
+      1
+  else
+    match Faros_obs.Json.well_formed data with
+    | Ok () ->
+      Fmt.pf pp "%s: well-formed JSON (%d bytes)@." path (String.length data);
+      0
+    | Error msg ->
+      Fmt.epr "%s: malformed JSON: %s@." path msg;
+      1
 
 (* Record a sample and save its trace file. *)
 let record_cmd id out =
@@ -371,7 +387,7 @@ let strings_cmd id =
 (* Run a corpus campaign on a worker pool and compare verdicts to
    expectations: the CI entry point. *)
 let campaign_cmd workers filter policy json_out csv_out tick_budget deadline
-    summary_only =
+    profile stats progress jsonl_out trace_out summary_only =
   match build_config ~policy ~whitelist_jit:false () with
   | Error e ->
     prerr_endline e;
@@ -388,8 +404,29 @@ let campaign_cmd workers filter policy json_out csv_out tick_budget deadline
       prerr_endline "no samples match the filter (try `faros list`)";
       1
     | samples ->
+      let sink =
+        match jsonl_out with
+        | None -> Faros_obs.Sink.null
+        | Some _ -> Faros_obs.Sink.create ()
+      in
+      let trace =
+        match trace_out with
+        | None -> Faros_obs.Trace.null
+        | Some _ -> Faros_obs.Trace.collector ()
+      in
+      let on_progress =
+        if not progress then None
+        else
+          Some
+            (fun ~completed ~total (r : Faros_farm.Campaign.job_result) ->
+              Fmt.epr "[%d/%d] %s: %s@." completed total r.jr_id
+                (Faros_farm.Campaign.verdict_name r.jr_verdict))
+      in
       let c =
-        Faros_farm.Campaign.run ~workers ~config ?tick_budget ?deadline samples
+        Faros_farm.Campaign.run ~workers ~config ?tick_budget ?deadline
+          ~profile ~sink ~trace
+          ~farm_metrics:(profile || stats || jsonl_out <> None)
+          ?on_progress samples
       in
       let emit data = function
         | "-" -> print_string data
@@ -399,18 +436,94 @@ let campaign_cmd workers filter policy json_out csv_out tick_budget deadline
       in
       Option.iter (emit (Faros_farm.Campaign.to_json c)) json_out;
       Option.iter (emit (Faros_farm.Campaign.to_csv c)) csv_out;
-      if json_out <> Some "-" && csv_out <> Some "-" then
+      if json_out <> Some "-" && csv_out <> Some "-" then begin
         if summary_only then Faros_farm.Campaign.pp_summary pp c
         else begin
           Faros_farm.Campaign.pp_matrix pp c;
           Faros_farm.Campaign.pp_summary pp c
         end;
+        if profile || stats then Faros_farm.Campaign.pp_workers pp c;
+        if stats then Faros_obs.Metrics.pp_table pp c.metrics;
+        if profile then begin
+          Fmt.pf pp "@.hotspots (fleet-merged, self time):@.";
+          Faros_obs.Profile.pp_hotspots pp c.profile
+        end
+      end;
+      Option.iter
+        (fun path ->
+          write_file path (Faros_obs.Sink.contents sink);
+          Fmt.pf pp "wrote %s (%d events, %d dropped)@." path
+            (Faros_obs.Sink.events sink)
+            (Faros_obs.Sink.dropped sink))
+        jsonl_out;
+      Option.iter
+        (fun path ->
+          write_file path (Faros_obs.Trace.to_chrome_json trace);
+          Fmt.pf pp "wrote %s (%d trace events)@." path
+            (Faros_obs.Trace.count trace))
+        trace_out;
       if Faros_farm.Campaign.ok c then 0 else 1)
 
 (* [sweep] is the historical serial spelling: a campaign on one worker
    with the classic summary output and the same exit-code semantics. *)
 let sweep_cmd () =
-  campaign_cmd 1 None None None None None None true
+  campaign_cmd 1 None None None None None None false false false None None true
+
+(* Profile one sample end to end: record, replay under FAROS, and render
+   the span tree plus the hotspot table.  The span structure is
+   deterministic (it mirrors the deterministic replay); only the numbers
+   carry wall time. *)
+let profile_run_cmd id policy block top tree json_out jsonl_out =
+  match find_sample id with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok sample -> (
+    match build_config ~block ~policy ~whitelist_jit:false () with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok config ->
+      let profile = Faros_obs.Profile.create () in
+      let sink =
+        match jsonl_out with
+        | None -> Faros_obs.Sink.null
+        | Some _ -> Faros_obs.Sink.create ()
+      in
+      let outcome =
+        Faros_corpus.Scenario.analyze ~config ~profile ~sink sample.scenario
+      in
+      Fmt.pf pp "sample:   %s@." sample.id;
+      Fmt.pf pp "verdict:  %s@."
+        (if Core.Report.flagged outcome.report then "IN-MEMORY INJECTION FLAGGED"
+         else "clean");
+      Fmt.pf pp "profiled: %.3f ms over %d span(s)@."
+        (float_of_int (Faros_obs.Profile.total_ns profile) /. 1e6)
+        (List.length (Faros_obs.Profile.spans profile));
+      if tree then begin
+        Fmt.pf pp "@.";
+        Faros_obs.Profile.pp_tree pp profile
+      end;
+      Fmt.pf pp "@.hotspots (self time):@.";
+      Faros_obs.Profile.pp_hotspots ?top pp profile;
+      Option.iter
+        (fun path ->
+          write_file path (Faros_obs.Profile.to_json profile);
+          Fmt.pf pp "wrote %s@." path)
+        json_out;
+      Option.iter
+        (fun path ->
+          List.iter
+            (fun sp -> Faros_obs.Sink.profile_span sink ~source:sample.id sp)
+            (Faros_obs.Profile.spans profile);
+          Faros_obs.Sink.metric_snapshot sink ~source:sample.id
+            outcome.faros.metrics;
+          write_file path (Faros_obs.Sink.contents sink);
+          Fmt.pf pp "wrote %s (%d events, %d dropped)@." path
+            (Faros_obs.Sink.events sink)
+            (Faros_obs.Sink.dropped sink))
+        jsonl_out;
+      0)
 
 let policies_cmd () =
   Fmt.pf pp "%-16s %-10s %-10s %-6s %-6s %s@." "name" "addr-deps" "ctrl-deps"
@@ -602,9 +715,15 @@ let check_json_t =
   let file_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
   in
+  let jsonl =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ]
+          ~doc:"Validate as JSON Lines: every non-blank line on its own")
+  in
   Cmd.v
     (Cmd.info "check-json" ~doc:"Check that a file is well-formed JSON")
-    Term.(const check_json_cmd $ file_arg)
+    Term.(const check_json_cmd $ jsonl $ file_arg)
 
 let compare_t =
   Cmd.v
@@ -734,6 +853,47 @@ let campaign_t =
       & info [ "deadline" ] ~docv:"SECONDS"
           ~doc:"Per-job wall-clock budget; overruns become timeout verdicts")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Profile every job and print the fleet-merged hotspot table plus \
+             the per-worker utilization breakdown")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the merged metrics registry (including farm.worker.* \
+             gauges) after the matrix")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Print one progress line per completed job on stderr")
+  in
+  let jsonl_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the unified streaming telemetry (job lifecycle, trace \
+             events, series points, profile spans, metric snapshot) as JSON \
+             Lines")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the fleet trace as Chrome trace_event JSON, one process \
+             lane per worker")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -741,7 +901,52 @@ let campaign_t =
           verdict mismatch")
     Term.(
       const campaign_cmd $ workers $ filter $ policy_arg $ json_out $ csv_out
-      $ tick_budget $ deadline $ const false)
+      $ tick_budget $ deadline $ profile $ stats $ progress $ jsonl_out
+      $ trace_out $ const false)
+
+let profile_t =
+  let top =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the hotspot table (default 20)")
+  in
+  let tree =
+    Arg.(
+      value & flag
+      & info [ "tree" ] ~doc:"Also print the full indented span tree")
+  in
+  let block =
+    Arg.(
+      value & flag
+      & info [ "block" ] ~doc:"Process instructions one basic block at a time")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the span tree as JSON")
+  in
+  let jsonl_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl-out" ] ~docv:"FILE"
+          ~doc:"Write profile spans and the metric snapshot as JSON Lines")
+  in
+  let run =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Analyze one sample under the span profiler and print hotspots")
+      Term.(
+        const profile_run_cmd $ id_arg $ policy_arg $ block $ top $ tree
+        $ json_out $ jsonl_out)
+  in
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:"Whole-pipeline span profiling (fetch/translate, propagate, \
+             detect, kernel, graph)")
+    [ run ]
 
 let sweep_t =
   Cmd.v
@@ -774,6 +979,7 @@ let () =
             graph_t;
             disasm_t;
             campaign_t;
+            profile_t;
             sweep_t;
             policies_t;
           ]))

@@ -29,8 +29,16 @@ exception Deadline_exceeded
    FAROS plugin (the attack-graph builder rides along this way); it runs
    inside the replayer's plugin callback, after the FAROS plugin is
    constructed but before boot. *)
+(* [profile] and [sink] are the whole-pipeline observability hooks: the
+   profiler wraps the three phases ([record] / [replay] / [finalize]) as
+   top-level spans with the per-layer spans nested inside, and the sink
+   is handed to the plugin so its health lands in the registry.  Both
+   default to their disabled constants, in which case this function is
+   byte-identical in behaviour and output to the uninstrumented driver
+   (pinned by the overhead regression test). *)
 let analyze ?(config = Config.default) ?max_ticks ?timeslice ?metrics
     ?(trace_sink = Faros_obs.Trace.null) ?telemetry ?deadline
+    ?(profile = Faros_obs.Profile.disabled) ?(sink = Faros_obs.Sink.null)
     ?(extra_plugins = fun _kernel _faros -> []) ~setup_record ~setup_replay
     ~boot () =
   let check_deadline =
@@ -41,7 +49,9 @@ let analyze ?(config = Config.default) ?max_ticks ?timeslice ?metrics
       fun () -> if Unix.gettimeofday () > limit then raise Deadline_exceeded
   in
   let _record_kernel, trace =
-    Faros_replay.Recorder.record ?max_ticks ?timeslice ~setup:setup_record ~boot ()
+    Faros_obs.Profile.with_span profile "record" (fun () ->
+        Faros_replay.Recorder.record ?max_ticks ?timeslice ~profile
+          ~setup:setup_record ~boot ())
   in
   check_deadline ();
   let faros_ref = ref None in
@@ -58,17 +68,22 @@ let analyze ?(config = Config.default) ?max_ticks ?timeslice ?metrics
             | _ -> () )
   in
   let replay =
-    Faros_replay.Replayer.replay ?max_ticks ?timeslice ?sample
-      ~plugins:(fun kernel ->
-        let faros = Faros_plugin.create ~config ?metrics ~trace:trace_sink kernel in
-        faros_ref := Some faros;
-        Faros_plugin.plugin faros :: extra_plugins kernel faros)
-      ~setup:setup_replay ~boot trace
+    Faros_obs.Profile.with_span profile "replay" (fun () ->
+        Faros_replay.Replayer.replay ?max_ticks ?timeslice ?sample ~profile
+          ~plugins:(fun kernel ->
+            let faros =
+              Faros_plugin.create ~config ?metrics ~trace:trace_sink ~profile
+                ~sink kernel
+            in
+            faros_ref := Some faros;
+            Faros_plugin.plugin faros :: extra_plugins kernel faros)
+          ~setup:setup_replay ~boot trace)
   in
   match !faros_ref with
   | None -> assert false (* the plugin constructor always runs *)
   | Some faros ->
-    Faros_plugin.finalize faros;
+    Faros_obs.Profile.with_span profile "finalize" (fun () ->
+        Faros_plugin.finalize faros);
     {
       faros;
       report = Faros_plugin.report faros;

@@ -24,6 +24,8 @@ val analyze :
   ?trace_sink:Faros_obs.Trace.t ->
   ?telemetry:Telemetry.t ->
   ?deadline:float ->
+  ?profile:Faros_obs.Profile.t ->
+  ?sink:Faros_obs.Sink.t ->
   ?extra_plugins:
     (Faros_os.Kernel.t -> Faros_plugin.t -> Faros_replay.Plugin.t list) ->
   setup_record:(Faros_os.Kernel.t -> unit) ->
@@ -39,7 +41,12 @@ val analyze :
     Observability: [metrics] and [trace_sink] thread into the plugin (and
     from there into the engine, detector and kernel); [telemetry] records
     one row every [config.sample_interval] replay ticks plus a final row
-    at the end of the replay.
+    at the end of the replay.  [profile] (default disabled) wraps the
+    phases in top-level [record] / [replay] / [finalize] spans with the
+    per-layer spans nested inside; [sink] (default null) is the unified
+    JSONL stream whose health gauges land in the registry at finalize.
+    With both at their defaults the function is byte-identical in
+    behaviour and output to the uninstrumented driver.
 
     [extra_plugins] attaches more replay plugins next to the FAROS plugin
     (e.g. the attack-graph builder); it runs inside the replayer's plugin

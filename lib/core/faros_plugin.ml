@@ -12,6 +12,8 @@ type t = {
   config : Config.t;
   metrics : Faros_obs.Metrics.t;
   trace : Faros_obs.Trace.t;
+  profile : Faros_obs.Profile.t;
+  sink : Faros_obs.Sink.t;  (* JSONL stream; gauged at finalize *)
 }
 
 let name_of_asid (kernel : Faros_os.Kernel.t) asid =
@@ -23,13 +25,18 @@ let resolve_asid (kernel : Faros_os.Kernel.t) pid =
   Option.map Faros_os.Process.asid (Faros_os.Kstate.proc kernel pid)
 
 let create ?(config = Config.default) ?(metrics = Faros_obs.Metrics.create ())
-    ?(trace = Faros_obs.Trace.null) ?interner (kernel : Faros_os.Kernel.t) =
+    ?(trace = Faros_obs.Trace.null) ?(profile = Faros_obs.Profile.disabled)
+    ?(sink = Faros_obs.Sink.null) ?interner (kernel : Faros_os.Kernel.t) =
   (* One registry and one sink serve every layer; the kernel tick is the
-     trace's time base, and the kernel itself emits syscall events. *)
+     trace's time base, and the kernel itself emits syscall events.  The
+     profiler is shared by the kernel, the machine and every DIFT layer,
+     so one tree covers the whole replay. *)
   Faros_obs.Trace.set_clock trace (fun () -> Faros_os.Kernel.tick kernel);
   Faros_os.Kstate.set_trace kernel trace;
+  Faros_os.Kstate.set_profile kernel profile;
   let engine =
-    Faros_dift.Engine.create ~policy:config.policy ~metrics ~trace ?interner ()
+    Faros_dift.Engine.create ~policy:config.policy ~metrics ~trace ~profile
+      ?interner ()
   in
   let batcher =
     if config.block_processing then Some (Faros_dift.Block_engine.of_engine engine)
@@ -44,13 +51,15 @@ let create ?(config = Config.default) ?(metrics = Faros_obs.Metrics.create ())
     else None
   in
   let detector =
-    Detector.create ~metrics ~trace ~config ~name_of_asid:(name_of_asid kernel) ()
+    Detector.create ~metrics ~trace ~profile ~config
+      ~name_of_asid:(name_of_asid kernel) ()
   in
   Faros_dift.Engine.taint_export_pointers engine
     kernel.exports.Faros_os.Export_table.pointers_by_name;
   Faros_dift.Engine.add_load_observer engine (fun info ->
       Detector.on_load detector ~tick:(Faros_os.Kernel.tick kernel) info);
-  { engine; batcher; fastpath; detector; kernel; config; metrics; trace }
+  { engine; batcher; fastpath; detector; kernel; config; metrics; trace;
+    profile; sink }
 
 (* The fast path wraps whichever exec consumer the config selected; OS
    events keep their direct route (they insert taint and must flush the
@@ -99,7 +108,12 @@ let finalize t =
   in
   set "dift.fastpath.hits" fp_hits;
   set "dift.fastpath.misses" fp_misses;
-  set "dift.fastpath.blocks_summarized" tb.Faros_vm.Tb_cache.st_summarized
+  set "dift.fastpath.blocks_summarized" tb.Faros_vm.Tb_cache.st_summarized;
+  (* Sink health is part of the stable gauge set too: zeros when the
+     JSONL stream is off, and an explicit (never silent) drop count when
+     it is on. *)
+  set "obs.sink.events" (Faros_obs.Sink.events t.sink);
+  set "obs.sink.dropped" (Faros_obs.Sink.dropped t.sink)
 
 let report t = t.detector.report
 

@@ -17,6 +17,10 @@ type t = {
       (** the shared registry: engine, detector and batcher metrics *)
   trace : Faros_obs.Trace.t;
       (** the shared event sink, clocked by the kernel tick *)
+  profile : Faros_obs.Profile.t;
+      (** the shared span profiler (kernel, machine and DIFT layers) *)
+  sink : Faros_obs.Sink.t;
+      (** the JSONL stream; {!finalize} publishes its health gauges *)
 }
 
 val name_of_asid : Faros_os.Kernel.t -> int -> string
@@ -29,23 +33,28 @@ val create :
   ?config:Config.t ->
   ?metrics:Faros_obs.Metrics.t ->
   ?trace:Faros_obs.Trace.t ->
+  ?profile:Faros_obs.Profile.t ->
+  ?sink:Faros_obs.Sink.t ->
   ?interner:Faros_dift.Prov_intern.store ->
   Faros_os.Kernel.t ->
   t
 (** Build the analysis against a freshly constructed kernel, before any
     guest instruction runs (the export-table scan happens here).  The
-    registry and trace sink thread through every layer: the sink's clock
-    is pointed at the kernel tick and the kernel's own syscall-dispatch
-    events are routed into it.  [interner] is the provenance store the
-    engine works against (default: the calling domain's current store —
-    campaign jobs install a fresh one per job). *)
+    registry, trace sink and profiler thread through every layer: the
+    sink's clock is pointed at the kernel tick, the kernel's own
+    syscall-dispatch events are routed into it, and the profiler is
+    shared by kernel, machine and DIFT so one span tree covers the whole
+    replay.  [interner] is the provenance store the engine works against
+    (default: the calling domain's current store — campaign jobs install
+    a fresh one per job). *)
 
 val plugin : t -> Faros_replay.Plugin.t
 (** The attachable plugin carrying the execution and event hooks. *)
 
 val finalize : t -> unit
 (** Process any trailing partial block and refresh the registry's state
-    gauges; call when the replay is over. *)
+    gauges (including [obs.sink.{events,dropped}]); call when the replay
+    is over. *)
 
 val report : t -> Report.t
 

@@ -53,9 +53,9 @@ let replay_with t ?tb_cache ?dift_fast ?sample ~plugins trace =
    runaway samples with it); [deadline] is a wall-clock budget in seconds
    (see {!Core.Analysis.analyze}). *)
 let analyze ?config ?metrics ?trace_sink ?telemetry ?max_ticks ?deadline
-    ?extra_plugins t =
+    ?profile ?sink ?extra_plugins t =
   Core.Analysis.analyze ?config ?metrics ?trace_sink ?telemetry ?deadline
-    ?extra_plugins
+    ?profile ?sink ?extra_plugins
     ~max_ticks:(Option.value max_ticks ~default:t.max_ticks)
     ~setup_record:(setup_record t) ~setup_replay:(setup_replay t)
     ~boot:(boot t) ()

@@ -61,11 +61,14 @@ val analyze :
   ?telemetry:Core.Telemetry.t ->
   ?max_ticks:int ->
   ?deadline:float ->
+  ?profile:Faros_obs.Profile.t ->
+  ?sink:Faros_obs.Sink.t ->
   ?extra_plugins:
     (Faros_os.Kernel.t -> Core.Faros_plugin.t -> Faros_replay.Plugin.t list) ->
   t ->
   Core.Analysis.outcome
 (** Full FAROS workflow: record, then replay under the FAROS plugin.
-    [metrics], [trace_sink], [telemetry], [deadline] and [extra_plugins]
-    thread through to {!Core.Analysis.analyze}; [max_ticks] overrides the
-    scenario's own tick budget (a campaign job's tick cap). *)
+    [metrics], [trace_sink], [telemetry], [deadline], [profile], [sink]
+    and [extra_plugins] thread through to {!Core.Analysis.analyze};
+    [max_ticks] overrides the scenario's own tick budget (a campaign
+    job's tick cap). *)

@@ -33,7 +33,7 @@ let of_engine ?(max_block = 64) (engine : Engine.t) =
 let create ?(policy = Policy.faros_default) ?(max_block = 64) ?interner () =
   of_engine ~max_block (Engine.create ~policy ?interner ())
 
-let flush t =
+let flush_pending t =
   match t.pending with
   | [] -> ()
   | pending ->
@@ -46,6 +46,18 @@ let flush t =
         ~pid:0
         [ ("size", Int size) ];
     List.iter (fun (cpu, eff) -> Engine.on_exec t.engine cpu eff) (List.rev pending)
+
+(* [dift.block_flush] wraps the whole drained block; the per-instruction
+   [dift.propagate] spans nest inside it, so the tree shows batching
+   overhead (list reversal, buffering) as the flush's self time. *)
+let flush t =
+  let prof = t.engine.Engine.profile in
+  if Faros_obs.Profile.enabled prof && t.pending != [] then begin
+    Faros_obs.Profile.enter prof "dift.block_flush";
+    flush_pending t;
+    Faros_obs.Profile.exit prof
+  end
+  else flush_pending t
 
 let block_ends (i : Faros_vm.Isa.t) =
   Faros_vm.Isa.is_branch i || i = Faros_vm.Isa.Syscall || i = Faros_vm.Isa.Halt

@@ -34,6 +34,7 @@ type t = {
   load_observers : (load_info -> unit) Queue.t;  (* invoked in registration order *)
   metrics : Faros_obs.Metrics.t;
   trace : Faros_obs.Trace.t;
+  profile : Faros_obs.Profile.t;  (* span profiler; shared with the machine *)
   c_instrs : Faros_obs.Metrics.counter;
   c_os_events : Faros_obs.Metrics.counter;
   c_netflow_inserts : Faros_obs.Metrics.counter;
@@ -42,7 +43,7 @@ type t = {
 }
 
 let create ?(policy = Policy.faros_default) ?(metrics = Faros_obs.Metrics.create ())
-    ?(trace = Faros_obs.Trace.null)
+    ?(trace = Faros_obs.Trace.null) ?(profile = Faros_obs.Profile.disabled)
     ?(interner = Prov_intern.current_store ()) () =
   {
     shadow = Shadow.create ~trace ~interner ();
@@ -54,6 +55,7 @@ let create ?(policy = Policy.faros_default) ?(metrics = Faros_obs.Metrics.create
     load_observers = Queue.create ();
     metrics;
     trace;
+    profile;
     c_instrs = Faros_obs.Metrics.counter metrics "engine.instrs";
     c_os_events = Faros_obs.Metrics.counter metrics "engine.os_events";
     c_netflow_inserts =
@@ -126,7 +128,7 @@ let control_active t ~asid = t.policy.control_deps && Hashtbl.mem t.control asid
 
 (* -- per-instruction propagation -- *)
 
-let on_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
+let propagate_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
   Faros_obs.Metrics.incr t.c_instrs;
   let asid = eff.e_asid in
   let ptag = lazy (Tag_store.process t.store asid) in
@@ -225,6 +227,18 @@ let on_exec t (_cpu : Faros_vm.Cpu.t) (eff : Faros_vm.Cpu.effect) =
     | [] -> ())
   | Ret -> ()
 
+(* [dift.propagate] is the slow path proper — what the fast path exists
+   to avoid; its self time is the headline DIFT cost in the hotspot
+   table. *)
+let on_exec t cpu eff =
+  let prof = t.profile in
+  if Faros_obs.Profile.enabled prof then begin
+    Faros_obs.Profile.enter prof "dift.propagate";
+    propagate_exec t cpu eff;
+    Faros_obs.Profile.exit prof
+  end
+  else propagate_exec t cpu eff
+
 (* -- fast-path support -- *)
 
 (* An instruction the fast path proved propagation-free still counts as
@@ -280,7 +294,7 @@ let file_array t path len_hint =
 
 (* [resolve_asid] maps a pid to its CR3; provided by the embedding analysis
    (the kernel knows, the engine must not depend on it). *)
-let on_os_event t ~resolve_asid (ev : Faros_os.Os_event.t) =
+let handle_os_event t ~resolve_asid (ev : Faros_os.Os_event.t) =
   Faros_obs.Metrics.incr t.c_os_events;
   let trace_tag_insert ~pid ~ty ~subject ~bytes =
     if Faros_obs.Trace.enabled t.trace then
@@ -354,6 +368,18 @@ let on_os_event t ~resolve_asid (ev : Faros_os.Os_event.t) =
   | Net_send _ | Mem_alloc _ | Module_loaded _ | Context_set _ | Popup _
   | Debug_print _ | Key_read _ | Audio_read _ | Screenshot _ ->
     ()
+
+(* Tag insertion nests under [kernel.syscall] (kernel dispatch emits the
+   event while its span is open), so the tree separates syscall handling
+   proper from the DIFT work it triggers. *)
+let on_os_event t ~resolve_asid ev =
+  let prof = t.profile in
+  if Faros_obs.Profile.enabled prof then begin
+    Faros_obs.Profile.enter prof "dift.os_event";
+    handle_os_event t ~resolve_asid ev;
+    Faros_obs.Profile.exit prof
+  end
+  else handle_os_event t ~resolve_asid ev
 
 (* Mark the kernel export directory's function pointers (taint insertion for
    the export-table tag; the paper scans loaded modules at startup).  Each

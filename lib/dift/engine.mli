@@ -38,6 +38,9 @@ type t = {
   load_observers : (load_info -> unit) Queue.t;
   metrics : Faros_obs.Metrics.t;  (** registry backing {!stats} *)
   trace : Faros_obs.Trace.t;  (** structured-event sink (null when off) *)
+  profile : Faros_obs.Profile.t;
+      (** span profiler (disabled by default); [on_exec] runs under
+          [dift.propagate], [on_os_event] under [dift.os_event] *)
   c_instrs : Faros_obs.Metrics.counter;
   c_os_events : Faros_obs.Metrics.counter;
   c_netflow_inserts : Faros_obs.Metrics.counter;
@@ -49,6 +52,7 @@ val create :
   ?policy:Policy.t ->
   ?metrics:Faros_obs.Metrics.t ->
   ?trace:Faros_obs.Trace.t ->
+  ?profile:Faros_obs.Profile.t ->
   ?interner:Prov_intern.store ->
   unit ->
   t

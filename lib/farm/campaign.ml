@@ -12,7 +12,15 @@
    Results come back in submission order regardless of completion order
    (promises are awaited in order), so verdicts, the mismatch list and
    the merged metrics registry are deterministic for a given corpus —
-   byte-identical across worker counts. *)
+   byte-identical across worker counts.
+
+   Observability rides the same one-way data flow.  Each job owns its
+   whole instrumentation state — a private span profiler and a private
+   bounded trace collector — and ships it back as part of its plain-data
+   result; the driver then merges profiles, re-emits trace events with
+   worker/guest pid lanes, and streams everything onto the unified JSONL
+   sink, all single-threaded and in submission order.  Nothing mutable is
+   ever shared between a worker domain and the driver while a job runs. *)
 
 type verdict = Flagged | Clean | Error of string | Timeout
 
@@ -48,15 +56,22 @@ type job_result = {
   jr_slice_origins : int;
   jr_netflow_origin : bool;  (* some slice reached a NetFlow origin *)
   jr_wall_s : float;
+  jr_worker : int;  (* pool worker index that ran the job; -1 if unknown *)
   jr_metrics : Faros_obs.Metrics.t;  (* this job's private registry *)
+  jr_profile : Faros_obs.Profile.t;  (* this job's span tree (or disabled) *)
+  jr_trace : Faros_obs.Trace.event list;  (* this job's trace events *)
 }
 
 type t = {
   results : job_result list;  (* submission (registry) order *)
   mismatches : string list;  (* ids, submission order *)
   workers : int;
+  spawned : int;  (* domains actually spawned (host cap) *)
+  peak_depth : int;  (* deepest the job queue has been *)
+  worker_stats : Pool.worker_stat list;  (* per-worker, index order *)
   wall_s : float;
   metrics : Faros_obs.Metrics.t;  (* all job registries merged *)
+  profile : Faros_obs.Profile.t;  (* all job profiles merged (or disabled) *)
 }
 
 (* -- id filtering -------------------------------------------------------- *)
@@ -133,12 +148,25 @@ let summarize_graph g =
     gs_netflow_origin = List.exists Faros_graph.Slice.has_netflow_origin slices;
   }
 
-let run_job ~config ~graph ~tick_budget ~deadline
+(* Per-job trace collectors stay small on purpose: a campaign over 130
+   samples folds every surviving event into the fleet trace and the JSONL
+   stream, so the per-job cap — not the fleet cap — bounds the volume. *)
+let job_trace_limit = 4096
+
+let run_job ~config ~graph ~tick_budget ~deadline ~profile ~want_trace ~worker
     (s : Faros_corpus.Registry.sample) =
+  let prof =
+    if profile then Faros_obs.Profile.create () else Faros_obs.Profile.disabled
+  in
   (* Per-job isolation: this worker domain gets a fresh interner, so no
      provenance state is shared with any concurrently running job (or any
      previous job on this worker). *)
-  Faros_dift.Prov_intern.set_store (Faros_dift.Prov_intern.create_store ());
+  Faros_obs.Profile.with_span prof "farm.job.setup" (fun () ->
+      Faros_dift.Prov_intern.set_store (Faros_dift.Prov_intern.create_store ()));
+  let trace_sink =
+    if want_trace then Faros_obs.Trace.collector ~limit:job_trace_limit ()
+    else Faros_obs.Trace.null
+  in
   let metrics = Faros_obs.Metrics.create () in
   let expected_flag = s.expected = Faros_corpus.Registry.Expect_flag in
   let t0 = Unix.gettimeofday () in
@@ -164,7 +192,10 @@ let run_job ~config ~graph ~tick_budget ~deadline
       jr_slice_origins = gs.gs_slice_origins;
       jr_netflow_origin = gs.gs_netflow_origin;
       jr_wall_s = Unix.gettimeofday () -. t0;
+      jr_worker = worker;
       jr_metrics = metrics;
+      jr_profile = prof;
+      jr_trace = Faros_obs.Trace.events trace_sink;
     }
   in
   let failed verdict =
@@ -181,18 +212,25 @@ let run_job ~config ~graph ~tick_budget ~deadline
     end
   in
   match
-    Faros_corpus.Scenario.analyze ~config ~metrics ?max_ticks:tick_budget
-      ?deadline ~extra_plugins s.scenario
+    (* Graph enrichment runs inside the [farm.job.run] span too, so its
+       [graph.enrich] span nests under the job like everything else. *)
+    Faros_obs.Profile.with_span prof "farm.job.run" (fun () ->
+        let outcome =
+          Faros_corpus.Scenario.analyze ~config ~metrics ~trace_sink
+            ~profile:prof ?max_ticks:tick_budget ?deadline ~extra_plugins
+            s.scenario
+        in
+        let gs =
+          match !builder with
+          | None -> no_graph
+          | Some b ->
+            Faros_graph.Build.enrich b outcome.faros;
+            summarize_graph (Faros_graph.Build.graph b)
+        in
+        (outcome, gs))
   with
-  | outcome ->
+  | outcome, gs ->
     let stats = Faros_dift.Engine.stats outcome.faros.engine in
-    let gs =
-      match !builder with
-      | None -> no_graph
-      | Some b ->
-        Faros_graph.Build.enrich b outcome.faros;
-        summarize_graph (Faros_graph.Build.graph b)
-    in
     finish
       (if Core.Report.flagged outcome.report then Flagged else Clean)
       ~diverged:outcome.replay.diverged ~record_ticks:outcome.record_ticks
@@ -208,9 +246,83 @@ let run_job ~config ~graph ~tick_budget ~deadline
 
 (* -- the campaign -------------------------------------------------------- *)
 
+(* Driver-side farm gauges.  Registered only on request ([farm_metrics]):
+   the per-worker values depend on worker count and wall time, and the
+   default merged registry stays byte-identical across [-j N] — the
+   serial/parallel equivalence contract. *)
+let publish_farm_metrics ~workers ~spawned ~peak_depth ~worker_stats ~results
+    metrics =
+  let g name v = Faros_obs.Metrics.set (Faros_obs.Metrics.gauge metrics name) v in
+  g "farm.workers.requested" workers;
+  g "farm.workers.spawned" spawned;
+  g "farm.queue.peak_depth" peak_depth;
+  List.iteri
+    (fun i (ws : Pool.worker_stat) ->
+      g (Printf.sprintf "farm.worker.%d.jobs" i) ws.ws_jobs;
+      g (Printf.sprintf "farm.worker.%d.busy_us" i) (ws.ws_busy_ns / 1000);
+      g (Printf.sprintf "farm.worker.%d.idle_us" i) (ws.ws_idle_ns / 1000))
+    worker_stats;
+  let wall = Faros_obs.Metrics.histogram metrics "farm.job.wall_us" in
+  List.iter
+    (fun r ->
+      Faros_obs.Metrics.observe wall (int_of_float (r.jr_wall_s *. 1e6)))
+    results
+
+(* Stream one completed campaign onto the JSONL sink, in submission
+   order: per-job lifecycle, trace events, one series point, the graph
+   flag summary for flagged jobs; then the merged profile's spans; then —
+   after the stream-health gauges are frozen into the registry — the
+   final metric snapshot.  All driver-side: the sink never crosses a
+   domain boundary. *)
+let emit_sink sink ~results ~profile ~metrics =
+  let series_columns =
+    [
+      "record_ticks"; "replay_ticks"; "syscalls"; "tainted_bytes";
+      "interned_provs"; "graph_nodes"; "graph_edges";
+    ]
+  in
+  List.iter
+    (fun r ->
+      let life event = Faros_obs.Sink.job_lifecycle sink ~job:r.jr_id ~worker:r.jr_worker ~event in
+      life "submit" ();
+      life "start" ();
+      life "finish" ~verdict:(verdict_name r.jr_verdict) ~wall_s:r.jr_wall_s ();
+      List.iter
+        (fun e -> Faros_obs.Sink.trace_event sink ~sample:r.jr_id e)
+        r.jr_trace;
+      Faros_obs.Sink.series_point sink ~sample:r.jr_id ~columns:series_columns
+        ~row:
+          [|
+            r.jr_record_ticks; r.jr_replay_ticks; r.jr_syscalls;
+            r.jr_tainted_bytes; r.jr_interned_provs; r.jr_graph_nodes;
+            r.jr_graph_edges;
+          |];
+      if r.jr_verdict = Flagged then
+        Faros_obs.Sink.graph_flag sink ~sample:r.jr_id
+          ~flag_sites:r.jr_flag_sites ~nodes:r.jr_graph_nodes
+          ~edges:r.jr_graph_edges ~slice_nodes:r.jr_slice_nodes
+          ~slice_origins:r.jr_slice_origins
+          ~netflow_origin:r.jr_netflow_origin)
+    results;
+  List.iter
+    (fun sp -> Faros_obs.Sink.profile_span sink ~source:"campaign" sp)
+    (Faros_obs.Profile.spans profile);
+  (* Freeze the stream's own health into the registry before the final
+     snapshot; the snapshot line itself is by construction not counted. *)
+  let g name v = Faros_obs.Metrics.set (Faros_obs.Metrics.gauge metrics name) v in
+  g "obs.sink.events" (Faros_obs.Sink.events sink);
+  g "obs.sink.dropped" (Faros_obs.Sink.dropped sink);
+  Faros_obs.Sink.metric_snapshot sink ~source:"campaign" metrics
+
 let run ?(workers = 1) ?(config = Core.Config.default) ?(graph = true)
-    ?tick_budget ?deadline samples =
+    ?tick_budget ?deadline ?(profile = false) ?(sink = Faros_obs.Sink.null)
+    ?(trace = Faros_obs.Trace.null) ?(farm_metrics = false) ?on_progress
+    samples =
   let t0 = Unix.gettimeofday () in
+  let want_trace =
+    Faros_obs.Trace.enabled trace || Faros_obs.Sink.enabled sink
+  in
+  let total = List.length samples in
   let pool = Pool.create ~workers () in
   let results =
     Fun.protect
@@ -219,51 +331,94 @@ let run ?(workers = 1) ?(config = Core.Config.default) ?(graph = true)
         let promises =
           List.map
             (fun s ->
-              Pool.submit pool (fun () ->
-                  run_job ~config ~graph ~tick_budget ~deadline s))
+              Pool.submit_indexed pool (fun ~worker ->
+                  run_job ~config ~graph ~tick_budget ~deadline ~profile
+                    ~want_trace ~worker s))
             samples
         in
+        let completed = ref 0 in
         List.map2
           (fun (s : Faros_corpus.Registry.sample) p ->
-            match Pool.await p with
-            | Ok r -> r
-            | Error e ->
-              (* run_job contains its own exception barrier, so this only
-                 fires on failures outside it; record, don't abort. *)
-              {
-                jr_id = s.id;
-                jr_family = s.family;
-                jr_category =
-                  Fmt.str "%a" Faros_corpus.Registry.pp_category s.category;
-                jr_expected_flag =
-                  s.expected = Faros_corpus.Registry.Expect_flag;
-                jr_verdict = Error (Printexc.to_string e);
-                jr_diverged = false;
-                jr_mismatch = true;
-                jr_record_ticks = 0;
-                jr_replay_ticks = 0;
-                jr_syscalls = 0;
-                jr_tainted_bytes = 0;
-                jr_interned_provs = 0;
-                jr_graph_nodes = 0;
-                jr_graph_edges = 0;
-                jr_flag_sites = 0;
-                jr_slice_nodes = 0;
-                jr_slice_origins = 0;
-                jr_netflow_origin = false;
-                jr_wall_s = 0.0;
-                jr_metrics = Faros_obs.Metrics.create ();
-              })
+            let r =
+              match Pool.await p with
+              | Ok r -> r
+              | Error e ->
+                (* run_job contains its own exception barrier, so this only
+                   fires on failures outside it; record, don't abort. *)
+                {
+                  jr_id = s.id;
+                  jr_family = s.family;
+                  jr_category =
+                    Fmt.str "%a" Faros_corpus.Registry.pp_category s.category;
+                  jr_expected_flag =
+                    s.expected = Faros_corpus.Registry.Expect_flag;
+                  jr_verdict = Error (Printexc.to_string e);
+                  jr_diverged = false;
+                  jr_mismatch = true;
+                  jr_record_ticks = 0;
+                  jr_replay_ticks = 0;
+                  jr_syscalls = 0;
+                  jr_tainted_bytes = 0;
+                  jr_interned_provs = 0;
+                  jr_graph_nodes = 0;
+                  jr_graph_edges = 0;
+                  jr_flag_sites = 0;
+                  jr_slice_nodes = 0;
+                  jr_slice_origins = 0;
+                  jr_netflow_origin = false;
+                  jr_wall_s = 0.0;
+                  jr_worker = -1;
+                  jr_metrics = Faros_obs.Metrics.create ();
+                  jr_profile = Faros_obs.Profile.disabled;
+                  jr_trace = [];
+                }
+            in
+            incr completed;
+            Option.iter (fun f -> f ~completed:!completed ~total r) on_progress;
+            r)
           samples promises)
   in
+  (* The pool is shut down here: worker stats are exact. *)
+  let spawned = Pool.spawned pool in
+  let peak_depth = Pool.peak_depth pool in
+  let worker_stats = Pool.worker_stats pool in
+  let cam_profile =
+    if profile then Faros_obs.Profile.create () else Faros_obs.Profile.disabled
+  in
   let metrics = Faros_obs.Metrics.create () in
-  List.iter (fun r -> Faros_obs.Metrics.merge ~into:metrics r.jr_metrics) results;
+  (* Merging is itself accounted work: the one driver-side span. *)
+  Faros_obs.Profile.with_span cam_profile "farm.merge" (fun () ->
+      List.iter
+        (fun r ->
+          Faros_obs.Metrics.merge ~into:metrics r.jr_metrics;
+          Faros_obs.Profile.merge ~into:cam_profile r.jr_profile)
+        results);
+  if farm_metrics then
+    publish_farm_metrics ~workers ~spawned ~peak_depth ~worker_stats ~results
+      metrics;
+  (* Fold per-job trace events into the fleet trace: worker index becomes
+     the process lane, the guest pid the thread lane. *)
+  if Faros_obs.Trace.enabled trace then
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (e : Faros_obs.Trace.event) ->
+            Faros_obs.Trace.add_event trace
+              { e with ev_pid = r.jr_worker; ev_tid = e.ev_pid })
+          r.jr_trace)
+      results;
+  if Faros_obs.Sink.enabled sink then
+    emit_sink sink ~results ~profile:cam_profile ~metrics;
   {
     results;
     mismatches = List.filter_map (fun r -> if r.jr_mismatch then Some r.jr_id else None) results;
     workers;
+    spawned;
+    peak_depth;
+    worker_stats;
     wall_s = Unix.gettimeofday () -. t0;
     metrics;
+    profile = cam_profile;
   }
 
 let ok t = t.mismatches = []
@@ -321,7 +476,7 @@ let json_float f = Printf.sprintf "%.6f" f
 
 let result_json r =
   Printf.sprintf
-    {|{"id":"%s","family":"%s","category":"%s","expected":"%s","verdict":"%s","detail":"%s","diverged":%b,"mismatch":%b,"record_ticks":%d,"replay_ticks":%d,"syscalls":%d,"tainted_bytes":%d,"interned_provs":%d,"graph_nodes":%d,"graph_edges":%d,"flag_sites":%d,"slice_nodes":%d,"slice_origins":%d,"netflow_origin":%b,"wall_s":%s}|}
+    {|{"id":"%s","family":"%s","category":"%s","expected":"%s","verdict":"%s","detail":"%s","diverged":%b,"mismatch":%b,"record_ticks":%d,"replay_ticks":%d,"syscalls":%d,"tainted_bytes":%d,"interned_provs":%d,"graph_nodes":%d,"graph_edges":%d,"flag_sites":%d,"slice_nodes":%d,"slice_origins":%d,"netflow_origin":%b,"worker":%d,"wall_s":%s}|}
     (Faros_obs.Json.escape r.jr_id)
     (Faros_obs.Json.escape r.jr_family)
     (Faros_obs.Json.escape r.jr_category)
@@ -331,7 +486,7 @@ let result_json r =
     r.jr_diverged r.jr_mismatch r.jr_record_ticks r.jr_replay_ticks
     r.jr_syscalls r.jr_tainted_bytes r.jr_interned_provs r.jr_graph_nodes
     r.jr_graph_edges r.jr_flag_sites r.jr_slice_nodes r.jr_slice_origins
-    r.jr_netflow_origin
+    r.jr_netflow_origin r.jr_worker
     (json_float r.jr_wall_s)
 
 let matrix_row_json row =
@@ -341,12 +496,22 @@ let matrix_row_json row =
     row.mr_samples row.mr_flagged row.mr_clean row.mr_errors row.mr_timeouts
     row.mr_mismatches
 
+let worker_stat_json i (ws : Pool.worker_stat) =
+  Printf.sprintf {|{"worker":%d,"jobs":%d,"busy_us":%d,"idle_us":%d}|} i
+    ws.ws_jobs (ws.ws_busy_ns / 1000) (ws.ws_idle_ns / 1000)
+
 let to_json t =
+  let profile_field =
+    if Faros_obs.Profile.enabled t.profile then
+      Printf.sprintf {|,"profile":%s|} (Faros_obs.Profile.to_json t.profile)
+    else ""
+  in
   Printf.sprintf
-    {|{"campaign":{"workers":%d,"samples":%d,"mismatch_count":%d,"wall_s":%s,"matrix":[%s],"results":[%s],"mismatches":[%s],"metrics":%s}}|}
-    t.workers (List.length t.results)
+    {|{"campaign":{"workers":%d,"spawned":%d,"peak_queue_depth":%d,"samples":%d,"mismatch_count":%d,"wall_s":%s,"worker_stats":[%s],"matrix":[%s],"results":[%s],"mismatches":[%s],"metrics":%s%s}}|}
+    t.workers t.spawned t.peak_depth (List.length t.results)
     (List.length t.mismatches)
     (json_float t.wall_s)
+    (String.concat "," (List.mapi worker_stat_json t.worker_stats))
     (String.concat "," (List.map matrix_row_json (matrix t)))
     (String.concat "," (List.map result_json t.results))
     (String.concat ","
@@ -354,6 +519,7 @@ let to_json t =
           (fun id -> Printf.sprintf {|"%s"|} (Faros_obs.Json.escape id))
           t.mismatches))
     (Faros_obs.Metrics.to_json t.metrics)
+    profile_field
 
 (* CSV field quoting: wrap and double inner quotes when the field carries
    a delimiter (error details can contain anything). *)
@@ -409,3 +575,21 @@ let pp_summary ppf t =
   Fmt.pf ppf "%d samples, %d mismatches@." (List.length t.results)
     (List.length t.mismatches);
   List.iter (Fmt.pf ppf "  mismatch: %s@.") t.mismatches
+
+(* The utilization breakdown `campaign -j N --profile/--stats` appends:
+   all-idle workers mean the corpus is too small or too serial for N,
+   all-busy workers mean the time goes to real work — read the hotspot
+   table next. *)
+let pp_workers ppf t =
+  Fmt.pf ppf "workers: %d requested, %d spawned, peak queue depth %d@."
+    t.workers t.spawned t.peak_depth;
+  List.iteri
+    (fun i (ws : Pool.worker_stat) ->
+      let busy = float_of_int ws.ws_busy_ns /. 1e9 in
+      let idle = float_of_int ws.ws_idle_ns /. 1e9 in
+      let util =
+        if busy +. idle > 0. then 100. *. busy /. (busy +. idle) else 0.
+      in
+      Fmt.pf ppf "  worker %d: %4d jobs  %8.2fs busy  %8.2fs idle  %5.1f%% busy@."
+        i ws.ws_jobs busy idle util)
+    t.worker_stats

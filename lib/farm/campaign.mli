@@ -12,7 +12,16 @@
     Determinism: results, the mismatch list and the merged metrics
     registry are produced in submission (registry) order regardless of
     job completion order, so a campaign's output is byte-identical
-    across worker counts. *)
+    across worker counts.  (Opt-in farm telemetry — [farm_metrics] —
+    adds per-worker timing gauges, which naturally vary.)
+
+    Observability: each job carries its own span profiler and bounded
+    trace collector and ships them back as plain data; the driver merges
+    profiles into one fleet-wide hotspot tree, folds trace events into a
+    campaign trace with the worker index as the process lane, and
+    streams lifecycle/trace/series/profile/metric lines onto the unified
+    JSONL {!Faros_obs.Sink} — all single-threaded, in submission
+    order. *)
 
 type verdict =
   | Flagged  (** the detector flagged an in-memory injection *)
@@ -47,15 +56,30 @@ type job_result = {
   jr_slice_origins : int;
   jr_netflow_origin : bool;  (** some slice reached a NetFlow origin *)
   jr_wall_s : float;
+  jr_worker : int;
+      (** pool worker index that ran the job; [-1] if unknown (a failure
+          outside the job's own exception barrier) *)
   jr_metrics : Faros_obs.Metrics.t;  (** this job's private registry *)
+  jr_profile : Faros_obs.Profile.t;
+      (** this job's span tree; {!Faros_obs.Profile.disabled} unless the
+          campaign ran with [profile:true] *)
+  jr_trace : Faros_obs.Trace.event list;
+      (** this job's trace events (bounded per job); empty unless a
+          campaign trace or JSONL sink was requested *)
 }
 
 type t = {
   results : job_result list;  (** submission (registry) order *)
   mismatches : string list;  (** mismatching sample ids, submission order *)
-  workers : int;
+  workers : int;  (** requested *)
+  spawned : int;  (** domains actually spawned (host cap) *)
+  peak_depth : int;  (** deepest the job queue has been *)
+  worker_stats : Pool.worker_stat list;  (** per-worker, index order *)
   wall_s : float;
   metrics : Faros_obs.Metrics.t;  (** all job registries merged *)
+  profile : Faros_obs.Profile.t;
+      (** all job profiles merged, plus the driver's [farm.merge] span;
+          {!Faros_obs.Profile.disabled} unless run with [profile:true] *)
 }
 
 val run :
@@ -64,13 +88,30 @@ val run :
   ?graph:bool ->
   ?tick_budget:int ->
   ?deadline:float ->
+  ?profile:bool ->
+  ?sink:Faros_obs.Sink.t ->
+  ?trace:Faros_obs.Trace.t ->
+  ?farm_metrics:bool ->
+  ?on_progress:(completed:int -> total:int -> job_result -> unit) ->
   Faros_corpus.Registry.sample list ->
   t
 (** Run the samples on a transient pool of [workers] domains (default 1).
     [config] applies to every job; [graph] (default [true]) builds the
     per-sample attack graph and folds its slice summary into each result;
     [tick_budget] overrides each scenario's own [max_ticks]; [deadline]
-    is the per-job wall-clock budget in seconds. *)
+    is the per-job wall-clock budget in seconds.
+
+    [profile] (default [false]) gives every job its own span profiler
+    (spans [farm.job.setup] and [farm.job.run] wrap the whole pipeline's
+    spans) and merges them all — plus the driver's [farm.merge] span —
+    into the result's [profile].  [sink] (default null) receives the
+    unified JSONL stream, written entirely driver-side after all jobs
+    complete; [trace] (default null) receives every job's trace events
+    with the worker index as [pid] and the guest pid as [tid].
+    [farm_metrics] (default [false]) adds [farm.workers.*],
+    [farm.worker.<i>.*], [farm.queue.peak_depth] gauges and the
+    [farm.job.wall_us] histogram to the merged registry.  [on_progress]
+    runs driver-side as each result is awaited, in submission order. *)
 
 val ok : t -> bool
 (** No mismatches — the [sweep] / [campaign] exit-code criterion. *)
@@ -100,7 +141,8 @@ val matrix : t -> matrix_row list
 
 val to_json : t -> string
 (** The whole campaign as one JSON document: matrix, per-sample results,
-    mismatch list, merged metrics. *)
+    mismatch list, worker stats, merged metrics (and the merged profile
+    when enabled). *)
 
 val to_csv : t -> string
 (** One CSV row per sample, registry order. *)
@@ -110,3 +152,8 @@ val pp_matrix : Format.formatter -> t -> unit
 val pp_summary : Format.formatter -> t -> unit
 (** The classic [sweep] summary: sample/mismatch counts plus one
     [mismatch: id] line per mismatch, registry order. *)
+
+val pp_workers : Format.formatter -> t -> unit
+(** The per-worker utilization breakdown: jobs, busy/idle seconds and
+    busy%% per spawned worker, plus requested/spawned counts and the
+    queue's peak depth. *)

@@ -11,16 +11,32 @@
    promise submitted before shutdown is fulfilled before the domains are
    joined.
 
+   Telemetry: each spawned domain keeps its own stat record (jobs run,
+   busy and idle nanoseconds) written only by that domain, and the queue
+   tracks its peak depth — the direct instruments for "why does -j4 sit
+   at 1.02x" (all idle: jobs too short / too few; all busy: real work,
+   look at the profiler).  Read the stats after {!shutdown} for exact
+   values; jobs receive their worker's index so the campaign driver can
+   label per-job artifacts with the worker that produced them.
+
    No dependencies beyond the OCaml 5 stdlib ([Domain], [Mutex],
-   [Condition]). *)
+   [Condition]) and [Unix.gettimeofday] for the busy/idle clocks. *)
+
+type worker_stat = {
+  mutable ws_jobs : int;  (* jobs completed by this worker *)
+  mutable ws_busy_ns : int;  (* time inside job bodies *)
+  mutable ws_idle_ns : int;  (* time waiting on the queue *)
+}
 
 type t = {
   mutex : Mutex.t;
   work_available : Condition.t;  (* signalled on submit and on shutdown *)
-  jobs : (unit -> unit) Queue.t;
+  jobs : (int -> unit) Queue.t;  (* jobs take the running worker's index *)
   mutable accepting : bool;  (* false once shutdown has begun *)
   mutable domains : unit Domain.t list;
   workers : int;
+  stats : worker_stat array;  (* one slot per spawned domain *)
+  mutable peak_depth : int;  (* deepest the queue has been *)
 }
 
 type 'a state = Pending | Fulfilled of ('a, exn) result
@@ -32,6 +48,18 @@ type 'a promise = {
 }
 
 let workers t = t.workers
+let spawned t = Array.length t.stats
+let peak_depth t = t.peak_depth
+
+(* A snapshot per spawned worker, in worker-index order.  Only exact
+   after {!shutdown} (the domains are joined); while workers run, the
+   plain-int reads may lag by the job in flight. *)
+let worker_stats t =
+  Array.to_list
+    (Array.map
+       (fun ws ->
+         { ws_jobs = ws.ws_jobs; ws_busy_ns = ws.ws_busy_ns; ws_idle_ns = ws.ws_idle_ns })
+       t.stats)
 
 (* Spawning more domains than the host has cores is actively harmful in
    OCaml 5: every minor collection is a stop-the-world handshake across
@@ -47,14 +75,18 @@ let domain_cap () =
     match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
   | None -> max 1 (Domain.recommended_domain_count ())
 
-let worker_loop t =
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let worker_loop t w =
   (* Replay allocates heavily in short-lived spurts; a roomier minor heap
      per domain cuts the collection (and thus cross-domain handshake)
      frequency for every worker. *)
   let g = Gc.get () in
   if g.minor_heap_size < 8 * 262144 then
     Gc.set { g with minor_heap_size = 8 * 262144 };
+  let ws = t.stats.(w) in
   let rec loop () =
+    let t0 = now_ns () in
     Mutex.lock t.mutex;
     while Queue.is_empty t.jobs && t.accepting do
       Condition.wait t.work_available t.mutex
@@ -63,16 +95,24 @@ let worker_loop t =
        queue drained: exit. *)
     match Queue.take_opt t.jobs with
     | None ->
-      Mutex.unlock t.mutex
+      Mutex.unlock t.mutex;
+      ws.ws_idle_ns <- ws.ws_idle_ns + (now_ns () - t0)
     | Some job ->
       Mutex.unlock t.mutex;
-      job ();
+      let t1 = now_ns () in
+      (* Queue wait — lock contention included — is idle time: the worker
+         had no job to run. *)
+      ws.ws_idle_ns <- ws.ws_idle_ns + (t1 - t0);
+      job w;
+      ws.ws_busy_ns <- ws.ws_busy_ns + (now_ns () - t1);
+      ws.ws_jobs <- ws.ws_jobs + 1;
       loop ()
   in
   loop ()
 
 let create ?(workers = 1) () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let spawned = min workers (domain_cap ()) in
   let t =
     {
       mutex = Mutex.create ();
@@ -81,18 +121,23 @@ let create ?(workers = 1) () =
       accepting = true;
       domains = [];
       workers;
+      stats =
+        Array.init spawned (fun _ ->
+            { ws_jobs = 0; ws_busy_ns = 0; ws_idle_ns = 0 });
+      peak_depth = 0;
     }
   in
-  let spawned = min workers (domain_cap ()) in
-  t.domains <- List.init spawned (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.domains <- List.init spawned (fun w -> Domain.spawn (fun () -> worker_loop t w));
   t
 
-let submit t f =
+(* [submit_indexed] is the general form: the job learns which worker ran
+   it.  [submit] keeps the index-free interface. *)
+let submit_indexed t f =
   let p = { p_mutex = Mutex.create (); p_done = Condition.create (); p_state = Pending } in
-  let job () =
+  let job w =
     (* The whole job body runs under an exception barrier: a raising job
        fulfills its promise with [Error] and the worker lives on. *)
-    let result = match f () with v -> Ok v | exception e -> Error e in
+    let result = match f ~worker:w with v -> Ok v | exception e -> Error e in
     Mutex.lock p.p_mutex;
     p.p_state <- Fulfilled result;
     Condition.broadcast p.p_done;
@@ -104,9 +149,12 @@ let submit t f =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.add job t.jobs;
+  if Queue.length t.jobs > t.peak_depth then t.peak_depth <- Queue.length t.jobs;
   Condition.signal t.work_available;
   Mutex.unlock t.mutex;
   p
+
+let submit t f = submit_indexed t (fun ~worker:_ -> f ())
 
 let await p =
   Mutex.lock p.p_mutex;

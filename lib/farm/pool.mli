@@ -8,20 +8,43 @@
 
     The pool itself shares nothing between jobs; isolation of what the
     jobs touch (notably the domain-local {!Faros_dift.Prov_intern}
-    store) is the job body's responsibility — see {!Campaign}. *)
+    store) is the job body's responsibility — see {!Campaign}.
+
+    Telemetry: each spawned domain counts its jobs and splits its wall
+    time into busy (inside job bodies) and idle (waiting on the queue)
+    nanoseconds, and the queue remembers its peak depth.  Read them with
+    {!worker_stats} / {!peak_depth} after {!shutdown} for exact values. *)
 
 type t
 
 type 'a promise
 
+(** Per-worker counters, written only by that worker's domain. *)
+type worker_stat = {
+  mutable ws_jobs : int;  (** jobs completed by this worker *)
+  mutable ws_busy_ns : int;  (** time inside job bodies *)
+  mutable ws_idle_ns : int;  (** time waiting on the queue *)
+}
+
 val create : ?workers:int -> unit -> t
 (** Spawn a pool of [workers] domains (default 1).  Raises
-    [Invalid_argument] when [workers < 1]. *)
+    [Invalid_argument] when [workers < 1].  The domains actually spawned
+    are capped at the host's recommended domain count (override with
+    [FAROS_FARM_DOMAINS]); {!workers} still reports the request. *)
 
 val workers : t -> int
+(** The requested worker count. *)
+
+val spawned : t -> int
+(** The domains actually spawned: [min workers (host cap)]. *)
 
 val submit : t -> (unit -> 'a) -> 'a promise
 (** Enqueue a job.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val submit_indexed : t -> (worker:int -> 'a) -> 'a promise
+(** Like {!submit}, but the job receives the index (in
+    [0 .. spawned-1]) of the worker domain that runs it — the campaign
+    driver uses it to label per-job artifacts with their producer. *)
 
 val await : 'a promise -> ('a, exn) result
 (** Block until the job has run; [Error e] if the job raised [e]. *)
@@ -29,6 +52,13 @@ val await : 'a promise -> ('a, exn) result
 val shutdown : t -> unit
 (** Stop accepting jobs, let the workers drain the queue, then join
     their domains.  Idempotent. *)
+
+val worker_stats : t -> worker_stat list
+(** A snapshot per spawned worker, in worker-index order.  Exact after
+    {!shutdown}; while workers run it may lag by the job in flight. *)
+
+val peak_depth : t -> int
+(** The deepest the job queue has been since {!create}. *)
 
 val map : ?workers:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** [map ~workers f items] runs [f] over [items] on a transient pool and

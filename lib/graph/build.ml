@@ -19,6 +19,7 @@ type t = {
   c_flags : Faros_obs.Metrics.counter option;
   mutable b_kernel : Faros_os.Kernel.t option;
   mutable b_store : Faros_dift.Tag_store.t option;
+  mutable b_profile : Faros_obs.Profile.t;  (* adopted from the plugin *)
 }
 
 let create ?metrics ~sample () =
@@ -31,6 +32,7 @@ let create ?metrics ~sample () =
     c_flags = reg "graph.flag_sites";
     b_kernel = None;
     b_store = None;
+    b_profile = Faros_obs.Profile.disabled;
   }
 
 let graph t = t.b_graph
@@ -73,7 +75,7 @@ let tag_source t (tag : Faros_dift.Tag.t) =
         (Faros_dift.Tag_store.file_of store i)
     | Export_table _ -> Some (export_dir_node t))
 
-let on_os_event t (ev : Faros_os.Os_event.t) =
+let record_os_event t (ev : Faros_os.Os_event.t) =
   Option.iter Faros_obs.Metrics.incr t.c_events;
   let g = t.b_graph in
   let tick = Faros_os.Kernel.tick (kernel_exn t) in
@@ -133,6 +135,17 @@ let on_os_event t (ev : Faros_os.Os_event.t) =
   | Debug_print _ | Key_read _ | Audio_read _ | Screenshot _ ->
     ()
 
+(* Online construction nests under [kernel.syscall] (events arrive from
+   dispatch): [graph.build] is what forensics adds to each syscall. *)
+let on_os_event t ev =
+  let prof = t.b_profile in
+  if Faros_obs.Profile.enabled prof then begin
+    Faros_obs.Profile.enter prof "graph.build";
+    record_os_event t ev;
+    Faros_obs.Profile.exit prof
+  end
+  else record_os_event t ev
+
 let on_flag t (flag : Core.Report.flag) =
   if not flag.f_whitelisted then begin
     let g = t.b_graph in
@@ -161,10 +174,11 @@ let on_flag t (flag : Core.Report.flag) =
 let plugin t ~kernel ~(faros : Core.Faros_plugin.t) =
   t.b_kernel <- Some kernel;
   t.b_store <- Some faros.engine.store;
+  t.b_profile <- faros.profile;
   Core.Detector.add_flag_observer faros.detector (on_flag t);
   Faros_replay.Plugin.make ~on_os_event:(on_os_event t) "attack-graph"
 
-let enrich t (faros : Core.Faros_plugin.t) =
+let enrich_walk t (faros : Core.Faros_plugin.t) =
   if t.b_kernel = None then t.b_kernel <- Some faros.kernel;
   if t.b_store = None then t.b_store <- Some faros.engine.store;
   let kernel = kernel_exn t in
@@ -201,3 +215,11 @@ let enrich t (faros : Core.Faros_plugin.t) =
             (List.rev (Faros_dift.Provenance.to_list r.rt_sample)))
         regions)
     (Faros_os.Kstate.processes kernel)
+
+(* Offline enrichment is a whole shadow-memory walk: one top-level-ish
+   [graph.enrich] span (it runs after the replay, outside [kernel.*]). *)
+let enrich t (faros : Core.Faros_plugin.t) =
+  if Faros_obs.Profile.enabled t.b_profile then
+    Faros_obs.Profile.with_span t.b_profile "graph.enrich" (fun () ->
+        enrich_walk t faros)
+  else enrich_walk t faros

@@ -157,3 +157,19 @@ let well_formed s =
   | () when !pos = n -> Ok ()
   | () -> Error (Printf.sprintf "trailing garbage at offset %d" !pos)
   | exception Bad msg -> Error msg
+
+(* JSONL: every non-empty line must be a well-formed JSON value.
+   Returns the number of validated lines, or the first offending line
+   (1-based) with its error. *)
+let well_formed_lines s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno ok = function
+    | [] -> Ok ok
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) ok rest
+      else (
+        match well_formed line with
+        | Ok () -> go (lineno + 1) (ok + 1) rest
+        | Error msg -> Error (lineno, msg))
+  in
+  go 1 0 lines

@@ -7,3 +7,8 @@ val escape : string -> string
 val well_formed : string -> (unit, string) result
 (** Validate that a string is one complete, well-formed JSON value.  A
     checker, not a parser: it builds nothing. *)
+
+val well_formed_lines : string -> (int, int * string) result
+(** Validate a JSONL document: every non-empty line must be one
+    well-formed JSON value.  [Ok n] is the number of validated lines;
+    [Error (lineno, msg)] names the first bad line (1-based). *)

@@ -1,0 +1,148 @@
+(* Unified streaming JSONL sink.
+
+   One append-only channel that every observability producer — metrics,
+   trace, series, profiler, farm, graph — writes through, so a whole
+   campaign lands in a single stream a fleet-side consumer can tail.
+   Each line is one self-describing JSON object carrying a schema
+   version ("v") and a type tag ("type"); the six event types are
+
+     metric_snapshot   a whole registry, rendered once per source
+     trace_event       one structured trace event (worker/guest lanes)
+     series_point      one sampled time-series row
+     profile_span      one aggregated profiler span
+     job_lifecycle     submit/start/finish of one farm job
+     graph_flag        per-sample attack-graph summary at a flag site
+
+   The null sink is a constant constructor — emission points cost one
+   branch and allocate nothing — and the buffering sink is bounded with
+   an explicit drop counter, so loss is visible, never silent.  Lines
+   are validated downstream by the same [Json.well_formed] checker the
+   tests use (`faros check-json --jsonl`). *)
+
+let schema_version = 1
+
+type buffer = {
+  mutable rev_lines : string list;  (* newest first *)
+  mutable count : int;
+  limit : int;
+  mutable dropped : int;
+}
+
+type t = Null | Buffer of buffer
+
+let null = Null
+
+let create ?(limit = 1_000_000) () =
+  Buffer { rev_lines = []; count = 0; limit; dropped = 0 }
+
+let enabled = function Null -> false | Buffer _ -> true
+let events = function Null -> 0 | Buffer b -> b.count
+let dropped = function Null -> 0 | Buffer b -> b.dropped
+
+let lines = function Null -> [] | Buffer b -> List.rev b.rev_lines
+
+let contents t =
+  match lines t with [] -> "" | ls -> String.concat "\n" ls ^ "\n"
+
+let push t line =
+  match t with
+  | Null -> ()
+  | Buffer b ->
+    if b.count >= b.limit then b.dropped <- b.dropped + 1
+    else begin
+      b.rev_lines <- line :: b.rev_lines;
+      b.count <- b.count + 1
+    end
+
+let line t typ body =
+  match t with
+  | Null -> ()
+  | Buffer _ ->
+    push t
+      (Printf.sprintf {|{"v":%d,"type":"%s",%s}|} schema_version typ body)
+
+(* -- typed emitters -- *)
+
+(* [Metrics.to_json] renders {"metrics":[...]} — splice the array in. *)
+let metric_snapshot t ~source metrics =
+  if enabled t then
+    line t "metric_snapshot"
+      (Printf.sprintf {|"source":"%s",%s|} (Json.escape source)
+         (let j = Metrics.to_json metrics in
+          String.sub j 1 (String.length j - 2)))
+
+let trace_event t ?sample (e : Trace.event) =
+  if enabled t then begin
+    let args =
+      e.Trace.ev_args
+      |> List.map (fun (k, v) ->
+             Printf.sprintf {|"%s":%s|} (Json.escape k) (Trace.arg_json v))
+      |> String.concat ","
+    in
+    let sample =
+      match sample with
+      | Some s -> Printf.sprintf {|"sample":"%s",|} (Json.escape s)
+      | None -> ""
+    in
+    line t "trace_event"
+      (Printf.sprintf
+         {|%s"name":"%s","cat":"%s","ts":%d,"pid":%d,"tid":%d,"args":{%s}|}
+         sample
+         (Json.escape e.Trace.ev_name)
+         (Json.escape e.Trace.ev_cat)
+         e.Trace.ev_ts e.Trace.ev_pid e.Trace.ev_tid args)
+  end
+
+let series_point t ~sample ~columns ~row =
+  if enabled t then begin
+    let n = min (List.length columns) (Array.length row) in
+    let fields =
+      List.filteri (fun i _ -> i < n) columns
+      |> List.mapi (fun i c ->
+             Printf.sprintf {|"%s":%d|} (Json.escape c) row.(i))
+      |> String.concat ","
+    in
+    line t "series_point"
+      (Printf.sprintf {|"sample":"%s",%s|} (Json.escape sample) fields)
+  end
+
+let profile_span t ~source (sp : Profile.span) =
+  if enabled t then
+    line t "profile_span"
+      (Printf.sprintf
+         {|"source":"%s","path":"%s","count":%d,"total_ns":%d,"self_ns":%d,"minor_words":%d,"major_words":%d|}
+         (Json.escape source)
+         (Json.escape sp.Profile.sp_path)
+         sp.Profile.sp_count sp.Profile.sp_total_ns sp.Profile.sp_self_ns
+         sp.Profile.sp_minor_words sp.Profile.sp_major_words)
+
+let job_lifecycle t ~job ~worker ~event ?verdict ?wall_s () =
+  if enabled t then begin
+    let verdict =
+      match verdict with
+      | Some v -> Printf.sprintf {|,"verdict":"%s"|} (Json.escape v)
+      | None -> ""
+    in
+    let wall =
+      match wall_s with
+      | Some w -> Printf.sprintf {|,"wall_s":%.6f|} w
+      | None -> ""
+    in
+    line t "job_lifecycle"
+      (Printf.sprintf {|"job":"%s","worker":%d,"event":"%s"%s%s|}
+         (Json.escape job) worker (Json.escape event) verdict wall)
+  end
+
+let graph_flag t ~sample ~flag_sites ~nodes ~edges ~slice_nodes ~slice_origins
+    ~netflow_origin =
+  if enabled t then
+    line t "graph_flag"
+      (Printf.sprintf
+         {|"sample":"%s","flag_sites":%d,"nodes":%d,"edges":%d,"slice_nodes":%d,"slice_origins":%d,"netflow_origin":%b|}
+         (Json.escape sample) flag_sites nodes edges slice_nodes slice_origins
+         netflow_origin)
+
+let write_file t path =
+  let oc = open_out path in
+  output_string oc (contents t);
+  close_out oc

@@ -1,0 +1,70 @@
+(** Unified streaming JSONL sink.
+
+    One append-only channel all observability producers share: each line
+    is a self-describing JSON object with a schema version ["v"] and a
+    ["type"] tag drawn from six event types ([metric_snapshot],
+    [trace_event], [series_point], [profile_span], [job_lifecycle],
+    [graph_flag]).  {!null} costs one branch per emission; the buffering
+    sink is bounded with an explicit drop counter — loss is counted,
+    never silent. *)
+
+type t
+
+val schema_version : int
+
+val null : t
+(** The disabled sink: every emitter is a no-op. *)
+
+val create : ?limit:int -> unit -> t
+(** A buffering sink holding at most [limit] lines (default 1e6). *)
+
+val enabled : t -> bool
+
+val events : t -> int
+(** Lines buffered so far. *)
+
+val dropped : t -> int
+(** Lines rejected because the buffer was full. *)
+
+val lines : t -> string list
+(** Buffered lines, oldest first. *)
+
+val contents : t -> string
+(** The whole stream, newline-terminated; [""] when empty. *)
+
+val write_file : t -> string -> unit
+
+(** {2 Typed emitters} — each appends exactly one line. *)
+
+val metric_snapshot : t -> source:string -> Metrics.t -> unit
+(** A whole registry, sorted by name as [Metrics.to_json] renders it. *)
+
+val trace_event : t -> ?sample:string -> Trace.event -> unit
+
+val series_point :
+  t -> sample:string -> columns:string list -> row:int array -> unit
+
+val profile_span : t -> source:string -> Profile.span -> unit
+
+val job_lifecycle :
+  t ->
+  job:string ->
+  worker:int ->
+  event:string ->
+  ?verdict:string ->
+  ?wall_s:float ->
+  unit ->
+  unit
+(** [event] is ["submit"], ["start"] or ["finish"]; [verdict] and
+    [wall_s] accompany ["finish"]. *)
+
+val graph_flag :
+  t ->
+  sample:string ->
+  flag_sites:int ->
+  nodes:int ->
+  edges:int ->
+  slice_nodes:int ->
+  slice_origins:int ->
+  netflow_origin:bool ->
+  unit

@@ -22,7 +22,8 @@ type event = {
   ev_name : string;
   ev_cat : string;  (* "engine" | "detector" | "syscall" | "block" | "shadow" *)
   ev_ts : int;  (* kernel tick at emission *)
-  ev_pid : int;  (* pid or asid of the subject; 0 when whole-system *)
+  ev_pid : int;  (* process domain: guest pid/asid, or farm worker index *)
+  ev_tid : int;  (* thread lane within the domain; defaults to ev_pid *)
   ev_args : (string * arg) list;
 }
 
@@ -47,18 +48,32 @@ let enabled = function Null -> false | Collector _ -> true
 let set_clock t clock =
   match t with Null -> () | Collector c -> c.clock <- clock
 
-let emit t ~cat ~name ~pid args =
+(* Buffer a pre-built event verbatim (same bounded-drop discipline as
+   [emit]); this is how a campaign folds per-job collectors into one
+   fleet-wide trace, rewriting pid/tid to worker/guest lanes. *)
+let add_event t e =
   match t with
   | Null -> ()
   | Collector c ->
     if c.count >= c.limit then c.dropped <- c.dropped + 1
     else begin
-      c.rev_events <-
-        { ev_name = name; ev_cat = cat; ev_ts = c.clock (); ev_pid = pid;
-          ev_args = args }
-        :: c.rev_events;
+      c.rev_events <- e :: c.rev_events;
       c.count <- c.count + 1
     end
+
+let emit t ?tid ?ts ~cat ~name ~pid args =
+  match t with
+  | Null -> ()
+  | Collector c ->
+    add_event t
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts = (match ts with Some ts -> ts | None -> c.clock ());
+        ev_pid = pid;
+        ev_tid = (match tid with Some tid -> tid | None -> pid);
+        ev_args = args;
+      }
 
 let events = function
   | Null -> []
@@ -79,7 +94,10 @@ let arg_json = function
 
 (* One instant event per emission; [ts] is the kernel tick, which the
    viewer renders as microseconds — a tick is the natural time unit of a
-   deterministic replay. *)
+   deterministic replay.  pid and tid are distinct fields: a campaign
+   trace puts the worker index in pid and the guest pid in tid, so each
+   worker renders as its own process lane in chrome://tracing with
+   per-guest thread rows inside it. *)
 let event_json e =
   let args =
     e.ev_args
@@ -89,7 +107,7 @@ let event_json e =
   in
   Printf.sprintf
     {|{"name":"%s","cat":"%s","ph":"i","s":"g","ts":%d,"pid":%d,"tid":%d,"args":{%s}}|}
-    (Json.escape e.ev_name) (Json.escape e.ev_cat) e.ev_ts e.ev_pid e.ev_pid
+    (Json.escape e.ev_name) (Json.escape e.ev_cat) e.ev_ts e.ev_pid e.ev_tid
     args
 
 let to_chrome_json t =

@@ -19,7 +19,8 @@ type event = {
   ev_name : string;
   ev_cat : string;
   ev_ts : int;  (** kernel tick at emission *)
-  ev_pid : int;  (** pid or asid of the subject; 0 when whole-system *)
+  ev_pid : int;  (** process domain: guest pid/asid, or farm worker index *)
+  ev_tid : int;  (** thread lane within the domain; defaults to [ev_pid] *)
   ev_args : (string * arg) list;
 }
 
@@ -36,7 +37,21 @@ val enabled : t -> bool
 val set_clock : t -> (unit -> int) -> unit
 (** Set the timestamp source (no-op on {!null}). *)
 
-val emit : t -> cat:string -> name:string -> pid:int -> (string * arg) list -> unit
+val emit :
+  t ->
+  ?tid:int ->
+  ?ts:int ->
+  cat:string ->
+  name:string ->
+  pid:int ->
+  (string * arg) list ->
+  unit
+(** [tid] defaults to [pid]; [ts] defaults to the sink clock. *)
+
+val add_event : t -> event -> unit
+(** Buffer a pre-built event verbatim (bounded, drops counted) — used to
+    fold per-job collectors into a campaign-wide trace with rewritten
+    pid/tid lanes. *)
 
 val events : t -> event list
 (** Collected events, oldest first (empty for {!null}). *)
@@ -45,5 +60,10 @@ val by_category : t -> string -> event list
 val count : t -> int
 val dropped : t -> int
 
+val arg_json : arg -> string
+(** One argument value as a JSON fragment. *)
+
 val to_chrome_json : t -> string
-(** The whole buffer as a Chrome trace_event JSON document. *)
+(** The whole buffer as a Chrome trace_event JSON document.  [pid] and
+    [tid] are emitted as distinct fields, so campaign traces (worker
+    index in pid, guest pid in tid) render one lane per worker. *)

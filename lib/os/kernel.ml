@@ -64,7 +64,12 @@ let handler sysno : (Kstate.t -> Process.t -> int array -> int) option =
   else if sysno = dbg_print then Some Sys_misc.debug_print
   else None
 
+(* The [kernel.syscall] span covers Sys_enter/Sys_exit fan-out too, so
+   everything OS-event subscribers do (DIFT tag insertion, graph
+   building) nests inside it. *)
 let dispatch (k : t) (p : Process.t) (eff : Faros_vm.Cpu.effect) =
+  let prof = k.Kstate.profile in
+  Faros_obs.Profile.enter prof "kernel.syscall";
   let cpu = p.cpu in
   let sysno = cpu.regs.(0) in
   let args = args_of cpu in
@@ -82,7 +87,8 @@ let dispatch (k : t) (p : Process.t) (eff : Faros_vm.Cpu.effect) =
     | None -> -1 land Faros_vm.Word.mask
   in
   Faros_vm.Cpu.set cpu Faros_vm.Isa.r0 ret;
-  Kstate.emit k (Os_event.Sys_exit { pid = p.pid; sysno; ret })
+  Kstate.emit k (Os_event.Sys_exit { pid = p.pid; sysno; ret });
+  Faros_obs.Profile.exit prof
 
 let terminate_on_fault (k : t) (p : Process.t) fault =
   p.fault <- Some fault;

@@ -12,6 +12,7 @@ type t = {
   mutable tick : int;  (* instructions executed, whole system *)
   mutable run_queue : Types.pid list;
   mutable trace : Faros_obs.Trace.t;  (* syscall-dispatch events *)
+  mutable profile : Faros_obs.Profile.t;  (* span profiler; disabled by default *)
 }
 
 let create ~local_ip =
@@ -29,11 +30,18 @@ let create ~local_ip =
     tick = 0;
     run_queue = [];
     trace = Faros_obs.Trace.null;
+    profile = Faros_obs.Profile.disabled;
   }
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 
 let set_trace t trace = t.trace <- trace
+
+(* The machine shares the profiler so [vm.step]/[vm.hooks] spans land in
+   the same tree as [kernel.syscall]. *)
+let set_profile t profile =
+  t.profile <- profile;
+  Faros_vm.Machine.set_profile t.machine profile
 
 let emit t ev = List.iter (fun f -> f ev) t.subscribers
 

@@ -14,6 +14,8 @@ type t = {
   mutable run_queue : Types.pid list;
   mutable trace : Faros_obs.Trace.t;
       (** sink for syscall-dispatch events; the disabled sink by default *)
+  mutable profile : Faros_obs.Profile.t;
+      (** span profiler; the disabled profiler by default *)
 }
 
 val create : local_ip:Types.Ip.t -> t
@@ -24,6 +26,11 @@ val emit : t -> Os_event.t -> unit
 val set_trace : t -> Faros_obs.Trace.t -> unit
 (** Point the kernel's structured-event sink somewhere (see
     {!Faros_obs.Trace}); syscall dispatch emits one event per call. *)
+
+val set_profile : t -> Faros_obs.Profile.t -> unit
+(** Attach a span profiler to the kernel {e and} its machine: syscall
+    dispatch runs under [kernel.syscall], instruction execution under
+    [vm.step]/[vm.hooks]. *)
 
 val proc : t -> Types.pid -> Process.t option
 val proc_exn : t -> Types.pid -> Process.t

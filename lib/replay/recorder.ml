@@ -33,14 +33,18 @@ let finish (s : session) : Trace.t =
 (* Record a full run: [setup] provisions images/actors/keys, [boot] spawns
    the initial processes, then the system runs to completion.  [plugins]
    lets live monitors (the Cuckoo-style sandbox) watch the recording run. *)
-let record ?max_ticks ?timeslice
+let record ?max_ticks ?timeslice ?(profile = Faros_obs.Profile.disabled)
     ?(plugins : (Faros_os.Kernel.t -> Plugin.t list) option) ~setup ~boot () =
   let kernel = Faros_os.Kernel.create () in
+  if Faros_obs.Profile.enabled profile then
+    Faros_os.Kstate.set_profile kernel profile;
+  Faros_obs.Profile.enter profile "record.setup";
   setup kernel;
   let session = start kernel in
   (match plugins with
   | Some make -> Plugin.attach_all kernel (make kernel)
   | None -> ());
   boot kernel;
+  Faros_obs.Profile.exit profile;
   Faros_os.Kernel.run ?max_ticks ?timeslice kernel;
   (kernel, finish session)

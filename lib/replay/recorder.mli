@@ -15,6 +15,7 @@ val finish : session -> Trace.t
 val record :
   ?max_ticks:int ->
   ?timeslice:int ->
+  ?profile:Faros_obs.Profile.t ->
   ?plugins:(Faros_os.Kernel.t -> Plugin.t list) ->
   setup:(Faros_os.Kernel.t -> unit) ->
   boot:(Faros_os.Kernel.t -> unit) ->
@@ -23,4 +24,5 @@ val record :
 (** Record a full run: [setup] provisions images/actors/keys, [boot] spawns
     the initial processes, then the system runs to completion.  [plugins]
     lets live monitors (the Cuckoo-style sandbox) watch the recording
-    run. *)
+    run.  [profile] (default disabled) attaches a span profiler to the
+    kernel and machine for the duration of the run. *)

@@ -18,10 +18,16 @@ type result = {
    after images are provisioned but before any process runs — the window in
    which FAROS scans and taints the export tables. *)
 let replay ?max_ticks ?timeslice ?tb_cache ?dift_fast
+    ?(profile = Faros_obs.Profile.disabled)
     ?(plugins : (Faros_os.Kernel.t -> Plugin.t list) option)
     ?(sample : (int * (tick:int -> syscalls:int -> unit)) option) ~setup ~boot
     (trace : Trace.t) =
   let kernel = Faros_os.Kernel.create () in
+  (* Installed before the plugins so the FAROS plugin (which re-installs
+     the shared profiler via [Kstate.set_profile]) and a bare replay both
+     get [vm.step]/[kernel.syscall] spans. *)
+  if Faros_obs.Profile.enabled profile then
+    Faros_os.Kstate.set_profile kernel profile;
   (* Per-replay overrides of the machine's translation-block cache and the
      DIFT fast path: the differential harness and the bench compare
      configurations over the same trace without touching the process-wide
@@ -33,6 +39,11 @@ let replay ?max_ticks ?timeslice ?tb_cache ?dift_fast
   (match dift_fast with
   | Some b -> Faros_vm.Machine.set_dift_fast kernel.machine b
   | None -> ());
+  (* Everything up to the run loop — image install, plugin construction
+     (the FAROS plugin scans and taints export tables here), boot — is one
+     [replay.setup] span, so the replay's own span keeps almost no
+     unattributed self time. *)
+  Faros_obs.Profile.enter profile "replay.setup";
   setup kernel;
   Faros_os.Netstack.set_replay_source kernel.net (fun flow ->
       Trace.rx_chunks trace flow);
@@ -54,6 +65,7 @@ let replay ?max_ticks ?timeslice ?tb_cache ?dift_fast
         if tick mod interval = 0 then fire ~tick ~syscalls:!syscalls)
   | Some _ | None -> ());
   boot kernel;
+  Faros_obs.Profile.exit profile;
   Faros_os.Kernel.run ?max_ticks ?timeslice kernel;
   (* One forced sample at the end so the series' last row reflects the
      final system state regardless of where the interval landed. *)

@@ -18,6 +18,7 @@ val replay :
   ?timeslice:int ->
   ?tb_cache:bool ->
   ?dift_fast:bool ->
+  ?profile:Faros_obs.Profile.t ->
   ?plugins:(Faros_os.Kernel.t -> Plugin.t list) ->
   ?sample:(int * (tick:int -> syscalls:int -> unit)) ->
   setup:(Faros_os.Kernel.t -> unit) ->
@@ -40,4 +41,8 @@ val replay :
     [sample] is [(interval, fire)]: [fire] runs every [interval] kernel
     ticks (installed after the plugins, so it observes post-propagation
     analysis state) and once more after the run, so the last sample always
-    reflects the final system state. *)
+    reflects the final system state.
+
+    [profile] (default disabled) attaches a span profiler to the kernel
+    and machine before the plugins run, so both a bare replay and a
+    FAROS-on replay produce [vm.step] / [kernel.syscall] spans. *)

@@ -109,6 +109,8 @@ The full metrics registry after one analysis: a flagged sample...
   engine.tag_inserts.export            counter    40
   engine.tag_inserts.file              counter    2
   engine.tag_inserts.netflow           counter    2
+  obs.sink.dropped                     gauge      0
+  obs.sink.events                      gauge      0
   prov.interned                        gauge      51
   shadow.pages                         gauge      6
   shadow.tainted_bytes                 gauge      4753
@@ -142,6 +144,8 @@ The full metrics registry after one analysis: a flagged sample...
   engine.tag_inserts.export            counter    40
   engine.tag_inserts.file              counter    2
   engine.tag_inserts.netflow           counter    0
+  obs.sink.dropped                     gauge      0
+  obs.sink.events                      gauge      0
   prov.interned                        gauge      44
   shadow.pages                         gauge      2
   shadow.tainted_bytes                 gauge      400
@@ -287,3 +291,71 @@ wall-clock column).
   $ faros campaign --filter 'reflective_*' --csv - | cut -d, -f1,14,15,16,17,18,19
   id,graph_nodes,graph_edges,flag_sites,slice_nodes,slice_origins,netflow_origin
   reflective_dll_inject,13,26,2,5,1,true
+
+Whole-pipeline observability.  The span profiler attributes every stage
+of one sample's analysis; wall times vary run to run, so project the
+deterministic part — span paths and call counts, which mirror the
+deterministic replay exactly.
+
+  $ faros profile run reflective_dll_inject | head -2
+  sample:   reflective_dll_inject
+  verdict:  IN-MEMORY INJECTION FLAGGED
+
+  $ faros profile run reflective_dll_inject --top 100 | awk 'NR>6 && NF {print $1, $2}' | sort
+  finalize 1
+  record 1
+  record/kernel.syscall 51
+  record/record.setup 1
+  record/vm.hooks 376
+  record/vm.step 376
+  replay 1
+  replay/dift.os_event 2
+  replay/kernel.syscall 51
+  replay/kernel.syscall/dift.os_event 111
+  replay/replay.setup 1
+  replay/replay.setup/dift.os_event 6
+  replay/vm.hooks 376
+  replay/vm.hooks/detector.check 7
+  replay/vm.hooks/dift.precheck 376
+  replay/vm.hooks/dift.propagate 122
+  replay/vm.hooks/dift.propagate/detector.check 11
+  replay/vm.step 376
+
+A campaign profiles the whole fleet — per-job span trees merged
+driver-side — and streams one unified JSONL channel carrying all six
+schema event types.  Pin the worker-domain cap so the utilization
+summary is host-independent.
+
+  $ FAROS_FARM_DOMAINS=1 faros campaign -j 2 --filter 'applet_*' --profile --jsonl-out obs.jsonl > camp.out
+  $ head -4 camp.out
+  category                              samples  flagged    clean   error  timeout mismatches
+  jit-applet                                  8        0        8       0        0          0
+  jit-applet(native)                          2        2        0       0        0          0
+  10 samples, 0 mismatches
+
+  $ grep -o 'workers: 2 requested, 1 spawned' camp.out
+  workers: 2 requested, 1 spawned
+
+  $ grep -c 'hotspots (fleet-merged, self time):' camp.out
+  1
+
+  $ grep -o 'wrote obs.jsonl (704 events, 0 dropped)' camp.out
+  wrote obs.jsonl (704 events, 0 dropped)
+
+The stream passes the repo's own JSONL checker, every line is typed and
+versioned, and the sink's own drop counter is frozen into the closing
+metric snapshot.
+
+  $ faros check-json --jsonl obs.jsonl | sed 's/[0-9]* bytes/N bytes/'
+  obs.jsonl: well-formed JSONL (704 lines, N bytes)
+
+  $ cut -d, -f2 obs.jsonl | sort | uniq -c
+        2 "type":"graph_flag"
+       30 "type":"job_lifecycle"
+        1 "type":"metric_snapshot"
+       25 "type":"profile_span"
+       10 "type":"series_point"
+      636 "type":"trace_event"
+
+  $ grep -o '"name":"obs.sink.dropped","kind":"gauge","value":[0-9]*' obs.jsonl
+  "name":"obs.sink.dropped","kind":"gauge","value":0

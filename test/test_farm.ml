@@ -90,6 +90,62 @@ let pool_tests =
              counts));
   ]
 
+(* -- worker telemetry ------------------------------------------------------ *)
+
+let telemetry_pool_tests =
+  [
+    Alcotest.test_case "worker stats account for every job" `Quick (fun () ->
+        let pool = Pool.create ~workers:4 () in
+        let promises =
+          List.init 30 (fun i -> Pool.submit pool (fun () -> i))
+        in
+        List.iter (fun p -> ignore (Pool.await p)) promises;
+        Pool.shutdown pool;
+        let stats = Pool.worker_stats pool in
+        check "one stat per spawned worker" (Pool.spawned pool)
+          (List.length stats);
+        check_b "spawned bounded by request" true (Pool.spawned pool <= 4);
+        check "jobs sum to submissions" 30
+          (List.fold_left (fun acc s -> acc + s.Pool.ws_jobs) 0 stats);
+        check_b "peak depth seen" true (Pool.peak_depth pool >= 1);
+        List.iter
+          (fun s ->
+            check_b "busy time non-negative" true (s.Pool.ws_busy_ns >= 0);
+            check_b "idle time non-negative" true (s.Pool.ws_idle_ns >= 0))
+          stats);
+    Alcotest.test_case "submit_indexed passes a valid worker index" `Quick
+      (fun () ->
+        let pool = Pool.create ~workers:3 () in
+        let spawned = Pool.spawned pool in
+        let promises =
+          List.init 20 (fun _ ->
+              Pool.submit_indexed pool (fun ~worker -> worker))
+        in
+        let indices =
+          List.map
+            (fun p ->
+              match Pool.await p with
+              | Ok w -> w
+              | Error _ -> Alcotest.fail "job errored")
+            promises
+        in
+        Pool.shutdown pool;
+        List.iter
+          (fun w -> check_b "index within spawned range" true
+              (w >= 0 && w < spawned))
+          indices);
+    Alcotest.test_case "raising jobs still count in worker stats" `Quick
+      (fun () ->
+        let pool = Pool.create ~workers:1 () in
+        ignore (Pool.await (Pool.submit pool (fun () -> raise (Boom 0))));
+        ignore (Pool.await (Pool.submit pool (fun () -> ())));
+        Pool.shutdown pool;
+        check "both jobs counted" 2
+          (List.fold_left
+             (fun acc s -> acc + s.Pool.ws_jobs)
+             0 (Pool.worker_stats pool)));
+  ]
+
 (* -- campaign isolation and verdicts ------------------------------------- *)
 
 let run_ids ?workers ?tick_budget ?deadline ids =
@@ -142,6 +198,124 @@ let campaign_tests =
         Alcotest.(check (list string))
           "submission order, not completion or reverse order"
           [ "c1"; "c2"; "c3" ] c.mismatches);
+  ]
+
+(* -- campaign observability ------------------------------------------------ *)
+
+let contains ~needle hay =
+  let n = String.length needle and len = String.length hay in
+  let rec go i = i + n <= len && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let campaign_obs_tests =
+  [
+    Alcotest.test_case
+      "profiled campaign streams all six event types, dropping nothing" `Slow
+      (fun () ->
+        let samples =
+          Campaign.filter ~glob:"reflective_*" (Faros_corpus.Registry.all ())
+          @ Campaign.filter ~glob:"skype_s0" (Faros_corpus.Registry.all ())
+        in
+        check_b "slice non-trivial" true (List.length samples >= 2);
+        let plain = Campaign.run ~workers:2 samples in
+        let sink = Faros_obs.Sink.create () in
+        let trace = Faros_obs.Trace.collector () in
+        let progress = ref 0 in
+        let observed =
+          Campaign.run ~workers:2 ~profile:true ~sink ~trace ~farm_metrics:true
+            ~on_progress:(fun ~completed ~total:_ _ -> progress := completed)
+            samples
+        in
+        (* observability must not move any verdict *)
+        Alcotest.(check (list string))
+          "verdicts unchanged"
+          (List.map
+             (fun (r : Campaign.job_result) ->
+               r.jr_id ^ ":" ^ Campaign.verdict_name r.jr_verdict)
+             plain.results)
+          (List.map
+             (fun (r : Campaign.job_result) ->
+               r.jr_id ^ ":" ^ Campaign.verdict_name r.jr_verdict)
+             observed.results);
+        check "progress saw every result" (List.length samples) !progress;
+        (* every job ran on a known worker and shipped a profile *)
+        List.iter
+          (fun (r : Campaign.job_result) ->
+            check_b (r.jr_id ^ " has a worker") true (r.jr_worker >= 0);
+            check_b
+              (r.jr_id ^ " worker within spawned range")
+              true
+              (r.jr_worker < observed.spawned);
+            check_b (r.jr_id ^ " profile enabled") true
+              (Faros_obs.Profile.enabled r.jr_profile))
+          observed.results;
+        (* the fleet-merged profile covers the whole pipeline *)
+        let paths =
+          List.map
+            (fun (s : Faros_obs.Profile.span) -> s.sp_path)
+            (Faros_obs.Profile.spans observed.profile)
+        in
+        List.iter
+          (fun p -> check_b ("span " ^ p) true (List.mem p paths))
+          [
+            "farm.job.setup"; "farm.job.run"; "farm.job.run/replay";
+            "farm.job.run/replay/vm.step"; "farm.job.run/graph.enrich";
+            "farm.merge";
+          ];
+        check_b "job count on farm.job.run" true
+          ((List.find
+              (fun (s : Faros_obs.Profile.span) -> s.sp_path = "farm.job.run")
+              (Faros_obs.Profile.spans observed.profile))
+             .sp_count = List.length samples);
+        (* one stream, zero drops, all six schema types, all valid JSONL *)
+        check "zero drops" 0 (Faros_obs.Sink.dropped sink);
+        check_b "events buffered" true (Faros_obs.Sink.events sink > 0);
+        (match Faros_obs.Json.well_formed_lines (Faros_obs.Sink.contents sink)
+         with
+        | Ok n -> check "checker agrees with counter" (Faros_obs.Sink.events sink) n
+        | Error (line, e) -> Alcotest.failf "line %d: %s" line e);
+        let stream = Faros_obs.Sink.contents sink in
+        List.iter
+          (fun ty ->
+            check_b ("stream has " ^ ty) true
+              (contains ~needle:(Printf.sprintf {|"type":"%s"|} ty) stream))
+          [
+            "metric_snapshot"; "trace_event"; "series_point"; "profile_span";
+            "job_lifecycle"; "graph_flag";
+          ];
+        (* the campaign trace uses worker lanes: pid = worker index *)
+        check_b "trace collected" true (Faros_obs.Trace.count trace > 0);
+        List.iter
+          (fun (e : Faros_obs.Trace.event) ->
+            check_b "pid is a worker lane" true
+              (e.ev_pid >= 0 && e.ev_pid < observed.spawned))
+          (Faros_obs.Trace.events trace);
+        (* farm telemetry gauges landed in the merged registry *)
+        let gauge name =
+          Faros_obs.Metrics.gauge_value
+            (Faros_obs.Metrics.gauge observed.metrics name)
+        in
+        check "requested workers gauge" 2 (gauge "farm.workers.requested");
+        check "spawned gauge" observed.spawned (gauge "farm.workers.spawned");
+        check_b "per-worker jobs gauge" true (gauge "farm.worker.0.jobs" > 0);
+        (* the gauge freezes just before the closing metric_snapshot is
+           emitted, so it counts every line except that one *)
+        check "sink event count frozen into the registry"
+          (Faros_obs.Sink.events sink - 1)
+          (gauge "obs.sink.events");
+        check "sink drop count frozen into the registry" 0
+          (gauge "obs.sink.dropped"));
+    Alcotest.test_case "defaults leave the campaign observability-free" `Quick
+      (fun () ->
+        let c = run_ids [ "reflective_dll_inject" ] in
+        check_b "merged profile disabled" false
+          (Faros_obs.Profile.enabled c.profile);
+        List.iter
+          (fun (r : Campaign.job_result) ->
+            check_b "job profile disabled" false
+              (Faros_obs.Profile.enabled r.jr_profile);
+            Alcotest.(check (list reject)) "no trace shipped" [] r.jr_trace)
+          c.results);
   ]
 
 (* -- serial/parallel equivalence ------------------------------------------ *)
@@ -210,7 +384,9 @@ let () =
   Alcotest.run "faros_farm"
     [
       ("pool", pool_tests);
+      ("pool-telemetry", telemetry_pool_tests);
       ("campaign", campaign_tests);
+      ("campaign-observability", campaign_obs_tests);
       ("equivalence", equivalence_tests);
       ("glob", glob_tests);
     ]

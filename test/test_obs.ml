@@ -233,6 +233,386 @@ let trace_tests =
         | Error e -> Alcotest.fail e);
   ]
 
+(* -- profile ----------------------------------------------------------------- *)
+
+(* A deterministic profiler: a mutable fake clock the tests advance by
+   hand, so every wall-time assertion is exact. *)
+let fake_profile () =
+  let now = ref 0 in
+  (Profile.create ~clock:(fun () -> !now) (), now)
+
+let find_span profile path =
+  match
+    List.find_opt (fun (s : Profile.span) -> s.sp_path = path)
+      (Profile.spans profile)
+  with
+  | Some s -> s
+  | None -> Alcotest.failf "span %s not recorded" path
+
+let profile_tests =
+  [
+    Alcotest.test_case "disabled profiler is inert" `Quick (fun () ->
+        let p = Profile.disabled in
+        check_b "disabled" false (Profile.enabled p);
+        Profile.enter p "a";
+        Profile.exit p;
+        check "with_span is just the thunk" 42
+          (Profile.with_span p "b" (fun () -> 42));
+        Alcotest.(check (list reject)) "no spans" [] (Profile.spans p);
+        check "total" 0 (Profile.total_ns p));
+    Alcotest.test_case "fake clock: nesting, totals, self time" `Quick
+      (fun () ->
+        let p, now = fake_profile () in
+        Profile.enter p "outer";
+        now := 10;
+        Profile.enter p "inner";
+        now := 30;
+        Profile.exit p;
+        (* inner: 20ns *)
+        now := 100;
+        Profile.exit p;
+        (* outer: 100ns inclusive *)
+        let outer = find_span p "outer" and inner = find_span p "outer/inner" in
+        check "outer depth" 0 outer.sp_depth;
+        check "inner depth" 1 inner.sp_depth;
+        check "outer total" 100 outer.sp_total_ns;
+        check "inner total" 20 inner.sp_total_ns;
+        check "outer self = total - child" 80 outer.sp_self_ns;
+        check "inner self" 20 inner.sp_self_ns;
+        check "coverage denominator" 100 (Profile.total_ns p));
+    Alcotest.test_case "same name under two parents is two nodes" `Quick
+      (fun () ->
+        let p, now = fake_profile () in
+        let span name ns f =
+          Profile.enter p name;
+          now := !now + ns;
+          f ();
+          Profile.exit p
+        in
+        span "record" 5 (fun () -> span "vm.step" 3 (fun () -> ()));
+        span "replay" 7 (fun () -> span "vm.step" 4 (fun () -> ()));
+        check "record/vm.step" 3 (find_span p "record/vm.step").sp_total_ns;
+        check "replay/vm.step" 4 (find_span p "replay/vm.step").sp_total_ns;
+        (* preorder, first-entered order — deterministic *)
+        Alcotest.(check (list string))
+          "span order"
+          [ "record"; "record/vm.step"; "replay"; "replay/vm.step" ]
+          (List.map (fun (s : Profile.span) -> s.sp_path) (Profile.spans p)));
+    Alcotest.test_case "call counts aggregate on one node" `Quick (fun () ->
+        let p, now = fake_profile () in
+        for _ = 1 to 5 do
+          Profile.with_span p "hot" (fun () -> now := !now + 2)
+        done;
+        let s = find_span p "hot" in
+        check "count" 5 s.sp_count;
+        check "total" 10 s.sp_total_ns);
+    Alcotest.test_case "with_span closes the span on exceptions" `Quick
+      (fun () ->
+        let p, now = fake_profile () in
+        (try
+           Profile.with_span p "risky" (fun () ->
+               now := 4;
+               failwith "boom")
+         with Failure _ -> ());
+        Profile.with_span p "after" (fun () -> ());
+        check "risky closed at depth 0" 0 (find_span p "risky").sp_depth;
+        check "sibling, not child" 0 (find_span p "after").sp_depth);
+    Alcotest.test_case "unbalanced exit is ignored" `Quick (fun () ->
+        let p, _ = fake_profile () in
+        Profile.exit p;
+        Profile.with_span p "a" (fun () -> ());
+        check "still records" 1 (List.length (Profile.spans p)));
+    Alcotest.test_case "merge adds matching paths, creates missing ones"
+      `Quick (fun () ->
+        let mk spec =
+          let p, now = fake_profile () in
+          List.iter
+            (fun (name, ns) -> Profile.with_span p name (fun () -> now := !now + ns))
+            spec;
+          p
+        in
+        let into = mk [ ("a", 10); ("b", 5) ] in
+        Profile.merge ~into (mk [ ("a", 32); ("c", 7) ]);
+        check "a added" 42 (find_span into "a").sp_total_ns;
+        check "a count" 2 (find_span into "a").sp_count;
+        check "b kept" 5 (find_span into "b").sp_total_ns;
+        check "c created" 7 (find_span into "c").sp_total_ns;
+        (* merge with disabled on either side is a no-op, not a crash *)
+        Profile.merge ~into Profile.disabled;
+        Profile.merge ~into:Profile.disabled into;
+        check "unchanged" 42 (find_span into "a").sp_total_ns);
+    Alcotest.test_case "merge is commutative in the accumulated numbers"
+      `Quick (fun () ->
+        let mk spec =
+          let p, now = fake_profile () in
+          List.iter
+            (fun (name, ns) -> Profile.with_span p name (fun () -> now := !now + ns))
+            spec;
+          p
+        in
+        let numbers p =
+          List.map
+            (fun (s : Profile.span) -> (s.sp_path, s.sp_count, s.sp_total_ns))
+            (Profile.spans p)
+          |> List.sort compare
+        in
+        let ab = mk [ ("x", 1); ("y", 2) ] in
+        Profile.merge ~into:ab (mk [ ("y", 3); ("z", 4) ]);
+        let ba = mk [ ("y", 3); ("z", 4) ] in
+        Profile.merge ~into:ba (mk [ ("x", 1); ("y", 2) ]);
+        Alcotest.(check (list (triple string int int)))
+          "same accumulated numbers" (numbers ab) (numbers ba));
+    Alcotest.test_case "hotspot table sorts by self time" `Quick (fun () ->
+        let p, now = fake_profile () in
+        Profile.with_span p "cheap" (fun () -> now := !now + 1);
+        Profile.with_span p "costly" (fun () -> now := !now + 99);
+        let rendered = Fmt.str "%a" (Profile.pp_hotspots ?top:None) p in
+        let idx needle =
+          let n = String.length needle and len = String.length rendered in
+          let rec go i =
+            if i + n > len then Alcotest.failf "%s not rendered" needle
+            else if String.sub rendered i n = needle then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        check_b "costly first" true (idx "costly" < idx "cheap"));
+    Alcotest.test_case "profile JSON is well-formed" `Quick (fun () ->
+        let p, now = fake_profile () in
+        Profile.with_span p "a \"quoted\" name" (fun () ->
+            now := 3;
+            Profile.with_span p "child" (fun () -> now := 5));
+        match Json.well_formed (Profile.to_json p) with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* -- sink -------------------------------------------------------------------- *)
+
+(* Emit one line of every schema type onto [t]. *)
+let emit_all_types t =
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m "c");
+  Sink.metric_snapshot t ~source:"test" m;
+  Sink.trace_event t ~sample:"s0"
+    {
+      Trace.ev_name = "tag_insert";
+      ev_cat = "engine";
+      ev_ts = 3;
+      ev_pid = 0;
+      ev_tid = 7;
+      ev_args = [ ("bytes", Trace.Int 4); ("who", Trace.Str "a\"b") ];
+    };
+  Sink.series_point t ~sample:"s0" ~columns:[ "tick"; "tainted" ]
+    ~row:[| 64; 12 |];
+  let p = Profile.create ~clock:(fun () -> 0) () in
+  Profile.with_span p "replay" (fun () -> ());
+  Sink.profile_span t ~source:"test" (List.hd (Profile.spans p));
+  Sink.job_lifecycle t ~job:"s0" ~worker:0 ~event:"finish" ~verdict:"flagged"
+    ~wall_s:0.25 ();
+  Sink.graph_flag t ~sample:"s0" ~flag_sites:1 ~nodes:10 ~edges:9
+    ~slice_nodes:4 ~slice_origins:1 ~netflow_origin:true
+
+let all_types =
+  [
+    "metric_snapshot"; "trace_event"; "series_point"; "profile_span";
+    "job_lifecycle"; "graph_flag";
+  ]
+
+let contains ~needle hay =
+  let n = String.length needle and len = String.length hay in
+  let rec go i =
+    i + n <= len && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let sink_tests =
+  [
+    Alcotest.test_case "null sink is inert" `Quick (fun () ->
+        let t = Sink.null in
+        check_b "disabled" false (Sink.enabled t);
+        emit_all_types t;
+        check "events" 0 (Sink.events t);
+        check "dropped" 0 (Sink.dropped t);
+        check_s "contents" "" (Sink.contents t));
+    Alcotest.test_case "every emitter appends one versioned typed line" `Quick
+      (fun () ->
+        let t = Sink.create () in
+        check_b "enabled" true (Sink.enabled t);
+        emit_all_types t;
+        check "six lines" 6 (Sink.events t);
+        List.iter2
+          (fun ty line ->
+            (match Json.well_formed line with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "%s line malformed: %s" ty e);
+            check_b (ty ^ " has version") true
+              (contains ~needle:(Printf.sprintf {|"v":%d|} Sink.schema_version)
+                 line);
+            check_b (ty ^ " typed") true
+              (contains ~needle:(Printf.sprintf {|"type":"%s"|} ty) line))
+          all_types (Sink.lines t));
+    Alcotest.test_case "whole stream passes the JSONL checker" `Quick
+      (fun () ->
+        let t = Sink.create () in
+        emit_all_types t;
+        match Json.well_formed_lines (Sink.contents t) with
+        | Ok n -> check "line count" 6 n
+        | Error (line, e) -> Alcotest.failf "line %d: %s" line e);
+    Alcotest.test_case "bounded buffering counts drops explicitly" `Quick
+      (fun () ->
+        let t = Sink.create ~limit:2 () in
+        for i = 1 to 5 do
+          Sink.job_lifecycle t ~job:(string_of_int i) ~worker:0 ~event:"submit"
+            ()
+        done;
+        check "kept" 2 (Sink.events t);
+        check "dropped" 3 (Sink.dropped t);
+        check "buffer holds the oldest" 2 (List.length (Sink.lines t)));
+    Alcotest.test_case "jsonl checker pinpoints the offending line" `Quick
+      (fun () ->
+        match Json.well_formed_lines "{}\n{\"a\":1}\nnot json\n{}\n" with
+        | Ok _ -> Alcotest.fail "accepted a malformed stream"
+        | Error (line, _) -> check "line number" 3 line);
+  ]
+
+(* -- metrics merge properties (QCheck) --------------------------------------- *)
+
+(* A shard is a random bag of operations against a fixed name/kind pool —
+   the shape of per-job registries a campaign merges.  Whatever order the
+   driver folds shards in, the rendered registry must be byte-identical:
+   merge is commutative and associative in every cell. *)
+let arb_shard =
+  QCheck.Gen.(
+    list_size (int_range 0 20)
+      (triple (int_range 0 2) (int_range 0 3) (int_range 0 1000)))
+
+let build_shard ops =
+  let m = Metrics.create () in
+  List.iter
+    (fun (kind, idx, v) ->
+      match kind with
+      | 0 -> Metrics.add (Metrics.counter m (Printf.sprintf "c%d" idx)) v
+      | 1 -> Metrics.set (Metrics.gauge m (Printf.sprintf "g%d" idx)) v
+      | _ -> Metrics.observe (Metrics.histogram m (Printf.sprintf "h%d" idx)) v)
+    ops;
+  m
+
+let merge_fingerprint shards =
+  let into = Metrics.create () in
+  List.iter (fun s -> Metrics.merge ~into (build_shard s)) shards;
+  Metrics.to_json into
+
+let merge_commutes =
+  QCheck.Test.make ~count:200
+    ~name:"Metrics.merge: any shard order renders byte-identically"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 5) arb_shard))
+    (fun shards ->
+      let reference = merge_fingerprint shards in
+      (* reversal exercises commutativity; rotation, associativity of the
+         left fold's grouping *)
+      let rotate = function [] -> [] | x :: rest -> rest @ [ x ] in
+      reference = merge_fingerprint (List.rev shards)
+      && reference = merge_fingerprint (rotate shards))
+
+let merge_associates =
+  QCheck.Test.make ~count:200
+    ~name:"Metrics.merge: pre-merging a subgroup changes nothing"
+    (QCheck.make QCheck.Gen.(triple arb_shard arb_shard arb_shard))
+    (fun (a, b, c) ->
+      let flat = merge_fingerprint [ a; b; c ] in
+      (* (a <- b) then c, vs a then (b <- c) *)
+      let left =
+        let ab = build_shard a in
+        Metrics.merge ~into:ab (build_shard b);
+        let into = Metrics.create () in
+        Metrics.merge ~into ab;
+        Metrics.merge ~into (build_shard c);
+        Metrics.to_json into
+      in
+      let right =
+        let bc = build_shard b in
+        Metrics.merge ~into:bc (build_shard c);
+        let into = Metrics.create () in
+        Metrics.merge ~into (build_shard a);
+        Metrics.merge ~into bc;
+        Metrics.to_json into
+      in
+      flat = left && flat = right)
+
+let merge_property_tests =
+  [
+    QCheck_alcotest.to_alcotest merge_commutes;
+    QCheck_alcotest.to_alcotest merge_associates;
+  ]
+
+(* -- overhead regression ------------------------------------------------------ *)
+
+(* The zero-cost-when-disabled contract: running the full pipeline with
+   every observability argument explicitly disabled must be
+   indistinguishable — byte-identical report, same tick counts — from
+   the defaults.  Each run gets a fresh interner so the comparison is
+   exact. *)
+let overhead_tests =
+  [
+    Alcotest.test_case "disabled obs leaves the analysis byte-identical"
+      `Slow (fun () ->
+        let sample =
+          match Faros_corpus.Registry.find "reflective_dll_inject" with
+          | Some s -> s
+          | None -> Alcotest.fail "missing corpus sample"
+        in
+        let run f =
+          Faros_dift.Prov_intern.with_store
+            (Faros_dift.Prov_intern.create_store ())
+            (fun () ->
+              let outcome = f sample.scenario in
+              let json =
+                Core.Report.to_json ~store:outcome.Core.Analysis.faros.engine.store
+                  ~name_of_asid:
+                    (Core.Faros_plugin.name_of_asid outcome.faros.kernel)
+                  outcome.report
+              in
+              (json, outcome.replay.replay_ticks, outcome.replay.replay_syscalls))
+        in
+        let j_default, ticks_default, sys_default =
+          run (fun scn -> Faros_corpus.Scenario.analyze scn)
+        in
+        let j_disabled, ticks_disabled, sys_disabled =
+          run (fun scn ->
+              Faros_corpus.Scenario.analyze ~profile:Profile.disabled
+                ~sink:Sink.null ~trace_sink:Trace.null scn)
+        in
+        check_s "report JSON byte-identical" j_default j_disabled;
+        check "ticks" ticks_default ticks_disabled;
+        check "syscalls" sys_default sys_disabled);
+    Alcotest.test_case "profiling changes no analysis output" `Slow (fun () ->
+        let sample =
+          match Faros_corpus.Registry.find "process_hollowing" with
+          | Some s -> s
+          | None -> Alcotest.fail "missing corpus sample"
+        in
+        let run f =
+          Faros_dift.Prov_intern.with_store
+            (Faros_dift.Prov_intern.create_store ())
+            (fun () ->
+              let outcome = f sample.scenario in
+              ( Core.Report.summary outcome.Core.Analysis.report,
+                outcome.replay.replay_ticks ))
+        in
+        let plain = run (fun scn -> Faros_corpus.Scenario.analyze scn) in
+        let profile = Profile.create () in
+        let sink = Sink.create () in
+        let profiled =
+          run (fun scn -> Faros_corpus.Scenario.analyze ~profile ~sink scn)
+        in
+        Alcotest.(check (pair string int))
+          "verdict and ticks unchanged" plain profiled;
+        (* and the observability actually observed something *)
+        check_b "spans recorded" true (Profile.spans profile <> []);
+        check_b "covered time positive" true (Profile.total_ns profile > 0));
+  ]
+
 (* -- replay-level telemetry -------------------------------------------------- *)
 
 let sorted_ascending xs = List.sort compare xs = xs
@@ -318,5 +698,9 @@ let () =
       ("json", json_tests);
       ("series", series_tests);
       ("trace", trace_tests);
+      ("profile", profile_tests);
+      ("sink", sink_tests);
+      ("merge-properties", merge_property_tests);
+      ("overhead", overhead_tests);
       ("telemetry", telemetry_tests);
     ]
