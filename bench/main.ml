@@ -1075,6 +1075,69 @@ let graph_bench () =
   close_out oc;
   Fmt.pf pp "wrote BENCH_graph.json@."
 
+(* -- netd: server throughput under inbound load --------------------------- *)
+
+(* Replay-side connection throughput of the benign netd server at
+   100/500/1000 concurrent clients: bare deterministic replay (FAROS
+   off — the fast-path toggle is a no-op there), FAROS with the
+   demand-driven fast path off, and FAROS with it on.  The headline
+   number is connections/sec surviving full whole-system DIFT.  Emits
+   BENCH_netd.json so the trajectory is tracked across PRs. *)
+let netd_bench () =
+  section "netd: server replay throughput (connections/sec under DIFT)";
+  Fmt.pf pp "%-8s %-20s %-24s %s@." "clients" "replay (s, c/s)"
+    "faros slow (s, c/s)" "faros fast (s, c/s)";
+  let rows =
+    List.map
+      (fun clients ->
+        let scn, _schd =
+          Faros_corpus.Servers.benign_load ~clients
+            ~name:(Printf.sprintf "bench_netd_%d" clients)
+            ()
+        in
+        let _k, trace = Faros_corpus.Scenario.record scn in
+        let replay_plain () =
+          ignore (Faros_corpus.Scenario.replay_plain ~tb_cache:true scn trace)
+        in
+        let replay_faros ~dift_fast () =
+          ignore
+            (Faros_corpus.Scenario.replay_with scn ~tb_cache:true ~dift_fast
+               ~plugins:(fun kernel ->
+                 let faros = Core.Faros_plugin.create kernel in
+                 [ Core.Faros_plugin.plugin faros ])
+               trace)
+        in
+        let reps = if clients >= 1000 then 2 else 3 in
+        let t_plain = time_runs ~reps replay_plain in
+        let t_slow = time_runs ~reps (replay_faros ~dift_fast:false) in
+        let t_fast = time_runs ~reps (replay_faros ~dift_fast:true) in
+        let cps t = float clients /. t in
+        Fmt.pf pp "%-8d %-20s %-24s %s@." clients
+          (Printf.sprintf "%.4f %.0f" t_plain (cps t_plain))
+          (Printf.sprintf "%.4f %.0f" t_slow (cps t_slow))
+          (Printf.sprintf "%.4f %.0f" t_fast (cps t_fast));
+        (clients, t_plain, t_slow, t_fast))
+      [ 100; 500; 1000 ]
+  in
+  let json =
+    Printf.sprintf {|{"bench":"netd","runs":[%s]}|}
+      (String.concat ","
+         (List.map
+            (fun (clients, t_plain, t_slow, t_fast) ->
+              Printf.sprintf
+                {|{"clients":%d,"replay_s":%.6f,"faros_s":%.6f,"faros_fast_s":%.6f,"replay_cps":%.1f,"faros_cps":%.1f,"faros_fast_cps":%.1f,"faros_overhead":%.4f,"fast_gain":%.4f}|}
+                clients t_plain t_slow t_fast
+                (float clients /. t_plain)
+                (float clients /. t_slow)
+                (float clients /. t_fast)
+                (t_slow /. t_plain) (t_slow /. t_fast))
+            rows))
+  in
+  let oc = open_out "BENCH_netd.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf pp "wrote BENCH_netd.json@."
+
 (* -- driver --------------------------------------------------------------- *)
 
 let sections =
@@ -1101,6 +1164,7 @@ let sections =
     ("diftfast", diftfast);
     ("obs", obs_bench);
     ("graph", graph_bench);
+    ("netd", netd_bench);
     ("micro", micro);
   ]
 

@@ -17,7 +17,7 @@
      faros taint <id>               post-analysis taint map
      faros strings <id>             provenance-aware strings
      faros disasm <id>              disassemble a sample's images
-     faros campaign [-j N] [--filter GLOB] [--json OUT] [--csv OUT]
+     faros campaign [-j N] [--corpus SET] [--filter GLOB] [--json OUT] [--csv OUT]
                     [--profile] [--stats] [--progress]
                     [--jsonl-out OUT] [--trace-out OUT]
                                     run the corpus on a parallel worker pool
@@ -27,13 +27,17 @@
 
 let pp = Format.std_formatter
 
-let list_cmd () =
+let list_cmd netd =
   let samples =
     Faros_corpus.Registry.all ()
     @ Faros_corpus.Registry.transient_attacks ()
     @ Faros_corpus.Registry.evasive_attacks ()
     @ Faros_corpus.Registry.extended_attacks ()
     @ Faros_corpus.Registry.extras ()
+    @ (if netd then
+         Faros_corpus.Registry.netd_showcase ()
+         @ Faros_corpus.Registry.netd_sweeps ()
+       else [])
   in
   Fmt.pf pp "%-40s %-22s %s@." "id" "category" "expected";
   List.iter
@@ -386,14 +390,20 @@ let strings_cmd id =
 
 (* Run a corpus campaign on a worker pool and compare verdicts to
    expectations: the CI entry point. *)
-let campaign_cmd workers filter policy json_out csv_out tick_budget deadline
-    profile stats progress jsonl_out trace_out summary_only =
+let campaign_cmd workers corpus filter policy json_out csv_out tick_budget
+    deadline profile stats progress jsonl_out trace_out summary_only =
   match build_config ~policy ~whitelist_jit:false () with
   | Error e ->
     prerr_endline e;
     1
   | Ok config -> (
-    let samples = Faros_corpus.Registry.all () in
+    let samples =
+      match corpus with
+      | `Core -> Faros_corpus.Registry.all ()
+      | `Netd -> Faros_corpus.Registry.netd_sweeps ()
+      | `Full ->
+        Faros_corpus.Registry.all () @ Faros_corpus.Registry.netd_sweeps ()
+    in
     let samples =
       match filter with
       | None -> samples
@@ -467,7 +477,8 @@ let campaign_cmd workers filter policy json_out csv_out tick_budget deadline
 (* [sweep] is the historical serial spelling: a campaign on one worker
    with the classic summary output and the same exit-code semantics. *)
 let sweep_cmd () =
-  campaign_cmd 1 None None None None None None false false false None None true
+  campaign_cmd 1 `Core None None None None None None false false false None
+    None true
 
 (* Profile one sample end to end: record, replay under FAROS, and render
    the span tree plus the hotspot table.  The span structure is
@@ -656,7 +667,14 @@ open Cmdliner
 
 let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SAMPLE")
 
-let list_t = Cmd.v (Cmd.info "list" ~doc:"List the sample corpus") Term.(const list_cmd $ const ())
+let list_t =
+  let netd =
+    Arg.(
+      value & flag
+      & info [ "netd" ]
+          ~doc:"Also list the server-daemon samples and sweep families")
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the sample corpus") Term.(const list_cmd $ netd)
 
 let policy_arg =
   Arg.(
@@ -818,6 +836,16 @@ let campaign_t =
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Number of worker domains")
   in
+  let corpus =
+    Arg.(
+      value
+      & opt (enum [ ("core", `Core); ("netd", `Netd); ("full", `Full) ]) `Core
+      & info [ "corpus" ] ~docv:"SET"
+          ~doc:
+            "Sample set to run: $(b,core) (the 130-sample evaluation, the \
+             default), $(b,netd) (the server-daemon sweep families), or \
+             $(b,full) (both)")
+  in
   let filter =
     Arg.(
       value
@@ -900,9 +928,9 @@ let campaign_t =
          "Analyze the corpus on a parallel worker pool; exit non-zero on any \
           verdict mismatch")
     Term.(
-      const campaign_cmd $ workers $ filter $ policy_arg $ json_out $ csv_out
-      $ tick_budget $ deadline $ profile $ stats $ progress $ jsonl_out
-      $ trace_out $ const false)
+      const campaign_cmd $ workers $ corpus $ filter $ policy_arg $ json_out
+      $ csv_out $ tick_budget $ deadline $ profile $ stats $ progress
+      $ jsonl_out $ trace_out $ const false)
 
 let profile_t =
   let top =

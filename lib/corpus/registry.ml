@@ -163,6 +163,112 @@ let jits () =
       { id; family = "jit"; category; expected; behaviors = []; scenario })
     (Jit.samples ())
 
+(* Server-side showcase samples: guest daemons under host-initiated
+   traffic (lib/netd).  Kept out of [all] so the Table II-IV sample
+   counts stay exactly the paper's; `faros campaign --corpus netd|full`
+   and the netd tests pull them in. *)
+let netd_showcase () =
+  let scn_benign, _ = Servers.benign_load ~clients:100 () in
+  let scn_inject, _, _ = Servers.inject_under_load ~clients:100 () in
+  let scn_staged, _ = Servers.staged_c2 ~stages:3 () in
+  let scn_500, _, _ =
+    Servers.inject_under_load ~clients:500 ~name:"netd_inject_500" ()
+  in
+  [
+    {
+      id = "netd_benign_load";
+      family = "netd";
+      category = Benign_app;
+      expected = Expect_clean;
+      behaviors = [];
+      scenario = scn_benign;
+    };
+    {
+      id = "netd_inject_under_server";
+      family = "netd";
+      category = Attack "inject-through-server";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = scn_inject;
+    };
+    {
+      id = "netd_staged_c2";
+      family = "netd";
+      category = Attack "staged-c2";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = scn_staged;
+    };
+    {
+      id = "netd_inject_500";
+      family = "netd";
+      category = Attack "inject-through-server";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = scn_500;
+    };
+  ]
+
+(* Traffic-generator sweep families: client count x arrival pattern for
+   both the benign and the inject-through-server shapes, plus payload
+   staging depths — the long-job corpus the campaign farm scales on. *)
+let netd_sweeps () =
+  let arrivals =
+    [
+      ("uniform", Faros_netd.Gen.Uniform 40);
+      ("burst", Faros_netd.Gen.Burst { size = 8; gap = 400 });
+      ("ramp", Faros_netd.Gen.Ramp { start_gap = 80; end_gap = 10 });
+    ]
+  in
+  let load_sweep =
+    List.concat_map
+      (fun clients ->
+        List.concat_map
+          (fun (aname, arrival) ->
+            let benign_id = Printf.sprintf "netd_benign_c%d_%s" clients aname in
+            let inject_id = Printf.sprintf "netd_inject_c%d_%s" clients aname in
+            let scn_b, _ = Servers.benign_load ~clients ~arrival ~name:benign_id () in
+            let scn_i, _, _ =
+              Servers.inject_under_load ~clients ~arrival ~name:inject_id ()
+            in
+            [
+              {
+                id = benign_id;
+                family = "netd-sweep";
+                category = Benign_app;
+                expected = Expect_clean;
+                behaviors = [];
+                scenario = scn_b;
+              };
+              {
+                id = inject_id;
+                family = "netd-sweep";
+                category = Attack "inject-through-server";
+                expected = Expect_flag;
+                behaviors = [];
+                scenario = scn_i;
+              };
+            ])
+          arrivals)
+      [ 8; 16; 32; 64 ]
+  in
+  let staging_sweep =
+    List.map
+      (fun stages ->
+        let id = Printf.sprintf "netd_staged_s%d" stages in
+        let scn, _ = Servers.staged_c2 ~stages ~name:id () in
+        {
+          id;
+          family = "netd-sweep";
+          category = Attack "staged-c2";
+          expected = Expect_flag;
+          behaviors = [];
+          scenario = scn;
+        })
+      [ 2; 3; 4 ]
+  in
+  load_sweep @ staging_sweep
+
 (* The Table V performance workloads: named after the paper's table. *)
 let perf_workloads () =
   let by_id wanted samples =
@@ -196,7 +302,7 @@ let find id =
   List.find_opt
     (fun s -> s.id = id)
     (all () @ transient_attacks () @ evasive_attacks () @ extended_attacks ()
-   @ extras () @ [ crash_test () ])
+   @ extras () @ netd_showcase () @ netd_sweeps () @ [ crash_test () ])
 
 let pp_category ppf = function
   | Attack t -> Fmt.pf ppf "attack(%s)" t

@@ -48,6 +48,16 @@ val benign : ?total:int -> unit -> sample list
 val jits : unit -> sample list
 (** The 20 JIT workloads of Table III. *)
 
+val netd_showcase : unit -> sample list
+(** Server-side daemon samples (lib/netd): benign server under load,
+    inject-through-server at 100 and 500 connections, staged C2.  Kept
+    out of {!all} so the paper's sample counts stay exact. *)
+
+val netd_sweeps : unit -> sample list
+(** Traffic-generator sweep families (client count x arrival pattern x
+    payload staging) — the long-job corpus for
+    [faros campaign --corpus netd|full]. *)
+
 val perf_workloads : unit -> sample list
 
 val crash_test : unit -> sample

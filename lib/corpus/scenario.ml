@@ -10,14 +10,17 @@ type t = {
   images : (string * Faros_os.Pe.t) list;  (* path -> image *)
   files : (string * string) list;  (* path -> contents *)
   actors : Faros_os.Netstack.actor list;
+  inbound : (int * Faros_os.Netstack.inbound_event) list;
+      (* host-initiated traffic: the generator's schedule at record time;
+         at replay the trace's recorded schedule takes its place *)
   keys : string;  (* scripted user keystrokes *)
   boot : string list;  (* image paths spawned at boot, in order *)
   max_ticks : int;
 }
 
-let make ?(files = []) ?(actors = []) ?(keys = "") ?(max_ticks = 600_000) ~images
-    ~boot scn_name =
-  { scn_name; images; files; actors; keys; boot; max_ticks }
+let make ?(files = []) ?(actors = []) ?(inbound = []) ?(keys = "")
+    ?(max_ticks = 600_000) ~images ~boot scn_name =
+  { scn_name; images; files; actors; inbound; keys; boot; max_ticks }
 
 let install t (k : Faros_os.Kernel.t) =
   List.iter (fun (path, image) -> Faros_os.Kernel.install_image k ~path image) t.images;
@@ -26,6 +29,7 @@ let install t (k : Faros_os.Kernel.t) =
 let setup_record t k =
   install t k;
   List.iter (Faros_os.Netstack.register_actor k.net) t.actors;
+  Faros_os.Netstack.schedule_inbound k.net t.inbound;
   Faros_os.Input_dev.script_string k.input t.keys
 
 let setup_replay t k = install t k

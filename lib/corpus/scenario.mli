@@ -10,6 +10,9 @@ type t = {
   images : (string * Faros_os.Pe.t) list;  (** path -> image *)
   files : (string * string) list;
   actors : Faros_os.Netstack.actor list;
+  inbound : (int * Faros_os.Netstack.inbound_event) list;
+      (** host-initiated traffic: the generator's schedule at record time;
+          at replay the trace's recorded schedule takes its place *)
   keys : string;  (** scripted user keystrokes *)
   boot : string list;  (** image paths spawned at boot, in order *)
   max_ticks : int;
@@ -18,6 +21,7 @@ type t = {
 val make :
   ?files:(string * string) list ->
   ?actors:Faros_os.Netstack.actor list ->
+  ?inbound:(int * Faros_os.Netstack.inbound_event) list ->
   ?keys:string ->
   ?max_ticks:int ->
   images:(string * Faros_os.Pe.t) list ->

@@ -1,0 +1,54 @@
+(** Server-side scenarios: guest daemons under host-initiated traffic —
+    the workload per-netflow provenance exists for.  Each builder returns
+    the scenario together with its traffic schedule so tests can recover
+    per-client flows ({!guilty_flow}). *)
+
+open Faros_netd
+
+val guest_ip : Faros_os.Types.Ip.t
+val server_port : int
+
+val benign_request : int -> string
+
+val evil_request : ?text:string -> unit -> string
+(** Exec-magic plus a reflective payload linked for the worker's first
+    allocation. *)
+
+val budget : Gen.schedule -> int
+(** Tick budget: schedule horizon + per-connection service + slack. *)
+
+val benign_load :
+  ?clients:int -> ?arrival:Gen.arrival -> ?name:string -> unit -> Scenario.t * Gen.schedule
+(** Benign server under load — the false-positive baseline.  Same
+    vulnerable worker image as the attack scenarios; only traffic
+    differs. *)
+
+val inject_under_load :
+  ?clients:int ->
+  ?guilty:int ->
+  ?arrival:Gen.arrival ->
+  ?name:string ->
+  unit ->
+  Scenario.t * Gen.schedule * int
+(** All-benign traffic except client [guilty] (default [clients/2]),
+    whose request the vulnerable worker executes.  Returns the guilty
+    client index. *)
+
+val guilty_flow : Gen.schedule -> int -> Faros_os.Types.flow
+
+val staged_c2 :
+  ?stages:int -> ?gap:int -> ?name:string -> unit -> Scenario.t * Gen.schedule
+(** The payload split across [stages] sequential flows; the stager daemon
+    reassembles and executes it. *)
+
+val mux_payload : int -> string
+
+val mux_fanin :
+  ?clients:int ->
+  ?arrival:Gen.arrival ->
+  ?name:string ->
+  unit ->
+  Scenario.t * Gen.schedule * Daemon.mux_layout
+(** One process, [clients] concurrent connections, each delivering a
+    distinct payload into its own slot buffer — the per-flow-attribution
+    workload. *)

@@ -44,6 +44,10 @@ type job_result = {
   jr_mismatch : bool;
   jr_record_ticks : int;
   jr_replay_ticks : int;
+  jr_tick_budget : int;  (* the effective cap: --tick-budget override, or
+     the scenario's own max_ticks *)
+  jr_budget_exhausted : bool;  (* some phase ran into the cap — the run
+     was truncated, not naturally finished *)
   jr_syscalls : int;
   jr_tainted_bytes : int;
   jr_interned_provs : int;
@@ -169,6 +173,12 @@ let run_job ~config ~graph ~tick_budget ~deadline ~profile ~want_trace ~worker
   in
   let metrics = Faros_obs.Metrics.create () in
   let expected_flag = s.expected = Faros_corpus.Registry.Expect_flag in
+  (* The cap actually in force, for the exports: long-running server
+     scenarios are judged against it (budget_exhausted means the run was
+     truncated, whatever the verdict says). *)
+  let budget =
+    Option.value tick_budget ~default:s.scenario.Faros_corpus.Scenario.max_ticks
+  in
   let t0 = Unix.gettimeofday () in
   let finish verdict ~diverged ~record_ticks ~replay_ticks ~syscalls
       ~tainted_bytes ~interned ~gs =
@@ -182,6 +192,8 @@ let run_job ~config ~graph ~tick_budget ~deadline ~profile ~want_trace ~worker
       jr_mismatch = mismatch ~expected_flag ~diverged verdict;
       jr_record_ticks = record_ticks;
       jr_replay_ticks = replay_ticks;
+      jr_tick_budget = budget;
+      jr_budget_exhausted = record_ticks >= budget || replay_ticks >= budget;
       jr_syscalls = syscalls;
       jr_tainted_bytes = tainted_bytes;
       jr_interned_provs = interned;
@@ -357,6 +369,10 @@ let run ?(workers = 1) ?(config = Core.Config.default) ?(graph = true)
                   jr_mismatch = true;
                   jr_record_ticks = 0;
                   jr_replay_ticks = 0;
+                  jr_tick_budget =
+                    Option.value tick_budget
+                      ~default:s.scenario.Faros_corpus.Scenario.max_ticks;
+                  jr_budget_exhausted = false;
                   jr_syscalls = 0;
                   jr_tainted_bytes = 0;
                   jr_interned_provs = 0;
@@ -474,9 +490,11 @@ let matrix t =
 
 let json_float f = Printf.sprintf "%.6f" f
 
+(* New fields ride at the end, so positional consumers of the older
+   layout (CSV field indices, cram projections) keep working. *)
 let result_json r =
   Printf.sprintf
-    {|{"id":"%s","family":"%s","category":"%s","expected":"%s","verdict":"%s","detail":"%s","diverged":%b,"mismatch":%b,"record_ticks":%d,"replay_ticks":%d,"syscalls":%d,"tainted_bytes":%d,"interned_provs":%d,"graph_nodes":%d,"graph_edges":%d,"flag_sites":%d,"slice_nodes":%d,"slice_origins":%d,"netflow_origin":%b,"worker":%d,"wall_s":%s}|}
+    {|{"id":"%s","family":"%s","category":"%s","expected":"%s","verdict":"%s","detail":"%s","diverged":%b,"mismatch":%b,"record_ticks":%d,"replay_ticks":%d,"syscalls":%d,"tainted_bytes":%d,"interned_provs":%d,"graph_nodes":%d,"graph_edges":%d,"flag_sites":%d,"slice_nodes":%d,"slice_origins":%d,"netflow_origin":%b,"worker":%d,"wall_s":%s,"tick_budget":%d,"budget_exhausted":%b}|}
     (Faros_obs.Json.escape r.jr_id)
     (Faros_obs.Json.escape r.jr_family)
     (Faros_obs.Json.escape r.jr_category)
@@ -488,6 +506,7 @@ let result_json r =
     r.jr_graph_edges r.jr_flag_sites r.jr_slice_nodes r.jr_slice_origins
     r.jr_netflow_origin r.jr_worker
     (json_float r.jr_wall_s)
+    r.jr_tick_budget r.jr_budget_exhausted
 
 let matrix_row_json row =
   Printf.sprintf
@@ -530,7 +549,7 @@ let csv_field s =
 
 let to_csv t =
   let header =
-    "id,family,category,expected,verdict,detail,diverged,mismatch,record_ticks,replay_ticks,syscalls,tainted_bytes,interned_provs,graph_nodes,graph_edges,flag_sites,slice_nodes,slice_origins,netflow_origin,wall_s"
+    "id,family,category,expected,verdict,detail,diverged,mismatch,record_ticks,replay_ticks,syscalls,tainted_bytes,interned_provs,graph_nodes,graph_edges,flag_sites,slice_nodes,slice_origins,netflow_origin,wall_s,tick_budget,budget_exhausted"
   in
   let row r =
     String.concat ","
@@ -555,6 +574,8 @@ let to_csv t =
         string_of_int r.jr_slice_origins;
         string_of_bool r.jr_netflow_origin;
         json_float r.jr_wall_s;
+        string_of_int r.jr_tick_budget;
+        string_of_bool r.jr_budget_exhausted;
       ]
   in
   String.concat "\n" (header :: List.map row t.results) ^ "\n"

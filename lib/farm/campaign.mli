@@ -44,6 +44,12 @@ type job_result = {
           the sample errored / timed out *)
   jr_record_ticks : int;
   jr_replay_ticks : int;
+  jr_tick_budget : int;
+      (** the effective instruction cap: the [tick_budget] override if
+          given, otherwise the scenario's own [max_ticks] *)
+  jr_budget_exhausted : bool;
+      (** some phase ran into the cap — the run was truncated rather than
+          naturally finished, whatever the verdict says *)
   jr_syscalls : int;
   jr_tainted_bytes : int;
   jr_interned_provs : int;  (** size of this job's private interner *)

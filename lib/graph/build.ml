@@ -97,6 +97,9 @@ let record_os_event t (ev : Faros_os.Os_event.t) =
     if by <> pid then edge (proc_node t by) (proc_node t pid) Graph.Injected_into
   | Net_connect { pid; flow } ->
     edge (proc_node t pid) (Graph.flow_node g flow) Graph.Connected
+  | Net_accept { pid; flow } ->
+    (* accepted inbound connection: the flow reached the server process *)
+    edge (Graph.flow_node g flow) (proc_node t pid) Graph.Connected
   | Net_recv { pid; flow; dst_paddrs } ->
     edge
       ~bytes:(List.length dst_paddrs)

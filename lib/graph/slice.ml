@@ -10,9 +10,12 @@
       caused it).  This collects everything that could have influenced
       the flag.
    2. Origin selection + forward: inside that backward cone, the origins
-      are the network flows — or, for file-borne payloads like process
-      hollowing where no flow exists, the source files (files nobody in
-      the cone wrote: they carried their payload in from outside).  A
+      are the network flows — preferring the flows the flag's own taint
+      provenance names (a server under load has hundreds of flows in the
+      cone through accept/spawn lineage; only the guilty one tainted the
+      flag) — or, for file-borne payloads like process hollowing where no
+      flow exists, the source files (files nobody in the cone wrote: they
+      carried their payload in from outside).  A
       forward reachability sweep from the origins intersects the cone, so
       nodes that influenced the flag but are not on an origin path (e.g.
       the victim's own image mapping) drop out.
@@ -97,6 +100,21 @@ let whodunit g (flag : Graph.node) =
   (* 2. origins: flows, else source files *)
   let cone_nodes = List.filter (fun (nd : Graph.node) -> in_cone nd.n_id) (Graph.nodes g) in
   let flows = List.filter is_flow cone_nodes in
+  (* Data-grounded refinement: when the detector recorded taint provenance
+     for this flag, the flows that actually tainted it are the origins.
+     Flows reaching the flag only through process lineage — a server that
+     accepted hundreds of connections and then spawned the flagging
+     worker — drop out; without provenance the structural cone stands. *)
+  let tainting =
+    List.filter
+      (fun (nd : Graph.node) ->
+        List.exists
+          (fun (e : Graph.edge) ->
+            e.e_kind = Graph.Tainted_by && e.e_src = nd.n_id)
+          ins.(flag.n_id))
+      flows
+  in
+  let flows = if tainting <> [] then tainting else flows in
   let origins =
     if flows <> [] then flows
     else

@@ -37,6 +37,7 @@ let handler sysno : (Kstate.t -> Process.t -> int array -> int) option =
   else if sysno = nt_get_current_pid then Some Sys_proc.get_current_pid
   else if sysno = nt_delay_execution then Some Sys_proc.delay
   else if sysno = nt_get_tick_count then Some Sys_proc.get_tick_count
+  else if sysno = nt_yield_execution then Some Sys_proc.yield
   else if sysno = nt_create_file then Some Sys_file.create_file
   else if sysno = nt_open_file then Some Sys_file.open_file
   else if sysno = nt_read_file then Some Sys_file.read_file
@@ -55,6 +56,7 @@ let handler sysno : (Kstate.t -> Process.t -> int array -> int) option =
   else if sysno = sys_bind then Some Sys_net.bind
   else if sysno = sys_listen then Some Sys_net.listen
   else if sysno = sys_accept then Some Sys_net.accept
+  else if sysno = sys_poll then Some Sys_net.poll
   else if sysno = ldr_load_library then Some Sys_misc.load_library
   else if sysno = ldr_get_proc_address then Some Sys_misc.get_proc_address
   else if sysno = dev_key_read then Some Sys_misc.key_read
@@ -117,15 +119,21 @@ let run_slice (k : t) (p : Process.t) ~budget =
   done
 
 (* Run the whole system until every process has terminated (or is stuck
-   suspended), or [max_ticks] instructions have executed. *)
+   suspended), or [max_ticks] instructions have executed.
+
+   Scheduled inbound network events are pumped at slice boundaries: the
+   delivery tick is the boundary tick, a pure function of the
+   deterministic schedule, so record and replay deliver identically. *)
 let run ?(max_ticks = 2_000_000) ?(timeslice = 200) (k : t) =
   let rec loop () =
-    if k.tick < max_ticks then
+    if k.tick < max_ticks then begin
+      Netstack.pump k.net ~tick:k.tick;
       match Sched.next k with
       | None -> ()
       | Some p ->
         run_slice k p ~budget:(min timeslice (max_ticks - k.tick));
         loop ()
+    end
   in
   loop ()
 

@@ -7,6 +7,16 @@
    and received data comes from the recorded trace — the PANDA record/replay
    discipline, where network input is the non-deterministic event.
 
+   Traffic also flows the other way: host-side *clients* initiate
+   connections to guest servers.  Those arrive as a tick-stamped inbound
+   schedule pumped at scheduler slice boundaries, so delivery ticks are a
+   pure function of the (deterministic) schedule: record mode consumes a
+   generator's schedule and reports every *delivered* event to the inbound
+   sink with its actual delivery tick; replay mode consumes the recorded
+   schedule and, because slice boundaries replay identically, delivers the
+   same bytes at the same ticks.  Events that find no listener (or a closed
+   socket) are dropped without being recorded — consistently in both modes.
+
    Ephemeral ports are allocated deterministically starting at 49162 (the
    port in the paper's Table II / Fig. 7 example). *)
 
@@ -19,7 +29,8 @@ type socket = {
   mutable peer : int option;  (* loopback peer socket *)
   mutable listening : bool;
   mutable bound_port : int option;
-  pending : int Queue.t;  (* loopback connections awaiting accept *)
+  mutable fin : bool;  (* remote end closed; EOF once rx drains *)
+  pending : int Queue.t;  (* connections awaiting accept *)
 }
 
 type actor = {
@@ -30,15 +41,24 @@ type actor = {
   on_data : Types.flow -> string -> string list;
 }
 
+(* One step of a host-initiated connection's life, as seen by the guest. *)
+type inbound_event =
+  | Inb_connect of Types.flow
+  | Inb_data of Types.flow * string
+  | Inb_fin of Types.flow
+
 type t = {
   local_ip : Types.Ip.t;
   sockets : (int, socket) Hashtbl.t;
   actors : (int * int, actor) Hashtbl.t;  (* (ip, port) -> actor *)
   listeners : (int, int) Hashtbl.t;  (* local port -> listening socket *)
+  inbound_flows : (Types.flow, int) Hashtbl.t;  (* accepted-side sockets *)
+  mutable inbound : (int * inbound_event) list;  (* tick-sorted schedule *)
   mutable next_sock : int;
   mutable next_port : int;
   mutable record_sink : (Types.flow -> string -> unit) option;
   mutable replay_source : (Types.flow -> string list) option;
+  mutable inbound_sink : (int -> inbound_event -> unit) option;
   mutable sent : (Types.flow * string) list;  (* outbound traffic, for forensics *)
 }
 
@@ -53,18 +73,33 @@ let create ~local_ip =
     sockets = Hashtbl.create 16;
     actors = Hashtbl.create 8;
     listeners = Hashtbl.create 4;
+    inbound_flows = Hashtbl.create 16;
+    inbound = [];
     next_sock = 1;
     next_port = first_ephemeral_port;
     record_sink = None;
     replay_source = None;
+    inbound_sink = None;
     sent = [];
   }
 
 let set_record_sink t f = t.record_sink <- Some f
 let set_replay_source t f = t.replay_source <- Some f
+let set_inbound_sink t f = t.inbound_sink <- Some f
 
 let register_actor t actor =
   Hashtbl.replace t.actors (actor.actor_ip, actor.actor_port) actor
+
+(* Merge tick-stamped events into the schedule.  The sort is stable, so
+   events at the same tick keep their relative order — a connect always
+   precedes its own data and fin. *)
+let schedule_inbound t events =
+  t.inbound <-
+    List.stable_sort
+      (fun (a, _) (b, _) -> compare a b)
+      (t.inbound @ events)
+
+let pending_inbound t = List.length t.inbound
 
 let socket t =
   let id = t.next_sock in
@@ -79,6 +114,7 @@ let socket t =
       peer = None;
       listening = false;
       bound_port = None;
+      fin = false;
       pending = Queue.create ();
     }
   in
@@ -174,8 +210,11 @@ let send t id data =
     t.sent <- (flow, data) :: t.sent;
     match s.peer with
     | Some peer_id ->
-      (* loopback: deliver straight into the peer, no recording *)
-      Buffer.add_string (find t peer_id).rx data;
+      (* loopback: deliver straight into the peer, no recording.  A peer
+         that already closed swallows the bytes, like a TCP RST would. *)
+      (match Hashtbl.find_opt t.sockets peer_id with
+      | Some peer -> Buffer.add_string peer.rx data
+      | None -> ());
       String.length data
     | None ->
       (match t.replay_source with
@@ -198,7 +237,22 @@ let recv t id ~len =
     out
   end
 
-(* Server-side API: bind a local port, listen, accept pending loopback
+(* EOF: the remote side sent fin and the guest drained every byte. *)
+let eof t id =
+  let s = find t id in
+  s.fin && Buffer.length s.rx - s.rx_pos = 0
+
+(* Readiness bitmask for the [poll] syscall.  Listener: bit 0 = a
+   connection is waiting to be accepted.  Connected socket: bit 0 = bytes
+   available to recv, bit 1 = stream at EOF. *)
+let readiness t id =
+  let s = find t id in
+  if s.listening then (if Queue.is_empty s.pending then 0 else 1)
+  else
+    let avail = Buffer.length s.rx - s.rx_pos > 0 in
+    (if avail then 1 else 0) lor (if (not avail) && s.fin then 2 else 0)
+
+(* Server-side API: bind a local port, listen, accept pending
    connections. *)
 let bind t id ~port =
   let s = find t id in
@@ -219,6 +273,106 @@ let accept t id =
 
 let flow_of t id = (find t id).flow
 
-let close t id = Hashtbl.remove t.sockets id
+(* -- inbound pump --------------------------------------------------------- *)
+
+(* Deliver every scheduled event that is due at [tick].  Called at slice
+   boundaries from the kernel run loop, so delivery ticks are boundary
+   ticks — identical in record and replay.  Only *delivered* events reach
+   the inbound sink (and hence the trace); refused connects and data for
+   closed sockets vanish in both modes alike. *)
+let pump t ~tick =
+  let deliver_event ev =
+    match ev with
+    | Inb_connect flow -> (
+      match Hashtbl.find_opt t.listeners flow.Types.dst_port with
+      | None -> false
+      | Some listener_id -> (
+        match Hashtbl.find_opt t.sockets listener_id with
+        | Some listener when listener.listening ->
+          let conn_id = socket t in
+          let conn = find t conn_id in
+          conn.flow <- Some flow;
+          conn.connected <- true;
+          Hashtbl.replace t.inbound_flows flow conn_id;
+          Queue.add conn_id listener.pending;
+          true
+        | Some _ | None -> false))
+    | Inb_data (flow, data) -> (
+      match Hashtbl.find_opt t.inbound_flows flow with
+      | Some sid -> (
+        match Hashtbl.find_opt t.sockets sid with
+        | Some s when not s.fin ->
+          Buffer.add_string s.rx data;
+          true
+        | Some _ | None -> false)
+      | None -> false)
+    | Inb_fin flow -> (
+      match Hashtbl.find_opt t.inbound_flows flow with
+      | Some sid -> (
+        match Hashtbl.find_opt t.sockets sid with
+        | Some s when not s.fin ->
+          s.fin <- true;
+          true
+        | Some _ | None -> false)
+      | None -> false)
+  in
+  let rec go () =
+    match t.inbound with
+    | (at, ev) :: rest when at <= tick ->
+      t.inbound <- rest;
+      if deliver_event ev then (
+        match t.inbound_sink with Some sink -> sink tick ev | None -> ());
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(* -- close ---------------------------------------------------------------- *)
+
+(* Drop the accepted-flow index entry that points at [s]. *)
+let forget_flow t (s : socket) =
+  match s.flow with
+  | Some f -> (
+    match Hashtbl.find_opt t.inbound_flows f with
+    | Some sid when sid = s.sock_id -> Hashtbl.remove t.inbound_flows f
+    | Some _ | None -> ())
+  | None -> ()
+
+(* Tell a loopback peer its other end is gone: reads drain to EOF, writes
+   are swallowed. *)
+let detach_peer t (s : socket) =
+  match s.peer with
+  | Some pid -> (
+    match Hashtbl.find_opt t.sockets pid with
+    | Some peer ->
+      peer.peer <- None;
+      peer.fin <- true
+    | None -> ())
+  | None -> ()
+
+(* Closing a listener releases its port (so the port can be rebound) and
+   drains the un-accepted backlog; closing a connection detaches its peer
+   and forgets its flow index entry. *)
+let close t id =
+  match Hashtbl.find_opt t.sockets id with
+  | None -> ()
+  | Some s ->
+    (match s.bound_port with
+    | Some port when Hashtbl.find_opt t.listeners port = Some id ->
+      Hashtbl.remove t.listeners port;
+      Queue.iter
+        (fun cid ->
+          match Hashtbl.find_opt t.sockets cid with
+          | Some c ->
+            forget_flow t c;
+            detach_peer t c;
+            Hashtbl.remove t.sockets cid
+          | None -> ())
+        s.pending;
+      Queue.clear s.pending
+    | Some _ | None -> ());
+    forget_flow t s;
+    detach_peer t s;
+    Hashtbl.remove t.sockets id
 
 let sent_traffic t = List.rev t.sent

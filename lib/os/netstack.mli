@@ -8,6 +8,16 @@
     record/replay discipline, where network input is the non-deterministic
     event.
 
+    Traffic also flows the other way: host-side clients initiate
+    connections {e to} the guest as a tick-stamped {!inbound_event}
+    schedule, pumped at scheduler slice boundaries ({!pump}).  Record mode
+    consumes a generator's schedule and reports every {e delivered} event
+    to the inbound sink with its actual delivery tick; replay mode consumes
+    the recorded schedule and — because slice boundaries replay
+    identically — delivers the same bytes at the same ticks.  Undeliverable
+    events (no listener, closed socket) are dropped unrecorded in both
+    modes alike.
+
     Ephemeral ports are allocated deterministically starting at
     {!first_ephemeral_port} = 49162, the port in the paper's Table II /
     Fig. 7 example. *)
@@ -25,6 +35,12 @@ type actor = {
       (** chunks to deliver in response to guest data *)
 }
 
+(** One step of a host-initiated connection's life, as seen by the guest. *)
+type inbound_event =
+  | Inb_connect of Types.flow  (** SYN: enqueue on the listener backlog *)
+  | Inb_data of Types.flow * string  (** payload bytes for an accepted flow *)
+  | Inb_fin of Types.flow  (** remote close: stream EOF once rx drains *)
+
 type t
 
 exception Bad_socket of int
@@ -40,7 +56,23 @@ val set_record_sink : t -> (Types.flow -> string -> unit) -> unit
 val set_replay_source : t -> (Types.flow -> string list) -> unit
 (** Replace actors with recorded per-flow input (replay mode). *)
 
+val set_inbound_sink : t -> (int -> inbound_event -> unit) -> unit
+(** Called with [(delivery_tick, event)] for every inbound event actually
+    delivered by {!pump} (record mode: this is what the trace stores). *)
+
 val register_actor : t -> actor -> unit
+
+val schedule_inbound : t -> (int * inbound_event) list -> unit
+(** Merge tick-stamped inbound events into the schedule.  Stable order
+    within a tick, so a connect precedes its own data and fin. *)
+
+val pending_inbound : t -> int
+(** Scheduled inbound events not yet pumped. *)
+
+val pump : t -> tick:int -> unit
+(** Deliver every scheduled event due at [tick].  Called at scheduler
+    slice boundaries so delivery ticks are identical in record and
+    replay.  Fires the inbound sink only for delivered events. *)
 
 val socket : t -> int
 (** Allocate a socket; returns its id. *)
@@ -56,6 +88,14 @@ val send : t -> int -> string -> int
 val recv : t -> int -> len:int -> string
 (** Byte-stream receive: at most [len] bytes, [""] when nothing pending. *)
 
+val eof : t -> int -> bool
+(** [true] once the remote side closed and every byte has been drained. *)
+
+val readiness : t -> int -> int
+(** Readiness bitmask for the [poll] syscall.  Listening socket: bit 0 =
+    a connection awaits {!accept}.  Connected socket: bit 0 = bytes
+    available to {!recv}, bit 1 = stream at EOF. *)
+
 val loopback_ip : Types.Ip.t
 
 val bind : t -> int -> port:int -> unit
@@ -66,12 +106,16 @@ val listen : t -> int -> unit
 (** Mark a bound socket as listening.  Raises {!Bad_socket} if unbound. *)
 
 val accept : t -> int -> int option
-(** Pop a pending loopback connection; [None] when nothing is waiting.
-    Loopback (guest-to-guest) traffic is deterministic and bypasses both
-    the record sink and the replay source. *)
+(** Pop a pending connection (loopback or inbound); [None] when nothing is
+    waiting.  Loopback (guest-to-guest) traffic is deterministic and
+    bypasses both the record sink and the replay source. *)
 
 val flow_of : t -> int -> Types.flow option
+
 val close : t -> int -> unit
+(** Close a socket.  Closing a listener releases its bound port (the port
+    can be rebound) and drains the un-accepted backlog; closing a
+    connection detaches any loopback peer (the peer reads EOF). *)
 
 val sent_traffic : t -> (Types.flow * string) list
 (** Outbound traffic in order — the packet capture a sandbox keeps. *)

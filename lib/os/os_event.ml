@@ -45,6 +45,7 @@ type t =
     }
   | File_deleted of { pid : Types.pid; path : string }
   | Net_connect of { pid : Types.pid; flow : Types.flow }
+  | Net_accept of { pid : Types.pid; flow : Types.flow }
   | Net_recv of { pid : Types.pid; flow : Types.flow; dst_paddrs : int list }
   | Net_send of { pid : Types.pid; flow : Types.flow; src_paddrs : int list }
   | Mem_copy of {
@@ -76,6 +77,7 @@ let name = function
   | File_write _ -> "file_write"
   | File_deleted _ -> "file_deleted"
   | Net_connect _ -> "net_connect"
+  | Net_accept _ -> "net_accept"
   | Net_recv _ -> "net_recv"
   | Net_send _ -> "net_send"
   | Mem_copy _ -> "mem_copy"

@@ -45,6 +45,8 @@ type t =
     }
   | File_deleted of { pid : Types.pid; path : string }
   | Net_connect of { pid : Types.pid; flow : Types.flow }
+  | Net_accept of { pid : Types.pid; flow : Types.flow }
+      (** a server accepted a host-initiated (or loopback) connection *)
   | Net_recv of { pid : Types.pid; flow : Types.flow; dst_paddrs : int list }
   | Net_send of { pid : Types.pid; flow : Types.flow; src_paddrs : int list }
   | Mem_copy of {

@@ -57,12 +57,18 @@ let listen (k : Kstate.t) (p : Process.t) args =
 let accept (k : Kstate.t) (p : Process.t) args =
   with_sock p args.(0) (fun sid ->
       match Netstack.accept k.net sid with
-      | Some conn -> Process.alloc_handle p (Hsock conn)
+      | Some conn ->
+        (match Netstack.flow_of k.net conn with
+        | Some flow -> Kstate.emit k (Os_event.Net_accept { pid = p.pid; flow })
+        | None -> ());
+        Process.alloc_handle p (Hsock conn)
       | None -> err
       | exception Netstack.Bad_socket _ -> err)
 
-(* r1 = handle, r2 = buf, r3 = len.  Returns bytes received (0 = nothing
-   pending). *)
+(* r1 = handle, r2 = buf, r3 = len.  Returns bytes received, 0 when
+   nothing is pending yet, or -1 once the stream is at EOF (remote side
+   closed and every byte drained) — how a server worker knows a client is
+   done without a length prefix. *)
 let recv (k : Kstate.t) (p : Process.t) args =
   with_sock p args.(0) (fun sid ->
       let len = args.(2) in
@@ -79,5 +85,14 @@ let recv (k : Kstate.t) (p : Process.t) args =
                  { pid = p.pid; flow; dst_paddrs = Kstate.phys_range k p args.(1) n })
           | None -> ()
         end;
-        n
+        if n = 0 && Netstack.eof k.net sid then err else n
       end)
+
+(* r1 = handle.  Readiness bitmask: listener — bit 0 = connection waiting
+   to be accepted; connected socket — bit 0 = bytes available, bit 1 =
+   stream at EOF.  Lets servers sleep (yield) instead of spinning. *)
+let poll (k : Kstate.t) (p : Process.t) args =
+  with_sock p args.(0) (fun sid ->
+      match Netstack.readiness k.net sid with
+      | r -> r
+      | exception Netstack.Bad_socket _ -> err)

@@ -14,4 +14,9 @@ val bind : handler
 val listen : handler
 
 val accept : handler
-(** Non-blocking: returns a fresh handle or -1; guests poll. *)
+(** Non-blocking: returns a fresh handle or -1; guests poll.  Emits
+    [Net_accept] with the accepted connection's flow. *)
+
+val poll : handler
+(** Readiness bitmask for a socket handle — lets a server yield instead of
+    busy-spinning on non-blocking [accept]/[recv]. *)

@@ -14,13 +14,28 @@ let terminate (k : Kstate.t) (p : Process.t) args =
   Kstate.emit k (Os_event.Proc_exited { pid = p.pid; code = args.(0) });
   0
 
-(* r1 = path ptr, r2 = path len, r3 = flags (bit0: create suspended).
-   Returns the child pid (which doubles as its handle). *)
+(* r1 = path ptr, r2 = path len, r3 = flags (bit0: create suspended),
+   r4 = parent handle to duplicate into the child (0 = none) — how a
+   daemon hands an accepted connection to a spawned worker.  The child
+   finds the duplicated handle in its r1 at entry.  Returns the child pid
+   (which doubles as its handle). *)
 let create_process (k : Kstate.t) (p : Process.t) args =
   let path = Kstate.read_guest_string k p args.(0) args.(1) in
   let suspended = args.(2) land 1 <> 0 in
+  let inherit_obj =
+    if args.(3) = 0 then None else Process.find_handle p args.(3)
+  in
   match Spawn.spawn k ~path ~suspended ~parent:(Some p.pid) with
-  | pid -> pid
+  | pid ->
+    (match inherit_obj with
+    | Some obj -> (
+      match Kstate.proc k pid with
+      | Some child ->
+        let h = Process.alloc_handle child obj in
+        child.cpu.regs.(1) <- h
+      | None -> ())
+    | None -> ());
+    pid
   | exception Spawn.Bad_executable _ -> err
 
 let with_target (k : Kstate.t) (p : Process.t) pid f =
@@ -68,6 +83,13 @@ let get_current_pid (_ : Kstate.t) (p : Process.t) _ = p.pid
 
 (* r1 = ticks; cooperative delay — ends the current slice. *)
 let delay (_ : Kstate.t) (p : Process.t) _ =
+  p.slice_budget <- 0;
+  0
+
+(* Cooperative yield — ends the current slice so other processes (and the
+   inbound network pump, which runs at slice boundaries) make progress.
+   The polite alternative to busy-spinning on a non-blocking accept. *)
+let yield (_ : Kstate.t) (p : Process.t) _ =
   p.slice_budget <- 0;
   0
 

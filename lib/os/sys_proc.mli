@@ -18,3 +18,7 @@ val query_information : handler
 val get_current_pid : handler
 val delay : handler
 val get_tick_count : handler
+
+val yield : handler
+(** Cooperative yield: ends the current slice so other processes (and the
+    slice-boundary inbound network pump) make progress. *)

@@ -21,6 +21,7 @@ let nt_query_information_process = 0x0B
 let nt_get_current_pid = 0x0C
 let nt_delay_execution = 0x0D
 let nt_get_tick_count = 0x0E
+let nt_yield_execution = 0x0F
 
 (* filesystem *)
 let nt_create_file = 0x10
@@ -43,6 +44,7 @@ let sys_recv = 0x23
 let sys_bind = 0x24
 let sys_listen = 0x25
 let sys_accept = 0x26
+let sys_poll = 0x27
 
 (* loader *)
 let ldr_load_library = 0x30
@@ -71,6 +73,7 @@ let name sysno =
   | 0x0C -> "NtGetCurrentPid"
   | 0x0D -> "NtDelayExecution"
   | 0x0E -> "NtGetTickCount"
+  | 0x0F -> "NtYieldExecution"
   | 0x10 -> "NtCreateFile"
   | 0x11 -> "NtOpenFile"
   | 0x12 -> "NtReadFile"
@@ -89,6 +92,7 @@ let name sysno =
   | 0x24 -> "bind"
   | 0x25 -> "listen"
   | 0x26 -> "accept"
+  | 0x27 -> "poll"
   | 0x30 -> "LdrLoadLibrary"
   | 0x31 -> "LdrGetProcAddress"
   | 0x40 -> "DevKeyRead"
@@ -101,9 +105,9 @@ let name sysno =
 (* Coarse family of a syscall number, keyed off the numbering blocks above.
    Used as the [class] argument of syscall-dispatch trace events. *)
 let category sysno =
-  if sysno >= 0x01 && sysno <= 0x0E then "process"
+  if sysno >= 0x01 && sysno <= 0x0F then "process"
   else if sysno >= 0x10 && sysno <= 0x1A then "file"
-  else if sysno >= 0x20 && sysno <= 0x26 then "net"
+  else if sysno >= 0x20 && sysno <= 0x27 then "net"
   else if sysno >= 0x30 && sysno <= 0x31 then "loader"
   else if sysno >= 0x40 && sysno <= 0x44 then "device"
   else "unknown"

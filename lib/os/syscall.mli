@@ -31,6 +31,10 @@ val nt_get_current_pid : int
 val nt_delay_execution : int
 val nt_get_tick_count : int
 
+val nt_yield_execution : int
+(** Cooperative yield: ends the caller's timeslice so other processes and
+    the inbound network pump make progress. *)
+
 (** {2 Filesystem} *)
 
 val nt_create_file : int
@@ -54,6 +58,10 @@ val sys_recv : int
 val sys_bind : int
 val sys_listen : int
 val sys_accept : int
+
+val sys_poll : int
+(** r1 = handle; returns a readiness bitmask (listener: bit 0 = pending
+    connection; connected socket: bit 0 = bytes available, bit 1 = EOF). *)
 
 (** {2 Loader} *)
 

@@ -15,6 +15,8 @@ let start (kernel : Faros_os.Kernel.t) =
   let s = { kernel; rev_events = []; syscalls = 0 } in
   Faros_os.Netstack.set_record_sink kernel.net (fun flow data ->
       s.rev_events <- Trace.Packet (flow, data) :: s.rev_events);
+  Faros_os.Netstack.set_inbound_sink kernel.net (fun tick ev ->
+      s.rev_events <- Trace.Inbound (tick, ev) :: s.rev_events);
   Faros_os.Input_dev.set_record_sink kernel.input (fun key ->
       s.rev_events <- Trace.Key key :: s.rev_events);
   Faros_os.Kernel.subscribe kernel (fun ev ->

@@ -47,6 +47,10 @@ let replay ?max_ticks ?timeslice ?tb_cache ?dift_fast
   setup kernel;
   Faros_os.Netstack.set_replay_source kernel.net (fun flow ->
       Trace.rx_chunks trace flow);
+  (* Host-initiated connections replay from the recorded tick-stamped
+     schedule: the kernel pump delivers them at the same slice boundaries
+     as during recording. *)
+  Faros_os.Netstack.schedule_inbound kernel.net (Trace.inbound_schedule trace);
   Faros_os.Input_dev.set_replay_keys kernel.input (Trace.keys trace);
   let syscalls = ref 0 in
   Faros_os.Kernel.subscribe kernel (fun ev ->

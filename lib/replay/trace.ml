@@ -4,9 +4,21 @@
    synthetic devices, no wall clock), so a trace of network arrivals and
    keystrokes is sufficient to replay a whole-system execution exactly —
    the property PANDA's record/replay provides the paper.  The trace also
-   carries integrity metadata so the replayer can detect divergence. *)
+   carries integrity metadata so the replayer can detect divergence.
 
-type event = Packet of Faros_os.Types.flow * string | Key of int
+   Host-initiated (inbound) connections are recorded as tick-stamped
+   [Inbound] events: the recorder stores each delivered event together
+   with the slice-boundary tick at which the netstack pump delivered it,
+   and the replayer feeds the same schedule back into the pump.  Traces
+   without inbound events keep the original "FTR1" wire format
+   byte-for-byte; traces with them use "FTR2" (same layout plus the
+   'C'/'D'/'F' inbound tags), and [parse] accepts both. *)
+
+type event =
+  | Packet of Faros_os.Types.flow * string
+  | Key of int
+  | Inbound of int * Faros_os.Netstack.inbound_event
+      (* delivery tick + the event the pump delivered *)
 
 type t = {
   events : event list;  (* in arrival order *)
@@ -21,17 +33,33 @@ let rx_chunks t flow =
   List.filter_map
     (function
       | Packet (f, data) when Faros_os.Types.flow_equal f flow -> Some data
-      | Packet _ | Key _ -> None)
+      | Packet _ | Key _ | Inbound _ -> None)
     t.events
 
-let keys t = List.filter_map (function Key k -> Some k | Packet _ -> None) t.events
+let keys t =
+  List.filter_map (function Key k -> Some k | Packet _ | Inbound _ -> None) t.events
+
+(* The tick-stamped inbound schedule, ready for [Netstack.schedule_inbound]. *)
+let inbound_schedule t =
+  List.filter_map
+    (function Inbound (tick, ev) -> Some (tick, ev) | Packet _ | Key _ -> None)
+    t.events
 
 let packet_count t =
-  List.length (List.filter (function Packet _ -> true | Key _ -> false) t.events)
+  List.length
+    (List.filter (function Packet _ -> true | Key _ | Inbound _ -> false) t.events)
+
+let inbound_count t =
+  List.length
+    (List.filter (function Inbound _ -> true | Packet _ | Key _ -> false) t.events)
 
 let total_rx_bytes t =
   List.fold_left
-    (fun acc -> function Packet (_, d) -> acc + String.length d | Key _ -> acc)
+    (fun acc -> function
+      | Packet (_, d) -> acc + String.length d
+      | Inbound (_, Faros_os.Netstack.Inb_data (_, d)) -> acc + String.length d
+      | Inbound (_, (Faros_os.Netstack.Inb_connect _ | Faros_os.Netstack.Inb_fin _))
+      | Key _ -> acc)
     0 t.events
 
 (* -- serialization (trace files an analyst can keep alongside a sample) -- *)
@@ -45,9 +73,19 @@ let put_str buf s =
   put_u32 buf (String.length s);
   Buffer.add_string buf s
 
+let put_flow buf (f : Faros_os.Types.flow) =
+  put_u32 buf f.src_ip;
+  put_u32 buf f.src_port;
+  put_u32 buf f.dst_ip;
+  put_u32 buf f.dst_port
+
 let serialize t =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "FTR1";
+  let has_inbound =
+    List.exists (function Inbound _ -> true | Packet _ | Key _ -> false) t.events
+  in
+  (* Traces without inbound events keep the v1 format byte-for-byte. *)
+  Buffer.add_string buf (if has_inbound then "FTR2" else "FTR1");
   put_u32 buf t.final_tick;
   put_u32 buf t.syscall_count;
   put_u32 buf (List.length t.events);
@@ -56,14 +94,24 @@ let serialize t =
       match ev with
       | Packet (f, data) ->
         Buffer.add_char buf 'P';
-        put_u32 buf f.Faros_os.Types.src_ip;
-        put_u32 buf f.src_port;
-        put_u32 buf f.dst_ip;
-        put_u32 buf f.dst_port;
+        put_flow buf f;
         put_str buf data
       | Key k ->
         Buffer.add_char buf 'K';
-        put_u32 buf k)
+        put_u32 buf k
+      | Inbound (tick, Faros_os.Netstack.Inb_connect f) ->
+        Buffer.add_char buf 'C';
+        put_u32 buf tick;
+        put_flow buf f
+      | Inbound (tick, Faros_os.Netstack.Inb_data (f, data)) ->
+        Buffer.add_char buf 'D';
+        put_u32 buf tick;
+        put_flow buf f;
+        put_str buf data
+      | Inbound (tick, Faros_os.Netstack.Inb_fin f) ->
+        Buffer.add_char buf 'F';
+        put_u32 buf tick;
+        put_flow buf f)
     t.events;
   Buffer.contents buf
 
@@ -91,9 +139,18 @@ let get_char r =
   r.pos <- r.pos + 1;
   c
 
+let get_flow r : Faros_os.Types.flow =
+  let src_ip = get_u32 r in
+  let src_port = get_u32 r in
+  let dst_ip = get_u32 r in
+  let dst_port = get_u32 r in
+  { src_ip; src_port; dst_ip; dst_port }
+
 let parse src =
-  if String.length src < 4 || String.sub src 0 4 <> "FTR1" then
-    raise (Bad_trace "bad magic");
+  if String.length src < 4 then raise (Bad_trace "bad magic");
+  (match String.sub src 0 4 with
+  | "FTR1" | "FTR2" -> ()
+  | _ -> raise (Bad_trace "bad magic"));
   let r = { src; pos = 4 } in
   let final_tick = get_u32 r in
   let syscall_count = get_u32 r in
@@ -102,13 +159,21 @@ let parse src =
     List.init n (fun _ ->
         match get_char r with
         | 'P' ->
-          let src_ip = get_u32 r in
-          let src_port = get_u32 r in
-          let dst_ip = get_u32 r in
-          let dst_port = get_u32 r in
+          let f = get_flow r in
           let data = get_str r in
-          Packet ({ src_ip; src_port; dst_ip; dst_port }, data)
+          Packet (f, data)
         | 'K' -> Key (get_u32 r)
+        | 'C' ->
+          let tick = get_u32 r in
+          Inbound (tick, Faros_os.Netstack.Inb_connect (get_flow r))
+        | 'D' ->
+          let tick = get_u32 r in
+          let f = get_flow r in
+          let data = get_str r in
+          Inbound (tick, Faros_os.Netstack.Inb_data (f, data))
+        | 'F' ->
+          let tick = get_u32 r in
+          Inbound (tick, Faros_os.Netstack.Inb_fin (get_flow r))
         | c -> raise (Bad_trace (Printf.sprintf "bad event tag %C" c)))
   in
   { events; final_tick; syscall_count }

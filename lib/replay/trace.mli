@@ -9,6 +9,9 @@
 type event =
   | Packet of Faros_os.Types.flow * string  (** one received chunk *)
   | Key of int  (** one user keystroke *)
+  | Inbound of int * Faros_os.Netstack.inbound_event
+      (** one host-initiated connection step, tagged with the
+          slice-boundary tick at which the netstack pump delivered it *)
 
 type t = {
   events : event list;  (** in arrival order *)
@@ -22,11 +25,17 @@ val rx_chunks : t -> Faros_os.Types.flow -> string list
 (** All payload chunks received on a flow, in order. *)
 
 val keys : t -> int list
+
+val inbound_schedule : t -> (int * Faros_os.Netstack.inbound_event) list
+(** The recorded inbound schedule, ready for [Netstack.schedule_inbound]. *)
+
 val packet_count : t -> int
+val inbound_count : t -> int
 val total_rx_bytes : t -> int
 
 val serialize : t -> string
-(** Binary trace-file format ("FTR1"). *)
+(** Binary trace-file format: "FTR1" when the trace has no inbound events
+    (byte-identical to the v1 format), "FTR2" otherwise. *)
 
 exception Bad_trace of string
 

@@ -359,3 +359,44 @@ metric snapshot.
 
   $ grep -o '"name":"obs.sink.dropped","kind":"gauge","value":[0-9]*' obs.jsonl
   "name":"obs.sink.dropped","kind":"gauge","value":0
+
+The netd corpus — guest daemons under concurrent inbound traffic — ships
+out-of-band: the default listing and campaign stay pinned to the core
+130+showcase corpus, and the server samples opt in via --netd / --corpus.
+
+  $ faros list | tail -1
+  136 samples
+
+  $ faros list --netd | tail -1
+  167 samples
+
+  $ faros list --netd | grep -c '^netd'
+  31
+
+A server under heavy benign load records real inbound traffic, replays
+it bit-identically and raises no flag; the same server with one guilty
+client among the crowd is flagged, and the whodunit slice names exactly
+that client's netflow — not the hundred benign ones.
+
+  $ faros run netd_benign_load | grep -E 'record:|replay:|verdict:'
+  record:       6514 instructions, 0 packets, 2490 rx bytes
+  replay:       6514 instructions, diverged: false
+  verdict:      clean
+
+  $ faros graph netd_inject_under_server
+  sample:  netd_inject_under_server
+  graph:   408 nodes, 811 edges
+  nodes:   flow 100, process 101, file 2, module 101, region 102, flag 2
+  slices:
+    flag 0x1000009D in worker.exe <- 4 node(s), 1 origin(s)
+      NetFlow 169.254.80.14:40050 -> 169.254.57.168:8080 -> worker.exe (pid 151) -> flag 0x1000009D in worker.exe
+    flag 0x10000042 in worker.exe <- 4 node(s), 1 origin(s)
+      NetFlow 169.254.80.14:40050 -> 169.254.57.168:8080 -> worker.exe (pid 151) -> flag 0x10000042 in worker.exe
+
+A netd campaign carries the new budget columns at the end of each CSV
+row, so older positional consumers are untouched.
+
+  $ FAROS_FARM_DOMAINS=1 faros campaign --corpus netd --filter 'netd_*_c8_uniform' --csv - 2>/dev/null | cut -d, -f1,4,5,16,17,18,19,22
+  id,expected,verdict,flag_sites,slice_nodes,slice_origins,netflow_origin,budget_exhausted
+  netd_benign_c8_uniform,clean,clean,0,0,0,false,false
+  netd_inject_c8_uniform,flag,flagged,2,5,1,true,false
