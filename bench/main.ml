@@ -20,6 +20,7 @@
      campaign worker-pool scaling over a fixed corpus slice
      obs      whole-pipeline profiler / telemetry overhead
      graph    attack-graph builder overhead (plugin off vs on)
+     query    incremental-builder residency + forensic-store latency
      micro    Bechamel micro-benchmarks of the engine primitives *)
 
 let pp = Format.std_formatter
@@ -1075,6 +1076,162 @@ let graph_bench () =
   close_out oc;
   Fmt.pf pp "wrote BENCH_graph.json@."
 
+(* -- query: bounded-memory incremental builder + forensic store ----------- *)
+
+(* Two claims, measured.  (1) Residency: the streaming builder retains
+   O(live entities) while the legacy resident graph retains everything —
+   GC-measured retained words of each representation over inject traces
+   at 100/500/2000 connections (arrivals paced to the service time, so
+   connections quiesce as they complete).  (2) The store: ingest cost of
+   a full-corpus campaign's segment rows plus whodunit / origins /
+   merged-graph query latency.  Emits BENCH_query.json. *)
+let query_bench () =
+  section "query: incremental builder residency + store latency";
+  (* [Obj.reachable_words] over the graph-side structures themselves —
+     the resident {!Faros_graph.Graph.t} on one side, the segment
+     writer's live sets on the other — so the comparison isolates the
+     graph representation from the rest of the analysis pipeline (the
+     builder proper holds the kernel and tag store, identical in both
+     configurations). *)
+  Fmt.pf pp "%-8s %-16s %-16s %-8s %-14s %s@." "conns" "resident (words)"
+    "stream (words)" "ratio" "peak/total" "nodes";
+  let rows =
+    List.map
+      (fun clients ->
+        let scn, _, _ =
+          Faros_corpus.Servers.inject_under_load ~clients ~worker_close:true
+            ~arrival:(Faros_netd.Gen.Uniform 1000)
+            ~name:(Printf.sprintf "bench_query_%d" clients)
+            ()
+        in
+        let _k, trace = Faros_corpus.Scenario.record scn in
+        let replay ~resident ~consumer =
+          let state = ref None in
+          ignore
+            (Faros_corpus.Scenario.replay_with scn
+               ~plugins:(fun kernel ->
+                 let faros = Core.Faros_plugin.create kernel in
+                 let b =
+                   Faros_graph.Build.create ~resident ?consumer
+                     ~sample:"bench_query" ()
+                 in
+                 state := Some (faros, b);
+                 [
+                   Core.Faros_plugin.plugin faros;
+                   Faros_graph.Build.plugin b ~kernel ~faros;
+                 ])
+               trace);
+          let faros, b = Option.get !state in
+          Core.Faros_plugin.finalize faros;
+          Faros_graph.Build.enrich b faros;
+          (faros, b)
+        in
+        (* legacy one-shot graph: everything the builder retains at the
+           end of the analysis (the full resident graph) *)
+        let _, b = replay ~resident:true ~consumer:None in
+        let g = Faros_graph.Build.graph b in
+        let resident_words = Obj.reachable_words (Obj.repr g) in
+        let total_nodes = Faros_graph.Graph.node_count g in
+        let total_edges = Faros_graph.Graph.edge_count g in
+        (* incremental: rows stream to disk; what stays is the builder's
+           ordinal index plus the writer's live sets (measured before
+           [close] drains the final segment) *)
+        let tmp = Filename.temp_file "faros_bench_query" ".jsonl" in
+        let oc = open_out tmp in
+        let writer =
+          Faros_query.Segment.writer
+            ~sink:(Faros_obs.Sink.channel oc)
+            ~run:"bench_query" ()
+        in
+        let _sb =
+          replay ~resident:false
+            ~consumer:(Some (Faros_query.Segment.consume writer))
+        in
+        let stream_words = Obj.reachable_words (Obj.repr writer) in
+        Faros_query.Segment.close writer;
+        close_out oc;
+        let st = Faros_query.Segment.stats writer in
+        Sys.remove tmp;
+        Fmt.pf pp "%-8d %-16d %-16d %-8s %-14s %d@." clients resident_words
+          stream_words
+          (Printf.sprintf "%.1fx"
+             (float resident_words /. float (max 1 stream_words)))
+          (Printf.sprintf "%d/%d" st.st_peak_live_nodes st.st_spilled_nodes)
+          total_nodes;
+        (clients, resident_words, stream_words, st, total_nodes, total_edges))
+      [ 100; 500; 2000 ]
+  in
+  (* the store over a full-corpus campaign's segments *)
+  let c =
+    Faros_farm.Campaign.run ~workers:4 ~graph_segments:true
+      (Faros_corpus.Registry.all ())
+  in
+  let seg_rows =
+    List.concat_map
+      (fun (r : Faros_farm.Campaign.job_result) -> r.jr_segments)
+      c.results
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let store = Faros_query.Store.create () in
+  let _, ingest_s =
+    timed (fun () ->
+        match Faros_query.Store.ingest_lines store seg_rows with
+        | Ok n -> n
+        | Error e -> failwith e)
+  in
+  let slices, slice_s =
+    timed (fun () ->
+        List.fold_left
+          (fun acc run ->
+            match Faros_query.Store.run_graph store run with
+            | Ok g -> acc + List.length (Faros_graph.Slice.slices g)
+            | Error e -> failwith e)
+          0
+          (Faros_query.Store.runs store))
+  in
+  let origins, origins_s =
+    timed (fun () ->
+        match Faros_query.Store.origins store with
+        | Ok os -> List.length os
+        | Error e -> failwith e)
+  in
+  let merged, merged_s =
+    timed (fun () ->
+        match Faros_query.Store.merged_graph store with
+        | Ok g -> Faros_graph.Graph.node_count g
+        | Error e -> failwith e)
+  in
+  let t = Faros_query.Store.totals store in
+  Fmt.pf pp
+    "store: %d runs / %d rows ingested in %.3fs; %d slices in %.3fs, %d \
+     origins in %.3fs, merged graph (%d nodes) in %.3fs@."
+    t.t_runs t.t_rows ingest_s slices slice_s origins origins_s merged
+    merged_s;
+  let json =
+    Printf.sprintf
+      {|{"bench":"query","incremental":[%s],"store":{"runs":%d,"rows":%d,"ingest_s":%.6f,"slices":%d,"slice_s":%.6f,"origins":%d,"origins_s":%.6f,"merged_nodes":%d,"merged_s":%.6f}}|}
+      (String.concat ","
+         (List.map
+            (fun (clients, rw, sw, (st : Faros_query.Segment.stats), n, e) ->
+              Printf.sprintf
+                {|{"clients":%d,"resident_words":%d,"stream_words":%d,"ratio":%.2f,"peak_live_nodes":%d,"peak_live_edges":%d,"spilled_nodes":%d,"spilled_edges":%d,"patch_rows":%d,"segments":%d,"total_nodes":%d,"total_edges":%d}|}
+                clients rw sw
+                (float rw /. float (max 1 sw))
+                st.st_peak_live_nodes st.st_peak_live_edges st.st_spilled_nodes
+                st.st_spilled_edges st.st_patch_rows st.st_segments n e)
+            rows))
+      t.t_runs t.t_rows ingest_s slices slice_s origins origins_s merged
+      merged_s
+  in
+  let oc = open_out "BENCH_query.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf pp "wrote BENCH_query.json@."
+
 (* -- netd: server throughput under inbound load --------------------------- *)
 
 (* Replay-side connection throughput of the benign netd server at
@@ -1164,6 +1321,7 @@ let sections =
     ("diftfast", diftfast);
     ("obs", obs_bench);
     ("graph", graph_bench);
+    ("query", query_bench);
     ("netd", netd_bench);
     ("micro", micro);
   ]

@@ -19,8 +19,10 @@
      faros disasm <id>              disassemble a sample's images
      faros campaign [-j N] [--corpus SET] [--filter GLOB] [--json OUT] [--csv OUT]
                     [--profile] [--stats] [--progress]
-                    [--jsonl-out OUT] [--trace-out OUT]
+                    [--jsonl-out OUT] [--trace-out OUT] [--graph-out DIR]
                                     run the corpus on a parallel worker pool
+     faros query <dir> [--run ID] [--origins] [--flows SPEC]
+                                    cross-run whodunit over a segment store
      faros sweep                    run the whole corpus against expectations
                                     (alias for `campaign -j 1`)
      faros policies                 list the available DIFT policies *)
@@ -391,7 +393,8 @@ let strings_cmd id =
 (* Run a corpus campaign on a worker pool and compare verdicts to
    expectations: the CI entry point. *)
 let campaign_cmd workers corpus filter policy json_out csv_out tick_budget
-    deadline profile stats progress jsonl_out trace_out summary_only =
+    deadline profile stats progress jsonl_out trace_out graph_out summary_only
+    =
   match build_config ~policy ~whitelist_jit:false () with
   | Error e ->
     prerr_endline e;
@@ -434,7 +437,7 @@ let campaign_cmd workers corpus filter policy json_out csv_out tick_budget
       in
       let c =
         Faros_farm.Campaign.run ~workers ~config ?tick_budget ?deadline
-          ~profile ~sink ~trace
+          ~graph_segments:(graph_out <> None) ~profile ~sink ~trace
           ~farm_metrics:(profile || stats || jsonl_out <> None)
           ?on_progress samples
       in
@@ -446,6 +449,25 @@ let campaign_cmd workers corpus filter policy json_out csv_out tick_budget
       in
       Option.iter (emit (Faros_farm.Campaign.to_json c)) json_out;
       Option.iter (emit (Faros_farm.Campaign.to_csv c)) csv_out;
+      (* one segment file per sample, submission order — the store input *)
+      Option.iter
+        (fun dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let written =
+            List.fold_left
+              (fun n (r : Faros_farm.Campaign.job_result) ->
+                match r.jr_segments with
+                | [] -> n
+                | rows ->
+                  write_file
+                    (Filename.concat dir (r.jr_id ^ ".jsonl"))
+                    (String.concat "\n" rows ^ "\n");
+                  n + 1)
+              0 c.results
+          in
+          if json_out <> Some "-" && csv_out <> Some "-" then
+            Fmt.pf pp "wrote %s/ (%d segment file(s))@." dir written)
+        graph_out;
       if json_out <> Some "-" && csv_out <> Some "-" then begin
         if summary_only then Faros_farm.Campaign.pp_summary pp c
         else begin
@@ -478,7 +500,7 @@ let campaign_cmd workers corpus filter policy json_out csv_out tick_budget
    with the classic summary output and the same exit-code semantics. *)
 let sweep_cmd () =
   campaign_cmd 1 `Core None None None None None None false false false None
-    None true
+    None None true
 
 (* Profile one sample end to end: record, replay under FAROS, and render
    the span tree plus the hotspot table.  The span structure is
@@ -574,8 +596,12 @@ let ps_cmd id =
 
 (* Build the attack graph for one sample: analyze with the online builder
    riding along as an extra plugin, enrich offline from shadow memory,
-   then render a summary with the whodunit slices and/or export DOT/JSON. *)
-let graph_cmd id policy dot_out json_out slice_only =
+   then render a summary with the whodunit slices and/or export DOT/JSON.
+   With --segments the builder runs streaming-only (no resident graph):
+   deltas spill through the incremental segment writer to FILE, and the
+   summary is printed from the store's reconstruction — byte-identical
+   to the resident path. *)
+let graph_cmd id policy dot_out json_out slice_only segments_out =
   match find_sample id with
   | Error e ->
     prerr_endline e;
@@ -585,19 +611,54 @@ let graph_cmd id policy dot_out json_out slice_only =
     | Error e ->
       prerr_endline e;
       1
-    | Ok config ->
+    | Ok config -> (
       let builder = ref None in
+      let seg = ref None in
       let outcome =
         Faros_corpus.Scenario.analyze ~config
           ~extra_plugins:(fun kernel faros ->
-            let b = Faros_graph.Build.create ~sample:sample.id () in
+            let consumer, resident =
+              match segments_out with
+              | None -> (None, true)
+              | Some path ->
+                let oc = open_out_bin path in
+                let sink = Faros_obs.Sink.channel oc in
+                let w = Faros_query.Segment.writer ~sink ~run:sample.id () in
+                seg := Some (path, oc, w);
+                (Some (Faros_query.Segment.consume w), false)
+            in
+            let b =
+              Faros_graph.Build.create ?consumer ~resident ~sample:sample.id ()
+            in
             builder := Some b;
             [ Faros_graph.Build.plugin b ~kernel ~faros ])
           sample.scenario
       in
       let b = Option.get !builder in
       Faros_graph.Build.enrich b outcome.faros;
-      let full = Faros_graph.Build.graph b in
+      let quiet = dot_out = Some "-" || json_out = Some "-" in
+      let full =
+        match !seg with
+        | None -> Ok (Faros_graph.Build.graph b)
+        | Some (path, oc, w) ->
+          Faros_query.Segment.close w;
+          close_out oc;
+          let st = Faros_query.Segment.stats w in
+          if not quiet then
+            Fmt.pf pp
+              "wrote %s (%d rows in %d segment(s), peak live %d node(s) / %d \
+               edge(s))@."
+              path st.st_rows st.st_segments st.st_peak_live_nodes
+              st.st_peak_live_edges;
+          let store = Faros_query.Store.create () in
+          Result.bind (Faros_query.Store.ingest_file store path) (fun _ ->
+              Faros_query.Store.run_graph store sample.id)
+      in
+      match full with
+      | Error e ->
+        Fmt.epr "bad segment stream: %s@." e;
+        1
+      | Ok full ->
       let slices = Faros_graph.Slice.slices full in
       let g, slices =
         if not slice_only then (full, slices)
@@ -661,7 +722,127 @@ let graph_cmd id policy dot_out json_out slice_only =
                 s.sl_chains)
             slices)
       end;
-      0)
+      0))
+
+(* Query a campaign's segment store: per-run whodunit slices (the same
+   rendering `faros graph` prints), cross-run origin ranking, flow
+   lookups, and DOT/JSON export of the merged or per-run graph. *)
+let query_cmd dir run_id origins flow_spec dot_out json_out =
+  match Faros_query.Store.load ~dir with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok store -> (
+    let fail e =
+      Fmt.epr "%s@." e;
+      1
+    in
+    let emit data = function
+      | "-" -> print_string data
+      | path ->
+        write_file path data;
+        Fmt.pf pp "wrote %s@." path
+    in
+    let quiet = dot_out = Some "-" || json_out = Some "-" in
+    let export () =
+      match (dot_out, json_out) with
+      | None, None -> Ok ()
+      | _ ->
+        Result.bind
+          (match run_id with
+          | Some run -> Faros_query.Store.run_graph store run
+          | None -> Faros_query.Store.merged_graph store)
+          (fun g ->
+            let slices = Faros_graph.Slice.slices g in
+            Option.iter (emit (Faros_graph.Export.to_dot g)) dot_out;
+            Option.iter (emit (Faros_graph.Export.to_json ~slices g)) json_out;
+            Ok ())
+    in
+    match export () with
+    | Error e -> fail e
+    | Ok () ->
+      if quiet then 0
+      else if origins then (
+        match Faros_query.Store.origins store with
+        | Error e -> fail e
+        | Ok os ->
+          let t = Faros_query.Store.totals store in
+          Fmt.pf pp "origins: %d distinct origin(s) across %d flagged run(s)@."
+            (List.length os) t.t_flag_runs;
+          List.iter
+            (fun (o : Faros_query.Store.origin) ->
+              Fmt.pf pp "  %-44s %3d run(s)  %s@." o.o_label
+                (List.length o.o_runs) o.o_ident)
+            os;
+          0)
+      else (
+        match flow_spec with
+        | Some spec -> (
+          match Faros_query.Store.flows store ~spec with
+          | Error e -> fail e
+          | Ok hits ->
+            let hits =
+              match run_id with
+              | None -> hits
+              | Some run ->
+                List.filter
+                  (fun (h : Faros_query.Store.flow_hit) -> h.fh_run = run)
+                  hits
+            in
+            List.iter
+              (fun (h : Faros_query.Store.flow_hit) ->
+                Fmt.pf pp "  %-32s %-44s delivered %d, sent %d@." h.fh_run
+                  h.fh_label h.fh_delivered h.fh_sent)
+              hits;
+            Fmt.pf pp "%d flow hit(s) for %S@." (List.length hits) spec;
+            0)
+        | None ->
+          let t = Faros_query.Store.totals store in
+          Fmt.pf pp "store:   %s@." dir;
+          Fmt.pf pp "runs:    %d (%d complete), %d flagged@." t.t_runs
+            t.t_complete t.t_flag_runs;
+          Fmt.pf pp "rows:    %d (%d duplicate), %d node(s), %d edge(s)@."
+            t.t_rows t.t_dups t.t_nodes t.t_edges;
+          let runs =
+            match run_id with
+            | Some run -> [ run ]
+            | None -> Faros_query.Store.runs store
+          in
+          let rc = ref 0 in
+          List.iter
+            (fun run ->
+              match Faros_query.Store.run_graph store run with
+              | Error e ->
+                Fmt.epr "%s: %s@." run e;
+                rc := 1
+              | Ok g ->
+                let slices = Faros_graph.Slice.slices g in
+                (* print every run when asked for by name; otherwise only
+                   the runs with flag sites — the whodunit set *)
+                if slices <> [] || run_id <> None then begin
+                  Fmt.pf pp "@.sample:  %s@." run;
+                  Fmt.pf pp "graph:   %d nodes, %d edges@."
+                    (Faros_graph.Graph.node_count g)
+                    (Faros_graph.Graph.edge_count g);
+                  match slices with
+                  | [] -> Fmt.pf pp "slices:  (none - no flag sites)@."
+                  | slices ->
+                    Fmt.pf pp "slices:@.";
+                    List.iter
+                      (fun (s : Faros_graph.Slice.t) ->
+                        Fmt.pf pp "  %s <- %d node(s), %d origin(s)@."
+                          (Faros_graph.Graph.node_label s.sl_flag)
+                          (List.length s.sl_nodes)
+                          (List.length s.sl_origins);
+                        List.iter
+                          (fun chain ->
+                            Fmt.pf pp "    %s@."
+                              (Faros_graph.Slice.render_chain chain))
+                          s.sl_chains)
+                      slices
+                end)
+            runs;
+          !rc))
 
 open Cmdliner
 
@@ -817,12 +998,24 @@ let graph_t =
       & info [ "slice" ]
           ~doc:"Restrict the graph to the union of the whodunit slices")
   in
+  let segments =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "segments" ] ~docv:"FILE"
+          ~doc:
+            "Build streaming-only (no resident graph): spill JSONL segment \
+             rows to $(docv) through the bounded-memory incremental writer, \
+             then print the summary from the store's reconstruction")
+  in
   Cmd.v
     (Cmd.info "graph"
        ~doc:
          "Build the whole-system attack graph of one sample, with whodunit \
           slices from every flag site")
-    Term.(const graph_cmd $ id_arg $ policy_arg $ dot_out $ json_out $ slice)
+    Term.(
+      const graph_cmd $ id_arg $ policy_arg $ dot_out $ json_out $ slice
+      $ segments)
 
 let strings_t =
   Cmd.v
@@ -922,6 +1115,16 @@ let campaign_t =
             "Write the fleet trace as Chrome trace_event JSON, one process \
              lane per worker")
   in
+  let graph_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "graph-out" ] ~docv:"DIR"
+          ~doc:
+            "Stream every job's attack graph through the incremental segment \
+             writer and write one $(b,DIR/<sample>.jsonl) file per sample — \
+             the $(b,faros query) store input")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -930,7 +1133,55 @@ let campaign_t =
     Term.(
       const campaign_cmd $ workers $ corpus $ filter $ policy_arg $ json_out
       $ csv_out $ tick_budget $ deadline $ profile $ stats $ progress
-      $ jsonl_out $ trace_out $ const false)
+      $ jsonl_out $ trace_out $ graph_out $ const false)
+
+let query_t =
+  let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let run =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run" ] ~docv:"SAMPLE"
+          ~doc:"Restrict to one run (its exact per-run reconstruction)")
+  in
+  let origins =
+    Arg.(
+      value & flag
+      & info [ "origins" ]
+          ~doc:
+            "Rank every slice origin across every run by the number of runs \
+             whose whodunit slices reached it")
+  in
+  let flows =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flows" ] ~docv:"SPEC"
+          ~doc:
+            "List flow nodes whose stable identity contains $(docv) \
+             ($(b,SRC:sport->DST:dport), or any fragment of it)")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write a Graphviz DOT export ($(b,-) for stdout)")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a JSON export ($(b,-) for stdout)")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Query a campaign's graph-segment store: whodunit slices, \
+          cross-run origin ranking, flow lookups, merged-graph export")
+    Term.(
+      const query_cmd $ dir_arg $ run $ origins $ flows $ dot_out $ json_out)
 
 let profile_t =
   let top =
@@ -1005,6 +1256,7 @@ let () =
             taint_t;
             strings_t;
             graph_t;
+            query_t;
             disasm_t;
             campaign_t;
             profile_t;

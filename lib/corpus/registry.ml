@@ -174,6 +174,15 @@ let netd_showcase () =
   let scn_500, _, _ =
     Servers.inject_under_load ~clients:500 ~name:"netd_inject_500" ()
   in
+  (* the bounded-memory acceptance sample: workers close their
+     connections and arrivals pace the ~800-tick service time, so
+     connections quiesce as fast as they arrive and the incremental
+     builder's live graph stays O(concurrent connections) — constant in
+     the connection count *)
+  let scn_2000, _, _ =
+    Servers.inject_under_load ~clients:2000 ~worker_close:true
+      ~arrival:(Faros_netd.Gen.Uniform 1000) ~name:"netd_inject_2000" ()
+  in
   [
     {
       id = "netd_benign_load";
@@ -206,6 +215,14 @@ let netd_showcase () =
       expected = Expect_flag;
       behaviors = [];
       scenario = scn_500;
+    };
+    {
+      id = "netd_inject_2000";
+      family = "netd";
+      category = Attack "inject-through-server";
+      expected = Expect_flag;
+      behaviors = [];
+      scenario = scn_2000;
     };
   ]
 

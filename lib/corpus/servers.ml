@@ -28,12 +28,12 @@ let evil_request ?(text = "injected via netd") () =
    slack for boot + the final drain. *)
 let budget (s : Gen.schedule) = Gen.horizon s + (s.clients * 800) + 100_000
 
-let listener_scenario ~name ~sched ~expected =
+let listener_scenario ?(worker_close = false) ~name ~sched ~expected () =
   Scenario.make ~inbound:(Gen.events sched)
     ~images:
       [
         ("netd.exe", Daemon.listener_image ~expected ~worker_path:"worker.exe" ());
-        ("worker.exe", Daemon.worker_image ~vulnerable:true ());
+        ("worker.exe", Daemon.worker_image ~close_conn:worker_close ~vulnerable:true ());
       ]
     ~boot:[ "netd.exe" ] ~max_ticks:(budget sched) name
 
@@ -47,14 +47,14 @@ let benign_load ?(clients = 100) ?(arrival = Gen.Uniform 40) ?(name = "netd_beni
       ~payload:(fun i -> [ benign_request i ])
       clients
   in
-  (listener_scenario ~name ~sched ~expected:clients, sched)
+  (listener_scenario ~name ~sched ~expected:clients (), sched)
 
 (* Injection through the server: [clients] connections, all benign except
    the [guilty] one, whose request the vulnerable worker executes.  The
    whodunit question: which of the hundreds of flows delivered the
    payload? *)
 let inject_under_load ?(clients = 100) ?guilty ?(arrival = Gen.Uniform 40)
-    ?(name = "netd_inject_under_server") () =
+    ?(worker_close = false) ?(name = "netd_inject_under_server") () =
   let guilty = match guilty with Some g -> g | None -> clients / 2 in
   let sched =
     Gen.make ~arrival ~dst_ip:guest_ip ~dst_port:server_port
@@ -62,9 +62,23 @@ let inject_under_load ?(clients = 100) ?guilty ?(arrival = Gen.Uniform 40)
         if i = guilty then [ evil_request () ] else [ benign_request i ])
       clients
   in
-  (listener_scenario ~name ~sched ~expected:clients, sched, guilty)
+  (listener_scenario ~worker_close ~name ~sched ~expected:clients (), sched, guilty)
 
 let guilty_flow sched guilty = Gen.flow_of_client sched guilty
+
+(* Arbitrary per-client chunk lists against the vulnerable listener: the
+   property-based tests drive random benign/evil traffic mixes through
+   exactly the machinery the curated samples use. *)
+let custom_load ?(arrival = Gen.Uniform 40) ?(worker_close = false) ~name
+    ~payloads () =
+  let clients = List.length payloads in
+  let table = Array.of_list payloads in
+  let sched =
+    Gen.make ~arrival ~dst_ip:guest_ip ~dst_port:server_port
+      ~payload:(fun i -> table.(i))
+      clients
+  in
+  (listener_scenario ~worker_close ~name ~sched ~expected:clients (), sched)
 
 (* Split [s] into [n] near-equal pieces (host side, for staging). *)
 let split_payload s n =

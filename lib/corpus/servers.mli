@@ -27,14 +27,28 @@ val inject_under_load :
   ?clients:int ->
   ?guilty:int ->
   ?arrival:Gen.arrival ->
+  ?worker_close:bool ->
   ?name:string ->
   unit ->
   Scenario.t * Gen.schedule * int
 (** All-benign traffic except client [guilty] (default [clients/2]),
     whose request the vulnerable worker executes.  Returns the guilty
-    client index. *)
+    client index.  [worker_close] makes the echo workers close their
+    connection before halting (flow quiescence for incremental graph
+    builders); off by default to keep existing traces byte-stable. *)
 
 val guilty_flow : Gen.schedule -> int -> Faros_os.Types.flow
+
+val custom_load :
+  ?arrival:Gen.arrival ->
+  ?worker_close:bool ->
+  name:string ->
+  payloads:string list list ->
+  unit ->
+  Scenario.t * Gen.schedule
+(** Arbitrary per-client chunk lists against the vulnerable listener
+    (client [i] sends [List.nth payloads i]) — the entry point the
+    property-based tests drive random traffic mixes through. *)
 
 val staged_c2 :
   ?stages:int -> ?gap:int -> ?name:string -> unit -> Scenario.t * Gen.schedule

@@ -365,7 +365,8 @@ let handle_os_event t ~resolve_asid (ev : Faros_os.Os_event.t) =
   | File_deleted { path; _ } -> Hashtbl.remove t.file_shadow path
   | Proc_created _ | Proc_exited _ | Proc_suspended _ | Proc_resumed _
   | Proc_unmapped _ | Sys_enter _ | Sys_exit _ | File_opened _ | Net_connect _
-  | Net_accept _ | Net_send _ | Mem_alloc _ | Module_loaded _ | Context_set _
+  | Net_accept _ | Net_send _ | Net_closed _ | Mem_alloc _ | Module_loaded _
+  | Context_set _
   | Popup _ | Debug_print _ | Key_read _ | Audio_read _ | Screenshot _ ->
     ()
 

@@ -64,6 +64,8 @@ type job_result = {
   jr_metrics : Faros_obs.Metrics.t;  (* this job's private registry *)
   jr_profile : Faros_obs.Profile.t;  (* this job's span tree (or disabled) *)
   jr_trace : Faros_obs.Trace.event list;  (* this job's trace events *)
+  jr_segments : string list;  (* graph segment JSONL rows (graph_segments
+     runs only) — plain strings, written driver-side in submission order *)
 }
 
 type t = {
@@ -157,8 +159,8 @@ let summarize_graph g =
    stream, so the per-job cap — not the fleet cap — bounds the volume. *)
 let job_trace_limit = 4096
 
-let run_job ~config ~graph ~tick_budget ~deadline ~profile ~want_trace ~worker
-    (s : Faros_corpus.Registry.sample) =
+let run_job ~config ~graph ~graph_segments ~tick_budget ~deadline ~profile
+    ~want_trace ~worker (s : Faros_corpus.Registry.sample) =
   let prof =
     if profile then Faros_obs.Profile.create () else Faros_obs.Profile.disabled
   in
@@ -181,7 +183,7 @@ let run_job ~config ~graph ~tick_budget ~deadline ~profile ~want_trace ~worker
   in
   let t0 = Unix.gettimeofday () in
   let finish verdict ~diverged ~record_ticks ~replay_ticks ~syscalls
-      ~tainted_bytes ~interned ~gs =
+      ~tainted_bytes ~interned ~gs ~segments =
     {
       jr_id = s.id;
       jr_family = s.family;
@@ -208,17 +210,32 @@ let run_job ~config ~graph ~tick_budget ~deadline ~profile ~want_trace ~worker
       jr_metrics = metrics;
       jr_profile = prof;
       jr_trace = Faros_obs.Trace.events trace_sink;
+      jr_segments = segments;
     }
   in
   let failed verdict =
     finish verdict ~diverged:false ~record_ticks:0 ~replay_ticks:0 ~syscalls:0
-      ~tainted_bytes:0 ~interned:0 ~gs:no_graph
+      ~tainted_bytes:0 ~interned:0 ~gs:no_graph ~segments:[]
   in
   let builder = ref None in
+  let seg = ref None in
   let extra_plugins kernel faros =
     if not graph then []
     else begin
-      let b = Faros_graph.Build.create ~metrics ~sample:s.id () in
+      (* With graph_segments, the builder's delta stream additionally
+         feeds a segment writer spilling JSONL rows into a private
+         buffer; the rows ship back as plain strings and the driver
+         writes them out in submission order. *)
+      let consumer =
+        if graph_segments then begin
+          let sink = Faros_obs.Sink.create () in
+          let w = Faros_query.Segment.writer ~sink ~run:s.id () in
+          seg := Some (sink, w);
+          Some (Faros_query.Segment.consume w)
+        end
+        else None
+      in
+      let b = Faros_graph.Build.create ~metrics ?consumer ~sample:s.id () in
       builder := Some b;
       [ Faros_graph.Build.plugin b ~kernel ~faros ]
     end
@@ -239,9 +256,16 @@ let run_job ~config ~graph ~tick_budget ~deadline ~profile ~want_trace ~worker
             Faros_graph.Build.enrich b outcome.faros;
             summarize_graph (Faros_graph.Build.graph b)
         in
-        (outcome, gs))
+        let segments =
+          match !seg with
+          | None -> []
+          | Some (sink, w) ->
+            Faros_query.Segment.close w;
+            Faros_obs.Sink.lines sink
+        in
+        (outcome, gs, segments))
   with
-  | outcome, gs ->
+  | outcome, gs, segments ->
     let stats = Faros_dift.Engine.stats outcome.faros.engine in
     finish
       (if Core.Report.flagged outcome.report then Flagged else Clean)
@@ -252,7 +276,7 @@ let run_job ~config ~graph ~tick_budget ~deadline ~profile ~want_trace ~worker
       ~interned:
         (Faros_dift.Prov_intern.store_interned_count
            outcome.faros.engine.interner)
-      ~gs
+      ~gs ~segments
   | exception Core.Analysis.Deadline_exceeded -> failed Timeout
   | exception e -> failed (Error (Printexc.to_string e))
 
@@ -327,9 +351,9 @@ let emit_sink sink ~results ~profile ~metrics =
   Faros_obs.Sink.metric_snapshot sink ~source:"campaign" metrics
 
 let run ?(workers = 1) ?(config = Core.Config.default) ?(graph = true)
-    ?tick_budget ?deadline ?(profile = false) ?(sink = Faros_obs.Sink.null)
-    ?(trace = Faros_obs.Trace.null) ?(farm_metrics = false) ?on_progress
-    samples =
+    ?(graph_segments = false) ?tick_budget ?deadline ?(profile = false)
+    ?(sink = Faros_obs.Sink.null) ?(trace = Faros_obs.Trace.null)
+    ?(farm_metrics = false) ?on_progress samples =
   let t0 = Unix.gettimeofday () in
   let want_trace =
     Faros_obs.Trace.enabled trace || Faros_obs.Sink.enabled sink
@@ -344,8 +368,8 @@ let run ?(workers = 1) ?(config = Core.Config.default) ?(graph = true)
           List.map
             (fun s ->
               Pool.submit_indexed pool (fun ~worker ->
-                  run_job ~config ~graph ~tick_budget ~deadline ~profile
-                    ~want_trace ~worker s))
+                  run_job ~config ~graph ~graph_segments ~tick_budget ~deadline
+                    ~profile ~want_trace ~worker s))
             samples
         in
         let completed = ref 0 in
@@ -387,6 +411,7 @@ let run ?(workers = 1) ?(config = Core.Config.default) ?(graph = true)
                   jr_metrics = Faros_obs.Metrics.create ();
                   jr_profile = Faros_obs.Profile.disabled;
                   jr_trace = [];
+                  jr_segments = [];
                 }
             in
             incr completed;

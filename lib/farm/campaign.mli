@@ -72,6 +72,11 @@ type job_result = {
   jr_trace : Faros_obs.Trace.event list;
       (** this job's trace events (bounded per job); empty unless a
           campaign trace or JSONL sink was requested *)
+  jr_segments : string list;
+      (** this job's graph segment JSONL rows ({!Faros_query.Segment}
+          format); empty unless run with [graph_segments:true].  Plain
+          strings — the driver (or the CLI's [--graph-out]) writes them
+          per sample in submission order. *)
 }
 
 type t = {
@@ -92,6 +97,7 @@ val run :
   ?workers:int ->
   ?config:Core.Config.t ->
   ?graph:bool ->
+  ?graph_segments:bool ->
   ?tick_budget:int ->
   ?deadline:float ->
   ?profile:bool ->
@@ -104,8 +110,11 @@ val run :
 (** Run the samples on a transient pool of [workers] domains (default 1).
     [config] applies to every job; [graph] (default [true]) builds the
     per-sample attack graph and folds its slice summary into each result;
-    [tick_budget] overrides each scenario's own [max_ticks]; [deadline]
-    is the per-job wall-clock budget in seconds.
+    [graph_segments] (default [false]) additionally streams each job's
+    graph through a {!Faros_query.Segment} writer and ships the JSONL
+    rows back in [jr_segments]; [tick_budget] overrides each scenario's
+    own [max_ticks]; [deadline] is the per-job wall-clock budget in
+    seconds.
 
     [profile] (default [false]) gives every job its own span profiler
     (spans [farm.job.setup] and [farm.job.run] wrap the whole pipeline's

@@ -9,6 +9,16 @@
     {!Core.Prov_query} and adds tainted-region nodes, their tainted-by
     source edges and per-process taint totals.
 
+    Construction is narrated as a {!Delta} stream.  By default the
+    builder also maintains a resident {!Graph.t} (byte-identical to the
+    pre-stream in-place construction); with [~resident:false] only the
+    stream consumers see the graph and the builder's own footprint stays
+    O(entities' keys) — the shape the bounded-memory segment writer in
+    [lib/query] needs for long server traces.  Each first-encountered
+    entity additionally carries a run-independent stable identity string
+    (processes by image-name hash + creation lineage, flows by 5-tuple +
+    tick window, files by path), the join key for cross-run stores.
+
     Typical wiring (what the CLI and the campaign driver do):
     {[
       let b = ref None in
@@ -27,12 +37,32 @@
 
 type t
 
-val create : ?metrics:Faros_obs.Metrics.t -> sample:string -> unit -> t
-(** A builder around an empty graph.  With [metrics], the graph counters
+val create :
+  ?metrics:Faros_obs.Metrics.t ->
+  ?resident:bool ->
+  ?consumer:(Delta.t -> unit) ->
+  sample:string ->
+  unit ->
+  t
+(** A builder for one sample.  With [metrics], the graph counters
     ([graph.nodes], [graph.edges]) plus [graph.os_events] and
-    [graph.flag_sites] are registered in the registry. *)
+    [graph.flag_sites] are registered in the registry.  [resident]
+    (default [true]) keeps a resident {!Graph.t}; [consumer] receives
+    every {!Delta.t} as it is produced (after the resident graph, if any,
+    applied it). *)
+
+val sample : t -> string
+
+val set_consumer : t -> (Delta.t -> unit) -> unit
+(** Attach (or replace) the stream consumer after creation. *)
 
 val graph : t -> Graph.t
+(** The resident graph.  @raise Invalid_argument if the builder was
+    created with [~resident:false]. *)
+
+val ident_window : int
+(** Tick-window width bucketing flow identities (recurring 4-tuples in
+    distinct windows are distinct conversations). *)
 
 val plugin :
   t -> kernel:Faros_os.Kernel.t -> faros:Core.Faros_plugin.t -> Faros_replay.Plugin.t

@@ -1,0 +1,113 @@
+(* The typed construction stream behind every graph consumer.
+
+   The online builder no longer mutates one resident graph: it narrates
+   construction as a stream of deltas — node first-encounters (with the
+   builder-assigned ordinal and a run-independent stable identity),
+   attribute refinements, uncoalesced edge observations, and retirement
+   hints for subgraphs that have gone quiescent.  Consumers choose their
+   memory/fidelity trade-off:
+
+   - {!resident} applies the stream to a {!Graph.t}, reproducing exactly
+     the graph the pre-stream builder used to mutate in place (nodes in
+     ordinal order, edges coalesced by (src, dst, kind));
+   - the segment writer in [lib/query] keeps only the live subgraph
+     resident and spills retired rows to JSONL segments.
+
+   Ordinals are assigned at first encounter and never reused, so a graph
+   reconstructed from segments renumbers back to the resident ids and the
+   two exports compare byte-for-byte. *)
+
+(* Immutable node payload at first encounter; consumers copy what they
+   keep, so no mutable state is ever shared across consumers. *)
+type seed =
+  | S_flow of Graph.flow
+  | S_proc of { pid : int; name : string }
+  | S_file of { name : string; version : int }
+  | S_module of { pid : int; image : string; base : int }
+  | S_region of {
+      pid : int;
+      process : string;
+      vaddr : int;
+      len : int;
+      types : string list;
+    }
+  | S_flag of { process : string; pc : int; tick : int }
+
+type t =
+  | D_node of { ord : int; ident : string; seed : seed }
+      (* first encounter of an entity: ordinal = resident node id *)
+  | D_name of { ord : int; name : string }
+      (* a process referenced before its name was known resolves it *)
+  | D_version of { ord : int; version : int }
+      (* a file observed at a version outside its known range *)
+  | D_exit of { ord : int; code : int }
+  | D_taint of { ord : int; tainted : int; netflow : int }
+      (* offline enrichment: per-process taint totals *)
+  | D_edge of { src : int; dst : int; kind : Graph.edge_kind; tick : int; bytes : int }
+      (* one interaction, uncoalesced; consumers merge by (src, dst, kind) *)
+  | D_retire of { ord : int }
+      (* quiescence hint: the entity can no longer originate new state
+         (closed flow, exited process); bounded-memory consumers may
+         spill it.  Re-references later (a flag's provenance naming a
+         retired flow) reuse the same ordinal via attribute deltas. *)
+
+let seed_kind = function
+  | S_flow _ -> "flow"
+  | S_proc _ -> "process"
+  | S_file _ -> "file"
+  | S_module _ -> "module"
+  | S_region _ -> "region"
+  | S_flag _ -> "flag"
+
+(* -- the resident consumer ------------------------------------------------ *)
+
+type resident = {
+  r_graph : Graph.t;
+  r_by_ord : (int, Graph.node) Hashtbl.t;
+}
+
+let resident graph = { r_graph = graph; r_by_ord = Hashtbl.create 256 }
+
+let node_exn r ord =
+  match Hashtbl.find_opt r.r_by_ord ord with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Delta.apply: unknown ordinal %d" ord)
+
+(* Applying the stream reproduces the pre-stream in-place construction:
+   D_node interns (ordinals arrive in first-encounter order, so resident
+   ids equal ordinals), refinements mutate the interned payloads exactly
+   as the old constructors did, edges coalesce through
+   {!Graph.add_edge}. *)
+let apply r delta =
+  let g = r.r_graph in
+  match delta with
+  | D_node { ord; seed; _ } ->
+    let n =
+      match seed with
+      | S_flow f -> Graph.flow_node g f
+      | S_proc { pid; name } -> Graph.process_node g ~pid ~name
+      | S_file { name; version } -> Graph.file_node g ~name ~version
+      | S_module { pid; image; base } -> Graph.module_node g ~pid ~image ~base
+      | S_region { pid; process; vaddr; len; types } ->
+        Graph.region_node g ~pid ~process ~vaddr ~len ~types
+      | S_flag { process; pc; tick } -> Graph.flag_site_node g ~process ~pc ~tick
+    in
+    Hashtbl.replace r.r_by_ord ord n
+  | D_name { ord; name } -> (
+    match (node_exn r ord).n_kind with
+    | Graph.Process p when p.p_name = "?" && name <> "?" -> p.p_name <- name
+    | _ -> ())
+  | D_version { ord; version } -> (
+    match (node_exn r ord).n_kind with
+    | Graph.File fi ->
+      if version < fi.fi_version_lo then fi.fi_version_lo <- version;
+      if version > fi.fi_version_hi then fi.fi_version_hi <- version
+    | _ -> ())
+  | D_exit { ord; code } -> Graph.set_exit_code (node_exn r ord) code
+  | D_taint { ord; tainted; netflow } ->
+    Graph.set_process_taint (node_exn r ord) ~tainted_bytes:tainted
+      ~netflow_bytes:netflow
+  | D_edge { src; dst; kind; tick; bytes } ->
+    Graph.add_edge g ~bytes ~src:(node_exn r src) ~dst:(node_exn r dst) ~kind
+      ~tick ()
+  | D_retire _ -> ()

@@ -222,6 +222,36 @@ let add_edge t ?(bytes = 0) ~src ~dst ~kind ~tick () =
     Hashtbl.replace t.edges_by_key k e;
     Option.iter Faros_obs.Metrics.incr t.c_edges
 
+(* Raw edge insertion for graph reconstruction from segment rows: the
+   caller supplies the already-coalesced attributes.  A pre-existing
+   (src, dst, kind) edge absorbs the row (ticks widen, counts and bytes
+   accumulate) — the same merge the online coalescing performs, so
+   reconstruction is insensitive to how rows were split across
+   segments. *)
+let record_edge t ~src ~dst ~kind ~tick ~last_tick ~count ~bytes =
+  let k = (src, dst, kind) in
+  match Hashtbl.find_opt t.edges_by_key k with
+  | Some e ->
+    if last_tick > e.e_last_tick then e.e_last_tick <- last_tick;
+    e.e_count <- e.e_count + count;
+    e.e_bytes <- e.e_bytes + bytes
+  | None ->
+    let e =
+      {
+        e_src = src;
+        e_dst = dst;
+        e_kind = kind;
+        e_tick = tick;
+        e_last_tick = last_tick;
+        e_count = count;
+        e_bytes = bytes;
+      }
+    in
+    t.rev_edges <- e :: t.rev_edges;
+    t.n_edges <- t.n_edges + 1;
+    Hashtbl.replace t.edges_by_key k e;
+    Option.iter Faros_obs.Metrics.incr t.c_edges
+
 let flag_nodes t =
   List.filter (fun n -> match n.n_kind with Flag_site _ -> true | _ -> false)
     (nodes t)

@@ -124,6 +124,20 @@ val add_edge :
     already present absorbs it: count + 1, bytes accumulated, last tick
     advanced. *)
 
+val record_edge :
+  t ->
+  src:int ->
+  dst:int ->
+  kind:edge_kind ->
+  tick:int ->
+  last_tick:int ->
+  count:int ->
+  bytes:int ->
+  unit
+(** Raw edge insertion for reconstruction from segment rows: the caller
+    supplies already-coalesced attributes.  A pre-existing (src, dst,
+    kind) edge absorbs the row (ticks widen, counts/bytes accumulate). *)
+
 val flag_nodes : t -> node list
 (** The flag-site nodes, id order — the slice entry points. *)
 

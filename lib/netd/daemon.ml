@@ -99,7 +99,7 @@ let worker_chunk = 512
    (benign) or — when [vulnerable] and the request starts with
    {!exec_magic} — self-injects the request body and jumps to it,
    mirroring the paper's reflective loader tail. *)
-let worker_image ?(name = "worker.exe") ~vulnerable () =
+let worker_image ?(name = "worker.exe") ?(close_conn = false) ~vulnerable () =
   let tail =
     if vulnerable then
       List.concat
@@ -153,6 +153,11 @@ let worker_image ?(name = "worker.exe") ~vulnerable () =
         [ lbl "echo" ];
         [ movr Isa.r1 Isa.r7; Asm.Mov_label (Isa.r2, "buf"); movr Isa.r3 Isa.r6 ];
         syscall Syscall.sys_send;
+        (* a tidy worker closes its connection before halting, so flow
+           quiescence is visible to incremental graph builders *)
+        (if close_conn then
+           List.concat [ [ movr Isa.r1 Isa.r7 ]; syscall Syscall.nt_close ]
+         else []);
         [ halt ];
         [ Asm.Align 4; lbl "buf"; Asm.Space worker_buf_cap ];
       ]

@@ -22,12 +22,16 @@ val listener_image :
 val worker_buf_cap : int
 val worker_chunk : int
 
-val worker_image : ?name:string -> vulnerable:bool -> unit -> Faros_os.Pe.t
+val worker_image :
+  ?name:string -> ?close_conn:bool -> vulnerable:bool -> unit -> Faros_os.Pe.t
 (** Connection worker (r1 = inherited connection handle): drains the
     stream to EOF, then echoes it back — unless [vulnerable] and the
     request starts with {!exec_magic}, in which case it self-injects the
     request body (allocate, NtWriteVirtualMemory-to-self, jump),
-    mirroring the paper's reflective loader tail. *)
+    mirroring the paper's reflective loader tail.  With [close_conn]
+    (default off, keeping existing traces byte-stable) the echo path
+    closes the connection before halting, so flow quiescence is visible
+    to incremental graph builders. *)
 
 val mux_stride : int
 val mux_chunk : int

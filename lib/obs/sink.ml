@@ -12,12 +12,18 @@
      profile_span      one aggregated profiler span
      job_lifecycle     submit/start/finish of one farm job
      graph_flag        per-sample attack-graph summary at a flag site
+     graph_segment     begin/end marker of one graph segment flush
+     graph_node        one spilled graph node row (or attribute patch)
+     graph_edge        one spilled, coalesced graph edge row
 
    The null sink is a constant constructor — emission points cost one
    branch and allocate nothing — and the buffering sink is bounded with
-   an explicit drop counter, so loss is visible, never silent.  Lines
-   are validated downstream by the same [Json.well_formed] checker the
-   tests use (`faros check-json --jsonl`). *)
+   an explicit drop counter, so loss is visible, never silent.  The
+   channel sink streams every line straight to an [out_channel] and
+   retains nothing, which is what makes bounded-memory graph spilling
+   actually bounded.  Lines are validated downstream by the same
+   [Json.well_formed] checker the tests use (`faros check-json
+   --jsonl`). *)
 
 let schema_version = 1
 
@@ -28,18 +34,22 @@ type buffer = {
   mutable dropped : int;
 }
 
-type t = Null | Buffer of buffer
+type channel = { ch_oc : out_channel; mutable ch_count : int }
+
+type t = Null | Buffer of buffer | Channel of channel
 
 let null = Null
 
 let create ?(limit = 1_000_000) () =
   Buffer { rev_lines = []; count = 0; limit; dropped = 0 }
 
-let enabled = function Null -> false | Buffer _ -> true
-let events = function Null -> 0 | Buffer b -> b.count
-let dropped = function Null -> 0 | Buffer b -> b.dropped
+let channel oc = Channel { ch_oc = oc; ch_count = 0 }
 
-let lines = function Null -> [] | Buffer b -> List.rev b.rev_lines
+let enabled = function Null -> false | Buffer _ | Channel _ -> true
+let events = function Null -> 0 | Buffer b -> b.count | Channel c -> c.ch_count
+let dropped = function Null | Channel _ -> 0 | Buffer b -> b.dropped
+
+let lines = function Null | Channel _ -> [] | Buffer b -> List.rev b.rev_lines
 
 let contents t =
   match lines t with [] -> "" | ls -> String.concat "\n" ls ^ "\n"
@@ -53,11 +63,15 @@ let push t line =
       b.rev_lines <- line :: b.rev_lines;
       b.count <- b.count + 1
     end
+  | Channel c ->
+    output_string c.ch_oc line;
+    output_char c.ch_oc '\n';
+    c.ch_count <- c.ch_count + 1
 
 let line t typ body =
   match t with
   | Null -> ()
-  | Buffer _ ->
+  | Buffer _ | Channel _ ->
     push t
       (Printf.sprintf {|{"v":%d,"type":"%s",%s}|} schema_version typ body)
 
@@ -142,7 +156,52 @@ let graph_flag t ~sample ~flag_sites ~nodes ~edges ~slice_nodes ~slice_origins
          (Json.escape sample) flag_sites nodes edges slice_nodes slice_origins
          netflow_origin)
 
+(* -- graph segment rows --------------------------------------------------
+
+   The streaming forensic store's on-disk format (lib/query).  Every row
+   carries the producing run id and a per-run monotone sequence number:
+   the (run, seq) pair is the idempotence key a store deduplicates
+   re-ingested segments by.  Node rows come in two shapes — full rows
+   (ident + kind + fields, emitted when a live node is spilled) and patch
+   rows (ord + a field subset, emitted when an already-spilled node's
+   attributes changed after retirement). *)
+
+let graph_segment t ~run ~seq ~event ~nodes ~edges =
+  if enabled t then
+    line t "graph_segment"
+      (Printf.sprintf {|"run":"%s","seq":%d,"event":"%s","nodes":%d,"edges":%d|}
+         (Json.escape run) seq (Json.escape event) nodes edges)
+
+let graph_node t ~run ~seq ~ord ?ident ?kind ~fields () =
+  if enabled t then begin
+    let head =
+      match (ident, kind) with
+      | Some ident, Some kind ->
+        Printf.sprintf {|"ord":%d,"ident":"%s","kind":"%s"|} ord
+          (Json.escape ident) (Json.escape kind)
+      | Some ident, None ->
+        Printf.sprintf {|"ord":%d,"ident":"%s"|} ord (Json.escape ident)
+      | None, Some kind ->
+        Printf.sprintf {|"ord":%d,"kind":"%s"|} ord (Json.escape kind)
+      | None, None -> Printf.sprintf {|"ord":%d|} ord
+    in
+    let body = if fields = "" then head else head ^ "," ^ fields in
+    line t "graph_node"
+      (Printf.sprintf {|"run":"%s","seq":%d,%s|} (Json.escape run) seq body)
+  end
+
+let graph_edge t ~run ~seq ~eord ~src ~dst ~kind ~tick ~last_tick ~count ~bytes =
+  if enabled t then
+    line t "graph_edge"
+      (Printf.sprintf
+         {|"run":"%s","seq":%d,"eord":%d,"src":%d,"dst":%d,"kind":"%s","tick":%d,"last_tick":%d,"count":%d,"bytes":%d|}
+         (Json.escape run) seq eord src dst (Json.escape kind) tick last_tick
+         count bytes)
+
 let write_file t path =
-  let oc = open_out path in
-  output_string oc (contents t);
-  close_out oc
+  match t with
+  | Channel c -> flush c.ch_oc
+  | Null | Buffer _ ->
+    let oc = open_out path in
+    output_string oc (contents t);
+    close_out oc

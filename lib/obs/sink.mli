@@ -2,11 +2,13 @@
 
     One append-only channel all observability producers share: each line
     is a self-describing JSON object with a schema version ["v"] and a
-    ["type"] tag drawn from six event types ([metric_snapshot],
+    ["type"] tag drawn from nine event types ([metric_snapshot],
     [trace_event], [series_point], [profile_span], [job_lifecycle],
-    [graph_flag]).  {!null} costs one branch per emission; the buffering
-    sink is bounded with an explicit drop counter — loss is counted,
-    never silent. *)
+    [graph_flag], and the graph segment rows [graph_segment],
+    [graph_node], [graph_edge]).  {!null} costs one branch per emission;
+    the buffering sink is bounded with an explicit drop counter — loss is
+    counted, never silent; the {!channel} sink streams each line straight
+    to an [out_channel] and retains nothing. *)
 
 type t
 
@@ -18,21 +20,28 @@ val null : t
 val create : ?limit:int -> unit -> t
 (** A buffering sink holding at most [limit] lines (default 1e6). *)
 
+val channel : out_channel -> t
+(** A streaming sink: each line goes straight to the channel (with a
+    trailing newline) and is not retained — {!lines} and {!contents}
+    return nothing.  The caller owns the channel (and closes it). *)
+
 val enabled : t -> bool
 
 val events : t -> int
-(** Lines buffered so far. *)
+(** Lines buffered (or streamed) so far. *)
 
 val dropped : t -> int
 (** Lines rejected because the buffer was full. *)
 
 val lines : t -> string list
-(** Buffered lines, oldest first. *)
+(** Buffered lines, oldest first; [[]] for a channel sink. *)
 
 val contents : t -> string
-(** The whole stream, newline-terminated; [""] when empty. *)
+(** The whole stream, newline-terminated; [""] when empty or channel. *)
 
 val write_file : t -> string -> unit
+(** Write the buffered stream to [path]; for a channel sink this just
+    flushes the underlying channel. *)
 
 (** {2 Typed emitters} — each appends exactly one line. *)
 
@@ -68,3 +77,44 @@ val graph_flag :
   slice_origins:int ->
   netflow_origin:bool ->
   unit
+
+(** {2 Graph segment rows} — the streaming forensic store's on-disk
+    format ([lib/query]).  Every row carries the producing run id and a
+    per-run monotone sequence number; the (run, seq) pair is the
+    idempotence key stores deduplicate re-ingested segments by. *)
+
+val graph_segment :
+  t -> run:string -> seq:int -> event:string -> nodes:int -> edges:int -> unit
+(** Segment boundary marker; [event] is ["begin"], ["end"] or ["final"],
+    with the counts spilled in the segment just closed. *)
+
+val graph_node :
+  t ->
+  run:string ->
+  seq:int ->
+  ord:int ->
+  ?ident:string ->
+  ?kind:string ->
+  fields:string ->
+  unit ->
+  unit
+(** One node row.  Full rows carry [ident] and [kind] plus the
+    kind-specific [fields] fragment; patch rows (attribute refinements to
+    an already-spilled node) carry just [ord] and the changed fields. *)
+
+val graph_edge :
+  t ->
+  run:string ->
+  seq:int ->
+  eord:int ->
+  src:int ->
+  dst:int ->
+  kind:string ->
+  tick:int ->
+  last_tick:int ->
+  count:int ->
+  bytes:int ->
+  unit
+(** One coalesced edge row; [src]/[dst] are node ordinals, [eord] the
+    writer-local edge creation ordinal (merge on minimum recovers the
+    resident insertion order). *)

@@ -48,6 +48,7 @@ type t =
   | Net_accept of { pid : Types.pid; flow : Types.flow }
   | Net_recv of { pid : Types.pid; flow : Types.flow; dst_paddrs : int list }
   | Net_send of { pid : Types.pid; flow : Types.flow; src_paddrs : int list }
+  | Net_closed of { pid : Types.pid; flow : Types.flow }
   | Mem_copy of {
       by : Types.pid;  (* the process that asked for the copy *)
       src_pid : Types.pid;
@@ -80,6 +81,7 @@ let name = function
   | Net_accept _ -> "net_accept"
   | Net_recv _ -> "net_recv"
   | Net_send _ -> "net_send"
+  | Net_closed _ -> "net_closed"
   | Mem_copy _ -> "mem_copy"
   | Mem_alloc _ -> "mem_alloc"
   | Module_loaded _ -> "module_loaded"

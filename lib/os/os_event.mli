@@ -49,6 +49,9 @@ type t =
       (** a server accepted a host-initiated (or loopback) connection *)
   | Net_recv of { pid : Types.pid; flow : Types.flow; dst_paddrs : int list }
   | Net_send of { pid : Types.pid; flow : Types.flow; src_paddrs : int list }
+  | Net_closed of { pid : Types.pid; flow : Types.flow }
+      (** a process closed a connected socket: the flow is quiescent from
+          its side (incremental graph builders retire on this) *)
   | Mem_copy of {
       by : Types.pid;  (** the process that asked for the copy *)
       src_pid : Types.pid;

@@ -81,8 +81,15 @@ let write_file (k : Kstate.t) (p : Process.t) args =
 let close (k : Kstate.t) (p : Process.t) args =
   match Process.find_handle p args.(0) with
   | Some (Hsock sid) ->
+    (* Capture the flow before the netstack forgets it: connected sockets
+       announce their quiescence so incremental graph builders can retire
+       the flow's subgraph. *)
+    let flow = Netstack.flow_of k.net sid in
     Netstack.close k.net sid;
     Process.close_handle p args.(0);
+    Option.iter
+      (fun flow -> Kstate.emit k (Os_event.Net_closed { pid = p.pid; flow }))
+      flow;
     0
   | Some (Hfile _ | Hproc _) ->
     Process.close_handle p args.(0);

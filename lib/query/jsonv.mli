@@ -1,0 +1,31 @@
+(** Minimal JSON values for the segment reader.
+
+    The smallest recursive-descent parser that round-trips what this
+    repo's hand-rendering emitters write; the store uses it to read
+    graph segment rows back.  Not a general-purpose JSON library — no
+    streaming, surrogate pairs unhandled — but total: malformed input
+    returns [Error] with a byte offset, never raises. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val mem : t -> string -> t option
+(** Object member lookup; [None] on non-objects. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_strings : t -> string list option
+
+val int_mem : t -> string -> int option
+val str_mem : t -> string -> string option
+
+val render : t -> string
+(** Back to compact JSON (object member order preserved). *)

@@ -368,10 +368,10 @@ out-of-band: the default listing and campaign stay pinned to the core
   136 samples
 
   $ faros list --netd | tail -1
-  167 samples
+  168 samples
 
   $ faros list --netd | grep -c '^netd'
-  31
+  32
 
 A server under heavy benign load records real inbound traffic, replays
 it bit-identically and raises no flag; the same server with one guilty

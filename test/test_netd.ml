@@ -477,7 +477,7 @@ let registry_tests =
     Alcotest.test_case "showcase samples stay out of the core corpus" `Quick
       (fun () ->
         let showcase = Faros_corpus.Registry.netd_showcase () in
-        check "showcase size" 4 (List.length showcase);
+        check "showcase size" 5 (List.length showcase);
         let core_ids =
           List.map
             (fun (s : Faros_corpus.Registry.sample) -> s.id)
