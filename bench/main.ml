@@ -724,33 +724,42 @@ let micro () =
 
 (* -- campaign scaling ----------------------------------------------------- *)
 
-(* Wall-clock of the same fixed corpus slice on 1/2/4 workers, plus a
-   machine-readable BENCH_campaign.json so the perf trajectory is tracked
-   across PRs.  Speedup is bounded by the host's core count — on a
-   single-core box the interesting property is that parallelism does not
-   cost anything (and the verdicts stay identical, which the test suite
-   pins byte-for-byte). *)
+(* Wall-clock of the generated sweep corpus (1,000+ samples, shared
+   snapshot, work stealing) on 1/2/4 workers, plus a machine-readable
+   BENCH_campaign.json so the perf trajectory is tracked across PRs.
+
+   Speedup is bounded by the host's core count, so the recorded runs
+   carry [cores] (the recommendation the pool caps at) and [spawned]
+   (the domains the run actually got): on a single-core box every config
+   collapses to one domain and the interesting property is that
+   parallelism costs nothing; on a 4-core host the -j4 run must clear
+   1.5x — enforced here, not in CI, so the gate travels with the bench
+   wherever it runs.  Verdicts stay identical either way (the test suite
+   and the PBT property pin them byte-for-byte). *)
 let campaign () =
-  section "campaign scaling (worker pool over a fixed corpus slice)";
-  let slice =
-    let rec take n = function
-      | x :: rest when n > 0 -> x :: take (n - 1) rest
-      | _ -> []
-    in
-    take 60 (Faros_corpus.Registry.all ())
-  in
+  section "campaign scaling (worker pool over the generated sweep corpus)";
+  let corpus = Faros_corpus.Registry.sweep1k () in
+  let cores = Domain.recommended_domain_count () in
+  (* (spawned, steals) of the latest run per config, for the export. *)
+  let shape = Hashtbl.create 4 in
   let run workers () =
-    let c = Faros_farm.Campaign.run ~workers slice in
+    let c = Faros_farm.Campaign.run ~workers corpus in
     if not (Faros_farm.Campaign.ok c) then
-      Fmt.pf pp "UNEXPECTED MISMATCHES at %d workers@." workers
+      Fmt.pf pp "UNEXPECTED MISMATCHES at %d workers@." workers;
+    let steals =
+      List.fold_left
+        (fun acc (ws : Faros_farm.Pool.worker_stat) -> acc + ws.ws_steals)
+        0 c.worker_stats
+    in
+    Hashtbl.replace shape workers (c.spawned, steals)
   in
   (* Interleave the reps across worker counts so slow drift (thermal,
      allocator state) spreads evenly instead of penalizing whichever
      configuration is measured last. *)
   let configs = [ 1; 2; 4 ] in
-  let reps = 5 in
+  let reps = 3 in
   let samples = Hashtbl.create 4 in
-  List.iter (fun w -> run w ()) configs;
+  run (List.fold_left max 1 configs) ();
   for _ = 1 to reps do
     List.iter
       (fun workers ->
@@ -765,26 +774,41 @@ let campaign () =
     List.map (fun w -> (w, median (Hashtbl.find samples w))) configs
   in
   let t1 = List.assoc 1 measured in
-  Fmt.pf pp "%-8s %-10s %-8s (%d samples, interleaved median of %d)@." "workers" "wall-s"
-    "speedup" (List.length slice) reps;
+  Fmt.pf pp "%-8s %-8s %-10s %-8s %-8s (%d samples, %d cores, interleaved median of %d)@."
+    "workers" "spawned" "wall-s" "speedup" "steals" (List.length corpus)
+    cores reps;
   List.iter
     (fun (workers, t) ->
-      Fmt.pf pp "%-8d %-10.4f %-8.2f@." workers t (t1 /. t))
+      let spawned, steals = Hashtbl.find shape workers in
+      Fmt.pf pp "%-8d %-8d %-10.4f %-8.2f %-8d@." workers spawned t (t1 /. t)
+        steals)
     measured;
   let json =
-    Printf.sprintf {|{"bench":"campaign-scaling","samples":%d,"runs":[%s]}|}
-      (List.length slice)
+    Printf.sprintf
+      {|{"bench":"campaign-scaling","corpus":"sweep1k","samples":%d,"cores":%d,"runs":[%s]}|}
+      (List.length corpus) cores
       (String.concat ","
          (List.map
             (fun (workers, t) ->
-              Printf.sprintf {|{"workers":%d,"wall_s":%.6f,"speedup":%.4f}|}
-                workers t (t1 /. t))
+              let spawned, steals = Hashtbl.find shape workers in
+              Printf.sprintf
+                {|{"workers":%d,"spawned":%d,"wall_s":%.6f,"speedup":%.4f,"steals":%d}|}
+                workers spawned t (t1 /. t) steals)
             measured))
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc json;
   close_out oc;
-  Fmt.pf pp "wrote BENCH_campaign.json@."
+  Fmt.pf pp "wrote BENCH_campaign.json@.";
+  (* The scaling gate: only meaningful where the hardware can scale.  A
+     4+-core host that fails to clear 1.5x at -j4 has lost the
+     near-linear property this corpus exists to demonstrate. *)
+  let speedup4 = t1 /. List.assoc 4 measured in
+  if cores >= 4 && speedup4 < 1.5 then begin
+    Fmt.pf pp "FAIL: -j4 speedup %.2fx < 1.5x on a %d-core host@." speedup4
+      cores;
+    exit 1
+  end
 
 (* -- translation-block cache ---------------------------------------------- *)
 

@@ -404,6 +404,7 @@ let campaign_cmd workers corpus filter policy json_out csv_out tick_budget
       match corpus with
       | `Core -> Faros_corpus.Registry.all ()
       | `Netd -> Faros_corpus.Registry.netd_sweeps ()
+      | `Sweep1k -> Faros_corpus.Registry.sweep1k ()
       | `Full ->
         Faros_corpus.Registry.all () @ Faros_corpus.Registry.netd_sweeps ()
     in
@@ -1032,12 +1033,19 @@ let campaign_t =
   let corpus =
     Arg.(
       value
-      & opt (enum [ ("core", `Core); ("netd", `Netd); ("full", `Full) ]) `Core
+      & opt
+          (enum
+             [
+               ("core", `Core); ("netd", `Netd); ("sweep1k", `Sweep1k);
+               ("full", `Full);
+             ])
+          `Core
       & info [ "corpus" ] ~docv:"SET"
           ~doc:
             "Sample set to run: $(b,core) (the 130-sample evaluation, the \
-             default), $(b,netd) (the server-daemon sweep families), or \
-             $(b,full) (both)")
+             default), $(b,netd) (the server-daemon sweep families), \
+             $(b,sweep1k) (the generated 1,000+ sample behaviour-matrix \
+             sweep), or $(b,full) (core + netd)")
   in
   let filter =
     Arg.(

@@ -49,6 +49,7 @@ let launder_sub ~label =
   ]
 
 let client_image ~target_pid =
+  Snapshot.image (Printf.sprintf "evasive_client/%d" target_pid) @@ fun () ->
   let items =
     List.concat
       [

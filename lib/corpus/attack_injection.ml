@@ -12,6 +12,8 @@ open Faros_vm
 let c2_ip = "169.254.26.161"
 
 let injector_image ~name ~c2_port ~target_pid =
+  Snapshot.image (Printf.sprintf "iat_injector/%s/%d/%d" name c2_port target_pid)
+  @@ fun () ->
   let imports =
     [
       "socket";

@@ -8,6 +8,12 @@
 
 val c2_ip : string
 
+val injector_image :
+  name:string -> c2_port:int -> target_pid:int -> Faros_os.Pe.t
+(** The IAT-based dropper: downloads a framed payload through the hooked
+    recv API and injects it with VirtualAllocEx / WriteProcessMemory /
+    SetThreadContext.  Cached in {!Snapshot}. *)
+
 val c2_actor : port:int -> payload:string -> Faros_os.Netstack.actor
 
 val make : family:string -> c2_port:int -> ?scrub:bool -> unit -> Scenario.t

@@ -17,6 +17,10 @@ let attacker_port = 4444
 let first_boot_pid = 100
 
 let client_image ~name ~inject =
+  Snapshot.image
+    (Printf.sprintf "refl_client/%s/%s" name
+       (match inject with `Self -> "self" | `Pid p -> Printf.sprintf "pid%d" p))
+  @@ fun () ->
   let common_head =
     List.concat
       [

@@ -65,6 +65,8 @@ let assemble ~origin items = Bytes.to_string (Asm.assemble ~origin items).code
    paper's reflective-DLL test ("the injected DLL only showed a pop-up
    message from the target process"). *)
 let popup ?(origin = default_origin) ?(scrub = false) ~text () =
+  Snapshot.blob (Printf.sprintf "payload/popup/%x/%b/%s" origin scrub text)
+  @@ fun () ->
   let text_len = String.length text in
   let name = "MessageBoxA" in
   let items =
@@ -96,6 +98,8 @@ let popup ?(origin = default_origin) ?(scrub = false) ~text () =
 (* The hollowing payload (Lab 3-3's keylogger): resolves its imports
    reflectively, logs [keys] keystrokes and writes them to [log]. *)
 let keylogger ?(origin = default_origin) ?(keys = 16) ?(log = "keys.log") () =
+  Snapshot.blob (Printf.sprintf "payload/keylogger/%x/%d/%s" origin keys log)
+  @@ fun () ->
   let store_slot slot =
     [ Progs.lea_label Isa.r6 slot; Progs.i (Isa.Store (4, Isa.based Isa.r6, Isa.r0)) ]
   in
@@ -151,6 +155,8 @@ let keylogger ?(origin = default_origin) ?(keys = 16) ?(log = "keys.log") () =
    returns to the JVM — benign intent, injection-shaped information flow,
    and hence FAROS's false positive. *)
 let applet_native_stub ~origin () =
+  Snapshot.blob (Printf.sprintf "payload/applet_native_stub/%x" origin)
+  @@ fun () ->
   let items =
     List.concat
       [
@@ -209,6 +215,7 @@ let rdll_image ~text () =
   assemble ~origin:rdll_image_base items
 
 let rdll_blob ~text () =
+  Snapshot.blob (Printf.sprintf "payload/rdll_blob/%s" text) @@ fun () ->
   let code = rdll_image ~text () in
   let image =
     Progs.u32_le 0 (* entry rva *)

@@ -286,10 +286,32 @@ let netd_sweeps () =
   in
   load_sweep @ staging_sweep
 
+(* The generated sweep corpus (lib/corpus/sweep.ml): 1,000+ deterministic
+   samples over the behaviour matrix.  Kept out of [all] so the core-130
+   goldens stay the paper's; `faros campaign --corpus sweep1k` and the
+   scaling bench pull it in. *)
+let sweep1k ?seeds () =
+  List.map
+    (fun (id, kind, scenario) ->
+      let category, expected =
+        match (kind : Sweep.kind) with
+        | Sweep.Refl | Sweep.Self_inject ->
+          (Attack "reflective-dll-injection", Expect_flag)
+        | Sweep.Iat -> (Attack "code-injection", Expect_flag)
+        | Sweep.Launder -> (Attack "taint-laundering-injection", Expect_clean)
+        | Sweep.Drop -> (Benign_app, Expect_clean)
+      in
+      { id; family = "sweep"; category; expected; behaviors = []; scenario })
+    (Sweep.samples ?seeds ())
+
 (* The Table V performance workloads: named after the paper's table. *)
 let perf_workloads () =
+  (* Hash the wanted ids first: the List.mem version was O(wanted x
+     samples), which generated corpora turn into real time. *)
   let by_id wanted samples =
-    List.filter (fun s -> List.mem s.id wanted) samples
+    let want = Hashtbl.create (List.length wanted) in
+    List.iter (fun id -> Hashtbl.replace want id ()) wanted;
+    List.filter (fun s -> Hashtbl.mem want s.id) samples
   in
   by_id
     [ "skype_s2"; "teamviewer_s1"; "remote_utility_s0" ]
@@ -316,10 +338,20 @@ let crash_test () =
 let all () = attacks () @ rats () @ benign () @ jits ()
 
 let find id =
-  List.find_opt
-    (fun s -> s.id = id)
-    (all () @ transient_attacks () @ evasive_attacks () @ extended_attacks ()
-   @ extras () @ netd_showcase () @ netd_sweeps () @ [ crash_test () ])
+  match
+    List.find_opt
+      (fun s -> s.id = id)
+      (all () @ transient_attacks () @ evasive_attacks ()
+     @ extended_attacks () @ extras () @ netd_showcase () @ netd_sweeps ()
+     @ [ crash_test () ])
+  with
+  | Some _ as found -> found
+  | None ->
+    (* Sweep ids are prefixed, so the 1,000+ generated samples are only
+       materialized when one is actually asked for. *)
+    if String.length id >= 4 && String.sub id 0 4 = "swp_" then
+      List.find_opt (fun s -> s.id = id) (sweep1k ())
+    else None
 
 let pp_category ppf = function
   | Attack t -> Fmt.pf ppf "attack(%s)" t

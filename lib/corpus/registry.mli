@@ -58,6 +58,11 @@ val netd_sweeps : unit -> sample list
     payload staging) — the long-job corpus for
     [faros campaign --corpus netd|full]. *)
 
+val sweep1k : ?seeds:int -> unit -> sample list
+(** The generated sweep corpus ({!Sweep}): 1,000+ deterministic samples
+    over the behaviour matrix at the default seed count.  Kept out of
+    {!all} so the core-130 goldens stay the paper's. *)
+
 val perf_workloads : unit -> sample list
 
 val crash_test : unit -> sample

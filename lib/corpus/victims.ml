@@ -1,18 +1,25 @@
 (* Benign victim processes: the programs injection targets hide inside.
 
    They busy-loop long enough for an injector to reach them and halt on
-   their own if nothing hijacks them. *)
+   their own if nothing hijacks them.
+
+   Built through the {!Snapshot} cache: every scenario naming the same
+   victim shares one immutable [Pe.t] instead of re-assembling it — the
+   generated sweep corpus names these thousands of times. *)
 
 open Faros_vm
 
 let worker ~name ~iterations =
-  Faros_os.Pe.of_program ~name ~base:Faros_os.Process.image_base
-    (List.concat
-       [
-         [ Progs.lbl "start" ];
-         Progs.idle_loop ~label:"w" ~count:iterations;
-         [ Progs.halt ];
-       ])
+  Snapshot.image
+    (Printf.sprintf "victim/%s/%d" name iterations)
+    (fun () ->
+      Faros_os.Pe.of_program ~name ~base:Faros_os.Process.image_base
+        (List.concat
+           [
+             [ Progs.lbl "start" ];
+             Progs.idle_loop ~label:"w" ~count:iterations;
+             [ Progs.halt ];
+           ]))
 
 let notepad () = worker ~name:"notepad.exe" ~iterations:20000
 let firefox () = worker ~name:"firefox.exe" ~iterations:20000
@@ -23,5 +30,6 @@ let svchost () = worker ~name:"svchost.exe" ~iterations:500
 
 (* Spawn-target for the Run behaviour. *)
 let calc () =
-  Faros_os.Pe.of_program ~name:"calc.exe" ~base:Faros_os.Process.image_base
-    [ Progs.lbl "start"; Progs.movi Isa.r1 42; Progs.halt ]
+  Snapshot.image "victim/calc.exe" (fun () ->
+      Faros_os.Pe.of_program ~name:"calc.exe" ~base:Faros_os.Process.image_base
+        [ Progs.lbl "start"; Progs.movi Isa.r1 42; Progs.halt ])

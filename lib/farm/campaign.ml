@@ -130,27 +130,22 @@ let no_graph =
 
 let summarize_graph g =
   let slices = Faros_graph.Slice.slices g in
-  let union =
-    List.fold_left
-      (fun acc (s : Faros_graph.Slice.t) ->
-        List.fold_left (fun acc id -> if List.mem id acc then acc else id :: acc) acc s.sl_nodes)
-      [] slices
-  in
-  let origins =
-    List.fold_left
-      (fun acc (s : Faros_graph.Slice.t) ->
-        List.fold_left
-          (fun acc (o : Faros_graph.Graph.node) ->
-            if List.mem o.n_id acc then acc else o.n_id :: acc)
-          acc s.sl_origins)
-      [] slices
-  in
+  (* Hashtbl unions: the List.mem version was quadratic in slice size,
+     which graph.enrich turned into real time on 8k-node server graphs. *)
+  let union = Hashtbl.create 256 and origins = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Faros_graph.Slice.t) ->
+      List.iter (fun id -> Hashtbl.replace union id ()) s.sl_nodes;
+      List.iter
+        (fun (o : Faros_graph.Graph.node) -> Hashtbl.replace origins o.n_id ())
+        s.sl_origins)
+    slices;
   {
     gs_nodes = Faros_graph.Graph.node_count g;
     gs_edges = Faros_graph.Graph.edge_count g;
     gs_flag_sites = List.length (Faros_graph.Graph.flag_nodes g);
-    gs_slice_nodes = List.length union;
-    gs_slice_origins = List.length origins;
+    gs_slice_nodes = Hashtbl.length union;
+    gs_slice_origins = Hashtbl.length origins;
     gs_netflow_origin = List.exists Faros_graph.Slice.has_netflow_origin slices;
   }
 
@@ -295,9 +290,18 @@ let publish_farm_metrics ~workers ~spawned ~peak_depth ~worker_stats ~results
   List.iteri
     (fun i (ws : Pool.worker_stat) ->
       g (Printf.sprintf "farm.worker.%d.jobs" i) ws.ws_jobs;
+      g (Printf.sprintf "farm.worker.%d.steals" i) ws.ws_steals;
       g (Printf.sprintf "farm.worker.%d.busy_us" i) (ws.ws_busy_ns / 1000);
       g (Printf.sprintf "farm.worker.%d.idle_us" i) (ws.ws_idle_ns / 1000))
     worker_stats;
+  (* The shared-snapshot health: late builds > 0 would mean corpora are
+     being constructed inside jobs, defeating the sharing. *)
+  let ss = Faros_corpus.Snapshot.stats () in
+  g "corpus.snapshot.images" ss.ss_images;
+  g "corpus.snapshot.blobs" ss.ss_blobs;
+  g "corpus.snapshot.hits" ss.ss_hits;
+  g "corpus.snapshot.misses" ss.ss_misses;
+  g "corpus.snapshot.late_builds" ss.ss_late_builds;
   let wall = Faros_obs.Metrics.histogram metrics "farm.job.wall_us" in
   List.iter
     (fun r ->
@@ -359,6 +363,11 @@ let run ?(workers = 1) ?(config = Core.Config.default) ?(graph = true)
     Faros_obs.Trace.enabled trace || Faros_obs.Sink.enabled sink
   in
   let total = List.length samples in
+  (* Freeze the shared corpus snapshot before any domain exists: from
+     here on the artifact tables are read-only, so the scenario values
+     the job closures capture can be shared across workers without any
+     synchronization.  Per-job setup is then tag-store instancing only. *)
+  Faros_corpus.Snapshot.freeze ();
   let pool = Pool.create ~workers () in
   let results =
     Fun.protect
@@ -541,8 +550,8 @@ let matrix_row_json row =
     row.mr_mismatches
 
 let worker_stat_json i (ws : Pool.worker_stat) =
-  Printf.sprintf {|{"worker":%d,"jobs":%d,"busy_us":%d,"idle_us":%d}|} i
-    ws.ws_jobs (ws.ws_busy_ns / 1000) (ws.ws_idle_ns / 1000)
+  Printf.sprintf {|{"worker":%d,"jobs":%d,"busy_us":%d,"idle_us":%d,"steals":%d}|}
+    i ws.ws_jobs (ws.ws_busy_ns / 1000) (ws.ws_idle_ns / 1000) ws.ws_steals
 
 let to_json t =
   let profile_field =
@@ -636,6 +645,7 @@ let pp_workers ppf t =
       let util =
         if busy +. idle > 0. then 100. *. busy /. (busy +. idle) else 0.
       in
-      Fmt.pf ppf "  worker %d: %4d jobs  %8.2fs busy  %8.2fs idle  %5.1f%% busy@."
-        i ws.ws_jobs busy idle util)
+      Fmt.pf ppf
+        "  worker %d: %4d jobs  %4d steals  %8.2fs busy  %8.2fs idle  %5.1f%% busy@."
+        i ws.ws_jobs ws.ws_steals busy idle util)
     t.worker_stats

@@ -32,6 +32,9 @@ type verdict =
 val verdict_name : verdict -> string
 (** ["flagged" | "clean" | "error" | "timeout"]. *)
 
+val verdict_detail : verdict -> string
+(** The [Error] payload; [""] for every other verdict. *)
+
 type job_result = {
   jr_id : string;
   jr_family : string;

@@ -1,42 +1,58 @@
-(* A fixed-size domain worker pool.
+(* A fixed-size domain worker pool with per-worker lanes and work
+   stealing.
 
-   N worker domains share one mutex-and-condition job queue.  Jobs are
-   closures; submitting one returns a promise fulfilled with the job's
-   value or, if the job raised, its exception — a raising job never takes
-   its worker down, which is the isolation property the campaign driver
-   builds on.
+   Each spawned domain owns a FIFO lane of jobs; submission places jobs
+   round-robin across the lanes so every worker starts with a fair
+   share.  A worker that drains its own lane steals the oldest job from
+   the longest remaining lane instead of going idle — that is what keeps
+   the fleet busy when job lengths are wildly uneven (a 2000-connection
+   netd replay next to a 10-tick micro scenario).  Steals are counted
+   per worker and surfaced through {!worker_stats}.
 
-   Shutdown is graceful by construction: workers keep popping until the
-   queue is empty even after [shutdown] flips the accepting flag, so every
-   promise submitted before shutdown is fulfilled before the domains are
-   joined.
+   All lanes hang off ONE mutex and ONE condition.  Job bodies run for
+   milliseconds, so a single lock is nowhere near contended, and it buys
+   a simple correctness story: placement, stealing, shutdown, the
+   peak-depth gauge and every worker-stat mutation happen under the same
+   lock, which makes {!worker_stats} an exact point-in-time snapshot
+   even while the domains are live (it locks the same mutex).  No lost
+   wakeups either: [submit] signals once, and a woken worker re-scans
+   every lane under the mutex before it goes back to sleep.
 
-   Telemetry: each spawned domain keeps its own stat record (jobs run,
-   busy and idle nanoseconds) written only by that domain, and the queue
-   tracks its peak depth — the direct instruments for "why does -j4 sit
-   at 1.02x" (all idle: jobs too short / too few; all busy: real work,
-   look at the profiler).  Read the stats after {!shutdown} for exact
-   values; jobs receive their worker's index so the campaign driver can
-   label per-job artifacts with the worker that produced them.
+   Jobs are closures; submitting one returns a promise fulfilled with
+   the job's value or, if the job raised, its exception — a raising job
+   never takes its worker down, which is the isolation property the
+   campaign driver builds on.
+
+   Shutdown is graceful by construction: workers keep popping (and
+   stealing) until every lane is empty even after [shutdown] flips the
+   accepting flag, so every promise submitted before shutdown is
+   fulfilled before the domains are joined.
+
+   Determinism: the pool schedules WHERE and WHEN jobs run, never what
+   they return — callers that await promises in submission order (see
+   {!Campaign}) observe byte-identical output for any worker count and
+   any steal interleaving.
 
    No dependencies beyond the OCaml 5 stdlib ([Domain], [Mutex],
    [Condition]) and [Unix.gettimeofday] for the busy/idle clocks. *)
 
 type worker_stat = {
   mutable ws_jobs : int;  (* jobs completed by this worker *)
+  mutable ws_steals : int;  (* jobs taken from another worker's lane *)
   mutable ws_busy_ns : int;  (* time inside job bodies *)
-  mutable ws_idle_ns : int;  (* time waiting on the queue *)
+  mutable ws_idle_ns : int;  (* time waiting for work *)
 }
 
 type t = {
-  mutex : Mutex.t;
+  mutex : Mutex.t;  (* guards lanes, flags, stats, gauges *)
   work_available : Condition.t;  (* signalled on submit and on shutdown *)
-  jobs : (int -> unit) Queue.t;  (* jobs take the running worker's index *)
+  lanes : (int -> unit) Queue.t array;  (* one FIFO lane per spawned worker *)
+  mutable next_lane : int;  (* round-robin placement cursor *)
   mutable accepting : bool;  (* false once shutdown has begun *)
   mutable domains : unit Domain.t list;
   workers : int;
   stats : worker_stat array;  (* one slot per spawned domain *)
-  mutable peak_depth : int;  (* deepest the queue has been *)
+  mutable peak_depth : int;  (* deepest the lanes have been, summed *)
 }
 
 type 'a state = Pending | Fulfilled of ('a, exn) result
@@ -49,17 +65,32 @@ type 'a promise = {
 
 let workers t = t.workers
 let spawned t = Array.length t.stats
-let peak_depth t = t.peak_depth
 
-(* A snapshot per spawned worker, in worker-index order.  Only exact
-   after {!shutdown} (the domains are joined); while workers run, the
-   plain-int reads may lag by the job in flight. *)
+let peak_depth t =
+  Mutex.lock t.mutex;
+  let d = t.peak_depth in
+  Mutex.unlock t.mutex;
+  d
+
+(* An exact point-in-time snapshot per spawned worker, in worker-index
+   order.  Safe while the domains run: every stat mutation happens under
+   [t.mutex] and so does this copy. *)
 let worker_stats t =
-  Array.to_list
-    (Array.map
-       (fun ws ->
-         { ws_jobs = ws.ws_jobs; ws_busy_ns = ws.ws_busy_ns; ws_idle_ns = ws.ws_idle_ns })
-       t.stats)
+  Mutex.lock t.mutex;
+  let snap =
+    Array.to_list
+      (Array.map
+         (fun ws ->
+           {
+             ws_jobs = ws.ws_jobs;
+             ws_steals = ws.ws_steals;
+             ws_busy_ns = ws.ws_busy_ns;
+             ws_idle_ns = ws.ws_idle_ns;
+           })
+         t.stats)
+  in
+  Mutex.unlock t.mutex;
+  snap
 
 (* Spawning more domains than the host has cores is actively harmful in
    OCaml 5: every minor collection is a stop-the-world handshake across
@@ -77,6 +108,28 @@ let domain_cap () =
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
+let total_depth t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.lanes
+
+(* Pick the next job for worker [w], called with [t.mutex] held.  Own
+   lane first (FIFO); otherwise steal the oldest job from the longest
+   other lane, so one long tail gets spread instead of ping-ponged. *)
+let pick_job t w =
+  match Queue.take_opt t.lanes.(w) with
+  | Some job -> Some (job, false)
+  | None ->
+    let victim = ref (-1) and best = ref 0 in
+    Array.iteri
+      (fun i q ->
+        let n = Queue.length q in
+        if i <> w && n > !best then begin
+          victim := i;
+          best := n
+        end)
+      t.lanes;
+    if !victim < 0 then None
+    else Some (Queue.take t.lanes.(!victim), true)
+
 let worker_loop t w =
   (* Replay allocates heavily in short-lived spurts; a roomier minor heap
      per domain cuts the collection (and thus cross-domain handshake)
@@ -88,24 +141,34 @@ let worker_loop t w =
   let rec loop () =
     let t0 = now_ns () in
     Mutex.lock t.mutex;
-    while Queue.is_empty t.jobs && t.accepting do
-      Condition.wait t.work_available t.mutex
-    done;
-    (* Non-empty: run one job.  Empty here implies shutdown with the
-       queue drained: exit. *)
-    match Queue.take_opt t.jobs with
+    let rec take () =
+      match pick_job t w with
+      | Some _ as got -> got
+      | None ->
+        if t.accepting then begin
+          Condition.wait t.work_available t.mutex;
+          take ()
+        end
+        else None
+      (* Every lane empty and shutdown begun: exit. *)
+    in
+    match take () with
     | None ->
-      Mutex.unlock t.mutex;
-      ws.ws_idle_ns <- ws.ws_idle_ns + (now_ns () - t0)
-    | Some job ->
-      Mutex.unlock t.mutex;
+      ws.ws_idle_ns <- ws.ws_idle_ns + (now_ns () - t0);
+      Mutex.unlock t.mutex
+    | Some (job, stolen) ->
       let t1 = now_ns () in
-      (* Queue wait — lock contention included — is idle time: the worker
-         had no job to run. *)
+      (* Wait for work — lock contention included — is idle time: the
+         worker had no job to run. *)
       ws.ws_idle_ns <- ws.ws_idle_ns + (t1 - t0);
+      if stolen then ws.ws_steals <- ws.ws_steals + 1;
+      Mutex.unlock t.mutex;
       job w;
-      ws.ws_busy_ns <- ws.ws_busy_ns + (now_ns () - t1);
+      let t2 = now_ns () in
+      Mutex.lock t.mutex;
+      ws.ws_busy_ns <- ws.ws_busy_ns + (t2 - t1);
       ws.ws_jobs <- ws.ws_jobs + 1;
+      Mutex.unlock t.mutex;
       loop ()
   in
   loop ()
@@ -117,13 +180,14 @@ let create ?(workers = 1) () =
     {
       mutex = Mutex.create ();
       work_available = Condition.create ();
-      jobs = Queue.create ();
+      lanes = Array.init spawned (fun _ -> Queue.create ());
+      next_lane = 0;
       accepting = true;
       domains = [];
       workers;
       stats =
         Array.init spawned (fun _ ->
-            { ws_jobs = 0; ws_busy_ns = 0; ws_idle_ns = 0 });
+            { ws_jobs = 0; ws_steals = 0; ws_busy_ns = 0; ws_idle_ns = 0 });
       peak_depth = 0;
     }
   in
@@ -148,8 +212,10 @@ let submit_indexed t f =
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Queue.add job t.jobs;
-  if Queue.length t.jobs > t.peak_depth then t.peak_depth <- Queue.length t.jobs;
+  Queue.add job t.lanes.(t.next_lane);
+  t.next_lane <- (t.next_lane + 1) mod Array.length t.lanes;
+  let depth = total_depth t in
+  if depth > t.peak_depth then t.peak_depth <- depth;
   Condition.signal t.work_available;
   Mutex.unlock t.mutex;
   p

@@ -12,6 +12,17 @@ let check_s = Alcotest.(check string)
 
 exception Boom of int
 
+(* Pin the spawned-domain count for a test (the pool otherwise caps at
+   the host's recommended count, which is 1 on single-core CI), restoring
+   the previous environment afterwards. *)
+let with_forced_domains n f =
+  let old = Sys.getenv_opt "FAROS_FARM_DOMAINS" in
+  Unix.putenv "FAROS_FARM_DOMAINS" (string_of_int n);
+  Fun.protect f ~finally:(fun () ->
+      Unix.putenv "FAROS_FARM_DOMAINS"
+        (Option.value old
+           ~default:(string_of_int (Domain.recommended_domain_count ()))))
+
 let pool_tests =
   [
     Alcotest.test_case "all jobs complete, in submission order" `Quick
@@ -144,6 +155,51 @@ let telemetry_pool_tests =
           (List.fold_left
              (fun acc s -> acc + s.Pool.ws_jobs)
              0 (Pool.worker_stats pool)));
+    Alcotest.test_case "idle workers steal from a loaded lane" `Quick
+      (fun () ->
+        (* Force four real domains (the pool otherwise caps at the host's
+           recommendation): one lane gets a long job with fast jobs queued
+           behind it, so the other workers MUST steal for every promise
+           to resolve before the sleeper wakes. *)
+        with_forced_domains 4 (fun () ->
+            let pool = Pool.create ~workers:4 () in
+            check "four domains spawned" 4 (Pool.spawned pool);
+            let slow = Pool.submit pool (fun () -> Unix.sleepf 0.25; -1) in
+            let fast =
+              List.init 24 (fun i -> Pool.submit pool (fun () -> i))
+            in
+            List.iteri
+              (fun i p -> check_b "fast job ran" true (Pool.await p = Ok i))
+              fast;
+            ignore (Pool.await slow);
+            Pool.shutdown pool;
+            let stats = Pool.worker_stats pool in
+            check "all jobs counted" 25
+              (List.fold_left (fun acc s -> acc + s.Pool.ws_jobs) 0 stats);
+            check_b "someone stole" true
+              (List.exists (fun s -> s.Pool.ws_steals > 0) stats)));
+    Alcotest.test_case "worker_stats is a safe snapshot mid-run" `Quick
+      (fun () ->
+        with_forced_domains 2 (fun () ->
+            let pool = Pool.create ~workers:2 () in
+            let promises =
+              List.init 16 (fun i ->
+                  Pool.submit pool (fun () -> Unix.sleepf 0.01; i))
+            in
+            (* Snapshot while the domains run: counters mutate under the
+               pool mutex, so totals are exact at the instant of the call
+               and never exceed the submissions. *)
+            let mid = Pool.worker_stats pool in
+            let mid_jobs =
+              List.fold_left (fun acc s -> acc + s.Pool.ws_jobs) 0 mid
+            in
+            check_b "mid-run total bounded" true (mid_jobs <= 16);
+            List.iter (fun p -> ignore (Pool.await p)) promises;
+            Pool.shutdown pool;
+            check "final total exact" 16
+              (List.fold_left
+                 (fun acc s -> acc + s.Pool.ws_jobs)
+                 0 (Pool.worker_stats pool))));
   ]
 
 (* -- campaign isolation and verdicts ------------------------------------- *)
@@ -298,6 +354,11 @@ let campaign_obs_tests =
         check "requested workers gauge" 2 (gauge "farm.workers.requested");
         check "spawned gauge" observed.spawned (gauge "farm.workers.spawned");
         check_b "per-worker jobs gauge" true (gauge "farm.worker.0.jobs" > 0);
+        check_b "per-worker steal gauge present" true
+          (gauge "farm.worker.0.steals" >= 0);
+        check_b "snapshot gauges present" true
+          (gauge "corpus.snapshot.images" > 0
+          && gauge "corpus.snapshot.late_builds" = 0);
         (* the gauge freezes just before the closing metric_snapshot is
            emitted, so it counts every line except that one *)
         check "sink event count frozen into the registry"
